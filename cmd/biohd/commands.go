@@ -1,0 +1,476 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+
+	"repro/internal/accel"
+	"repro/internal/core"
+	"repro/internal/encoding"
+	"repro/internal/genome"
+	"repro/internal/pim"
+	"repro/internal/rng"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+// cmdServe exposes a library over HTTP (see internal/server for the
+// API). The library is built from -ref or loaded from -lib.
+func cmdServe(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	lf := addLibFlags(fs)
+	refFile := fs.String("ref", "", "reference FASTA")
+	libFile := fs.String("lib", "", "saved library file (alternative to -ref)")
+	addr := fs.String("addr", "127.0.0.1:8650", "listen address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	lib, err := loadOrBuild(*refFile, *libFile, lf)
+	if err != nil {
+		return err
+	}
+	srv, err := server.New(lib)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "serving %d references (%d buckets) on http://%s\n",
+		lib.NumRefs(), lib.NumBuckets(), ln.Addr())
+	return http.Serve(ln, srv.Handler())
+}
+
+// cmdGen generates synthetic datasets as FASTA on stdout or -o.
+func cmdGen(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("gen", flag.ContinueOnError)
+	kind := fs.String("kind", "covid", "dataset kind: covid | random | reads")
+	n := fs.Int("n", 16, "number of sequences (covid: variants, random: sequences, reads: reads)")
+	length := fs.Int("len", 29903, "sequence length (random: per sequence, reads: read length, covid: ancestor)")
+	gc := fs.Float64("gc", 0.5, "GC content for random sequences")
+	errRate := fs.Float64("err", 0.005, "sequencing error rate for reads")
+	refFile := fs.String("ref", "", "reference FASTA to sample reads from (required for kind=reads)")
+	seed := fs.Uint64("seed", 1, "generator seed")
+	output := fs.String("o", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var recs []genome.Record
+	switch *kind {
+	case "covid":
+		cfg := genome.DefaultVariantDBConfig()
+		cfg.NumVariants, cfg.AncestorLen, cfg.Seed = *n, *length, *seed
+		db, err := genome.GenerateVariantDB(cfg)
+		if err != nil {
+			return err
+		}
+		for _, v := range db.Variants {
+			recs = append(recs, v.Record)
+		}
+	case "random":
+		src := rng.New(*seed)
+		for i := 0; i < *n; i++ {
+			recs = append(recs, genome.Record{
+				ID:  fmt.Sprintf("rand-%04d", i),
+				Seq: genome.RandomGC(*length, *gc, src),
+			})
+		}
+	case "reads":
+		if *refFile == "" {
+			return fmt.Errorf("gen -kind=reads requires -ref")
+		}
+		refs, err := readFASTAFile(*refFile)
+		if err != nil {
+			return err
+		}
+		var seqs []*genome.Sequence
+		for _, r := range refs {
+			seqs = append(seqs, r.Seq)
+		}
+		reads, err := genome.SampleReads(seqs, genome.ReadSamplerConfig{
+			ReadLen: *length, NumReads: *n, ErrorRate: *errRate, Seed: *seed,
+		})
+		if err != nil {
+			return err
+		}
+		for i, r := range reads {
+			recs = append(recs, genome.Record{
+				ID:          fmt.Sprintf("read-%05d", i),
+				Description: fmt.Sprintf("source=%s offset=%d errors=%d", refs[r.SourceIdx].ID, r.Offset, r.Errors),
+				Seq:         r.Seq,
+			})
+		}
+	default:
+		return fmt.Errorf("unknown dataset kind %q", *kind)
+	}
+	var w io.Writer = out
+	if *output != "" {
+		f, err := os.Create(*output)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return genome.WriteFASTA(w, recs, 70)
+}
+
+// libFlags declares the shared library-geometry flags.
+type libFlags struct {
+	dim, window, stride, capacity, tol int
+	approx                             bool
+	seed                               uint64
+	mask                               string
+	workers                            int
+}
+
+func addLibFlags(fs *flag.FlagSet) *libFlags {
+	var lf libFlags
+	fs.IntVar(&lf.dim, "dim", 8192, "hypervector dimension (multiple of 64)")
+	fs.IntVar(&lf.window, "window", 32, "window length in bases")
+	fs.IntVar(&lf.stride, "stride", 1, "reference window stride")
+	fs.IntVar(&lf.capacity, "capacity", 0, "windows per bucket (0 = auto from model)")
+	fs.IntVar(&lf.tol, "tol", 0, "substitution tolerance per window (>0 selects approximate mode)")
+	fs.BoolVar(&lf.approx, "approx", false, "use the approximate (bundle) encoding")
+	fs.Uint64Var(&lf.seed, "seed", 1, "item memory seed")
+	fs.StringVar(&lf.mask, "mask", "reject", "ambiguity-code policy for FASTA input: reject | substitute | skip")
+	fs.IntVar(&lf.workers, "workers", 1, "parallel encoding workers for library builds")
+	return &lf
+}
+
+func (lf *libFlags) maskPolicy() (genome.MaskPolicy, error) {
+	switch lf.mask {
+	case "", "reject":
+		return genome.MaskReject, nil
+	case "substitute":
+		return genome.MaskSubstitute, nil
+	case "skip":
+		return genome.MaskSkip, nil
+	default:
+		return 0, fmt.Errorf("unknown mask policy %q (reject | substitute | skip)", lf.mask)
+	}
+}
+
+func (lf *libFlags) params() core.Params {
+	approx := lf.approx || lf.tol > 0
+	return core.Params{
+		Dim: lf.dim, Window: lf.window, Stride: lf.stride, Capacity: lf.capacity,
+		Approx: approx, Sealed: true, MutTolerance: lf.tol, Seed: lf.seed,
+	}
+}
+
+// loadOrBuild returns a frozen library: loaded from libFile when given,
+// else built from the FASTA at refFile with the flags' mask policy and
+// worker count.
+func loadOrBuild(refFile, libFile string, lf *libFlags) (*core.Library, error) {
+	if libFile != "" {
+		f, err := os.Open(libFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return core.ReadLibrary(f)
+	}
+	if refFile == "" {
+		return nil, fmt.Errorf("either -ref (FASTA) or -lib (saved library) is required")
+	}
+	policy, err := lf.maskPolicy()
+	if err != nil {
+		return nil, err
+	}
+	return buildFromFASTA(refFile, lf.params(), policy, lf.workers)
+}
+
+func buildFromFASTA(path string, params core.Params, policy genome.MaskPolicy, workers int) (*core.Library, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	masked, err := genome.ReadFASTAWith(f, policy)
+	if err != nil {
+		return nil, err
+	}
+	lib, err := core.NewLibrary(params)
+	if err != nil {
+		return nil, err
+	}
+	recs := make([]genome.Record, len(masked))
+	for i, m := range masked {
+		recs[i] = m.Record
+	}
+	if err := lib.AddConcurrent(recs, workers); err != nil {
+		return nil, err
+	}
+	lib.Freeze()
+	if !lib.Frozen() {
+		return nil, fmt.Errorf("no references long enough for window %d", params.Window)
+	}
+	return lib, nil
+}
+
+func readFASTAFile(path string) ([]genome.Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return genome.ReadFASTA(f)
+}
+
+// cmdBuild builds a library, reports its shape and model numbers, and
+// optionally saves it for later serving/searching.
+func cmdBuild(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("build", flag.ContinueOnError)
+	lf := addLibFlags(fs)
+	refFile := fs.String("ref", "", "reference FASTA (required)")
+	output := fs.String("o", "", "save the built library to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *refFile == "" {
+		return fmt.Errorf("build requires -ref")
+	}
+	policy, err := lf.maskPolicy()
+	if err != nil {
+		return err
+	}
+	lib, err := buildFromFASTA(*refFile, lf.params(), policy, lf.workers)
+	if err != nil {
+		return err
+	}
+	if *output != "" {
+		f, err := os.Create(*output)
+		if err != nil {
+			return err
+		}
+		if _, err := lib.WriteTo(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "saved library to %s\n", *output)
+	}
+	p := lib.Params()
+	m := lib.Model()
+	fmt.Fprintf(out, "library: %d refs, %d windows, %d buckets (capacity %d)\n",
+		lib.NumRefs(), lib.NumWindows(), lib.NumBuckets(), p.Capacity)
+	fmt.Fprintf(out, "geometry: D=%d window=%d stride=%d mode=%s\n",
+		p.Dim, p.Window, p.Stride, map[bool]string{true: "approx", false: "exact"}[p.Approx])
+	fmt.Fprintf(out, "storage: %.1f KiB of hypervectors\n", float64(lib.MemoryFootprint())/1024)
+	fmt.Fprintf(out, "model: threshold=%.1f noise-sigma=%.1f signal(tol)=%.1f\n",
+		lib.Threshold(), m.NoiseSigma(), m.SignalMean(p.MutTolerance))
+	if cal, ok := lib.Calibration(); ok {
+		fmt.Fprintf(out, "calibration: noise %.1f±%.1f signal %.1f±%.1f tau %.1f\n",
+			cal.NoiseMean, cal.NoiseStd, cal.SignalMean, cal.SignalStd, cal.Tau)
+	}
+	return nil
+}
+
+// cmdSearch searches one pattern against references.
+func cmdSearch(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("search", flag.ContinueOnError)
+	lf := addLibFlags(fs)
+	refFile := fs.String("ref", "", "reference FASTA")
+	libFile := fs.String("lib", "", "saved library file (alternative to -ref)")
+	pattern := fs.String("pattern", "", "pattern to search (ACGT letters, required)")
+	long := fs.Bool("long", false, "treat the pattern as a long query (windowed voting)")
+	minFrac := fs.Float64("minfrac", 0.5, "minimum window-vote fraction for -long")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *pattern == "" {
+		return fmt.Errorf("search requires -pattern")
+	}
+	pat, err := genome.FromString(strings.ToUpper(*pattern))
+	if err != nil {
+		return err
+	}
+	lib, err := loadOrBuild(*refFile, *libFile, lf)
+	if err != nil {
+		return err
+	}
+	if *long {
+		ranked, stats, err := lib.LookupLong(pat, *minFrac)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%d candidate references (probes=%d)\n", len(ranked), stats.BucketProbes)
+		for _, r := range ranked {
+			fmt.Fprintf(out, "  %s offset=%d votes=%d/%d (%.0f%%)\n",
+				lib.Ref(r.Ref).ID, r.Offset, r.Votes, r.Windows, 100*r.Fraction)
+		}
+		return nil
+	}
+	matches, stats, err := lib.Lookup(pat)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%d matches (probes=%d candidates=%d verified=%d)\n",
+		len(matches), stats.BucketProbes, stats.CandidateBuckets, stats.WindowsVerified)
+	for _, m := range matches {
+		fmt.Fprintf(out, "  %s:%d distance=%d\n", lib.Ref(m.Ref).ID, m.Off, m.Distance)
+	}
+	return nil
+}
+
+// cmdClassify maps every read in a FASTA against the references.
+func cmdClassify(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("classify", flag.ContinueOnError)
+	lf := addLibFlags(fs)
+	refFile := fs.String("ref", "", "reference FASTA")
+	libFile := fs.String("lib", "", "saved library file (alternative to -ref)")
+	readsFile := fs.String("reads", "", "reads FASTA (required)")
+	minFrac := fs.Float64("minfrac", 0.5, "minimum window-vote fraction")
+	bothStrands := fs.Bool("strands", false, "try both read orientations")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *readsFile == "" {
+		return fmt.Errorf("classify requires -reads")
+	}
+	lib, err := loadOrBuild(*refFile, *libFile, lf)
+	if err != nil {
+		return err
+	}
+	reads, err := readFASTAFile(*readsFile)
+	if err != nil {
+		return err
+	}
+	classified := 0
+	for _, r := range reads {
+		var best core.RefMatch
+		strand := "+"
+		if *bothStrands {
+			var st core.Strand
+			best, st, _, err = lib.ClassifyBothStrands(r.Seq, *minFrac)
+			strand = st.String()
+		} else {
+			best, _, err = lib.Classify(r.Seq, *minFrac)
+		}
+		if err != nil {
+			fmt.Fprintf(out, "%s\tunclassified\n", r.ID)
+			continue
+		}
+		classified++
+		fmt.Fprintf(out, "%s\t%s\tstrand=%s\toffset=%d\tsupport=%.0f%%\n",
+			r.ID, lib.Ref(best.Ref).ID, strand, best.Offset, 100*best.Fraction)
+	}
+	fmt.Fprintf(out, "# classified %d/%d reads\n", classified, len(reads))
+	return nil
+}
+
+// cmdExperiment regenerates paper tables/figures.
+func cmdExperiment(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("experiment", flag.ContinueOnError)
+	scale := fs.Float64("scale", 1.0, "dataset scale (1.0 = reference scale)")
+	seed := fs.Uint64("seed", 42, "experiment seed")
+	asCSV := fs.Bool("csv", false, "emit CSV instead of aligned tables")
+	// Accept the experiment ID before or after the flags.
+	var id string
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		id, args = args[0], args[1:]
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if id == "" && fs.NArg() == 1 {
+		id = fs.Arg(0)
+	} else if id == "" || fs.NArg() > 0 {
+		return fmt.Errorf("experiment requires exactly one ID (T1..T3, F1..F10, all)")
+	}
+	cfg := workload.Config{Scale: *scale, Seed: *seed}
+	emit := func(res *workload.Result) error {
+		if *asCSV {
+			return res.WriteCSV(out)
+		}
+		res.Fprint(out)
+		return nil
+	}
+	if strings.EqualFold(id, "all") {
+		for _, e := range workload.All() {
+			res, err := e.Run(cfg)
+			if err != nil {
+				return fmt.Errorf("experiment %s: %w", e.ID, err)
+			}
+			if err := emit(res); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	e, ok := workload.Get(id)
+	if !ok {
+		return fmt.Errorf("unknown experiment %q", id)
+	}
+	res, err := e.Run(cfg)
+	if err != nil {
+		return err
+	}
+	return emit(res)
+}
+
+// cmdPIM simulates a query batch on the crossbar architecture.
+func cmdPIM(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("pim", flag.ContinueOnError)
+	lf := addLibFlags(fs)
+	refFile := fs.String("ref", "", "reference FASTA")
+	libFile := fs.String("lib", "", "saved library file (alternative to -ref)")
+	queries := fs.Int("queries", 64, "number of sampled window queries")
+	rows := fs.Int("rows", 1024, "array rows")
+	cols := fs.Int("cols", 1024, "array columns")
+	arrays := fs.Int("arrays", 4096, "arrays on the chip")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	lib, err := loadOrBuild(*refFile, *libFile, lf)
+	if err != nil {
+		return err
+	}
+	chip := pim.DefaultChipConfig()
+	chip.ArrayRows, chip.ArrayCols, chip.NumArrays = *rows, *cols, *arrays
+	eng, err := pim.NewEngine(chip, lib)
+	if err != nil {
+		return err
+	}
+	src := rng.New(lib.Params().Seed + 1)
+	var total pim.Cost
+	mode := encoding.ModeExact
+	if lib.Params().Approx {
+		mode = encoding.ModeApprox
+	}
+	for i := 0; i < *queries; i++ {
+		ri := src.Intn(lib.NumRefs())
+		ref := lib.Ref(ri).Seq
+		off := src.Intn(ref.Len() - lib.Params().Window + 1)
+		hv := lib.Encoder().Encode(ref, off, mode)
+		total.Add(eng.EncodeCost(lib.Params().Approx, lib.Params().Window))
+		_, c, err := eng.Search(hv)
+		if err != nil {
+			return err
+		}
+		total.Add(c)
+	}
+	sys := accel.DefaultBioHDSystem().Wrap(total.LatencyNs, total.EnergyPj, eng.ArraysUsed())
+	q := float64(*queries)
+	rep := eng.Report()
+	fmt.Fprintf(out, "chip: %d arrays of %dx%d (%d used, %d rows/bucket, %d buckets/array)\n",
+		chip.NumArrays, chip.ArrayRows, chip.ArrayCols, rep.ArraysUsed, rep.RowsPerBucket, rep.BucketsPerArr)
+	fmt.Fprintf(out, "occupancy: %.1f%% of used arrays' rows, %.3f%% of the chip\n",
+		100*rep.RowOccupancy, 100*rep.ChipOccupancy)
+	fmt.Fprintf(out, "build: %.3f ms once\n", eng.BuildCost().LatencyMs())
+	fmt.Fprintf(out, "search: %.3f µs/query, %.0f queries/s, %.3f µJ/query (system)\n",
+		sys.LatencyNs/q/1000, sys.ThroughputQPS(*queries), sys.EnergyPj/q*1e-6)
+	fmt.Fprintf(out, "ops/query: xnor=%d popcount=%d broadcast=%d compare=%d\n",
+		total.Counts[pim.OpXnor]/int64(q), total.Counts[pim.OpPopcount]/int64(q),
+		total.Counts[pim.OpBroadcast]/int64(q), total.Counts[pim.OpCompare]/int64(q))
+	return nil
+}

@@ -1,0 +1,73 @@
+// Command biohd is the BioHD genome sequence search platform CLI.
+//
+// Subcommands:
+//
+//	gen        generate synthetic datasets (FASTA)
+//	build      build a reference library from FASTA and report its shape
+//	search     search a pattern against FASTA references
+//	classify   classify reads against FASTA references
+//	experiment regenerate a paper table/figure (or "all")
+//	pim        simulate a search batch on the PIM architecture
+//	serve      expose a library over an HTTP JSON API
+//
+// Run "biohd <subcommand> -h" for flags.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "biohd:", err)
+		os.Exit(1)
+	}
+}
+
+// run dispatches a CLI invocation; it is the testable entry point.
+func run(args []string, out io.Writer) error {
+	if len(args) == 0 {
+		usage(out)
+		return fmt.Errorf("missing subcommand")
+	}
+	switch args[0] {
+	case "gen":
+		return cmdGen(args[1:], out)
+	case "build":
+		return cmdBuild(args[1:], out)
+	case "search":
+		return cmdSearch(args[1:], out)
+	case "classify":
+		return cmdClassify(args[1:], out)
+	case "experiment":
+		return cmdExperiment(args[1:], out)
+	case "serve":
+		return cmdServe(args[1:], out)
+	case "pim":
+		return cmdPIM(args[1:], out)
+	case "help", "-h", "--help":
+		usage(out)
+		return nil
+	default:
+		usage(out)
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func usage(out io.Writer) {
+	fmt.Fprint(out, `biohd — genome sequence search with HyperDimensional memorization
+
+usage: biohd <subcommand> [flags]
+
+subcommands:
+  gen         generate synthetic datasets (covid | random | reads) as FASTA
+  build       build a reference library from FASTA and report its shape
+  search      search a pattern against FASTA references
+  classify    classify reads (FASTA) against references (FASTA)
+  experiment  regenerate a paper table/figure by ID (T1..T3, F1..F10, all)
+  pim         simulate a search batch on the crossbar PIM architecture
+  serve       expose a library over an HTTP JSON API
+`)
+}

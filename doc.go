@@ -1,0 +1,10 @@
+// Package repro is the root of the BioHD reproduction: a genome
+// sequence search platform based on HyperDimensional Computing (HDC)
+// memorization, with a processing-in-memory (PIM) architecture
+// simulator, classical baselines, and an experiment harness that
+// regenerates every table and figure of the paper's evaluation.
+//
+// Start with README.md, the library in internal/core, and the CLI in
+// cmd/biohd. The benchmarks in bench_test.go regenerate the paper's
+// experiments (one benchmark per table/figure; see DESIGN.md §3).
+package repro

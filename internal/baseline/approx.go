@@ -1,0 +1,236 @@
+package baseline
+
+import (
+	"fmt"
+
+	"repro/internal/genome"
+)
+
+// ApproxOccurrence is one approximate match: the end position of a
+// substring of the text whose distance to the pattern is within the
+// allowed budget.
+type ApproxOccurrence struct {
+	End  int // exclusive end offset of the matching substring in the text
+	Dist int // edit (or substitution) distance of the best match ending here
+}
+
+// ApproxMatcher is a classical approximate pattern-matching algorithm.
+type ApproxMatcher interface {
+	// Name identifies the algorithm in experiment output.
+	Name() string
+	// Find returns all approximate occurrences of pattern in text within
+	// distance k, plus the number of elementary operations (DP cells or
+	// word updates) spent.
+	Find(text, pattern *genome.Sequence, k int) ([]ApproxOccurrence, int)
+}
+
+// --- Myers bit-parallel ---------------------------------------------------
+
+// Myers is Myers' bit-parallel approximate matcher: computes the
+// edit-distance DP column in O(1) word operations per text character for
+// patterns up to 64 bases. The state-of-the-art CPU/GPU kernel for short
+// patterns and the software baseline the paper's GPU numbers represent.
+type Myers struct{}
+
+// Name implements ApproxMatcher.
+func (Myers) Name() string { return "myers" }
+
+// Find implements ApproxMatcher. It panics if the pattern exceeds 64
+// bases.
+func (Myers) Find(text, pattern *genome.Sequence, k int) ([]ApproxOccurrence, int) {
+	m, n := pattern.Len(), text.Len()
+	if m == 0 || n == 0 {
+		return nil, 0
+	}
+	if m > 64 {
+		panic(fmt.Sprintf("baseline: Myers pattern length %d > 64", m))
+	}
+	if k < 0 {
+		panic(fmt.Sprintf("baseline: negative distance budget %d", k))
+	}
+	ops := 0
+	var peq [genome.AlphabetSize]uint64
+	for i := 0; i < m; i++ {
+		peq[pattern.At(i)] |= 1 << uint(i)
+	}
+	pv := ^uint64(0)
+	mv := uint64(0)
+	score := m
+	high := uint64(1) << uint(m-1)
+	var out []ApproxOccurrence
+	// Hyyrö's formulation of the search variant: the DP first row is all
+	// zeros (a match may start anywhere), so no carry enters the shifted
+	// horizontal vectors.
+	for i := 0; i < n; i++ {
+		x := peq[text.At(i)] | mv
+		d0 := (x&pv + pv) ^ pv | x
+		hp := mv | ^(d0 | pv)
+		hn := pv & d0
+		if hp&high != 0 {
+			score++
+		}
+		if hn&high != 0 {
+			score--
+		}
+		hp <<= 1
+		pv = hn<<1 | ^(d0 | hp)
+		mv = hp & d0
+		ops++ // constant word work per character
+		if score <= k {
+			out = append(out, ApproxOccurrence{End: i + 1, Dist: score})
+		}
+	}
+	return out, ops
+}
+
+// --- Banded Smith–Waterman sliding matcher ---------------------------------
+
+// SellersDP is the classical dynamic-programming approximate matcher
+// (Sellers' algorithm): the full O(m·n) edit-distance table against the
+// text, with the first row zeroed so matches can start anywhere. The
+// canonical alignment-quality ground truth.
+type SellersDP struct{}
+
+// Name implements ApproxMatcher.
+func (SellersDP) Name() string { return "sellers-dp" }
+
+// Find implements ApproxMatcher.
+func (SellersDP) Find(text, pattern *genome.Sequence, k int) ([]ApproxOccurrence, int) {
+	m, n := pattern.Len(), text.Len()
+	if m == 0 || n == 0 {
+		return nil, 0
+	}
+	if k < 0 {
+		panic(fmt.Sprintf("baseline: negative distance budget %d", k))
+	}
+	ops := 0
+	prev := make([]int, m+1)
+	cur := make([]int, m+1)
+	for j := 0; j <= m; j++ {
+		prev[j] = j
+	}
+	var out []ApproxOccurrence
+	for i := 1; i <= n; i++ {
+		cur[0] = 0
+		for j := 1; j <= m; j++ {
+			cost := 1
+			if text.At(i-1) == pattern.At(j-1) {
+				cost = 0
+			}
+			cur[j] = minInt3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+			ops++
+		}
+		if cur[m] <= k {
+			out = append(out, ApproxOccurrence{End: i, Dist: cur[m]})
+		}
+		prev, cur = cur, prev
+	}
+	return out, ops
+}
+
+func minInt3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+// --- Global alignment -----------------------------------------------------
+
+// AlignmentResult is the outcome of a pairwise alignment.
+type AlignmentResult struct {
+	Score int // alignment score (NW) or best local score (SW)
+	Ops   int // DP cells evaluated
+}
+
+// NeedlemanWunsch computes the global alignment score of a and b with
+// match/mismatch/gap scores. It is the exact global comparator used for
+// variant-distance ground truth.
+func NeedlemanWunsch(a, b *genome.Sequence, match, mismatch, gap int) AlignmentResult {
+	n, m := a.Len(), b.Len()
+	prev := make([]int, m+1)
+	cur := make([]int, m+1)
+	for j := 0; j <= m; j++ {
+		prev[j] = j * gap
+	}
+	ops := 0
+	for i := 1; i <= n; i++ {
+		cur[0] = i * gap
+		for j := 1; j <= m; j++ {
+			s := mismatch
+			if a.At(i-1) == b.At(j-1) {
+				s = match
+			}
+			cur[j] = maxInt3(prev[j-1]+s, prev[j]+gap, cur[j-1]+gap)
+			ops++
+		}
+		prev, cur = cur, prev
+	}
+	return AlignmentResult{Score: prev[m], Ops: ops}
+}
+
+// SmithWaterman computes the best local alignment score of a and b.
+func SmithWaterman(a, b *genome.Sequence, match, mismatch, gap int) AlignmentResult {
+	n, m := a.Len(), b.Len()
+	prev := make([]int, m+1)
+	cur := make([]int, m+1)
+	best, ops := 0, 0
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= m; j++ {
+			s := mismatch
+			if a.At(i-1) == b.At(j-1) {
+				s = match
+			}
+			v := maxInt3(prev[j-1]+s, prev[j]+gap, cur[j-1]+gap)
+			if v < 0 {
+				v = 0
+			}
+			cur[j] = v
+			if v > best {
+				best = v
+			}
+			ops++
+		}
+		prev, cur = cur, prev
+		cur[0] = 0
+	}
+	return AlignmentResult{Score: best, Ops: ops}
+}
+
+// EditDistance returns the Levenshtein distance between a and b and the
+// DP cells evaluated. Ground truth for mutation-tolerance experiments.
+func EditDistance(a, b *genome.Sequence) (int, int) {
+	n, m := a.Len(), b.Len()
+	prev := make([]int, m+1)
+	cur := make([]int, m+1)
+	for j := 0; j <= m; j++ {
+		prev[j] = j
+	}
+	ops := 0
+	for i := 1; i <= n; i++ {
+		cur[0] = i
+		for j := 1; j <= m; j++ {
+			cost := 1
+			if a.At(i-1) == b.At(j-1) {
+				cost = 0
+			}
+			cur[j] = minInt3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+			ops++
+		}
+		prev, cur = cur, prev
+	}
+	return prev[m], ops
+}
+
+func maxInt3(a, b, c int) int {
+	if b > a {
+		a = b
+	}
+	if c > a {
+		a = c
+	}
+	return a
+}

@@ -1,0 +1,120 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bitvec"
+	"repro/internal/genome"
+	"repro/internal/rng"
+)
+
+// KmerBloom is a Bloom filter over the w-mers of a reference set — the
+// classical sketch for approximate set membership, and the natural
+// comparison point for BioHD's superposition library: both answer "have
+// I seen this window?" in constant probes from a compact bit array, but
+// the Bloom filter stores no position information and admits false
+// positives it cannot verify.
+type KmerBloom struct {
+	bits   *bitvec.Vector
+	w      int // window (w-mer) length
+	hashes int
+	n      int // w-mers inserted
+}
+
+// NewKmerBloom creates a filter for w-mers sized for the expected number
+// of insertions at the target false-positive rate, using the standard
+// m = −n·ln(p)/ln²2 and k = (m/n)·ln2 formulas.
+func NewKmerBloom(w, expected int, fpr float64) (*KmerBloom, error) {
+	if w <= 0 || w > 1024 {
+		return nil, fmt.Errorf("baseline: w-mer length %d out of [1,1024]", w)
+	}
+	if expected <= 0 {
+		return nil, fmt.Errorf("baseline: expected insertions %d must be positive", expected)
+	}
+	if fpr <= 0 || fpr >= 1 {
+		return nil, fmt.Errorf("baseline: target FPR %v out of (0,1)", fpr)
+	}
+	mBits := int(math.Ceil(-float64(expected) * math.Log(fpr) / (math.Ln2 * math.Ln2)))
+	mBits = (mBits + 63) / 64 * 64
+	if mBits < 64 {
+		mBits = 64
+	}
+	k := int(math.Round(float64(mBits) / float64(expected) * math.Ln2))
+	if k < 1 {
+		k = 1
+	}
+	if k > 16 {
+		k = 16
+	}
+	return &KmerBloom{bits: bitvec.New(mBits), w: w, hashes: k}, nil
+}
+
+// W returns the w-mer length.
+func (b *KmerBloom) W() int { return b.w }
+
+// NumInserted returns how many w-mers have been inserted.
+func (b *KmerBloom) NumInserted() int { return b.n }
+
+// positions derives the k probe positions for a w-mer value.
+func (b *KmerBloom) positions(v uint64, f func(pos int)) {
+	state := v ^ 0xb100f11e
+	for i := 0; i < b.hashes; i++ {
+		h := rng.SplitMix64(&state)
+		f(int(h % uint64(b.bits.Len())))
+	}
+}
+
+// windowHash folds the w bases starting at off into a 64-bit mixing
+// hash (an FNV-style fold), supporting windows longer than the 31-base
+// packed-k-mer limit.
+func windowHash(seq *genome.Sequence, off, w int) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < w; i++ {
+		h ^= uint64(seq.At(off + i))
+		h *= 0x100000001b3
+	}
+	return h
+}
+
+// AddSequence inserts every w-mer of seq and returns the number of
+// elementary operations (hash probes).
+func (b *KmerBloom) AddSequence(seq *genome.Sequence) int {
+	ops := 0
+	for i := 0; i+b.w <= seq.Len(); i++ {
+		b.positions(windowHash(seq, i, b.w), func(pos int) {
+			b.bits.Set(pos)
+			ops++
+		})
+		b.n++
+	}
+	return ops
+}
+
+// Contains reports whether the w-mer at the start of pattern may have
+// been inserted (false positives possible, false negatives not), plus
+// the probe count. The pattern must be at least w bases long.
+func (b *KmerBloom) Contains(pattern *genome.Sequence) (bool, int, error) {
+	if pattern.Len() < b.w {
+		return false, 0, fmt.Errorf("baseline: pattern shorter than w-mer length %d", b.w)
+	}
+	ops := 0
+	present := true
+	b.positions(windowHash(pattern, 0, b.w), func(pos int) {
+		ops++
+		if !b.bits.Get(pos) {
+			present = false
+		}
+	})
+	return present, ops, nil
+}
+
+// MemoryFootprint returns the filter size in bytes.
+func (b *KmerBloom) MemoryFootprint() int64 { return int64(b.bits.Len()) / 8 }
+
+// EstimatedFPR returns the filter's predicted false-positive rate at its
+// current load: (1 − e^(−kn/m))^k.
+func (b *KmerBloom) EstimatedFPR() float64 {
+	k, n, m := float64(b.hashes), float64(b.n), float64(b.bits.Len())
+	return math.Pow(1-math.Exp(-k*n/m), k)
+}

@@ -1,0 +1,179 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/encoding"
+	"repro/internal/genome"
+	"repro/internal/rng"
+)
+
+func TestKmerBloomValidation(t *testing.T) {
+	for name, args := range map[string][3]interface{}{
+		"w zero":    {0, 100, 0.01},
+		"w too big": {2000, 100, 0.01},
+		"expected":  {16, 0, 0.01},
+		"fpr low":   {16, 100, 0.0},
+		"fpr high":  {16, 100, 1.0},
+	} {
+		if _, err := NewKmerBloom(args[0].(int), args[1].(int), args[2].(float64)); err == nil {
+			t.Fatalf("%s: accepted", name)
+		}
+	}
+}
+
+func TestKmerBloomNoFalseNegatives(t *testing.T) {
+	src := rng.New(311)
+	ref := genome.Random(3000, src)
+	const w = 20
+	bf, err := NewKmerBloom(w, 3000, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ops := bf.AddSequence(ref); ops <= 0 {
+		t.Fatal("no insert ops")
+	}
+	if bf.NumInserted() != 3000-w+1 {
+		t.Fatalf("inserted %d", bf.NumInserted())
+	}
+	// Every present w-mer must be found.
+	for i := 0; i < 200; i++ {
+		off := src.Intn(ref.Len() - w + 1)
+		ok, _, err := bf.Contains(ref.Slice(off, off+w))
+		if err != nil || !ok {
+			t.Fatalf("false negative at %d (err %v)", off, err)
+		}
+	}
+}
+
+func TestKmerBloomFPRNearTarget(t *testing.T) {
+	src := rng.New(312)
+	ref := genome.Random(5000, src)
+	const w = 20
+	bf, err := NewKmerBloom(w, 5000, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf.AddSequence(ref)
+	fp, trials := 0, 2000
+	for i := 0; i < trials; i++ {
+		q := genome.Random(w, src)
+		if ref.Index(q, 0) >= 0 {
+			continue
+		}
+		if ok, _, _ := bf.Contains(q); ok {
+			fp++
+		}
+	}
+	rate := float64(fp) / float64(trials)
+	if rate > 0.05 {
+		t.Fatalf("measured FPR %v far above 2%% target", rate)
+	}
+	if est := bf.EstimatedFPR(); est <= 0 || est > 0.05 {
+		t.Fatalf("estimated FPR %v implausible", est)
+	}
+}
+
+func TestKmerBloomShortPattern(t *testing.T) {
+	bf, err := NewKmerBloom(20, 100, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := bf.Contains(genome.Random(5, rng.New(313))); err == nil {
+		t.Fatal("short pattern accepted")
+	}
+}
+
+func TestWholeRefHDCFindsSource(t *testing.T) {
+	src := rng.New(314)
+	g, err := NewWholeRefHDC(encoding.Config{Dim: 8192, Window: 32, Seed: 315})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 500-base references: N ≈ 470 windows keeps the member Z at
+	// √(D/N) ≈ 4.2σ, inside the whole-reference design's working regime
+	// (TestWholeRefHDCDegradesWithSize covers the breakdown beyond it).
+	refs := make([]*genome.Sequence, 4)
+	for i := range refs {
+		refs[i] = genome.Random(500, src)
+		if err := g.Add(refs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if g.NumRefs() != 4 || g.Dim() != 8192 {
+		t.Fatal("metadata wrong")
+	}
+	hits := 0
+	for trial := 0; trial < 20; trial++ {
+		ri := src.Intn(4)
+		off := src.Intn(refs[ri].Len() - 32)
+		scores, ops, err := g.Query(refs[ri].Slice(off, off+32))
+		if err != nil || ops != 4 {
+			t.Fatalf("query failed: ops=%d err=%v", ops, err)
+		}
+		if scores[0].Ref == ri && scores[0].Z > 3 {
+			hits++
+		}
+	}
+	if hits < 16 {
+		t.Fatalf("source ranked first with Z>3 only %d/20 times", hits)
+	}
+	// Absent pattern must not produce a confident hit.
+	confident := 0
+	for trial := 0; trial < 20; trial++ {
+		q := genome.Random(32, src)
+		if ok, _, _ := g.Contains(q, 4); ok {
+			confident++
+		}
+	}
+	if confident > 2 {
+		t.Fatalf("%d/20 absent queries confidently matched", confident)
+	}
+}
+
+func TestWholeRefHDCDegradesWithSize(t *testing.T) {
+	// The whole-reference design's member Z falls as √(D/N): doubling the
+	// reference length must lower the average member Z.
+	src := rng.New(316)
+	zFor := func(refLen int) float64 {
+		g, err := NewWholeRefHDC(encoding.Config{Dim: 4096, Window: 32, Seed: 317})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := genome.Random(refLen, src)
+		if err := g.Add(ref); err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		const probes = 15
+		for i := 0; i < probes; i++ {
+			off := src.Intn(ref.Len() - 32)
+			scores, _, err := g.Query(ref.Slice(off, off+32))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += scores[0].Z
+		}
+		return sum / probes
+	}
+	small, big := zFor(1000), zFor(8000)
+	if big >= small {
+		t.Fatalf("member Z did not degrade with size: %v -> %v", small, big)
+	}
+}
+
+func TestWholeRefHDCValidation(t *testing.T) {
+	g, err := NewWholeRefHDC(encoding.Config{Dim: 1024, Window: 32, Seed: 318})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Add(genome.Random(10, rng.New(319))); err == nil {
+		t.Fatal("short reference accepted")
+	}
+	if _, _, err := g.Query(genome.Random(10, rng.New(320))); err == nil {
+		t.Fatal("short pattern accepted")
+	}
+	if _, err := NewWholeRefHDC(encoding.Config{Dim: 100, Window: 32}); err == nil {
+		t.Fatal("bad dim accepted")
+	}
+}

@@ -1,0 +1,130 @@
+package baseline
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/genome"
+	"repro/internal/rng"
+)
+
+var exactMatchers = []ExactMatcher{KMP{}, BMH{}, ShiftOr{}, Naive{}}
+
+func offsets(occ []Occurrence) []int {
+	if len(occ) == 0 {
+		return nil
+	}
+	out := make([]int, len(occ))
+	for i, o := range occ {
+		out[i] = o.Off
+	}
+	return out
+}
+
+func TestExactMatchersKnownCases(t *testing.T) {
+	text := genome.MustFromString("ACGTACGTTACGACGT")
+	for _, tc := range []struct {
+		pattern string
+		want    []int
+	}{
+		{"ACGT", []int{0, 4, 12}},
+		{"TACG", []int{3, 8}},
+		{"GGGG", nil},
+		{"ACGTACGTTACGACGT", []int{0}},
+		{"T", []int{3, 7, 8, 15}},
+	} {
+		pat := genome.MustFromString(tc.pattern)
+		for _, m := range exactMatchers {
+			occ, ops := m.Find(text, pat)
+			if got := offsets(occ); !reflect.DeepEqual(got, tc.want) {
+				t.Fatalf("%s(%q): got %v, want %v", m.Name(), tc.pattern, got, tc.want)
+			}
+			if len(occ) > 0 && ops <= 0 {
+				t.Fatalf("%s(%q): zero ops reported", m.Name(), tc.pattern)
+			}
+		}
+	}
+}
+
+func TestExactMatchersEdgeCases(t *testing.T) {
+	text := genome.MustFromString("ACGT")
+	long := genome.MustFromString("ACGTACGT")
+	empty := genome.NewSequence(0)
+	for _, m := range exactMatchers {
+		if occ, _ := m.Find(text, long); occ != nil {
+			t.Fatalf("%s: pattern longer than text matched", m.Name())
+		}
+		if occ, _ := m.Find(text, empty); occ != nil {
+			t.Fatalf("%s: empty pattern produced occurrences", m.Name())
+		}
+	}
+}
+
+func TestExactMatchersOverlapping(t *testing.T) {
+	text := genome.MustFromString("AAAAAA")
+	pat := genome.MustFromString("AAA")
+	want := []int{0, 1, 2, 3}
+	for _, m := range exactMatchers {
+		occ, _ := m.Find(text, pat)
+		if got := offsets(occ); !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: overlapping matches %v, want %v", m.Name(), got, want)
+		}
+	}
+}
+
+func TestShiftOrPatternTooLongPanics(t *testing.T) {
+	text := genome.Random(100, rng.New(1))
+	pat := genome.Random(65, rng.New(2))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Shift-Or with 65-base pattern did not panic")
+		}
+	}()
+	ShiftOr{}.Find(text, pat)
+}
+
+// Property: all matchers agree with the naive oracle on random inputs.
+func TestQuickMatchersAgree(t *testing.T) {
+	f := func(seed uint64, patLen uint8) bool {
+		src := rng.New(seed)
+		text := genome.Random(300, src)
+		m := int(patLen)%20 + 1
+		// Mix planted and random patterns for match-rich cases.
+		var pat *genome.Sequence
+		if seed%2 == 0 {
+			off := src.Intn(300 - m)
+			pat = text.Slice(off, off+m)
+		} else {
+			pat = genome.Random(m, src)
+		}
+		want, _ := Naive{}.Find(text, pat)
+		for _, matcher := range []ExactMatcher{KMP{}, BMH{}, ShiftOr{}} {
+			got, _ := matcher.Find(text, pat)
+			if !reflect.DeepEqual(offsets(got), offsets(want)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpCountOrdering(t *testing.T) {
+	// On a long random text, BMH must beat naive in comparisons, and
+	// Shift-Or must spend exactly one op per text character.
+	src := rng.New(3)
+	text := genome.Random(20000, src)
+	pat := genome.Random(32, src)
+	_, naiveOps := Naive{}.Find(text, pat)
+	_, bmhOps := BMH{}.Find(text, pat)
+	_, soOps := ShiftOr{}.Find(text, pat)
+	if bmhOps >= naiveOps {
+		t.Fatalf("BMH ops %d not below naive %d", bmhOps, naiveOps)
+	}
+	if soOps != text.Len() {
+		t.Fatalf("Shift-Or ops %d != text length %d", soOps, text.Len())
+	}
+}

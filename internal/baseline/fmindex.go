@@ -1,0 +1,204 @@
+package baseline
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/genome"
+)
+
+// FMIndex is a Burrows–Wheeler full-text index over one sequence — the
+// data structure behind the dominant read aligners (BWA, Bowtie). Exact
+// pattern search runs in O(m) rank operations per pattern, independent
+// of the text length, at the cost of an offline index build.
+//
+// The implementation is textbook: suffix array by prefix doubling, BWT
+// from the suffix array, rank via per-base checkpointed popcounts over
+// 2-bit-packed BWT blocks, and locate via sampled suffix-array entries
+// walked back with LF-mapping.
+type FMIndex struct {
+	n         int         // text length including the sentinel
+	bwt       []byte      // BWT symbols: 0..3 are bases, 4 is the sentinel
+	sentinel  int         // position of the sentinel in the BWT
+	c         [5]int      // C[s]: number of symbols < s in the text
+	checks    [][4]int32  // rank checkpoints every checkpointStep symbols
+	saSamples map[int]int // sampled suffix array: BWT row -> text offset
+	sampleGap int
+}
+
+const checkpointStep = 64
+
+// NewFMIndex builds the index over seq. The build is O(n log n) time and
+// O(n) space; its cost is reported so experiments can amortize it.
+func NewFMIndex(seq *genome.Sequence) (*FMIndex, int, error) {
+	if seq.Len() == 0 {
+		return nil, 0, fmt.Errorf("baseline: cannot index an empty sequence")
+	}
+	n := seq.Len() + 1 // text plus sentinel
+	ops := 0
+
+	// Suffix array by prefix doubling. rank[i] is the sort key of the
+	// suffix at i for the current prefix length; the sentinel sorts
+	// before every base.
+	sa := make([]int, n)
+	rank := make([]int, n)
+	tmp := make([]int, n)
+	for i := 0; i < n; i++ {
+		sa[i] = i
+		if i == n-1 {
+			rank[i] = 0
+		} else {
+			rank[i] = int(seq.At(i)) + 1
+		}
+	}
+	for k := 1; ; k *= 2 {
+		key := func(i int) (int, int) {
+			second := -1
+			if i+k < n {
+				second = rank[i+k]
+			}
+			return rank[i], second
+		}
+		sort.Slice(sa, func(a, b int) bool {
+			f1, s1 := key(sa[a])
+			f2, s2 := key(sa[b])
+			if f1 != f2 {
+				return f1 < f2
+			}
+			return s1 < s2
+		})
+		ops += n // one pass of key assignment per doubling round
+		tmp[sa[0]] = 0
+		for i := 1; i < n; i++ {
+			f1, s1 := key(sa[i-1])
+			f2, s2 := key(sa[i])
+			tmp[sa[i]] = tmp[sa[i-1]]
+			if f1 != f2 || s1 != s2 {
+				tmp[sa[i]]++
+			}
+		}
+		copy(rank, tmp)
+		if rank[sa[n-1]] == n-1 {
+			break
+		}
+	}
+
+	// BWT from the suffix array.
+	fm := &FMIndex{n: n, bwt: make([]byte, n), sentinel: -1, sampleGap: 32,
+		saSamples: make(map[int]int)}
+	for i, pos := range sa {
+		if pos == 0 {
+			fm.bwt[i] = 4
+			fm.sentinel = i
+		} else {
+			fm.bwt[i] = byte(seq.At(pos - 1))
+		}
+		if pos%fm.sampleGap == 0 {
+			fm.saSamples[i] = pos
+		}
+	}
+	// C array: sentinel < A < C < G < T.
+	var counts [5]int
+	counts[4] = 1 // exactly one sentinel, smallest symbol
+	for i := 0; i < seq.Len(); i++ {
+		counts[seq.At(i)]++
+	}
+	fm.c[0] = 1 // symbols < A: the sentinel
+	for s := 1; s < 4; s++ {
+		fm.c[s] = fm.c[s-1] + counts[s-1]
+	}
+	// Rank checkpoints.
+	nCheck := n/checkpointStep + 1
+	fm.checks = make([][4]int32, nCheck)
+	var running [4]int32
+	for i := 0; i < n; i++ {
+		if i%checkpointStep == 0 {
+			fm.checks[i/checkpointStep] = running
+		}
+		if fm.bwt[i] < 4 {
+			running[fm.bwt[i]]++
+		}
+	}
+	ops += 2 * n
+	return fm, ops, nil
+}
+
+// rank returns the number of occurrences of base s in bwt[0:i).
+func (fm *FMIndex) rank(s byte, i int) int {
+	cp := i / checkpointStep
+	r := int(fm.checks[cp][s])
+	for j := cp * checkpointStep; j < i; j++ {
+		if fm.bwt[j] == s {
+			r++
+		}
+	}
+	return r
+}
+
+// Count returns the number of exact occurrences of pattern and the rank
+// operations spent (the per-character work of backward search).
+func (fm *FMIndex) Count(pattern *genome.Sequence) (int, int) {
+	lo, hi, ops := fm.interval(pattern)
+	if lo >= hi {
+		return 0, ops
+	}
+	return hi - lo, ops
+}
+
+// interval runs backward search, returning the BWT row interval [lo, hi)
+// of suffixes prefixed by the pattern.
+func (fm *FMIndex) interval(pattern *genome.Sequence) (int, int, int) {
+	m := pattern.Len()
+	if m == 0 {
+		return 0, 0, 0
+	}
+	ops := 0
+	s := byte(pattern.At(m - 1))
+	lo := fm.c[s]
+	hi := fm.c[s] + fm.rank(s, fm.n)
+	for i := m - 2; i >= 0 && lo < hi; i-- {
+		s = byte(pattern.At(i))
+		lo = fm.c[s] + fm.rank(s, lo)
+		hi = fm.c[s] + fm.rank(s, hi)
+		ops += 2 // two rank queries per character
+	}
+	return lo, hi, ops + 2
+}
+
+// Locate returns the sorted text offsets of every exact occurrence of
+// pattern plus the operation count (ranks for the search and the
+// LF-walks to the nearest suffix-array samples).
+func (fm *FMIndex) Locate(pattern *genome.Sequence) ([]int, int) {
+	lo, hi, ops := fm.interval(pattern)
+	var out []int
+	for row := lo; row < hi; row++ {
+		r, steps := fm.resolveRow(row)
+		ops += steps
+		out = append(out, r)
+	}
+	sort.Ints(out)
+	return out, ops
+}
+
+// resolveRow walks LF-mappings from the given BWT row until it hits a
+// sampled suffix-array entry.
+func (fm *FMIndex) resolveRow(row int) (int, int) {
+	steps := 0
+	for {
+		if pos, ok := fm.saSamples[row]; ok {
+			return pos + steps, steps
+		}
+		s := fm.bwt[row]
+		if s == 4 { // this row's suffix starts at text position 0
+			return steps, steps
+		}
+		row = fm.c[s] + fm.rank(s, row)
+		steps++
+	}
+}
+
+// MemoryFootprint returns the approximate index size in bytes: the BWT,
+// the rank checkpoints, and the SA samples.
+func (fm *FMIndex) MemoryFootprint() int64 {
+	return int64(len(fm.bwt)) + int64(len(fm.checks))*16 + int64(len(fm.saSamples))*16
+}

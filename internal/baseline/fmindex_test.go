@@ -1,0 +1,146 @@
+package baseline
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/genome"
+	"repro/internal/rng"
+)
+
+func TestFMIndexCountKnown(t *testing.T) {
+	text := genome.MustFromString("ACGTACGTTACGACGT")
+	fm, buildOps, err := NewFMIndex(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buildOps <= 0 {
+		t.Fatal("no build ops reported")
+	}
+	for _, tc := range []struct {
+		pat  string
+		want int
+	}{
+		{"ACGT", 3}, {"TACG", 2}, {"GGGG", 0}, {"T", 4},
+		{"ACGTACGTTACGACGT", 1},
+	} {
+		got, ops := fm.Count(genome.MustFromString(tc.pat))
+		if got != tc.want {
+			t.Fatalf("Count(%q) = %d, want %d", tc.pat, got, tc.want)
+		}
+		if ops <= 0 {
+			t.Fatalf("Count(%q) reported no ops", tc.pat)
+		}
+	}
+}
+
+func TestFMIndexLocateMatchesNaive(t *testing.T) {
+	src := rng.New(301)
+	text := genome.Random(2000, src)
+	fm, _, err := NewFMIndex(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 30; trial++ {
+		var pat *genome.Sequence
+		if trial%2 == 0 {
+			off := src.Intn(text.Len() - 12)
+			pat = text.Slice(off, off+12)
+		} else {
+			pat = genome.Random(12, src)
+		}
+		want, _ := Naive{}.Find(text, pat)
+		got, _ := fm.Locate(pat)
+		if !reflect.DeepEqual(got, offsets(want)) {
+			t.Fatalf("trial %d: Locate %v vs naive %v", trial, got, offsets(want))
+		}
+	}
+}
+
+func TestFMIndexHomopolymers(t *testing.T) {
+	// Degenerate texts stress the suffix sort and LF walk.
+	text := genome.MustFromString("AAAAAAAAAA")
+	fm, _, err := NewFMIndex(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := fm.Count(genome.MustFromString("AAA")); n != 8 {
+		t.Fatalf("Count(AAA) in A^10 = %d, want 8", n)
+	}
+	locs, _ := fm.Locate(genome.MustFromString("AAAA"))
+	if len(locs) != 7 || locs[0] != 0 || locs[6] != 6 {
+		t.Fatalf("Locate(AAAA) = %v", locs)
+	}
+}
+
+func TestFMIndexEmptyAndEdges(t *testing.T) {
+	if _, _, err := NewFMIndex(genome.NewSequence(0)); err == nil {
+		t.Fatal("empty text indexed")
+	}
+	fm, _, err := NewFMIndex(genome.MustFromString("A"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := fm.Count(genome.MustFromString("A")); n != 1 {
+		t.Fatalf("single-base count %d", n)
+	}
+	if n, _ := fm.Count(genome.MustFromString("C")); n != 0 {
+		t.Fatalf("absent single-base count %d", n)
+	}
+	if n, _ := fm.Count(genome.NewSequence(0)); n != 0 {
+		t.Fatalf("empty pattern count %d", n)
+	}
+}
+
+func TestFMIndexOpsIndependentOfTextLength(t *testing.T) {
+	src := rng.New(302)
+	small := genome.Random(1000, src)
+	big := genome.Random(16000, src)
+	fmS, _, _ := NewFMIndex(small)
+	fmB, _, _ := NewFMIndex(big)
+	pat := genome.Random(24, src)
+	_, opsS := fmS.Count(pat)
+	_, opsB := fmB.Count(pat)
+	// Backward search is O(m); counts may differ only by early exit.
+	if opsB > 2*opsS+4 {
+		t.Fatalf("count ops grew with text: %d vs %d", opsB, opsS)
+	}
+}
+
+// Property: Locate agrees with the naive oracle on random inputs.
+func TestQuickFMIndexLocate(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 25}
+	f := func(seed uint64, patLen uint8) bool {
+		src := rng.New(seed)
+		text := genome.Random(300, src)
+		m := int(patLen)%16 + 1
+		var pat *genome.Sequence
+		if seed%2 == 0 {
+			off := src.Intn(300 - m)
+			pat = text.Slice(off, off+m)
+		} else {
+			pat = genome.Random(m, src)
+		}
+		fm, _, err := NewFMIndex(text)
+		if err != nil {
+			return false
+		}
+		got, _ := fm.Locate(pat)
+		want, _ := Naive{}.Find(text, pat)
+		return reflect.DeepEqual(got, offsets(want))
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFMIndexMemoryFootprint(t *testing.T) {
+	fm, _, err := NewFMIndex(genome.Random(5000, rng.New(303)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mem := fm.MemoryFootprint(); mem < 5000 || mem > 5000*12 {
+		t.Fatalf("footprint %d implausible for 5 kb text", mem)
+	}
+}

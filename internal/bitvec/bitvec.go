@@ -1,0 +1,320 @@
+// Package bitvec implements fixed-length bit vectors packed into 64-bit
+// words. It is the storage substrate for binary hypervectors: the hot
+// BioHD kernels (XNOR similarity, popcount, rotation permutation) are all
+// word-parallel operations on these vectors.
+//
+// All binary operations require operands of identical length and panic
+// otherwise; length mismatches are programming errors, not runtime
+// conditions.
+package bitvec
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Vector is a fixed-length bit vector. The zero value is an empty vector
+// of length 0; use New to create a sized vector.
+//
+// Bits beyond Len() inside the final word are kept zero (the "tail
+// invariant"); every mutating operation re-normalizes the tail so that
+// PopCount and Equal never see garbage.
+type Vector struct {
+	words []uint64
+	n     int
+}
+
+// New returns a zeroed vector of n bits. It panics if n is negative.
+func New(n int) *Vector {
+	if n < 0 {
+		panic(fmt.Sprintf("bitvec: negative length %d", n))
+	}
+	return &Vector{words: make([]uint64, wordsFor(n)), n: n}
+}
+
+func wordsFor(n int) int { return (n + wordBits - 1) / wordBits }
+
+// FromBools builds a vector whose i-th bit is 1 iff b[i] is true.
+func FromBools(b []bool) *Vector {
+	v := New(len(b))
+	for i, x := range b {
+		if x {
+			v.Set(i)
+		}
+	}
+	return v
+}
+
+// FromWords builds an n-bit vector that takes ownership of words. It
+// panics if words is too short for n bits. Tail bits are cleared.
+func FromWords(words []uint64, n int) *Vector {
+	if len(words) < wordsFor(n) {
+		panic(fmt.Sprintf("bitvec: %d words cannot hold %d bits", len(words), n))
+	}
+	v := &Vector{words: words[:wordsFor(n)], n: n}
+	v.clearTail()
+	return v
+}
+
+// Len returns the number of bits in the vector.
+func (v *Vector) Len() int { return v.n }
+
+// Words exposes the underlying packed words. The slice must not be
+// resized; it may be mutated provided the tail invariant is restored.
+func (v *Vector) Words() []uint64 { return v.words }
+
+// Get reports whether bit i is set. It panics if i is out of range.
+func (v *Vector) Get(i int) bool {
+	v.check(i)
+	return v.words[i/wordBits]>>(uint(i)%wordBits)&1 == 1
+}
+
+// Set sets bit i to 1. It panics if i is out of range.
+func (v *Vector) Set(i int) {
+	v.check(i)
+	v.words[i/wordBits] |= 1 << (uint(i) % wordBits)
+}
+
+// Clear sets bit i to 0. It panics if i is out of range.
+func (v *Vector) Clear(i int) {
+	v.check(i)
+	v.words[i/wordBits] &^= 1 << (uint(i) % wordBits)
+}
+
+// SetBool sets bit i to b. It panics if i is out of range.
+func (v *Vector) SetBool(i int, b bool) {
+	if b {
+		v.Set(i)
+	} else {
+		v.Clear(i)
+	}
+}
+
+// Flip inverts bit i. It panics if i is out of range.
+func (v *Vector) Flip(i int) {
+	v.check(i)
+	v.words[i/wordBits] ^= 1 << (uint(i) % wordBits)
+}
+
+func (v *Vector) check(i int) {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("bitvec: index %d out of range [0,%d)", i, v.n))
+	}
+}
+
+// Clone returns an independent copy of v.
+func (v *Vector) Clone() *Vector {
+	w := make([]uint64, len(v.words))
+	copy(w, v.words)
+	return &Vector{words: w, n: v.n}
+}
+
+// CopyFrom overwrites v with the contents of src. Lengths must match.
+func (v *Vector) CopyFrom(src *Vector) {
+	v.mustMatch(src)
+	copy(v.words, src.words)
+}
+
+// Zero clears every bit.
+func (v *Vector) Zero() {
+	for i := range v.words {
+		v.words[i] = 0
+	}
+}
+
+// Fill sets every bit to 1.
+func (v *Vector) Fill() {
+	for i := range v.words {
+		v.words[i] = ^uint64(0)
+	}
+	v.clearTail()
+}
+
+func (v *Vector) clearTail() {
+	if r := uint(v.n % wordBits); r != 0 && len(v.words) > 0 {
+		v.words[len(v.words)-1] &= (1 << r) - 1
+	}
+}
+
+func (v *Vector) mustMatch(o *Vector) {
+	if v.n != o.n {
+		panic(fmt.Sprintf("bitvec: length mismatch %d vs %d", v.n, o.n))
+	}
+}
+
+// Xor stores a XOR b into v (v may alias a or b). Lengths must match.
+func (v *Vector) Xor(a, b *Vector) {
+	a.mustMatch(b)
+	v.mustMatch(a)
+	for i := range v.words {
+		v.words[i] = a.words[i] ^ b.words[i]
+	}
+}
+
+// Xnor stores the bitwise XNOR of a and b into v. Lengths must match.
+// XNOR is the bipolar-domain multiplication: agreeing bits produce 1.
+func (v *Vector) Xnor(a, b *Vector) {
+	a.mustMatch(b)
+	v.mustMatch(a)
+	for i := range v.words {
+		v.words[i] = ^(a.words[i] ^ b.words[i])
+	}
+	v.clearTail()
+}
+
+// And stores a AND b into v. Lengths must match.
+func (v *Vector) And(a, b *Vector) {
+	a.mustMatch(b)
+	v.mustMatch(a)
+	for i := range v.words {
+		v.words[i] = a.words[i] & b.words[i]
+	}
+}
+
+// Or stores a OR b into v. Lengths must match.
+func (v *Vector) Or(a, b *Vector) {
+	a.mustMatch(b)
+	v.mustMatch(a)
+	for i := range v.words {
+		v.words[i] = a.words[i] | b.words[i]
+	}
+}
+
+// Not stores the complement of a into v. Lengths must match.
+func (v *Vector) Not(a *Vector) {
+	v.mustMatch(a)
+	for i := range v.words {
+		v.words[i] = ^a.words[i]
+	}
+	v.clearTail()
+}
+
+// PopCount returns the number of set bits.
+func (v *Vector) PopCount() int {
+	c := 0
+	for _, w := range v.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// HammingDistance returns the number of positions where v and o differ.
+// Lengths must match.
+func (v *Vector) HammingDistance(o *Vector) int {
+	v.mustMatch(o)
+	d := 0
+	for i, w := range v.words {
+		d += bits.OnesCount64(w ^ o.words[i])
+	}
+	return d
+}
+
+// Dot returns the bipolar dot product of v and o when both are read as
+// bipolar vectors (bit 1 ↦ +1, bit 0 ↦ −1): matches − mismatches =
+// Len − 2·HammingDistance. Lengths must match.
+func (v *Vector) Dot(o *Vector) int {
+	return v.n - 2*v.HammingDistance(o)
+}
+
+// Equal reports whether v and o have the same length and bits.
+func (v *Vector) Equal(o *Vector) bool {
+	if v.n != o.n {
+		return false
+	}
+	for i, w := range v.words {
+		if w != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// RotateLeft stores a rotated left by k bit positions into v (bit i of a
+// becomes bit (i+k) mod Len of v). v must not alias a unless k == 0.
+// Negative k rotates right. Lengths must match.
+func (v *Vector) RotateLeft(a *Vector, k int) {
+	v.mustMatch(a)
+	if v.n == 0 {
+		return
+	}
+	k %= v.n
+	if k < 0 {
+		k += v.n
+	}
+	if k == 0 {
+		if v != a {
+			copy(v.words, a.words)
+		}
+		return
+	}
+	if v == a {
+		panic("bitvec: RotateLeft with aliased operands and k != 0")
+	}
+	if v.n%wordBits == 0 {
+		v.rotateAligned(a, k)
+		return
+	}
+	v.rotateGeneric(a, k)
+}
+
+// rotateAligned rotates when Len is a multiple of 64: a word-granular
+// copy plus a uniform cross-word shift. Output word j draws its low bits
+// from source word j−wordShift and its high carry from the word before
+// that, both taken modulo the ring.
+func (v *Vector) rotateAligned(a *Vector, k int) {
+	nw := len(v.words)
+	wordShift := k / wordBits
+	bitShift := uint(k % wordBits)
+	if bitShift == 0 {
+		for j := 0; j < nw; j++ {
+			v.words[j] = a.words[((j-wordShift)%nw+nw)%nw]
+		}
+		return
+	}
+	inv := uint(wordBits) - bitShift
+	for j := 0; j < nw; j++ {
+		src := ((j-wordShift)%nw + nw) % nw
+		prev := (src - 1 + nw) % nw
+		v.words[j] = a.words[src]<<bitShift | a.words[prev]>>inv
+	}
+}
+
+// rotateGeneric handles arbitrary lengths bit-by-bit on word chunks.
+func (v *Vector) rotateGeneric(a *Vector, k int) {
+	v.Zero()
+	for i := 0; i < v.n; i++ {
+		if a.Get(i) {
+			j := i + k
+			if j >= v.n {
+				j -= v.n
+			}
+			v.Set(j)
+		}
+	}
+}
+
+// String renders the vector as a 0/1 string, bit 0 first. Vectors longer
+// than 256 bits are truncated with an ellipsis.
+func (v *Vector) String() string {
+	var sb strings.Builder
+	n := v.n
+	trunc := false
+	if n > 256 {
+		n, trunc = 256, true
+	}
+	sb.Grow(n + 16)
+	for i := 0; i < n; i++ {
+		if v.Get(i) {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	if trunc {
+		fmt.Fprintf(&sb, "...(%d bits)", v.n)
+	}
+	return sb.String()
+}

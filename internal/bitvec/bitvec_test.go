@@ -1,0 +1,406 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomVector(r *rand.Rand, n int) *Vector {
+	v := New(n)
+	for i := range v.words {
+		v.words[i] = r.Uint64()
+	}
+	v.clearTail()
+	return v
+}
+
+func TestNewZeroed(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 1000, 4096} {
+		v := New(n)
+		if v.Len() != n {
+			t.Fatalf("Len = %d, want %d", v.Len(), n)
+		}
+		if v.PopCount() != 0 {
+			t.Fatalf("new vector of %d bits has popcount %d", n, v.PopCount())
+		}
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1) did not panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestSetGetClear(t *testing.T) {
+	v := New(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if v.Get(i) {
+			t.Fatalf("bit %d set in zero vector", i)
+		}
+		v.Set(i)
+		if !v.Get(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+		v.Clear(i)
+		if v.Get(i) {
+			t.Fatalf("bit %d set after Clear", i)
+		}
+	}
+}
+
+func TestSetBoolFlip(t *testing.T) {
+	v := New(70)
+	v.SetBool(69, true)
+	if !v.Get(69) {
+		t.Fatal("SetBool(true) did not set")
+	}
+	v.SetBool(69, false)
+	if v.Get(69) {
+		t.Fatal("SetBool(false) did not clear")
+	}
+	v.Flip(69)
+	if !v.Get(69) {
+		t.Fatal("Flip did not set")
+	}
+	v.Flip(69)
+	if v.Get(69) {
+		t.Fatal("Flip did not clear")
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	v := New(10)
+	for name, f := range map[string]func(){
+		"Get":  func() { v.Get(10) },
+		"Set":  func() { v.Set(-1) },
+		"Flip": func() { v.Flip(11) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s out of range did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestFromBools(t *testing.T) {
+	b := []bool{true, false, true, true, false}
+	v := FromBools(b)
+	if v.Len() != 5 {
+		t.Fatalf("Len = %d", v.Len())
+	}
+	for i, want := range b {
+		if v.Get(i) != want {
+			t.Fatalf("bit %d = %v, want %v", i, v.Get(i), want)
+		}
+	}
+}
+
+func TestFromWordsClearsTail(t *testing.T) {
+	v := FromWords([]uint64{^uint64(0)}, 10)
+	if got := v.PopCount(); got != 10 {
+		t.Fatalf("popcount = %d, want 10 (tail not cleared)", got)
+	}
+}
+
+func TestFromWordsTooShortPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FromWords with short slice did not panic")
+		}
+	}()
+	FromWords([]uint64{0}, 65)
+}
+
+func TestFillRespectsTail(t *testing.T) {
+	v := New(100)
+	v.Fill()
+	if got := v.PopCount(); got != 100 {
+		t.Fatalf("popcount after Fill = %d, want 100", got)
+	}
+	v.Zero()
+	if v.PopCount() != 0 {
+		t.Fatal("Zero did not clear")
+	}
+}
+
+func TestXorXnorComplement(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 64, 100, 4096} {
+		a, b := randomVector(r, n), randomVector(r, n)
+		x, xn := New(n), New(n)
+		x.Xor(a, b)
+		xn.Xnor(a, b)
+		if x.PopCount()+xn.PopCount() != n {
+			t.Fatalf("n=%d: xor+xnor popcounts = %d+%d, want %d",
+				n, x.PopCount(), xn.PopCount(), n)
+		}
+	}
+}
+
+func TestBooleanIdentities(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	n := 777
+	a, b := randomVector(r, n), randomVector(r, n)
+	// De Morgan: NOT(a AND b) == NOT a OR NOT b
+	lhs, rhs, na, nb, tmp := New(n), New(n), New(n), New(n), New(n)
+	tmp.And(a, b)
+	lhs.Not(tmp)
+	na.Not(a)
+	nb.Not(b)
+	rhs.Or(na, nb)
+	if !lhs.Equal(rhs) {
+		t.Fatal("De Morgan identity violated")
+	}
+	// a XOR a == 0
+	tmp.Xor(a, a)
+	if tmp.PopCount() != 0 {
+		t.Fatal("a XOR a != 0")
+	}
+	// a XNOR a == all ones
+	tmp.Xnor(a, a)
+	if tmp.PopCount() != n {
+		t.Fatal("a XNOR a != ones")
+	}
+}
+
+func TestHammingAndDot(t *testing.T) {
+	a := FromBools([]bool{true, true, false, false})
+	b := FromBools([]bool{true, false, true, false})
+	if d := a.HammingDistance(b); d != 2 {
+		t.Fatalf("hamming = %d, want 2", d)
+	}
+	if dot := a.Dot(b); dot != 0 {
+		t.Fatalf("dot = %d, want 0", dot)
+	}
+	if dot := a.Dot(a); dot != 4 {
+		t.Fatalf("self dot = %d, want 4", dot)
+	}
+	c := New(4)
+	c.Not(a)
+	if dot := a.Dot(c); dot != -4 {
+		t.Fatalf("dot with complement = %d, want -4", dot)
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	a, b := New(10), New(11)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	a.HammingDistance(b)
+}
+
+func TestRotateSmall(t *testing.T) {
+	v := FromBools([]bool{true, false, false, false, false})
+	out := New(5)
+	out.RotateLeft(v, 2)
+	if !out.Get(2) || out.PopCount() != 1 {
+		t.Fatalf("rotate by 2: got %s", out)
+	}
+	out2 := New(5)
+	out2.RotateLeft(out, 3) // total 5 ≡ 0
+	if !out2.Equal(v) {
+		t.Fatalf("rotate full circle: got %s want %s", out2, v)
+	}
+	neg := New(5)
+	neg.RotateLeft(v, -1)
+	if !neg.Get(4) || neg.PopCount() != 1 {
+		t.Fatalf("rotate by -1: got %s", neg)
+	}
+}
+
+func TestRotateAlignedMatchesGeneric(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	n := 256 // multiple of 64 → aligned fast path
+	a := randomVector(r, n)
+	for _, k := range []int{0, 1, 17, 63, 64, 65, 128, 255, 256, 300, -1, -64} {
+		fast, slow := New(n), New(n)
+		fast.RotateLeft(a, k)
+		slow.rotateGeneric(a, ((k%n)+n)%n)
+		if !fast.Equal(slow) {
+			t.Fatalf("k=%d: aligned path diverges from generic", k)
+		}
+	}
+}
+
+func TestRotatePreservesPopcount(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for _, n := range []int{1, 7, 64, 127, 128, 1000, 4096} {
+		a := randomVector(r, n)
+		out := New(n)
+		for _, k := range []int{1, n / 2, n - 1, n, 3*n + 5} {
+			out.RotateLeft(a, k)
+			if out.PopCount() != a.PopCount() {
+				t.Fatalf("n=%d k=%d: popcount %d -> %d", n, k, a.PopCount(), out.PopCount())
+			}
+		}
+	}
+}
+
+func TestRotateAliasPanics(t *testing.T) {
+	v := New(64)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("aliased rotate did not panic")
+		}
+	}()
+	v.RotateLeft(v, 1)
+}
+
+func TestRotateAliasZeroShiftOK(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	v := randomVector(r, 128)
+	orig := v.Clone()
+	v.RotateLeft(v, 0)
+	if !v.Equal(orig) {
+		t.Fatal("rotate by 0 changed vector")
+	}
+	v.RotateLeft(v, 128) // ≡ 0 mod n
+	if !v.Equal(orig) {
+		t.Fatal("rotate by n changed vector")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := New(64)
+	a.Set(3)
+	b := a.Clone()
+	b.Set(5)
+	if a.Get(5) {
+		t.Fatal("mutation of clone leaked into original")
+	}
+	if !b.Get(3) {
+		t.Fatal("clone lost bits")
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	a, b := randomVector(r, 100), New(100)
+	b.CopyFrom(a)
+	if !a.Equal(b) {
+		t.Fatal("CopyFrom mismatch")
+	}
+}
+
+func TestStringTruncates(t *testing.T) {
+	v := New(3)
+	v.Set(0)
+	v.Set(2)
+	if got := v.String(); got != "101" {
+		t.Fatalf("String = %q", got)
+	}
+	long := New(1000)
+	if s := long.String(); len(s) < 256 {
+		t.Fatalf("long String unexpectedly short: %d", len(s))
+	}
+}
+
+// Property: rotate is a bijection that composes additively.
+func TestQuickRotateComposes(t *testing.T) {
+	f := func(seed int64, k1, k2 uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 192
+		a := randomVector(r, n)
+		step1, step2, direct := New(n), New(n), New(n)
+		step1.RotateLeft(a, int(k1))
+		step2.RotateLeft(step1, int(k2))
+		direct.RotateLeft(a, int(k1)+int(k2))
+		return step2.Equal(direct)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Hamming distance is a metric (symmetry + triangle inequality).
+func TestQuickHammingMetric(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 320
+		a, b, c := randomVector(r, n), randomVector(r, n), randomVector(r, n)
+		ab, ba := a.HammingDistance(b), b.HammingDistance(a)
+		ac, cb := a.HammingDistance(c), c.HammingDistance(b)
+		return ab == ba && ab <= ac+cb && a.HammingDistance(a) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: XOR is associative and self-inverse.
+func TestQuickXorGroup(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 200
+		a, b, c := randomVector(r, n), randomVector(r, n), randomVector(r, n)
+		l, rr, t1, t2 := New(n), New(n), New(n), New(n)
+		t1.Xor(a, b)
+		l.Xor(t1, c)
+		t2.Xor(b, c)
+		rr.Xor(a, t2)
+		if !l.Equal(rr) {
+			return false
+		}
+		t1.Xor(a, b)
+		t2.Xor(t1, b)
+		return t2.Equal(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Dot relates to Hamming by Dot = n − 2·ham.
+func TestQuickDotHammingRelation(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 500
+		a, b := randomVector(r, n), randomVector(r, n)
+		return a.Dot(b) == n-2*a.HammingDistance(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkXnorPopcount4096(b *testing.B) {
+	r := rand.New(rand.NewSource(7))
+	x, y := randomVector(r, 4096), randomVector(r, 4096)
+	out := New(4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		out.Xnor(x, y)
+		_ = out.PopCount()
+	}
+}
+
+func BenchmarkHamming8192(b *testing.B) {
+	r := rand.New(rand.NewSource(8))
+	x, y := randomVector(r, 8192), randomVector(r, 8192)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = x.HammingDistance(y)
+	}
+}
+
+func BenchmarkRotateAligned4096(b *testing.B) {
+	r := rand.New(rand.NewSource(9))
+	x := randomVector(r, 4096)
+	out := New(4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		out.RotateLeft(x, 1)
+	}
+}

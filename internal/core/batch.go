@@ -1,0 +1,121 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/genome"
+)
+
+// BatchResult is the outcome of one query in a batch lookup.
+type BatchResult struct {
+	Matches []Match
+	Stats   Stats
+	Err     error
+}
+
+// LookupBatch runs Lookup for every pattern concurrently over a worker
+// pool (workers ≤ 0 selects a single worker). The library must be
+// frozen; frozen libraries are immutable, so workers share it without
+// locking. Results are returned in input order, and the aggregate Stats
+// sums every query's work.
+func (l *Library) LookupBatch(patterns []*genome.Sequence, workers int) ([]BatchResult, Stats, error) {
+	if !l.frozen {
+		return nil, Stats{}, fmt.Errorf("core: LookupBatch before Freeze")
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > len(patterns) {
+		workers = maxInt(len(patterns), 1)
+	}
+	results := make([]BatchResult, len(patterns))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				m, s, err := l.Lookup(patterns[i])
+				results[i] = BatchResult{Matches: m, Stats: s, Err: err}
+			}
+		}()
+	}
+	for i := range patterns {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	var agg Stats
+	for _, r := range results {
+		agg.add(r.Stats)
+	}
+	return results, agg, nil
+}
+
+// Strand identifies which DNA strand a match was found on.
+type Strand uint8
+
+// Strand values.
+const (
+	Forward Strand = iota
+	Reverse
+)
+
+// String names the strand.
+func (s Strand) String() string {
+	if s == Reverse {
+		return "-"
+	}
+	return "+"
+}
+
+// StrandedMatch is a Match annotated with the strand of the query that
+// produced it.
+type StrandedMatch struct {
+	Match
+	Strand Strand
+}
+
+// ClassifyBothStrands classifies a read whose strand is unknown: both
+// orientations are mapped and the better-supported one wins. The
+// returned strand says which orientation of the read aligned; Offset is
+// the alignment offset of that orientation in the reference.
+func (l *Library) ClassifyBothStrands(read *genome.Sequence, minFrac float64) (RefMatch, Strand, Stats, error) {
+	fwd, stats, errF := l.Classify(read, minFrac)
+	rev, rstats, errR := l.Classify(read.ReverseComplement(), minFrac)
+	stats.add(rstats)
+	switch {
+	case errF == nil && (errR != nil || fwd.Votes >= rev.Votes):
+		return fwd, Forward, stats, nil
+	case errR == nil:
+		return rev, Reverse, stats, nil
+	default:
+		return RefMatch{}, Forward, stats, errF
+	}
+}
+
+// LookupBothStrands searches the pattern and its reverse complement —
+// DNA fragments arrive with unknown orientation, so genomic search must
+// check both strands. Matches report which orientation hit; offsets are
+// always in reference coordinates.
+func (l *Library) LookupBothStrands(pattern *genome.Sequence) ([]StrandedMatch, Stats, error) {
+	fwd, stats, err := l.Lookup(pattern)
+	if err != nil {
+		return nil, stats, err
+	}
+	out := make([]StrandedMatch, 0, len(fwd))
+	for _, m := range fwd {
+		out = append(out, StrandedMatch{Match: m, Strand: Forward})
+	}
+	rev, rstats, err := l.Lookup(pattern.ReverseComplement())
+	stats.add(rstats)
+	if err != nil {
+		return nil, stats, err
+	}
+	for _, m := range rev {
+		out = append(out, StrandedMatch{Match: m, Strand: Reverse})
+	}
+	return out, stats, nil
+}

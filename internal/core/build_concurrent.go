@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/genome"
+	"repro/internal/hdc"
+)
+
+// encodedRef is one reference's window encodings in offset order.
+type encodedRef struct {
+	rec     genome.Record
+	offsets []int32
+	hvs     []*hdc.HV
+	err     error
+	done    chan struct{}
+}
+
+// AddConcurrent encodes the given references in parallel (the window
+// encoding dominates build time) and memorizes them in input order, so
+// the resulting library is bit-identical to one built with sequential
+// Add calls over the same records. At most workers references are
+// encoded at once (workers ≤ 0 selects 1), bounding the in-flight
+// encoding memory to roughly workers × (reference windows × D/8) bytes.
+func (l *Library) AddConcurrent(recs []genome.Record, workers int) error {
+	if l.frozen {
+		return fmt.Errorf("core: AddConcurrent after Freeze")
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+	sem := make(chan struct{}, workers)
+	jobs := make([]*encodedRef, len(recs))
+	var wg sync.WaitGroup
+	for i, rec := range recs {
+		jobs[i] = &encodedRef{rec: rec, done: make(chan struct{})}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(job *encodedRef) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			defer close(job.done)
+			job.err = l.encodeRef(job)
+		}(jobs[i])
+	}
+	// Insert in input order as each reference completes.
+	var firstErr error
+	for _, job := range jobs {
+		<-job.done
+		if job.err != nil {
+			if firstErr == nil {
+				firstErr = job.err
+			}
+			continue
+		}
+		if firstErr != nil {
+			continue // keep draining, but do not insert after a failure
+		}
+		refIdx := int32(len(l.refs))
+		l.refs = append(l.refs, job.rec)
+		for k := range job.hvs {
+			l.insert(WindowRef{Ref: refIdx, Off: job.offsets[k]}, job.hvs[k])
+		}
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// encodeRef encodes every stride-aligned window of the job's record.
+func (l *Library) encodeRef(job *encodedRef) error {
+	rec := job.rec
+	if rec.Seq == nil || rec.Seq.Len() < l.params.Window {
+		return fmt.Errorf("core: reference %q shorter than window %d", rec.ID, l.params.Window)
+	}
+	n := l.enc.NumWindows(rec.Seq.Len(), l.params.Stride)
+	job.offsets = make([]int32, 0, n)
+	job.hvs = make([]*hdc.HV, 0, n)
+	if l.params.Approx {
+		l.enc.SlideApprox(rec.Seq, l.params.Stride, func(start int, acc *hdc.Acc, off int) bool {
+			job.offsets = append(job.offsets, int32(start))
+			job.hvs = append(job.hvs, l.enc.SealLogical(acc, off))
+			return true
+		})
+	} else {
+		l.enc.SlideExact(rec.Seq, l.params.Stride, func(start int, hv *hdc.HV) bool {
+			job.offsets = append(job.offsets, int32(start))
+			job.hvs = append(job.hvs, hv.Clone())
+			return true
+		})
+	}
+	return nil
+}

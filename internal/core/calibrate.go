@@ -1,0 +1,108 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/genome"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// Calibration holds the empirically measured score distributions of a
+// frozen approximate-mode library and the operating threshold derived
+// from them.
+//
+// The a-priori Model is exact for independent bucket members (C = 1, or
+// stride ≥ window), but at stride < window consecutive windows overlap
+// and their mutual correlations interact with the majority nonlinearity;
+// closed forms then drift by 10–20%. BioHD therefore calibrates the
+// operating point at Freeze time from deterministic, seeded probes: the
+// noise distribution from random queries against sampled buckets, and
+// the signal distribution from the library's own member windows with
+// MutTolerance substitutions injected. Experiment F2 reports both the
+// a-priori model and the calibrated distributions.
+type Calibration struct {
+	NoiseMean  float64 // mean score of absent queries
+	NoiseStd   float64 // std of absent-query scores
+	SignalMean float64 // mean score of tolerance-mutated member queries
+	SignalStd  float64 // std of those scores
+	Tau        float64 // derived operating threshold
+	Samples    int     // probes used on each side
+}
+
+// calibrationProbes is the number of noise and signal probes drawn.
+const calibrationProbes = 192
+
+// calibrate measures noise and signal score distributions on the frozen
+// library and derives the operating threshold. Deterministic given the
+// library seed and contents.
+func (l *Library) calibrate() Calibration {
+	src := rng.New(l.params.Seed ^ 0xca11b7a7e)
+	w := l.params.Window
+
+	// Noise side: random queries against randomly sampled buckets.
+	var noise stats.Welford
+	for i := 0; i < calibrationProbes; i++ {
+		q := genome.Random(w, src)
+		hv := l.enc.EncodeWindowApprox(q, 0)
+		b := src.Intn(len(l.bkts))
+		noise.Add(l.score(b, hv))
+	}
+
+	// Signal side: member windows re-queried with MutTolerance
+	// substitutions, scored against their own bucket. Buckets emptied by
+	// Remove are skipped.
+	var nonEmpty []int
+	for i := range l.bkts {
+		if len(l.bkts[i].windows) > 0 {
+			nonEmpty = append(nonEmpty, i)
+		}
+	}
+	var signal stats.Welford
+	for i := 0; i < calibrationProbes && len(nonEmpty) > 0; i++ {
+		b := nonEmpty[src.Intn(len(nonEmpty))]
+		members := l.bkts[b].windows
+		wr := members[src.Intn(len(members))]
+		window := l.refs[wr.Ref].Seq.Slice(int(wr.Off), int(wr.Off)+w)
+		if l.params.MutTolerance > 0 {
+			window, _ = genome.SubstituteExactly(window, l.params.MutTolerance, src)
+		}
+		hv := l.enc.EncodeWindowApprox(window, 0)
+		signal.Add(l.score(b, hv))
+	}
+
+	cal := Calibration{
+		NoiseMean:  noise.Mean(),
+		NoiseStd:   noise.StdDev(),
+		SignalMean: signal.Mean(),
+		SignalStd:  signal.StdDev(),
+		Samples:    calibrationProbes,
+	}
+	// Threshold: FP bound from the noise quantile (Bonferroni over
+	// buckets), FN bound from the signal quantile; take the midpoint when
+	// the margin allows, else the FP bound wins (report fewer,
+	// trustworthy matches).
+	tauFP := cal.NoiseMean + zUpper(l.params.Alpha/float64(maxInt(len(l.bkts), 1)))*cal.NoiseStd
+	tauFN := cal.SignalMean - zUpper(l.params.Beta)*cal.SignalStd
+	if tauFN >= tauFP {
+		cal.Tau = (tauFP + tauFN) / 2
+	} else {
+		cal.Tau = tauFP
+	}
+	// Guard against degenerate probe spreads (e.g. a one-bucket library).
+	if math.IsNaN(cal.Tau) || math.IsInf(cal.Tau, 0) {
+		cal.Tau = l.Model().DecisionThreshold(
+			l.params.Alpha, l.params.Beta, maxInt(len(l.bkts), 1), l.params.MutTolerance)
+	}
+	return cal
+}
+
+// Calibration returns the freeze-time calibration. The boolean is false
+// for exact-mode libraries (the a-priori model is exact there) and for
+// unfrozen libraries.
+func (l *Library) Calibration() (Calibration, bool) {
+	if !l.frozen || !l.params.Approx {
+		return Calibration{}, false
+	}
+	return l.cal, true
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/genome"
+	"repro/internal/rng"
+)
+
+func buildApproxLib(t *testing.T, refLen int, seed uint64) *Library {
+	t.Helper()
+	ref := genome.Random(refLen, rng.New(seed))
+	lib := mustLibrary(t, Params{
+		Dim: 8192, Window: 48, Approx: true, Sealed: true,
+		Capacity: 4, MutTolerance: 6, Seed: seed + 1,
+	})
+	if err := lib.Add(genome.Record{ID: "ref", Seq: ref}); err != nil {
+		t.Fatal(err)
+	}
+	lib.Freeze()
+	return lib
+}
+
+func TestCalibrationPresent(t *testing.T) {
+	lib := buildApproxLib(t, 2000, 1)
+	cal, ok := lib.Calibration()
+	if !ok {
+		t.Fatal("approx library has no calibration after Freeze")
+	}
+	if cal.Samples != calibrationProbes {
+		t.Fatalf("samples = %d", cal.Samples)
+	}
+	// Signal must sit well above noise, the threshold between them.
+	if cal.SignalMean <= cal.NoiseMean {
+		t.Fatalf("signal %v not above noise %v", cal.SignalMean, cal.NoiseMean)
+	}
+	if cal.Tau <= cal.NoiseMean || cal.Tau >= cal.SignalMean {
+		t.Fatalf("tau %v not between noise %v and signal %v",
+			cal.Tau, cal.NoiseMean, cal.SignalMean)
+	}
+	if lib.Threshold() != cal.Tau {
+		t.Fatal("Threshold() does not return calibrated tau")
+	}
+}
+
+func TestCalibrationAbsentForExact(t *testing.T) {
+	lib, _ := buildExactLib(t, 1000, 2)
+	if _, ok := lib.Calibration(); ok {
+		t.Fatal("exact library reports calibration")
+	}
+}
+
+func TestCalibrationAbsentBeforeFreeze(t *testing.T) {
+	lib := mustLibrary(t, Params{
+		Dim: 1024, Window: 16, Approx: true, Sealed: true, Capacity: 4, Seed: 3,
+	})
+	if err := lib.Add(genome.Record{ID: "r", Seq: genome.Random(100, rng.New(4))}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := lib.Calibration(); ok {
+		t.Fatal("unfrozen library reports calibration")
+	}
+}
+
+func TestCalibrationDeterministic(t *testing.T) {
+	a := buildApproxLib(t, 1500, 5)
+	b := buildApproxLib(t, 1500, 5)
+	ca, _ := a.Calibration()
+	cb, _ := b.Calibration()
+	if ca != cb {
+		t.Fatalf("calibrations differ for identical builds:\n%+v\n%+v", ca, cb)
+	}
+}
+
+func TestCalibratedRecallAtTolerance(t *testing.T) {
+	// Statistical acceptance: at a geometry where the model deems both
+	// error targets satisfiable (C=2, D=8192), the library must find
+	// ≥ 95% of 6-substitution queries.
+	ref := genome.Random(3000, rng.New(6))
+	lib := mustLibrary(t, Params{
+		Dim: 8192, Window: 48, Approx: true, Sealed: true,
+		Capacity: 2, MutTolerance: 6, Seed: 7,
+	})
+	if err := lib.Add(genome.Record{ID: "ref", Seq: ref}); err != nil {
+		t.Fatal(err)
+	}
+	lib.Freeze()
+	src := rng.New(8)
+	found, trials := 0, 60
+	for i := 0; i < trials; i++ {
+		off := src.Intn(ref.Len() - 48)
+		mut, _ := genome.SubstituteExactly(ref.Slice(off, off+48), 6, src)
+		matches, _, err := lib.Lookup(mut)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range matches {
+			if m.Off == off {
+				found++
+				break
+			}
+		}
+	}
+	if frac := float64(found) / float64(trials); frac < 0.95 {
+		t.Fatalf("recall at tolerance = %v (%d/%d)", frac, found, trials)
+	}
+}
+
+func TestFreezeEmptyLibraryStaysUnfrozen(t *testing.T) {
+	lib := mustLibrary(t, Params{Dim: 1024, Window: 16, Approx: true, Sealed: true, Capacity: 2, Seed: 9})
+	lib.Freeze()
+	if lib.Frozen() {
+		t.Fatal("empty library froze")
+	}
+}

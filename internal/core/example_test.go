@@ -1,0 +1,91 @@
+package core_test
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/genome"
+	"repro/internal/rng"
+)
+
+// Example shows the minimal build → freeze → search flow.
+func Example() {
+	ref := genome.Random(5_000, rng.New(1))
+	lib, err := core.NewLibrary(core.Params{
+		Dim: 8192, Window: 32, Sealed: true, Seed: 7,
+	})
+	if err != nil {
+		panic(err)
+	}
+	if err := lib.Add(genome.Record{ID: "chr1", Seq: ref}); err != nil {
+		panic(err)
+	}
+	lib.Freeze()
+
+	pattern := ref.Slice(1234, 1234+32)
+	matches, _, err := lib.Lookup(pattern)
+	if err != nil {
+		panic(err)
+	}
+	for _, m := range matches {
+		fmt.Printf("%s:%d distance=%d\n", lib.Ref(m.Ref).ID, m.Off, m.Distance)
+	}
+	// Output: chr1:1234 distance=0
+}
+
+// ExampleLibrary_Lookup_approximate demonstrates mutation-tolerant
+// search: the approximate encoding finds a pattern carrying three
+// substitutions.
+func ExampleLibrary_Lookup_approximate() {
+	ref := genome.Random(3_000, rng.New(2))
+	lib, err := core.NewLibrary(core.Params{
+		Dim: 8192, Window: 48, Sealed: true,
+		Approx: true, Capacity: 2, MutTolerance: 5, Seed: 9,
+	})
+	if err != nil {
+		panic(err)
+	}
+	if err := lib.Add(genome.Record{ID: "chr1", Seq: ref}); err != nil {
+		panic(err)
+	}
+	lib.Freeze()
+
+	mutated, _ := genome.SubstituteExactly(ref.Slice(700, 748), 3, rng.New(3))
+	matches, _, err := lib.Lookup(mutated)
+	if err != nil {
+		panic(err)
+	}
+	for _, m := range matches {
+		fmt.Printf("found at %d with %d substitutions\n", m.Off, m.Distance)
+	}
+	// Output: found at 700 with 3 substitutions
+}
+
+// ExampleLibrary_WriteTo round-trips a library through its binary format.
+func ExampleLibrary_WriteTo() {
+	lib, _ := core.NewLibrary(core.Params{Dim: 1024, Window: 16, Sealed: true, Seed: 4})
+	_ = lib.Add(genome.Record{ID: "r", Seq: genome.Random(200, rng.New(5))})
+	lib.Freeze()
+
+	var buf bytes.Buffer
+	if _, err := lib.WriteTo(&buf); err != nil {
+		panic(err)
+	}
+	back, err := core.ReadLibrary(&buf)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(back.NumWindows() == lib.NumWindows())
+	// Output: true
+}
+
+// ExampleModel shows the statistical quality model sizing a library:
+// given a dimension, how many windows can one bucket hold?
+func ExampleModel() {
+	c := core.MaxCapacity(8192, 32, false, true, 0, 1000, 1e-3, 1e-3)
+	m := core.Model{D: 8192, W: 32, C: c, Sealed: true}
+	fmt.Printf("capacity=%d separable=%v\n", c,
+		m.SignalMean(0) > m.Threshold(1e-3, 1000))
+	// Output: capacity=85 separable=true
+}

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/genome"
+	"repro/internal/rng"
+)
+
+// FuzzReadLibrary feeds arbitrary bytes to the library loader: it must
+// reject garbage with an error, never a panic, and must keep accepting
+// the canonical serialized form.
+func FuzzReadLibrary(f *testing.F) {
+	// Seed with a genuine serialized library plus structured corruptions.
+	lib, err := NewLibrary(Params{Dim: 1024, Window: 16, Sealed: true, Seed: 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := lib.Add(genome.Record{ID: "r", Seq: genome.Random(200, rng.New(2))}); err != nil {
+		f.Fatal(err)
+	}
+	lib.Freeze()
+	var buf bytes.Buffer
+	if _, err := lib.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte("BIOHDLIB"))
+	f.Add([]byte{})
+	mut := append([]byte(nil), valid...)
+	mut[20] ^= 0xff
+	f.Add(mut)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		lib, err := ReadLibrary(bytes.NewReader(data))
+		if err != nil {
+			return // rejected cleanly
+		}
+		// Anything accepted must be internally consistent and searchable.
+		if lib.NumBuckets() == 0 {
+			t.Fatal("accepted library with no buckets")
+		}
+		total := 0
+		for i := 0; i < lib.NumBuckets(); i++ {
+			total += len(lib.BucketWindows(i))
+		}
+		if total != lib.NumWindows() {
+			t.Fatalf("window bookkeeping inconsistent: %d vs %d", total, lib.NumWindows())
+		}
+	})
+}

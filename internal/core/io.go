@@ -1,0 +1,373 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"repro/internal/genome"
+	"repro/internal/hdc"
+)
+
+// Library file format (little endian):
+//
+//	magic "BIOHDLIB" | version u32 | params | calibration |
+//	refs u32 { id, desc, len u64, packed words } |
+//	buckets u32 { windows u32 {ref i32, off i32},
+//	              sealed u8, payload (sealed words | counters + n) } |
+//	crc32 (IEEE, over everything before it)
+//
+// The format is self-contained: loading reconstructs a frozen library
+// that answers queries identically to the one saved.
+
+const (
+	libMagic   = "BIOHDLIB"
+	libVersion = 1
+)
+
+// crcWriter tees writes into a running CRC.
+type crcWriter struct {
+	w   io.Writer
+	crc uint32
+	err error
+}
+
+func (cw *crcWriter) write(data []byte) {
+	if cw.err != nil {
+		return
+	}
+	cw.crc = crc32.Update(cw.crc, crc32.IEEETable, data)
+	_, cw.err = cw.w.Write(data)
+}
+
+func (cw *crcWriter) u32(v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	cw.write(b[:])
+}
+
+func (cw *crcWriter) u64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	cw.write(b[:])
+}
+
+func (cw *crcWriter) f64(v float64) { cw.u64(math.Float64bits(v)) }
+
+func (cw *crcWriter) str(s string) {
+	cw.u32(uint32(len(s)))
+	cw.write([]byte(s))
+}
+
+func (cw *crcWriter) words(ws []uint64) {
+	cw.u32(uint32(len(ws)))
+	buf := make([]byte, 8*len(ws))
+	for i, w := range ws {
+		binary.LittleEndian.PutUint64(buf[i*8:], w)
+	}
+	cw.write(buf)
+}
+
+// WriteTo serializes the library. Only frozen libraries can be saved (a
+// half-built library has no stable search semantics). It returns the
+// number of payload bytes written.
+func (l *Library) WriteTo(w io.Writer) (int64, error) {
+	if !l.frozen {
+		return 0, fmt.Errorf("core: cannot save an unfrozen library")
+	}
+	bw := bufio.NewWriter(w)
+	cw := &crcWriter{w: bw}
+	cw.write([]byte(libMagic))
+	cw.u32(libVersion)
+
+	p := l.params
+	cw.u32(uint32(p.Dim))
+	cw.u32(uint32(p.Window))
+	cw.u32(uint32(p.Stride))
+	cw.u32(uint32(p.Capacity))
+	cw.u32(boolU32(p.Approx))
+	cw.u32(boolU32(p.Sealed))
+	cw.u32(uint32(p.MutTolerance))
+	cw.f64(p.Alpha)
+	cw.f64(p.Beta)
+	cw.u64(p.Seed)
+
+	cw.f64(l.cal.NoiseMean)
+	cw.f64(l.cal.NoiseStd)
+	cw.f64(l.cal.SignalMean)
+	cw.f64(l.cal.SignalStd)
+	cw.f64(l.cal.Tau)
+	cw.u32(uint32(l.cal.Samples))
+
+	cw.u32(uint32(len(l.refs)))
+	for _, rec := range l.refs {
+		cw.str(rec.ID)
+		cw.str(rec.Description)
+		cw.u64(uint64(rec.Seq.Len()))
+		cw.words(rec.Seq.PackedWords())
+	}
+
+	cw.u32(uint32(len(l.bkts)))
+	for i := range l.bkts {
+		b := &l.bkts[i]
+		cw.u32(uint32(len(b.windows)))
+		for _, wr := range b.windows {
+			cw.u32(uint32(wr.Ref))
+			cw.u32(uint32(wr.Off))
+		}
+		if l.params.Sealed {
+			cw.u32(1)
+			cw.words(b.sealed.Bits().Words())
+		} else {
+			cw.u32(0)
+			counts := b.acc.Counts()
+			cw.u32(uint32(len(counts)))
+			buf := make([]byte, 4*len(counts))
+			for j, c := range counts {
+				binary.LittleEndian.PutUint32(buf[j*4:], uint32(c))
+			}
+			cw.write(buf)
+			cw.u32(uint32(b.acc.N()))
+		}
+	}
+	if cw.err != nil {
+		return 0, fmt.Errorf("core: saving library: %w", cw.err)
+	}
+	// Trailing CRC (not itself covered).
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], cw.crc)
+	if _, err := bw.Write(tail[:]); err != nil {
+		return 0, fmt.Errorf("core: saving library: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return 0, fmt.Errorf("core: saving library: %w", err)
+	}
+	return 0, nil
+}
+
+func boolU32(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// crcReader tees reads into a running CRC.
+type crcReader struct {
+	r   io.Reader
+	crc uint32
+	err error
+}
+
+func (cr *crcReader) read(n int) []byte {
+	if cr.err != nil {
+		return nil
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(cr.r, buf); err != nil {
+		cr.err = err
+		return nil
+	}
+	cr.crc = crc32.Update(cr.crc, crc32.IEEETable, buf)
+	return buf
+}
+
+func (cr *crcReader) u32() uint32 {
+	b := cr.read(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (cr *crcReader) u64() uint64 {
+	b := cr.read(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (cr *crcReader) f64() float64 { return math.Float64frombits(cr.u64()) }
+
+func (cr *crcReader) str(limit uint32) string {
+	n := cr.u32()
+	if cr.err == nil && n > limit {
+		cr.err = fmt.Errorf("string length %d exceeds limit %d", n, limit)
+		return ""
+	}
+	return string(cr.read(int(n)))
+}
+
+func (cr *crcReader) words(limit uint32) []uint64 {
+	n := cr.u32()
+	if cr.err == nil && n > limit {
+		cr.err = fmt.Errorf("word count %d exceeds limit %d", n, limit)
+		return nil
+	}
+	buf := cr.read(int(n) * 8)
+	if buf == nil {
+		return nil
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint64(buf[i*8:])
+	}
+	return out
+}
+
+// sanity limits for untrusted input: large enough for any realistic
+// genome library (a human chromosome is ~8 M packed words), small enough
+// that a forged length prefix cannot trigger a multi-gigabyte
+// allocation before the checksum is verified.
+const (
+	maxStrLen   = 1 << 20
+	maxSeqWords = 1 << 23 // 268 Mbases per sequence
+	maxCount    = 1 << 24
+)
+
+// ReadLibrary deserializes a library saved by WriteTo, verifying the
+// checksum; the result is frozen and ready to search.
+func ReadLibrary(r io.Reader) (*Library, error) {
+	cr := &crcReader{r: bufio.NewReader(r)}
+	if magic := cr.read(len(libMagic)); cr.err != nil || string(magic) != libMagic {
+		return nil, fmt.Errorf("core: not a BioHD library file")
+	}
+	if v := cr.u32(); cr.err == nil && v != libVersion {
+		return nil, fmt.Errorf("core: unsupported library version %d", v)
+	}
+	var p Params
+	p.Dim = int(cr.u32())
+	p.Window = int(cr.u32())
+	p.Stride = int(cr.u32())
+	p.Capacity = int(cr.u32())
+	p.Approx = cr.u32() == 1
+	p.Sealed = cr.u32() == 1
+	p.MutTolerance = int(cr.u32())
+	p.Alpha = cr.f64()
+	p.Beta = cr.f64()
+	p.Seed = cr.u64()
+	if cr.err != nil {
+		return nil, fmt.Errorf("core: reading library header: %w", cr.err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("core: loaded parameters invalid: %w", err)
+	}
+	// Plausibility caps: a forged header must not make the constructor
+	// precompute gigabyte rotation tables before the checksum is checked.
+	// The encoder's table is 4·(Window+1) hypervectors of Dim bits.
+	if p.Dim > 1<<22 {
+		return nil, fmt.Errorf("core: implausible dimension %d", p.Dim)
+	}
+	if int64(p.Window+1)*int64(p.Dim) > 1<<29 {
+		return nil, fmt.Errorf("core: implausible window %d at dimension %d", p.Window, p.Dim)
+	}
+	if p.Capacity > maxCount || p.Stride > p.Dim {
+		return nil, fmt.Errorf("core: implausible capacity %d / stride %d", p.Capacity, p.Stride)
+	}
+	lib, err := NewLibrary(p)
+	if err != nil {
+		return nil, err
+	}
+	lib.params = p // keep the stored capacity exactly
+
+	var cal Calibration
+	cal.NoiseMean = cr.f64()
+	cal.NoiseStd = cr.f64()
+	cal.SignalMean = cr.f64()
+	cal.SignalStd = cr.f64()
+	cal.Tau = cr.f64()
+	cal.Samples = int(cr.u32())
+
+	nRefs := cr.u32()
+	if cr.err == nil && nRefs > maxCount {
+		return nil, fmt.Errorf("core: implausible reference count %d", nRefs)
+	}
+	for i := uint32(0); i < nRefs && cr.err == nil; i++ {
+		id := cr.str(maxStrLen)
+		desc := cr.str(maxStrLen)
+		n := cr.u64()
+		words := cr.words(maxSeqWords)
+		if cr.err != nil {
+			break
+		}
+		if uint64(len(words))*32 < n {
+			return nil, fmt.Errorf("core: reference %q truncated", id)
+		}
+		lib.refs = append(lib.refs, genome.Record{
+			ID: id, Description: desc,
+			Seq: genome.FromPackedWords(words, int(n)),
+		})
+	}
+
+	nBuckets := cr.u32()
+	if cr.err == nil && nBuckets > maxCount {
+		return nil, fmt.Errorf("core: implausible bucket count %d", nBuckets)
+	}
+	for i := uint32(0); i < nBuckets && cr.err == nil; i++ {
+		var b bucket
+		nWin := cr.u32()
+		if cr.err == nil && nWin > maxCount {
+			return nil, fmt.Errorf("core: implausible window count %d", nWin)
+		}
+		for j := uint32(0); j < nWin && cr.err == nil; j++ {
+			wr := WindowRef{Ref: int32(cr.u32()), Off: int32(cr.u32())}
+			if int(wr.Ref) >= len(lib.refs) || wr.Ref < 0 {
+				return nil, fmt.Errorf("core: bucket %d references sequence %d of %d", i, wr.Ref, len(lib.refs))
+			}
+			b.windows = append(b.windows, wr)
+			lib.nWin++
+		}
+		sealed := cr.u32() == 1
+		if sealed != p.Sealed {
+			if cr.err == nil {
+				return nil, fmt.Errorf("core: bucket %d storage mode disagrees with parameters", i)
+			}
+			break
+		}
+		if sealed {
+			words := cr.words(maxSeqWords)
+			if cr.err != nil {
+				break
+			}
+			if len(words)*64 != p.Dim {
+				return nil, fmt.Errorf("core: bucket %d has %d words for dimension %d", i, len(words), p.Dim)
+			}
+			b.sealed = hdc.HVFromWords(words, p.Dim)
+		} else {
+			nc := cr.u32()
+			if cr.err == nil && int(nc) != p.Dim {
+				return nil, fmt.Errorf("core: bucket %d has %d counters for dimension %d", i, nc, p.Dim)
+			}
+			buf := cr.read(int(nc) * 4)
+			if buf == nil {
+				break
+			}
+			counts := make([]int32, nc)
+			for j := range counts {
+				counts[j] = int32(binary.LittleEndian.Uint32(buf[j*4:]))
+			}
+			n := int(cr.u32())
+			acc := hdc.AccFromCounts(counts, n)
+			b.acc = acc
+			b.sealed = acc.Seal(p.Seed ^ 0x5ea1)
+		}
+		lib.bkts = append(lib.bkts, b)
+	}
+	if cr.err != nil {
+		return nil, fmt.Errorf("core: reading library: %w", cr.err)
+	}
+	var tail [4]byte
+	if _, err := io.ReadFull(cr.r, tail[:]); err != nil {
+		return nil, fmt.Errorf("core: reading library checksum: %w", err)
+	}
+	if got := binary.LittleEndian.Uint32(tail[:]); got != cr.crc {
+		return nil, fmt.Errorf("core: library checksum mismatch (file %08x, computed %08x)", got, cr.crc)
+	}
+	lib.frozen = len(lib.bkts) > 0
+	lib.cal = cal
+	return lib, nil
+}

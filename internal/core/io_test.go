@@ -1,0 +1,150 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/genome"
+	"repro/internal/rng"
+)
+
+// saveLoad round-trips a library through the binary format.
+func saveLoad(t *testing.T, lib *Library) *Library {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := lib.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadLibrary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return back
+}
+
+func TestSaveLoadSealedExact(t *testing.T) {
+	lib, ref := buildExactLib(t, 2000, 51)
+	back := saveLoad(t, lib)
+	if back.NumBuckets() != lib.NumBuckets() || back.NumWindows() != lib.NumWindows() {
+		t.Fatalf("shape changed: %d/%d vs %d/%d",
+			back.NumBuckets(), back.NumWindows(), lib.NumBuckets(), lib.NumWindows())
+	}
+	if !back.Frozen() {
+		t.Fatal("loaded library not frozen")
+	}
+	// Identical query answers, including stats.
+	for _, off := range []int{0, 777, 1500} {
+		pat := ref.Slice(off, off+32)
+		m1, s1, err := lib.Lookup(pat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m2, s2, err := back.Lookup(pat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(m1) != len(m2) || s1 != s2 {
+			t.Fatalf("off %d: answers diverge: %v/%v vs %v/%v", off, m1, s1, m2, s2)
+		}
+		for i := range m1 {
+			if m1[i] != m2[i] {
+				t.Fatalf("match %d differs: %+v vs %+v", i, m1[i], m2[i])
+			}
+		}
+	}
+	// Bucket vectors bit-identical.
+	for i := 0; i < lib.NumBuckets(); i++ {
+		if !lib.BucketVector(i).Equal(back.BucketVector(i)) {
+			t.Fatalf("bucket %d vector differs", i)
+		}
+	}
+}
+
+func TestSaveLoadApproxKeepsCalibration(t *testing.T) {
+	lib := buildApproxLib(t, 1500, 52)
+	back := saveLoad(t, lib)
+	c1, ok1 := lib.Calibration()
+	c2, ok2 := back.Calibration()
+	if !ok1 || !ok2 || c1 != c2 {
+		t.Fatalf("calibration lost: %+v vs %+v", c1, c2)
+	}
+	if lib.Threshold() != back.Threshold() {
+		t.Fatal("operating thresholds differ")
+	}
+}
+
+func TestSaveLoadUnsealed(t *testing.T) {
+	lib := mustLibrary(t, Params{Dim: 1024, Window: 16, Capacity: 8, Seed: 53})
+	ref := genome.Random(500, rng.New(54))
+	if err := lib.Add(genome.Record{ID: "r", Description: "desc text", Seq: ref}); err != nil {
+		t.Fatal(err)
+	}
+	lib.Freeze()
+	back := saveLoad(t, lib)
+	rec := back.Ref(0)
+	if rec.ID != "r" || rec.Description != "desc text" || !rec.Seq.Equal(ref) {
+		t.Fatalf("reference record corrupted: %+v", rec)
+	}
+	pat := ref.Slice(100, 116)
+	m1, _, _ := lib.Lookup(pat)
+	m2, _, _ := back.Lookup(pat)
+	if len(m1) == 0 || len(m1) != len(m2) {
+		t.Fatalf("unsealed lookup diverges: %v vs %v", m1, m2)
+	}
+}
+
+func TestSaveRejectsUnfrozen(t *testing.T) {
+	lib := mustLibrary(t, Params{Dim: 1024, Window: 16, Seed: 55})
+	var buf bytes.Buffer
+	if _, err := lib.WriteTo(&buf); err == nil {
+		t.Fatal("unfrozen library saved")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := ReadLibrary(bytes.NewReader([]byte("not a library"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ReadLibrary(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestLoadDetectsCorruption(t *testing.T) {
+	lib, _ := buildExactLib(t, 800, 56)
+	var buf bytes.Buffer
+	if _, err := lib.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Flip a bit in the middle of the payload.
+	data[len(data)/2] ^= 0x40
+	if _, err := ReadLibrary(bytes.NewReader(data)); err == nil {
+		t.Fatal("corrupted library accepted")
+	}
+}
+
+func TestLoadDetectsTruncation(t *testing.T) {
+	lib, _ := buildExactLib(t, 800, 57)
+	var buf bytes.Buffer
+	if _, err := lib.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()[:buf.Len()*2/3]
+	if _, err := ReadLibrary(bytes.NewReader(data)); err == nil {
+		t.Fatal("truncated library accepted")
+	}
+}
+
+func TestLoadRejectsWrongVersion(t *testing.T) {
+	lib, _ := buildExactLib(t, 800, 58)
+	var buf bytes.Buffer
+	if _, err := lib.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[len(libMagic)] = 99 // version field
+	if _, err := ReadLibrary(bytes.NewReader(data)); err == nil {
+		t.Fatal("future version accepted")
+	}
+}

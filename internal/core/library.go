@@ -1,0 +1,286 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/encoding"
+	"repro/internal/genome"
+	"repro/internal/hdc"
+)
+
+// Params configures a BioHD reference library.
+type Params struct {
+	// Dim is the hypervector dimension (positive multiple of 64).
+	Dim int
+	// Window is the pattern/window length in bases.
+	Window int
+	// Stride is the spacing of reference window starts; 1 indexes every
+	// offset (full sensitivity), larger strides trade recall for library
+	// size. See Library.Lookup for how queries compensate.
+	Stride int
+	// Capacity is the number of windows bundled per library hypervector;
+	// 0 derives the largest statistically admissible capacity from the
+	// quality model (MaxCapacity at MutTolerance).
+	Capacity int
+	// Approx selects the positional-bundle encoding (approximate search);
+	// false selects the binding-chain encoding (exact search only).
+	Approx bool
+	// Sealed stores buckets as binarized hypervectors; false keeps raw
+	// counters (more precise scores, W·log₂ storage overhead). The PIM
+	// architecture stores sealed buckets; raw counters model a
+	// digital-PIM variant.
+	Sealed bool
+	// MutTolerance is the number of per-window substitutions approximate
+	// search must withstand; used for auto capacity and thresholds.
+	MutTolerance int
+	// Alpha is the family-wise false-positive target per Lookup
+	// (default 1e-3 if zero).
+	Alpha float64
+	// Beta is the per-match false-negative target (default 1e-3 if zero).
+	Beta float64
+	// Seed determines the item memory and all derived randomness.
+	Seed uint64
+}
+
+func (p *Params) applyDefaults() {
+	if p.Stride == 0 {
+		p.Stride = 1
+	}
+	if p.Alpha == 0 {
+		p.Alpha = 1e-3
+	}
+	if p.Beta == 0 {
+		p.Beta = 1e-3
+	}
+}
+
+// Validate checks the parameters (after defaulting).
+func (p Params) Validate() error {
+	if p.Dim <= 0 || p.Dim%64 != 0 {
+		return fmt.Errorf("core: Dim %d must be a positive multiple of 64", p.Dim)
+	}
+	if p.Window <= 0 || p.Window >= p.Dim {
+		return fmt.Errorf("core: Window %d must be in (0, Dim)", p.Window)
+	}
+	if p.Stride <= 0 {
+		return fmt.Errorf("core: Stride %d must be positive", p.Stride)
+	}
+	if p.Capacity < 0 {
+		return fmt.Errorf("core: Capacity %d must be non-negative", p.Capacity)
+	}
+	if p.MutTolerance < 0 || p.MutTolerance > p.Window {
+		return fmt.Errorf("core: MutTolerance %d out of [0, Window]", p.MutTolerance)
+	}
+	// The negated form rejects NaN as well as out-of-range values.
+	if !(p.Alpha > 0 && p.Alpha < 1) || !(p.Beta > 0 && p.Beta < 1) {
+		return fmt.Errorf("core: error targets alpha=%v beta=%v out of (0,1)", p.Alpha, p.Beta)
+	}
+	if !p.Approx && p.MutTolerance > 0 {
+		return fmt.Errorf("core: exact encoding cannot tolerate %d mutations; set Approx", p.MutTolerance)
+	}
+	return nil
+}
+
+// WindowRef identifies one reference window: sequence index and offset.
+type WindowRef struct {
+	Ref int32
+	Off int32
+}
+
+// bucket is one library hypervector plus the windows superposed in it.
+// Sealed libraries drop a bucket's counters as soon as it fills (the
+// binary view is all search needs — 32× less memory); unsealed libraries
+// keep the counters, which DotAcc scoring reads directly.
+type bucket struct {
+	acc     *hdc.Acc    // raw counters; nil once sealed-and-dropped
+	sealed  *hdc.HV     // binarized view; nil until sealed
+	windows []WindowRef // members, in insertion order
+}
+
+// Library is a BioHD reference library: genome references encoded window
+// by window and memorized into superposed hypervector buckets.
+//
+// Build once with NewLibrary/Add, then Freeze and search. A frozen
+// library is safe for concurrent Lookup calls.
+type Library struct {
+	params Params
+	enc    *encoding.Encoder
+	refs   []genome.Record // retained for candidate verification
+	bkts   []bucket
+	frozen bool
+	nWin   int
+	cal    Calibration
+}
+
+// NewLibrary creates an empty library with the given parameters.
+// If params.Capacity is 0 it is derived from the statistical model.
+func NewLibrary(params Params) (*Library, error) {
+	params.applyDefaults()
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if params.Capacity == 0 {
+		// Capacity planning assumes a generously sized library (1<<20
+		// buckets) for the Bonferroni term; the threshold at search time
+		// uses the real bucket count.
+		params.Capacity = MaxCapacity(params.Dim, params.Window, params.Approx,
+			params.Sealed, params.MutTolerance, 1<<20, params.Alpha, params.Beta)
+	}
+	enc, err := encoding.New(encoding.Config{
+		Dim:    params.Dim,
+		Window: params.Window,
+		Seed:   params.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Library{params: params, enc: enc}, nil
+}
+
+// Params returns the library's effective parameters (with derived
+// capacity filled in).
+func (l *Library) Params() Params { return l.params }
+
+// Encoder exposes the library's encoder (e.g. for encoding queries
+// outside Lookup).
+func (l *Library) Encoder() *encoding.Encoder { return l.enc }
+
+// NumBuckets returns the number of library hypervectors.
+func (l *Library) NumBuckets() int { return len(l.bkts) }
+
+// NumWindows returns the number of reference windows memorized.
+func (l *Library) NumWindows() int { return l.nWin }
+
+// NumRefs returns the number of reference sequences added.
+func (l *Library) NumRefs() int { return len(l.refs) }
+
+// Ref returns the i-th reference record.
+func (l *Library) Ref(i int) genome.Record { return l.refs[i] }
+
+// Model returns the statistical model for this library's geometry. The
+// capacity entering the model is the *effective* one — the largest
+// actual bucket occupancy — so a generously configured capacity over a
+// small reference set does not inflate the predicted noise.
+func (l *Library) Model() Model {
+	c := 0
+	for i := range l.bkts {
+		if n := len(l.bkts[i].windows); n > c {
+			c = n
+		}
+	}
+	if c == 0 {
+		c = l.params.Capacity
+	}
+	return Model{
+		D:      l.params.Dim,
+		W:      l.params.Window,
+		C:      c,
+		Approx: l.params.Approx,
+		Sealed: l.params.Sealed,
+	}
+}
+
+// Add encodes every stride-aligned window of rec and memorizes it.
+// References shorter than one window are rejected. Add must not be
+// called after Freeze.
+func (l *Library) Add(rec genome.Record) error {
+	if l.frozen {
+		return fmt.Errorf("core: Add after Freeze")
+	}
+	if rec.Seq == nil || rec.Seq.Len() < l.params.Window {
+		return fmt.Errorf("core: reference %q shorter than window %d", rec.ID, l.params.Window)
+	}
+	refIdx := int32(len(l.refs))
+	l.refs = append(l.refs, rec)
+	if l.params.Approx {
+		l.enc.SlideApprox(rec.Seq, l.params.Stride, func(start int, acc *hdc.Acc, off int) bool {
+			l.insert(WindowRef{Ref: refIdx, Off: int32(start)}, l.enc.SealLogical(acc, off))
+			return true
+		})
+	} else {
+		l.enc.SlideExact(rec.Seq, l.params.Stride, func(start int, hv *hdc.HV) bool {
+			l.insert(WindowRef{Ref: refIdx, Off: int32(start)}, hv)
+			return true
+		})
+	}
+	return nil
+}
+
+func (l *Library) insert(ref WindowRef, hv *hdc.HV) {
+	if n := len(l.bkts); n == 0 || len(l.bkts[n-1].windows) >= l.params.Capacity {
+		if n > 0 {
+			l.sealBucket(n - 1)
+		}
+		l.bkts = append(l.bkts, bucket{acc: hdc.NewAcc(l.params.Dim)})
+	}
+	b := &l.bkts[len(l.bkts)-1]
+	b.acc.Add(hv)
+	b.windows = append(b.windows, ref)
+	l.nWin++
+}
+
+// sealBucket binarizes bucket i and, for sealed libraries, releases its
+// counters.
+func (l *Library) sealBucket(i int) {
+	b := &l.bkts[i]
+	if b.acc == nil {
+		return
+	}
+	b.sealed = b.acc.Seal(l.params.Seed ^ 0x5ea1)
+	if l.params.Sealed {
+		b.acc = nil
+	}
+}
+
+// Freeze finalizes the library: buckets are sealed, approximate-mode
+// libraries calibrate their operating threshold (see Calibration), and
+// the library becomes immutable and safe for concurrent search.
+// Freezing an empty library is a no-op that leaves it unfrozen.
+func (l *Library) Freeze() {
+	if l.frozen || len(l.bkts) == 0 {
+		return
+	}
+	for i := range l.bkts {
+		l.sealBucket(i)
+	}
+	l.frozen = true
+	if l.params.Approx {
+		l.cal = l.calibrate()
+	}
+}
+
+// Frozen reports whether Freeze has been called.
+func (l *Library) Frozen() bool { return l.frozen }
+
+// score returns the similarity score of query hv against bucket i under
+// the library's storage mode.
+func (l *Library) score(i int, hv *hdc.HV) float64 {
+	if l.params.Sealed {
+		return float64(l.bkts[i].sealed.Dot(hv))
+	}
+	return float64(l.bkts[i].acc.DotAcc(hv))
+}
+
+// BucketWindows returns the member windows of bucket i (shared slice; do
+// not mutate).
+func (l *Library) BucketWindows(i int) []WindowRef { return l.bkts[i].windows }
+
+// BucketVector returns the sealed hypervector of bucket i (shared; do
+// not mutate). It panics if the library is not frozen — the sealed view
+// only exists after Freeze.
+func (l *Library) BucketVector(i int) *hdc.HV {
+	if !l.frozen {
+		panic("core: BucketVector before Freeze")
+	}
+	return l.bkts[i].sealed
+}
+
+// MemoryFootprint returns the library's hypervector storage in bytes:
+// sealed buckets cost D/8 bytes each, raw-counter buckets D·4 bytes.
+func (l *Library) MemoryFootprint() int64 {
+	per := int64(l.params.Dim) * 4
+	if l.params.Sealed {
+		per = int64(l.params.Dim) / 8
+	}
+	return per * int64(len(l.bkts))
+}

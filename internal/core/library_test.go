@@ -1,0 +1,158 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/genome"
+	"repro/internal/rng"
+)
+
+func mustLibrary(t *testing.T, p Params) *Library {
+	t.Helper()
+	lib, err := NewLibrary(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lib
+}
+
+func TestParamsValidate(t *testing.T) {
+	for name, p := range map[string]Params{
+		"bad dim":        {Dim: 100, Window: 10},
+		"zero window":    {Dim: 1024, Window: 0},
+		"window too big": {Dim: 64, Window: 64},
+		"negative cap":   {Dim: 1024, Window: 16, Capacity: -1},
+		"bad tolerance":  {Dim: 1024, Window: 16, MutTolerance: 17, Approx: true},
+		"exact with tol": {Dim: 1024, Window: 16, MutTolerance: 2},
+		"bad alpha":      {Dim: 1024, Window: 16, Alpha: 2},
+	} {
+		if _, err := NewLibrary(p); err == nil {
+			t.Fatalf("%s: accepted", name)
+		}
+	}
+}
+
+func TestNewLibraryDefaults(t *testing.T) {
+	lib := mustLibrary(t, Params{Dim: 4096, Window: 32, Sealed: true, Seed: 1})
+	p := lib.Params()
+	if p.Stride != 1 || p.Alpha != 1e-3 || p.Beta != 1e-3 {
+		t.Fatalf("defaults not applied: %+v", p)
+	}
+	if p.Capacity <= 1 {
+		t.Fatalf("auto capacity %d implausibly small for exact sealed D=4096", p.Capacity)
+	}
+}
+
+func TestAddRejectsShortAndFrozen(t *testing.T) {
+	lib := mustLibrary(t, Params{Dim: 1024, Window: 32, Seed: 2})
+	if err := lib.Add(genome.Record{ID: "short", Seq: genome.Random(10, rng.New(1))}); err == nil {
+		t.Fatal("short reference accepted")
+	}
+	if err := lib.Add(genome.Record{ID: "ok", Seq: genome.Random(100, rng.New(2))}); err != nil {
+		t.Fatal(err)
+	}
+	lib.Freeze()
+	if err := lib.Add(genome.Record{ID: "late", Seq: genome.Random(100, rng.New(3))}); err == nil {
+		t.Fatal("Add after Freeze accepted")
+	}
+}
+
+func TestLibraryBookkeeping(t *testing.T) {
+	lib := mustLibrary(t, Params{Dim: 1024, Window: 16, Capacity: 10, Seed: 3})
+	src := rng.New(4)
+	for i := 0; i < 3; i++ {
+		if err := lib.Add(genome.Record{ID: "r", Seq: genome.Random(55, src)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Each 55-base reference has 40 windows at stride 1.
+	if lib.NumWindows() != 120 {
+		t.Fatalf("NumWindows = %d, want 120", lib.NumWindows())
+	}
+	if lib.NumRefs() != 3 {
+		t.Fatalf("NumRefs = %d", lib.NumRefs())
+	}
+	if lib.NumBuckets() != 12 {
+		t.Fatalf("NumBuckets = %d, want 120/10", lib.NumBuckets())
+	}
+	total := 0
+	for i := 0; i < lib.NumBuckets(); i++ {
+		ws := lib.BucketWindows(i)
+		if len(ws) > 10 {
+			t.Fatalf("bucket %d has %d windows > capacity", i, len(ws))
+		}
+		total += len(ws)
+	}
+	if total != 120 {
+		t.Fatalf("bucket windows total %d", total)
+	}
+}
+
+func TestStrideReducesWindows(t *testing.T) {
+	for _, stride := range []int{1, 4, 16} {
+		lib := mustLibrary(t, Params{Dim: 1024, Window: 16, Stride: stride, Capacity: 100, Seed: 5})
+		if err := lib.Add(genome.Record{ID: "r", Seq: genome.Random(200, rng.New(6))}); err != nil {
+			t.Fatal(err)
+		}
+		want := (200-16)/stride + 1
+		if lib.NumWindows() != want {
+			t.Fatalf("stride %d: %d windows, want %d", stride, lib.NumWindows(), want)
+		}
+	}
+}
+
+func TestFreezeIdempotent(t *testing.T) {
+	lib := mustLibrary(t, Params{Dim: 1024, Window: 16, Seed: 7})
+	if err := lib.Add(genome.Record{ID: "r", Seq: genome.Random(64, rng.New(8))}); err != nil {
+		t.Fatal(err)
+	}
+	lib.Freeze()
+	if !lib.Frozen() {
+		t.Fatal("not frozen")
+	}
+	lib.Freeze() // second call is a no-op
+	if !lib.Frozen() {
+		t.Fatal("freeze undone")
+	}
+}
+
+func TestMemoryFootprint(t *testing.T) {
+	sealedLib := mustLibrary(t, Params{Dim: 1024, Window: 16, Capacity: 8, Sealed: true, Seed: 9})
+	rawLib := mustLibrary(t, Params{Dim: 1024, Window: 16, Capacity: 8, Seed: 9})
+	seq := genome.Random(100, rng.New(10))
+	if err := sealedLib.Add(genome.Record{ID: "r", Seq: seq}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rawLib.Add(genome.Record{ID: "r", Seq: seq}); err != nil {
+		t.Fatal(err)
+	}
+	if s, r := sealedLib.MemoryFootprint(), rawLib.MemoryFootprint(); r != 32*s {
+		t.Fatalf("raw footprint %d should be 32× sealed %d", r, s)
+	}
+}
+
+func TestProbeRequiresFreeze(t *testing.T) {
+	lib := mustLibrary(t, Params{Dim: 1024, Window: 16, Seed: 11})
+	if err := lib.Add(genome.Record{ID: "r", Seq: genome.Random(64, rng.New(12))}); err != nil {
+		t.Fatal(err)
+	}
+	q := lib.Encoder().EncodeWindowExact(genome.Random(16, rng.New(13)), 0)
+	if _, err := lib.Probe(q, nil); err == nil {
+		t.Fatal("Probe before Freeze accepted")
+	}
+	if _, _, err := lib.Lookup(genome.Random(16, rng.New(14))); err == nil {
+		t.Fatal("Lookup before Freeze accepted")
+	}
+}
+
+func TestRefAccessor(t *testing.T) {
+	lib := mustLibrary(t, Params{Dim: 1024, Window: 16, Seed: 15})
+	seq := genome.Random(64, rng.New(16))
+	if err := lib.Add(genome.Record{ID: "myref", Description: "d", Seq: seq}); err != nil {
+		t.Fatal(err)
+	}
+	rec := lib.Ref(0)
+	if rec.ID != "myref" || !rec.Seq.Equal(seq) {
+		t.Fatalf("Ref(0) = %+v", rec)
+	}
+}

@@ -1,0 +1,259 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/genome"
+	"repro/internal/hdc"
+)
+
+// Match is one verified occurrence of a query window in the references.
+type Match struct {
+	Ref      int // reference sequence index
+	Off      int // offset of the matching window in the reference
+	QueryOff int // offset of the aligned window within the query
+	Distance int // substitution distance between query window and reference window
+}
+
+// Stats counts the work a search performed; experiment T2 compares these
+// operation counts against the classical baselines, and the PIM mapper
+// consumes them to derive in-memory latency and energy.
+type Stats struct {
+	Alignments       int // query window alignments encoded
+	BucketProbes     int // query/bucket dot products (the PIM search kernel)
+	CandidateBuckets int // buckets whose score crossed the threshold
+	WindowsVerified  int // member windows checked during refinement
+	BaseComparisons  int // nucleotide comparisons spent in verification
+}
+
+func (s *Stats) add(o Stats) {
+	s.Alignments += o.Alignments
+	s.BucketProbes += o.BucketProbes
+	s.CandidateBuckets += o.CandidateBuckets
+	s.WindowsVerified += o.WindowsVerified
+	s.BaseComparisons += o.BaseComparisons
+}
+
+// Candidate is an unverified bucket hit: the HDC similarity stage's raw
+// output, before sequence-level refinement.
+type Candidate struct {
+	Bucket int
+	Score  float64
+	Excess float64 // score minus the model threshold
+}
+
+// Threshold returns the operating decision threshold: the freeze-time
+// calibrated threshold for approximate libraries, or the a-priori model
+// threshold for exact libraries (where the model is itself exact).
+func (l *Library) Threshold() float64 {
+	if l.frozen && l.params.Approx {
+		return l.cal.Tau
+	}
+	return l.Model().DecisionThreshold(
+		l.params.Alpha, l.params.Beta, maxInt(len(l.bkts), 1), l.params.MutTolerance)
+}
+
+// Probe scores an encoded query window against every bucket and returns
+// the candidates above the model threshold. This is the pure HDC search
+// stage — exactly the computation the PIM architecture executes in
+// memory. The library must be frozen.
+func (l *Library) Probe(hv *hdc.HV, stats *Stats) ([]Candidate, error) {
+	if !l.frozen {
+		return nil, fmt.Errorf("core: Probe before Freeze")
+	}
+	if hv.Dim() != l.params.Dim {
+		return nil, fmt.Errorf("core: query dimension %d != library %d", hv.Dim(), l.params.Dim)
+	}
+	tau := l.Threshold()
+	var out []Candidate
+	for i := range l.bkts {
+		score := l.score(i, hv)
+		if stats != nil {
+			stats.BucketProbes++
+		}
+		if score >= tau {
+			out = append(out, Candidate{Bucket: i, Score: score, Excess: score - tau})
+			if stats != nil {
+				stats.CandidateBuckets++
+			}
+		}
+	}
+	return out, nil
+}
+
+// verify refines candidates into matches by direct comparison of the
+// query window against each member window of each candidate bucket,
+// accepting distance ≤ tol.
+func (l *Library) verify(q *genome.Sequence, qOff int, cands []Candidate, tol int, stats *Stats) []Match {
+	w := l.params.Window
+	var out []Match
+	for _, c := range cands {
+		for _, wr := range l.bkts[c.Bucket].windows {
+			ref := l.refs[wr.Ref].Seq
+			dist := 0
+			for i := 0; i < w; i++ {
+				if ref.At(int(wr.Off)+i) != q.At(qOff+i) {
+					dist++
+					if dist > tol {
+						break
+					}
+				}
+			}
+			if stats != nil {
+				stats.WindowsVerified++
+				stats.BaseComparisons += minInt(w, w) // full window budgeted
+			}
+			if dist <= tol {
+				out = append(out, Match{
+					Ref: int(wr.Ref), Off: int(wr.Off), QueryOff: qOff, Distance: dist,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// Lookup searches for a window-length pattern in the library and returns
+// the verified matches. The pattern must be at least Window bases long;
+// when the library stride exceeds 1, the first min(stride, len−Window+1)
+// alignments of the pattern are tried so that one of them can line up
+// with a stride-aligned reference window (supply a pattern of length ≥
+// Window+Stride−1 for full sensitivity).
+//
+// Exact libraries accept only exact occurrences; approximate libraries
+// accept occurrences within MutTolerance substitutions.
+func (l *Library) Lookup(pattern *genome.Sequence) ([]Match, Stats, error) {
+	var stats Stats
+	w := l.params.Window
+	if pattern == nil || pattern.Len() < w {
+		return nil, stats, fmt.Errorf("core: pattern shorter than window %d", w)
+	}
+	if !l.frozen {
+		return nil, stats, fmt.Errorf("core: Lookup before Freeze")
+	}
+	tol := 0
+	if l.params.Approx {
+		tol = l.params.MutTolerance
+	}
+	alignments := minInt(l.params.Stride, pattern.Len()-w+1)
+	var matches []Match
+	for a := 0; a < alignments; a++ {
+		var hv *hdc.HV
+		if l.params.Approx {
+			hv = l.enc.EncodeWindowApprox(pattern, a)
+		} else {
+			hv = l.enc.EncodeWindowExact(pattern, a)
+		}
+		stats.Alignments++
+		cands, err := l.Probe(hv, &stats)
+		if err != nil {
+			return nil, stats, err
+		}
+		matches = append(matches, l.verify(pattern, a, cands, tol, &stats)...)
+	}
+	sort.Slice(matches, func(i, j int) bool {
+		if matches[i].Ref != matches[j].Ref {
+			return matches[i].Ref < matches[j].Ref
+		}
+		return matches[i].Off < matches[j].Off
+	})
+	return matches, stats, nil
+}
+
+// Contains reports whether the pattern occurs in the references (within
+// MutTolerance for approximate libraries) — the pure membership query.
+func (l *Library) Contains(pattern *genome.Sequence) (bool, Stats, error) {
+	matches, stats, err := l.Lookup(pattern)
+	return len(matches) > 0, stats, err
+}
+
+// RefMatch aggregates LookupLong evidence for one reference.
+type RefMatch struct {
+	Ref      int     // reference index
+	Votes    int     // query windows supporting this reference on the best diagonal
+	Windows  int     // query windows searched
+	Offset   int     // implied alignment offset of the query in the reference
+	Fraction float64 // Votes / Windows
+}
+
+// LookupLong maps a long query (e.g. a sequencing read or a gene) against
+// the references: the query is cut into non-overlapping windows, each is
+// looked up, and per-reference votes are accumulated along alignment
+// diagonals (matches whose reference offset minus query offset agree).
+// References are returned in decreasing vote order, filtered to vote
+// fraction ≥ minFrac.
+func (l *Library) LookupLong(query *genome.Sequence, minFrac float64) ([]RefMatch, Stats, error) {
+	var stats Stats
+	w := l.params.Window
+	if query == nil || query.Len() < w {
+		return nil, stats, fmt.Errorf("core: query shorter than window %d", w)
+	}
+	type diag struct {
+		ref  int
+		diff int
+	}
+	votes := map[diag]int{}
+	nWindows := 0
+	for qOff := 0; qOff+w <= query.Len(); qOff += w {
+		window := query.Slice(qOff, qOff+w)
+		matches, s, err := l.Lookup(window)
+		stats.add(s)
+		if err != nil {
+			return nil, stats, err
+		}
+		nWindows++
+		seen := map[diag]bool{} // one vote per diagonal per query window
+		for _, m := range matches {
+			d := diag{ref: m.Ref, diff: m.Off - (qOff + m.QueryOff)}
+			if !seen[d] {
+				seen[d] = true
+				votes[d]++
+			}
+		}
+	}
+	best := map[int]diag{}
+	for d, v := range votes {
+		if cur, ok := best[d.ref]; !ok || v > votes[cur] {
+			best[d.ref] = d
+		}
+	}
+	var out []RefMatch
+	for ref, d := range best {
+		v := votes[d]
+		frac := float64(v) / float64(nWindows)
+		if frac >= minFrac {
+			out = append(out, RefMatch{
+				Ref: ref, Votes: v, Windows: nWindows, Offset: d.diff, Fraction: frac,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Votes != out[j].Votes {
+			return out[i].Votes > out[j].Votes
+		}
+		return out[i].Ref < out[j].Ref
+	})
+	return out, stats, nil
+}
+
+// Classify returns the single best-supported reference for a query, or
+// an error if no reference reaches minFrac support. It is the variant-
+// classification entry point used by the COVID-19 case study.
+func (l *Library) Classify(query *genome.Sequence, minFrac float64) (RefMatch, Stats, error) {
+	ranked, stats, err := l.LookupLong(query, minFrac)
+	if err != nil {
+		return RefMatch{}, stats, err
+	}
+	if len(ranked) == 0 {
+		return RefMatch{}, stats, fmt.Errorf("core: no reference reaches support %v", minFrac)
+	}
+	return ranked[0], stats, nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

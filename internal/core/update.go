@@ -1,0 +1,63 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/hdc"
+)
+
+// Remove deletes a reference from an *unsealed* library without
+// rebuilding it: every window the reference contributed is re-encoded
+// and subtracted from its bucket's counters (hdc.Acc.Sub), the bucket is
+// re-sealed, and the window metadata is dropped. The reference slot is
+// retained as a tombstone so other references keep their indices.
+//
+// Sealed libraries discard their counters at Freeze for 32× less memory
+// and cannot subtract; they return an error (rebuild instead). This is
+// the storage trade-off the F11 ablation quantifies.
+func (l *Library) Remove(refIdx int) error {
+	if !l.frozen {
+		return fmt.Errorf("core: Remove before Freeze")
+	}
+	if l.params.Sealed {
+		return fmt.Errorf("core: sealed libraries drop counters at Freeze and cannot Remove; rebuild, or use an unsealed library")
+	}
+	if refIdx < 0 || refIdx >= len(l.refs) {
+		return fmt.Errorf("core: reference %d out of range [0,%d)", refIdx, len(l.refs))
+	}
+	rec := l.refs[refIdx]
+	if rec.Seq == nil {
+		return fmt.Errorf("core: reference %d already removed", refIdx)
+	}
+	for bi := range l.bkts {
+		b := &l.bkts[bi]
+		kept := b.windows[:0]
+		touched := false
+		for _, wr := range b.windows {
+			if int(wr.Ref) != refIdx {
+				kept = append(kept, wr)
+				continue
+			}
+			var hv *hdc.HV
+			if l.params.Approx {
+				hv = l.enc.EncodeWindowApprox(rec.Seq, int(wr.Off))
+			} else {
+				hv = l.enc.EncodeWindowExact(rec.Seq, int(wr.Off))
+			}
+			b.acc.Sub(hv)
+			touched = true
+			l.nWin--
+		}
+		b.windows = kept
+		if touched {
+			b.sealed = b.acc.Seal(l.params.Seed ^ 0x5ea1)
+		}
+	}
+	rec.Seq = nil
+	rec.Description += " (removed)" // tombstone keeps the identifier
+	l.refs[refIdx] = rec
+	if l.params.Approx {
+		l.cal = l.calibrate()
+	}
+	return nil
+}

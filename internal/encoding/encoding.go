@@ -1,0 +1,317 @@
+// Package encoding maps genome sequences to hypervectors — the
+// "HDC memorization" step of BioHD.
+//
+// # Window encodings
+//
+// BioHD slices a reference genome into fixed-length windows and encodes
+// each window into one hypervector. Two encodings are provided, matching
+// the paper's exact and approximate search modes:
+//
+//   - Exact (binding chain): E(s) = ⊙_{i<w} ρ^i(B[s_i]). A pure bind
+//     product is quasi-orthogonal to the encoding of every other window
+//     content, so membership of the *exact* pattern can be tested with a
+//     single dot product. One mismatching base randomizes the encoding —
+//     maximal discrimination, no tolerance.
+//
+//   - Approximate (positional bundle): A(s) = sign(Σ_{i<w} ρ^i(B[s_i])).
+//     The similarity of two bundled windows degrades linearly in the
+//     number of agreeing positions, so mutated queries remain detectably
+//     similar — graceful degradation, mutation tolerance.
+//
+// Both encodings slide incrementally: advancing the window by one base
+// costs O(D/64) packed-word work for the exact chain and O(D) counter
+// work for the bundle, instead of re-encoding the whole window (O(w·D)).
+// The identities used are
+//
+//	E_{p+1} = ρ⁻¹(E_p ⊙ B[s_p]) ⊙ ρ^{w−1}(B[s_{p+w}])
+//	W_{p+1} = ρ⁻¹(W_p − B[s_p]) + ρ^{w−1}(B[s_{p+w}])
+//
+// where the bundle identity is tracked on raw counters with a circular
+// logical offset, so no counter array is ever physically rotated.
+package encoding
+
+import (
+	"fmt"
+
+	"repro/internal/genome"
+	"repro/internal/hdc"
+	"repro/internal/rng"
+)
+
+// Mode selects the window encoding.
+type Mode int
+
+// Encoding modes.
+const (
+	// ModeExact is the binding-chain encoding for exact matching.
+	ModeExact Mode = iota
+	// ModeApprox is the positional-bundle encoding for approximate
+	// matching.
+	ModeApprox
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeExact:
+		return "exact"
+	case ModeApprox:
+		return "approx"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Config parameterizes an Encoder.
+type Config struct {
+	// Dim is the hypervector dimensionality; a positive multiple of 64.
+	Dim int
+	// Window is the number of bases encoded per window hypervector.
+	Window int
+	// Seed determines the base item memory; encoders built from equal
+	// (Dim, Seed) agree bit-for-bit.
+	Seed uint64
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Dim <= 0 || c.Dim%64 != 0 {
+		return fmt.Errorf("encoding: Dim %d must be a positive multiple of 64", c.Dim)
+	}
+	if c.Window <= 0 {
+		return fmt.Errorf("encoding: Window %d must be positive", c.Window)
+	}
+	if c.Window >= c.Dim {
+		// Rotations must stay injective over the window span.
+		return fmt.Errorf("encoding: Window %d must be smaller than Dim %d", c.Window, c.Dim)
+	}
+	return nil
+}
+
+// Encoder encodes genome windows into hypervectors. It is safe for
+// concurrent use once constructed (all state is read-only).
+type Encoder struct {
+	cfg Config
+	im  *hdc.ItemMemory
+	// rot[b][i] is ρ^i(B[b]) for i ∈ [0, Window]; precomputed because
+	// both the direct encoders and the incremental slides consume
+	// rotated base vectors constantly.
+	rot [genome.AlphabetSize][]*hdc.HV
+}
+
+// New constructs an Encoder from cfg.
+func New(cfg Config) (*Encoder, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Encoder{
+		cfg: cfg,
+		im:  hdc.NewItemMemory(cfg.Dim, genome.AlphabetSize, cfg.Seed),
+	}
+	for b := 0; b < genome.AlphabetSize; b++ {
+		e.rot[b] = make([]*hdc.HV, cfg.Window+1)
+		e.rot[b][0] = e.im.Get(b)
+		for i := 1; i <= cfg.Window; i++ {
+			h := hdc.NewHV(cfg.Dim)
+			h.Permute(e.rot[b][i-1], 1)
+			e.rot[b][i] = h
+		}
+	}
+	return e, nil
+}
+
+// Config returns the encoder's configuration.
+func (e *Encoder) Config() Config { return e.cfg }
+
+// Dim returns the hypervector dimensionality.
+func (e *Encoder) Dim() int { return e.cfg.Dim }
+
+// Window returns the window length in bases.
+func (e *Encoder) Window() int { return e.cfg.Window }
+
+// BaseHV returns the item-memory hypervector for base b (shared; do not
+// mutate).
+func (e *Encoder) BaseHV(b genome.Base) *hdc.HV { return e.im.Get(int(b)) }
+
+func (e *Encoder) checkWindow(seq *genome.Sequence, start int) {
+	if start < 0 || start+e.cfg.Window > seq.Len() {
+		panic(fmt.Sprintf("encoding: window [%d,%d) overruns sequence length %d",
+			start, start+e.cfg.Window, seq.Len()))
+	}
+}
+
+// EncodeWindowExact returns the binding-chain encoding of the window of
+// seq starting at start. It panics if the window overruns the sequence.
+func (e *Encoder) EncodeWindowExact(seq *genome.Sequence, start int) *hdc.HV {
+	e.checkWindow(seq, start)
+	out := e.rot[seq.At(start)][0].Clone()
+	for i := 1; i < e.cfg.Window; i++ {
+		out.Bind(out, e.rot[seq.At(start+i)][i])
+	}
+	return out
+}
+
+// EncodeWindowApprox returns the sealed positional-bundle encoding of the
+// window of seq starting at start.
+func (e *Encoder) EncodeWindowApprox(seq *genome.Sequence, start int) *hdc.HV {
+	acc := e.AccumulateWindow(seq, start)
+	return e.SealLogical(acc, 0)
+}
+
+// AccumulateWindow returns the raw (unsealed) positional-bundle counters
+// for the window of seq starting at start.
+func (e *Encoder) AccumulateWindow(seq *genome.Sequence, start int) *hdc.Acc {
+	e.checkWindow(seq, start)
+	acc := hdc.NewAcc(e.cfg.Dim)
+	for i := 0; i < e.cfg.Window; i++ {
+		acc.Add(e.rot[seq.At(start+i)][i])
+	}
+	return acc
+}
+
+// tieSeed derives the deterministic tie-break seed for sealed bundles
+// from the item-memory seed, so all encodings under one encoder agree.
+func (e *Encoder) tieSeed() uint64 { return e.cfg.Seed ^ 0xb10b1d_5ea1 }
+
+// Encode returns the window encoding at start under the given mode.
+func (e *Encoder) Encode(seq *genome.Sequence, start int, mode Mode) *hdc.HV {
+	switch mode {
+	case ModeExact:
+		return e.EncodeWindowExact(seq, start)
+	case ModeApprox:
+		return e.EncodeWindowApprox(seq, start)
+	default:
+		panic(fmt.Sprintf("encoding: unknown mode %d", int(mode)))
+	}
+}
+
+// SlideExact calls fn with (start, encoding) for every window of seq at
+// the given stride, reusing an incrementally maintained binding chain.
+// The hypervector passed to fn is reused across calls; fn must Clone it
+// to retain it. fn returning false stops the slide.
+func (e *Encoder) SlideExact(seq *genome.Sequence, stride int, fn func(start int, hv *hdc.HV) bool) {
+	if stride <= 0 {
+		panic(fmt.Sprintf("encoding: stride %d must be positive", stride))
+	}
+	w := e.cfg.Window
+	if seq.Len() < w {
+		return
+	}
+	cur := e.EncodeWindowExact(seq, 0)
+	scratch := hdc.NewHV(e.cfg.Dim)
+	pos := 0
+	for {
+		if pos%stride == 0 {
+			if !fn(pos, cur) {
+				return
+			}
+		}
+		if pos+w >= seq.Len() {
+			return
+		}
+		// E_{p+1} = ρ⁻¹(E_p ⊙ B[s_p]) ⊙ ρ^{w−1}(B[s_{p+w}])
+		cur.Bind(cur, e.rot[seq.At(pos)][0])
+		scratch.Permute(cur, -1)
+		cur, scratch = scratch, cur
+		cur.Bind(cur, e.rot[seq.At(pos+w)][w-1])
+		pos++
+	}
+}
+
+// SlideApprox calls fn with (start, raw counters, logical offset) for
+// every window of seq at the given stride. The counters are maintained
+// incrementally with a circular logical offset: the logical counter for
+// dimension j lives at raw index (j + off) mod Dim. SealLogical converts
+// the pair to a window hypervector. The accumulator is reused across
+// calls; fn must not retain it. fn returning false stops the slide.
+func (e *Encoder) SlideApprox(seq *genome.Sequence, stride int, fn func(start int, acc *hdc.Acc, off int) bool) {
+	if stride <= 0 {
+		panic(fmt.Sprintf("encoding: stride %d must be positive", stride))
+	}
+	w, d := e.cfg.Window, e.cfg.Dim
+	if seq.Len() < w {
+		return
+	}
+	acc := hdc.NewAcc(d)
+	for i := 0; i < w; i++ {
+		acc.Add(e.rot[seq.At(i)][i])
+	}
+	off := 0
+	rotated := hdc.NewHV(d)
+	pos := 0
+	for {
+		if pos%stride == 0 {
+			if !fn(pos, acc, off) {
+				return
+			}
+		}
+		if pos+w >= seq.Len() {
+			return
+		}
+		// Logical update W_{p+1} = ρ⁻¹(W_p − ρ⁰(B[s_p])) + ρ^{w−1}(B[s_{p+w}]).
+		// On raw counters with logical offset o, adding ρ^k logically is
+		// adding ρ^{k+o} raw, and the ρ⁻¹ becomes o ← o+1.
+		addLogical(acc, e.rot[seq.At(pos)][0], off, rotated, false)
+		off = (off + 1) % d
+		addLogical(acc, e.rot[seq.At(pos+w)][w-1], off, rotated, true)
+		pos++
+	}
+}
+
+// addLogical adds (or subtracts) h at logical offset off into acc, which
+// on raw counters means adding ρ^off(h).
+func addLogical(acc *hdc.Acc, h *hdc.HV, off int, scratch *hdc.HV, add bool) {
+	target := h
+	if off != 0 {
+		scratch.Permute(h, off)
+		target = scratch
+	}
+	if add {
+		acc.Add(target)
+	} else {
+		acc.Sub(target)
+	}
+}
+
+// SealLogical seals raw counters produced by SlideApprox into the window
+// hypervector, undoing the circular offset. Counter ties are broken by a
+// deterministic hash of the *logical* dimension index, so the same window
+// seals identically whether encoded directly or reached by sliding.
+func (e *Encoder) SealLogical(acc *hdc.Acc, off int) *hdc.HV {
+	d := e.cfg.Dim
+	out := hdc.NewHV(d)
+	words := out.Bits().Words()
+	seed := e.tieSeed()
+	raw := off
+	for j := 0; j < d; j += 64 {
+		var w uint64
+		for b := 0; b < 64; b++ {
+			c := acc.Count(raw)
+			if c > 0 || (c == 0 && tieBit(seed, j+b)) {
+				w |= 1 << uint(b)
+			}
+			raw++
+			if raw == d {
+				raw = 0
+			}
+		}
+		words[j/64] = w
+	}
+	return out
+}
+
+// tieBit is a deterministic balanced bit derived from (seed, logical
+// dimension index).
+func tieBit(seed uint64, j int) bool {
+	state := seed + uint64(j)*0x9e3779b97f4a7c15
+	return rng.SplitMix64(&state)&1 == 1
+}
+
+// NumWindows returns how many stride-aligned windows fit in a sequence of
+// length n: zero if n < Window, else ⌈(n−Window+1)/stride⌉.
+func (e *Encoder) NumWindows(n, stride int) int {
+	if n < e.cfg.Window {
+		return 0
+	}
+	return (n-e.cfg.Window)/stride + 1
+}

@@ -1,0 +1,339 @@
+package encoding
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/genome"
+	"repro/internal/hdc"
+	"repro/internal/rng"
+)
+
+func testEncoder(t *testing.T, dim, window int) *Encoder {
+	t.Helper()
+	e, err := New(Config{Dim: dim, Window: window, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestConfigValidate(t *testing.T) {
+	for name, cfg := range map[string]Config{
+		"zero dim":      {Dim: 0, Window: 10},
+		"unaligned dim": {Dim: 100, Window: 10},
+		"zero window":   {Dim: 1024, Window: 0},
+		"window >= dim": {Dim: 64, Window: 64},
+	} {
+		if _, err := New(cfg); err == nil {
+			t.Fatalf("%s: accepted", name)
+		}
+	}
+	if _, err := New(Config{Dim: 1024, Window: 32}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeExact.String() != "exact" || ModeApprox.String() != "approx" {
+		t.Fatal("mode names wrong")
+	}
+	if Mode(7).String() == "" {
+		t.Fatal("unknown mode empty")
+	}
+}
+
+func TestEncoderDeterministic(t *testing.T) {
+	a := testEncoder(t, 1024, 16)
+	b := testEncoder(t, 1024, 16)
+	seq := genome.Random(64, rng.New(1))
+	if !a.EncodeWindowExact(seq, 3).Equal(b.EncodeWindowExact(seq, 3)) {
+		t.Fatal("exact encodings differ across encoders with same seed")
+	}
+	if !a.EncodeWindowApprox(seq, 3).Equal(b.EncodeWindowApprox(seq, 3)) {
+		t.Fatal("approx encodings differ across encoders with same seed")
+	}
+}
+
+func TestExactEncodingDiscriminates(t *testing.T) {
+	e := testEncoder(t, 2048, 24)
+	seq := genome.Random(100, rng.New(2))
+	h1 := e.EncodeWindowExact(seq, 0)
+	// Same content elsewhere encodes identically.
+	dup := seq.Slice(0, 24).Append(seq.Slice(24, 100))
+	if !e.EncodeWindowExact(dup, 0).Equal(h1) {
+		t.Fatal("equal window content encoded differently")
+	}
+	// One substitution anywhere randomizes the encoding.
+	mut := seq.Clone()
+	mut.Set(10, mut.At(10).Complement())
+	h2 := e.EncodeWindowExact(mut, 0)
+	limit := int(6 * math.Sqrt(2048))
+	if d := h1.Dot(h2); d > limit || d < -limit {
+		t.Fatalf("mutated exact encoding still similar: dot=%d", d)
+	}
+}
+
+func TestExactEncodingPositionSensitive(t *testing.T) {
+	// The same bases in a different order must encode differently.
+	e := testEncoder(t, 2048, 4)
+	a := genome.MustFromString("ACGT")
+	b := genome.MustFromString("TGCA")
+	ha, hb := e.EncodeWindowExact(a, 0), e.EncodeWindowExact(b, 0)
+	limit := int(6 * math.Sqrt(2048))
+	if d := ha.Dot(hb); d > limit || d < -limit {
+		t.Fatalf("permuted window content encoded similarly: dot=%d", d)
+	}
+}
+
+func TestApproxEncodingGracefulDegradation(t *testing.T) {
+	e := testEncoder(t, 4096, 33) // odd window: no counter ties
+	src := rng.New(3)
+	seq := genome.Random(33, src)
+	base := e.EncodeWindowApprox(seq, 0)
+	prevCos := 1.0
+	for _, nmut := range []int{1, 4, 8, 16} {
+		mut, _ := genome.SubstituteExactly(seq, nmut, rng.New(uint64(nmut)))
+		cos := base.Cosine(e.EncodeWindowApprox(mut, 0))
+		if cos >= prevCos {
+			t.Fatalf("similarity not decreasing: %d muts -> cos %v (prev %v)", nmut, cos, prevCos)
+		}
+		prevCos = cos
+	}
+	// With half the window mutated the similarity should still clearly
+	// exceed the random-pair noise floor (~6/√D ≈ 0.094).
+	if prevCos < 0.15 {
+		t.Fatalf("16/33 mutated window already at noise floor: cos=%v", prevCos)
+	}
+	// An unrelated random window sits at the chance-agreement baseline:
+	// ~1/4 of positions share a base by chance, so its similarity is well
+	// below a half-mutated window's (17/33 agreement) but not zero.
+	other := genome.Random(33, src)
+	if cos := base.Cosine(e.EncodeWindowApprox(other, 0)); cos > prevCos || cos > 0.4 {
+		t.Fatalf("unrelated window too similar: cos=%v (half-mutated %v)", cos, prevCos)
+	}
+}
+
+func TestApproxSimilarityTracksMatchingPositions(t *testing.T) {
+	// Expected cosine between two bundled windows sharing f·w positions
+	// is ≈ (2f−1)·attenuation... empirically it must be monotone in f and
+	// roughly linear; check the midpoint sits between the extremes.
+	e := testEncoder(t, 8192, 32)
+	seq := genome.Random(32, rng.New(4))
+	full := e.EncodeWindowApprox(seq, 0)
+	half, _ := genome.SubstituteExactly(seq, 16, rng.New(5))
+	quarter, _ := genome.SubstituteExactly(seq, 8, rng.New(6))
+	cosHalf := full.Cosine(e.EncodeWindowApprox(half, 0))
+	cosQuarter := full.Cosine(e.EncodeWindowApprox(quarter, 0))
+	if !(cosQuarter > cosHalf && cosHalf > 0) {
+		t.Fatalf("similarity ordering broken: 8 muts %v, 16 muts %v", cosQuarter, cosHalf)
+	}
+	if ratio := cosQuarter / cosHalf; ratio < 1.2 || ratio > 3.0 {
+		t.Fatalf("similarity not roughly proportional: ratio %v", ratio)
+	}
+}
+
+func TestEncodeDispatch(t *testing.T) {
+	e := testEncoder(t, 1024, 8)
+	seq := genome.Random(20, rng.New(7))
+	if !e.Encode(seq, 2, ModeExact).Equal(e.EncodeWindowExact(seq, 2)) {
+		t.Fatal("Encode(ModeExact) mismatch")
+	}
+	if !e.Encode(seq, 2, ModeApprox).Equal(e.EncodeWindowApprox(seq, 2)) {
+		t.Fatal("Encode(ModeApprox) mismatch")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("unknown mode did not panic")
+			}
+		}()
+		e.Encode(seq, 0, Mode(9))
+	}()
+}
+
+func TestWindowOverrunPanics(t *testing.T) {
+	e := testEncoder(t, 1024, 16)
+	seq := genome.Random(20, rng.New(8))
+	for _, start := range []int{-1, 5, 20} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("start=%d did not panic", start)
+				}
+			}()
+			e.EncodeWindowExact(seq, start)
+		}()
+	}
+}
+
+func TestSlideExactMatchesDirect(t *testing.T) {
+	e := testEncoder(t, 1024, 16)
+	seq := genome.Random(100, rng.New(9))
+	count := 0
+	e.SlideExact(seq, 1, func(start int, hv *hdc.HV) bool {
+		want := e.EncodeWindowExact(seq, start)
+		if !hv.Equal(want) {
+			t.Fatalf("incremental exact encoding diverges at window %d", start)
+		}
+		count++
+		return true
+	})
+	if want := e.NumWindows(100, 1); count != want {
+		t.Fatalf("visited %d windows, want %d", count, want)
+	}
+}
+
+func TestSlideApproxMatchesDirect(t *testing.T) {
+	for _, window := range []int{16, 17} { // even (ties possible) and odd
+		e := testEncoder(t, 1024, window)
+		seq := genome.Random(80, rng.New(10))
+		e.SlideApprox(seq, 1, func(start int, acc *hdc.Acc, off int) bool {
+			got := e.SealLogical(acc, off)
+			want := e.EncodeWindowApprox(seq, start)
+			if !got.Equal(want) {
+				t.Fatalf("window=%d: incremental approx encoding diverges at %d", window, start)
+			}
+			return true
+		})
+	}
+}
+
+func TestSlideStride(t *testing.T) {
+	e := testEncoder(t, 1024, 16)
+	seq := genome.Random(100, rng.New(11))
+	var starts []int
+	e.SlideExact(seq, 7, func(start int, hv *hdc.HV) bool {
+		starts = append(starts, start)
+		return true
+	})
+	for i, s := range starts {
+		if s != i*7 {
+			t.Fatalf("stride walk visited %v", starts)
+		}
+	}
+	if len(starts) != e.NumWindows(100, 7) {
+		t.Fatalf("visited %d, NumWindows says %d", len(starts), e.NumWindows(100, 7))
+	}
+}
+
+func TestSlideEarlyStop(t *testing.T) {
+	e := testEncoder(t, 1024, 16)
+	seq := genome.Random(100, rng.New(12))
+	count := 0
+	e.SlideExact(seq, 1, func(start int, hv *hdc.HV) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Fatalf("early stop visited %d windows", count)
+	}
+	count = 0
+	e.SlideApprox(seq, 1, func(start int, acc *hdc.Acc, off int) bool {
+		count++
+		return false
+	})
+	if count != 1 {
+		t.Fatalf("approx early stop visited %d", count)
+	}
+}
+
+func TestSlideShortSequence(t *testing.T) {
+	e := testEncoder(t, 1024, 16)
+	seq := genome.Random(10, rng.New(13))
+	called := false
+	e.SlideExact(seq, 1, func(int, *hdc.HV) bool { called = true; return true })
+	e.SlideApprox(seq, 1, func(int, *hdc.Acc, int) bool { called = true; return true })
+	if called {
+		t.Fatal("slide visited windows of a too-short sequence")
+	}
+	if e.NumWindows(10, 1) != 0 {
+		t.Fatal("NumWindows nonzero for short sequence")
+	}
+}
+
+func TestSlideStridePanics(t *testing.T) {
+	e := testEncoder(t, 1024, 16)
+	seq := genome.Random(50, rng.New(14))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("stride 0 did not panic")
+		}
+	}()
+	e.SlideExact(seq, 0, func(int, *hdc.HV) bool { return true })
+}
+
+func TestNumWindows(t *testing.T) {
+	e := testEncoder(t, 1024, 10)
+	for _, tc := range []struct{ n, stride, want int }{
+		{9, 1, 0}, {10, 1, 1}, {11, 1, 2}, {20, 1, 11},
+		{20, 5, 3}, {20, 11, 1}, {21, 11, 2},
+	} {
+		if got := e.NumWindows(tc.n, tc.stride); got != tc.want {
+			t.Fatalf("NumWindows(%d, %d) = %d, want %d", tc.n, tc.stride, got, tc.want)
+		}
+	}
+}
+
+func TestBaseHVOrthogonal(t *testing.T) {
+	e := testEncoder(t, 2048, 8)
+	limit := int(6 * math.Sqrt(2048))
+	for a := genome.Base(0); a < 4; a++ {
+		for b := a + 1; b < 4; b++ {
+			if d := e.BaseHV(a).Dot(e.BaseHV(b)); d > limit || d < -limit {
+				t.Fatalf("base HVs %v,%v not quasi-orthogonal: %d", a, b, d)
+			}
+		}
+	}
+}
+
+func TestAccumulateWindowCounts(t *testing.T) {
+	e := testEncoder(t, 1024, 5)
+	seq := genome.Random(10, rng.New(15))
+	acc := e.AccumulateWindow(seq, 2)
+	if acc.N() != 5 {
+		t.Fatalf("accumulated %d vectors, want 5", acc.N())
+	}
+}
+
+func BenchmarkSlideExactPerWindow(b *testing.B) {
+	e, err := New(Config{Dim: 4096, Window: 64, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	seq := genome.Random(b.N+64, rng.New(1))
+	b.ResetTimer()
+	b.ReportAllocs()
+	count := 0
+	e.SlideExact(seq, 1, func(int, *hdc.HV) bool {
+		count++
+		return count < b.N
+	})
+}
+
+func BenchmarkSlideApproxPerWindow(b *testing.B) {
+	e, err := New(Config{Dim: 4096, Window: 64, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	seq := genome.Random(b.N+64, rng.New(1))
+	b.ResetTimer()
+	b.ReportAllocs()
+	count := 0
+	e.SlideApprox(seq, 1, func(int, *hdc.Acc, int) bool {
+		count++
+		return count < b.N
+	})
+}
+
+func BenchmarkEncodeWindowApproxDirect(b *testing.B) {
+	e, err := New(Config{Dim: 4096, Window: 64, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	seq := genome.Random(128, rng.New(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = e.EncodeWindowApprox(seq, i%64)
+	}
+}

@@ -1,0 +1,102 @@
+package encoding
+
+import (
+	"fmt"
+
+	"repro/internal/genome"
+	"repro/internal/hdc"
+	"repro/internal/rng"
+)
+
+// KmerEncoder encodes windows at k-mer granularity: the window is the
+// positional bundle of its overlapping k-mers,
+//
+//	A_k(s) = sign( Σ_{i ≤ w−k} ρ^i(K[s_{i..i+k}]) ),
+//
+// where K maps each of the 4^k k-mers to a fixed random hypervector.
+// Compared with the base-level bundle (k = 1):
+//
+//   - chance agreement between unrelated windows drops from 1/4 to 4^−k,
+//     so the noise baseline all buckets carry nearly vanishes;
+//   - one substitution corrupts k consecutive k-mers, so similarity
+//     degrades k× faster per mutation — higher discrimination, lower
+//     mutation tolerance.
+//
+// Experiment F13 quantifies this trade. The k-mer item memory is
+// *virtual*: each k-mer's hypervector is derived deterministically from
+// (seed, k-mer value) on demand, so no 4^k table is stored.
+type KmerEncoder struct {
+	cfg Config
+	k   int
+}
+
+// NewKmer constructs a k-mer window encoder; 1 ≤ k ≤ 15 and k ≤ Window.
+func NewKmer(cfg Config, k int) (*KmerEncoder, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if k < 1 || k > 15 {
+		return nil, fmt.Errorf("encoding: k=%d out of [1,15]", k)
+	}
+	if k > cfg.Window {
+		return nil, fmt.Errorf("encoding: k=%d exceeds window %d", k, cfg.Window)
+	}
+	return &KmerEncoder{cfg: cfg, k: k}, nil
+}
+
+// K returns the k-mer length.
+func (e *KmerEncoder) K() int { return e.k }
+
+// Dim returns the hypervector dimensionality.
+func (e *KmerEncoder) Dim() int { return e.cfg.Dim }
+
+// Window returns the window length in bases.
+func (e *KmerEncoder) Window() int { return e.cfg.Window }
+
+// NumPositions returns the number of k-mers one window bundles.
+func (e *KmerEncoder) NumPositions() int { return e.cfg.Window - e.k + 1 }
+
+// KmerHV returns the item-memory hypervector for the packed k-mer value
+// v ∈ [0, 4^k). Derived deterministically; two calls agree bit-for-bit.
+func (e *KmerEncoder) KmerHV(v uint64) *hdc.HV {
+	if v >= 1<<(2*uint(e.k)) {
+		panic(fmt.Sprintf("encoding: k-mer value %d out of range for k=%d", v, e.k))
+	}
+	h := hdc.NewHV(e.cfg.Dim)
+	words := h.Bits().Words()
+	// Seed expansion keyed by (encoder seed, k, v): SplitMix64 streams
+	// from distinct keys are statistically independent.
+	state := e.cfg.Seed ^ 0x6b6d6572<<8 ^ uint64(e.k)<<56 ^ v*0x9e3779b97f4a7c15
+	for i := range words {
+		words[i] = rng.SplitMix64(&state)
+	}
+	return h
+}
+
+// EncodeWindow returns the sealed k-mer bundle encoding of the window of
+// seq starting at start. It panics if the window overruns the sequence.
+func (e *KmerEncoder) EncodeWindow(seq *genome.Sequence, start int) *hdc.HV {
+	if start < 0 || start+e.cfg.Window > seq.Len() {
+		panic(fmt.Sprintf("encoding: window [%d,%d) overruns sequence length %d",
+			start, start+e.cfg.Window, seq.Len()))
+	}
+	acc := hdc.NewAcc(e.cfg.Dim)
+	rotated := hdc.NewHV(e.cfg.Dim)
+	for i := 0; i < e.NumPositions(); i++ {
+		kv := e.KmerHV(seq.KmerAt(start+i, e.k))
+		if i == 0 {
+			acc.Add(kv)
+			continue
+		}
+		rotated.Permute(kv, i)
+		acc.Add(rotated)
+	}
+	return acc.Seal(e.cfg.Seed ^ 0x6b6d65725ea1)
+}
+
+// ChanceAgreement returns the probability two unrelated windows agree on
+// one k-mer position: 4^−k. This replaces the base-level ¼ in the
+// quality model's baseline when k-mer encoding is used.
+func (e *KmerEncoder) ChanceAgreement() float64 {
+	return 1 / float64(uint64(1)<<(2*uint(e.k)))
+}

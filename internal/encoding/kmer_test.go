@@ -1,0 +1,158 @@
+package encoding
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/genome"
+	"repro/internal/rng"
+)
+
+func kmerEnc(t *testing.T, dim, window, k int) *KmerEncoder {
+	t.Helper()
+	e, err := NewKmer(Config{Dim: dim, Window: window, Seed: 42}, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestNewKmerValidation(t *testing.T) {
+	for name, tc := range map[string]struct {
+		cfg Config
+		k   int
+	}{
+		"bad dim":     {Config{Dim: 100, Window: 16, Seed: 1}, 3},
+		"k zero":      {Config{Dim: 1024, Window: 16, Seed: 1}, 0},
+		"k too big":   {Config{Dim: 1024, Window: 16, Seed: 1}, 16},
+		"k > window":  {Config{Dim: 1024, Window: 4, Seed: 1}, 5},
+		"zero window": {Config{Dim: 1024, Window: 0, Seed: 1}, 1},
+	} {
+		if _, err := NewKmer(tc.cfg, tc.k); err == nil {
+			t.Fatalf("%s: accepted", name)
+		}
+	}
+	e := kmerEnc(t, 1024, 32, 5)
+	if e.K() != 5 || e.Dim() != 1024 || e.Window() != 32 || e.NumPositions() != 28 {
+		t.Fatalf("metadata wrong: %+v", e)
+	}
+}
+
+func TestKmerHVDeterministicAndOrthogonal(t *testing.T) {
+	e := kmerEnc(t, 2048, 16, 5)
+	a1 := e.KmerHV(123)
+	a2 := e.KmerHV(123)
+	if !a1.Equal(a2) {
+		t.Fatal("same k-mer hashed to different hypervectors")
+	}
+	limit := int(6 * math.Sqrt(2048))
+	for _, v := range []uint64{0, 1, 7, 500, 1023} {
+		if d := a1.Dot(e.KmerHV(v)); v != 123 && (d > limit || d < -limit) {
+			t.Fatalf("k-mers 123 and %d not quasi-orthogonal: %d", v, d)
+		}
+	}
+	// Distinct k must yield distinct item memories (value 12 is valid
+	// for both k=3 and k=5).
+	e3 := kmerEnc(t, 2048, 16, 3)
+	if d := e.KmerHV(12).Dot(e3.KmerHV(12)); d > limit || d < -limit {
+		t.Fatalf("k=5 and k=3 item memories correlate: %d", d)
+	}
+}
+
+func TestKmerHVRangePanics(t *testing.T) {
+	e := kmerEnc(t, 1024, 16, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range k-mer value accepted")
+		}
+	}()
+	e.KmerHV(64)
+}
+
+func TestKmerEncodeWindowDeterministic(t *testing.T) {
+	e := kmerEnc(t, 2048, 24, 5)
+	seq := genome.Random(50, rng.New(1))
+	if !e.EncodeWindow(seq, 3).Equal(e.EncodeWindow(seq, 3)) {
+		t.Fatal("window encoding not deterministic")
+	}
+	// Same content at a different offset encodes identically.
+	dup := genome.NewSequence(10).Append(seq)
+	if !e.EncodeWindow(dup, 13).Equal(e.EncodeWindow(seq, 3)) {
+		t.Fatal("window encoding depends on absolute offset")
+	}
+}
+
+func TestKmerChanceAgreementLowerThanBase(t *testing.T) {
+	// Unrelated windows: base-level bundles share ~¼ of positions, k-mer
+	// bundles ~4^−k — their cosine must be much closer to zero.
+	const dim, window = 16384, 32
+	base, err := New(Config{Dim: dim, Window: window, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	km := kmerEnc(t, dim, window, 5)
+	src := rng.New(8)
+	var baseSum, kmSum float64
+	const trials = 12
+	for i := 0; i < trials; i++ {
+		a, b := genome.Random(window, src), genome.Random(window, src)
+		baseSum += math.Abs(base.EncodeWindowApprox(a, 0).Cosine(base.EncodeWindowApprox(b, 0)))
+		kmSum += math.Abs(km.EncodeWindow(a, 0).Cosine(km.EncodeWindow(b, 0)))
+	}
+	baseMean, kmMean := baseSum/trials, kmSum/trials
+	if kmMean > baseMean/2 {
+		t.Fatalf("k-mer chance cosine %v not well below base-level %v", kmMean, baseMean)
+	}
+	if e := km.ChanceAgreement(); e != 1.0/1024 {
+		t.Fatalf("ChanceAgreement(k=5) = %v", e)
+	}
+}
+
+func TestKmerMutationSensitivitySteeper(t *testing.T) {
+	// One substitution must cost the k-mer encoding more similarity than
+	// the base-level encoding (it corrupts k positions, not 1).
+	const dim, window = 16384, 32
+	base, err := New(Config{Dim: dim, Window: window, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	km := kmerEnc(t, dim, window, 5)
+	src := rng.New(10)
+	var baseDrop, kmDrop float64
+	const trials = 10
+	for i := 0; i < trials; i++ {
+		seq := genome.Random(window, src)
+		mut, _ := genome.SubstituteExactly(seq, 1, src)
+		baseDrop += 1 - base.EncodeWindowApprox(seq, 0).Cosine(base.EncodeWindowApprox(mut, 0))
+		kmDrop += 1 - km.EncodeWindow(seq, 0).Cosine(km.EncodeWindow(mut, 0))
+	}
+	if kmDrop <= baseDrop {
+		t.Fatalf("k-mer similarity drop %v not steeper than base-level %v", kmDrop, baseDrop)
+	}
+}
+
+func TestKmerSimilarityMonotoneInMutations(t *testing.T) {
+	e := kmerEnc(t, 8192, 32, 3)
+	seq := genome.Random(32, rng.New(11))
+	ref := e.EncodeWindow(seq, 0)
+	prev := 1.1
+	for _, muts := range []int{1, 3, 6} {
+		mut, _ := genome.SubstituteExactly(seq, muts, rng.New(uint64(muts)))
+		cos := ref.Cosine(e.EncodeWindow(mut, 0))
+		if cos >= prev {
+			t.Fatalf("similarity not decreasing at muts=%d: %v -> %v", muts, prev, cos)
+		}
+		prev = cos
+	}
+}
+
+func TestKmerEncodeWindowPanics(t *testing.T) {
+	e := kmerEnc(t, 1024, 16, 3)
+	seq := genome.Random(20, rng.New(12))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("overrunning window accepted")
+		}
+	}()
+	e.EncodeWindow(seq, 10)
+}

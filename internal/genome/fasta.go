@@ -1,0 +1,246 @@
+package genome
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Record is one FASTA entry: an identifier, an optional free-text
+// description, and the sequence itself.
+type Record struct {
+	ID          string
+	Description string
+	Seq         *Sequence
+}
+
+// MaskPolicy controls how ReadFASTAWith treats IUPAC ambiguity codes
+// (N, R, Y, ...) that the 2-bit alphabet cannot represent.
+type MaskPolicy int
+
+// Mask policies.
+const (
+	// MaskReject fails on any ambiguity code (the ReadFASTA default).
+	MaskReject MaskPolicy = iota
+	// MaskSubstitute deterministically replaces each ambiguity code with
+	// a base derived from its position, so real-world references load
+	// reproducibly. Masked fractions are reported per record.
+	MaskSubstitute
+	// MaskSkip drops records containing ambiguity codes.
+	MaskSkip
+)
+
+// MaskedRecord pairs a record with how many bases were masked.
+type MaskedRecord struct {
+	Record
+	Masked int // ambiguity codes substituted (MaskSubstitute only)
+}
+
+// ReadFASTAWith parses FASTA records applying the given ambiguity
+// policy. Real genome assemblies contain N runs; MaskSubstitute lets the
+// platform ingest them while reporting how much was synthesized.
+func ReadFASTAWith(r io.Reader, policy MaskPolicy) ([]MaskedRecord, error) {
+	switch policy {
+	case MaskReject, MaskSubstitute, MaskSkip:
+	default:
+		return nil, fmt.Errorf("genome: unknown mask policy %d", int(policy))
+	}
+	if policy == MaskReject {
+		recs, err := ReadFASTA(r)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]MaskedRecord, len(recs))
+		for i, rec := range recs {
+			out[i] = MaskedRecord{Record: rec}
+		}
+		return out, nil
+	}
+	raw, err := readFASTARaw(r)
+	if err != nil {
+		return nil, err
+	}
+	var out []MaskedRecord
+	for _, rr := range raw {
+		bases := make([]Base, 0, len(rr.seq))
+		masked := 0
+		skip := false
+		for i := 0; i < len(rr.seq); i++ {
+			b, err := ParseBase(rr.seq[i])
+			if err != nil {
+				if !isIUPAC(rr.seq[i]) {
+					return nil, fmt.Errorf("genome: record %q: %w", rr.id, err)
+				}
+				if policy == MaskSkip {
+					skip = true
+					break
+				}
+				b = Base(uint(i) * 2654435761 % AlphabetSize) // deterministic in position
+				masked++
+			}
+			bases = append(bases, b)
+		}
+		if skip {
+			continue
+		}
+		out = append(out, MaskedRecord{
+			Record: Record{ID: rr.id, Description: rr.desc, Seq: FromBases(bases)},
+			Masked: masked,
+		})
+	}
+	return out, nil
+}
+
+// isIUPAC reports whether c is a IUPAC nucleotide ambiguity code.
+func isIUPAC(c byte) bool {
+	switch c {
+	case 'N', 'n', 'R', 'r', 'Y', 'y', 'S', 's', 'W', 'w',
+		'K', 'k', 'M', 'm', 'B', 'b', 'D', 'd', 'H', 'h', 'V', 'v', 'U', 'u':
+		return true
+	}
+	return false
+}
+
+type rawRecord struct {
+	id, desc string
+	seq      []byte
+}
+
+// readFASTARaw parses headers and raw sequence bytes without alphabet
+// validation.
+func readFASTARaw(r io.Reader) ([]rawRecord, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var (
+		records []rawRecord
+		cur     rawRecord
+		open    bool
+		lineNo  int
+	)
+	flush := func() {
+		if open {
+			records = append(records, cur)
+			cur = rawRecord{}
+		}
+	}
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if line[0] == '>' {
+			flush()
+			open = true
+			header := strings.TrimSpace(line[1:])
+			if header == "" {
+				return nil, fmt.Errorf("genome: line %d: empty FASTA header", lineNo)
+			}
+			if i := strings.IndexAny(header, " \t"); i >= 0 {
+				cur.id, cur.desc = header[:i], strings.TrimSpace(header[i+1:])
+			} else {
+				cur.id = header
+			}
+			continue
+		}
+		if !open {
+			return nil, fmt.Errorf("genome: line %d: sequence data before first header", lineNo)
+		}
+		cur.seq = append(cur.seq, line...)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("genome: reading FASTA: %w", err)
+	}
+	flush()
+	return records, nil
+}
+
+// ReadFASTA parses FASTA records from r. Header lines start with '>';
+// the first whitespace-separated token is the ID and the remainder the
+// description. Sequence lines may be wrapped at any width. Blank lines
+// are ignored. Lowercase bases are accepted; ambiguity codes are not
+// (see ParseBase).
+func ReadFASTA(r io.Reader) ([]Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var (
+		records []Record
+		id      string
+		desc    string
+		bases   []Base
+		open    bool
+		lineNo  int
+	)
+	flush := func() {
+		if open {
+			records = append(records, Record{ID: id, Description: desc, Seq: FromBases(bases)})
+			bases = nil
+		}
+	}
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if line[0] == '>' {
+			flush()
+			open = true
+			header := strings.TrimSpace(line[1:])
+			if header == "" {
+				return nil, fmt.Errorf("genome: line %d: empty FASTA header", lineNo)
+			}
+			if i := strings.IndexAny(header, " \t"); i >= 0 {
+				id, desc = header[:i], strings.TrimSpace(header[i+1:])
+			} else {
+				id, desc = header, ""
+			}
+			continue
+		}
+		if !open {
+			return nil, fmt.Errorf("genome: line %d: sequence data before first header", lineNo)
+		}
+		for i := 0; i < len(line); i++ {
+			b, err := ParseBase(line[i])
+			if err != nil {
+				return nil, fmt.Errorf("genome: line %d: %w", lineNo, err)
+			}
+			bases = append(bases, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("genome: reading FASTA: %w", err)
+	}
+	flush()
+	return records, nil
+}
+
+// WriteFASTA writes records to w, wrapping sequence lines at width
+// columns (70 if width <= 0).
+func WriteFASTA(w io.Writer, records []Record, width int) error {
+	if width <= 0 {
+		width = 70
+	}
+	bw := bufio.NewWriter(w)
+	for _, rec := range records {
+		if rec.Description != "" {
+			fmt.Fprintf(bw, ">%s %s\n", rec.ID, rec.Description)
+		} else {
+			fmt.Fprintf(bw, ">%s\n", rec.ID)
+		}
+		s := rec.Seq.String()
+		for start := 0; start < len(s); start += width {
+			end := start + width
+			if end > len(s) {
+				end = len(s)
+			}
+			bw.WriteString(s[start:end])
+			bw.WriteByte('\n')
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("genome: writing FASTA: %w", err)
+	}
+	return nil
+}

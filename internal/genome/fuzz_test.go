@@ -1,0 +1,82 @@
+package genome
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadFASTA feeds arbitrary bytes to the FASTA parser: it must never
+// panic, and anything it accepts must survive a write/read round trip.
+func FuzzReadFASTA(f *testing.F) {
+	f.Add([]byte(">id desc\nACGT\nacgt\n"))
+	f.Add([]byte(">a\nA\n>b\nC\n"))
+	f.Add([]byte(""))
+	f.Add([]byte(">only-header\n"))
+	f.Add([]byte("no header\n"))
+	f.Add([]byte(">x\nACGN\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, err := ReadFASTA(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteFASTA(&out, recs, 60); err != nil {
+			t.Fatalf("accepted records failed to write: %v", err)
+		}
+		back, err := ReadFASTA(&out)
+		if err != nil {
+			t.Fatalf("round trip failed to parse: %v", err)
+		}
+		if len(back) != len(recs) {
+			t.Fatalf("round trip changed record count %d -> %d", len(recs), len(back))
+		}
+		for i := range recs {
+			if back[i].ID != recs[i].ID || !back[i].Seq.Equal(recs[i].Seq) {
+				t.Fatalf("record %d changed in round trip", i)
+			}
+		}
+	})
+}
+
+// FuzzFromString checks the sequence parser never panics and that
+// accepted inputs round-trip through String.
+func FuzzFromString(f *testing.F) {
+	f.Add("ACGT")
+	f.Add("acgt")
+	f.Add("")
+	f.Add("ACGTN")
+	f.Add(strings.Repeat("GATTACA", 40))
+	f.Fuzz(func(t *testing.T, s string) {
+		seq, err := FromString(s)
+		if err != nil {
+			return
+		}
+		if got := seq.String(); got != strings.ToUpper(s) {
+			t.Fatalf("round trip %q -> %q", s, got)
+		}
+	})
+}
+
+// FuzzApplyEdits checks the edit replayer rejects or replays arbitrary
+// edit lists without panicking.
+func FuzzApplyEdits(f *testing.F) {
+	f.Add("ACGTACGT", uint8(0), 2, uint8(1))
+	f.Add("ACGT", uint8(1), 0, uint8(3))
+	f.Fuzz(func(t *testing.T, base string, op uint8, pos int, to uint8) {
+		seq, err := FromString(base)
+		if err != nil {
+			return
+		}
+		edits := []Edit{{Op: EditOp(op % 3), Pos: pos, To: Base(to % 4)}}
+		out, err := ApplyEdits(seq, edits)
+		if err != nil {
+			return // rejected, fine
+		}
+		// Accepted edits must produce a plausible length.
+		diff := out.Len() - seq.Len()
+		if diff < -1 || diff > 1 {
+			t.Fatalf("single edit changed length by %d", diff)
+		}
+	})
+}

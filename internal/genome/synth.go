@@ -1,0 +1,218 @@
+package genome
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// Random returns a uniformly random sequence of length n.
+func Random(n int, src *rng.Source) *Sequence {
+	seq := NewSequence(n)
+	for i := 0; i < n; i++ {
+		seq.Set(i, Base(src.Intn(AlphabetSize)))
+	}
+	return seq
+}
+
+// RandomGC returns a random sequence of length n with expected GC content
+// gc ∈ [0, 1]; real genomes deviate from 50% GC, and encoder behaviour
+// must be insensitive to that skew.
+func RandomGC(n int, gc float64, src *rng.Source) *Sequence {
+	if gc < 0 || gc > 1 {
+		panic(fmt.Sprintf("genome: gc=%v out of [0,1]", gc))
+	}
+	seq := NewSequence(n)
+	for i := 0; i < n; i++ {
+		if src.Float64() < gc {
+			if src.Bool() {
+				seq.Set(i, G)
+			} else {
+				seq.Set(i, C)
+			}
+		} else {
+			if src.Bool() {
+				seq.Set(i, A)
+			} else {
+				seq.Set(i, T)
+			}
+		}
+	}
+	return seq
+}
+
+// VariantDBConfig parameterizes the COVID-like variant database
+// generator. The defaults (see DefaultVariantDBConfig) mirror the
+// SARS-CoV-2 scale the paper evaluates on: a ~29.9 kb ancestor and
+// variants accumulating a handful of point mutations per lineage branch.
+type VariantDBConfig struct {
+	AncestorLen   int     // length of the root genome (e.g. 29903)
+	NumVariants   int     // number of database sequences to emit
+	BranchFactor  int     // children per lineage node in the phylogeny
+	MutPerBranch  float64 // expected substitutions added per branch step
+	IndelFraction float64 // fraction of branch mutations that are indels
+	Seed          uint64
+}
+
+// DefaultVariantDBConfig returns the SARS-CoV-2-scale defaults.
+func DefaultVariantDBConfig() VariantDBConfig {
+	return VariantDBConfig{
+		AncestorLen:   29903,
+		NumVariants:   64,
+		BranchFactor:  3,
+		MutPerBranch:  8,
+		IndelFraction: 0.1,
+		Seed:          1,
+	}
+}
+
+// Variant is one generated database sequence with its lineage metadata.
+type Variant struct {
+	Record
+	Lineage  []int // path of child indices from the root
+	Distance int   // total edits accumulated relative to the ancestor path
+}
+
+// VariantDB is a synthetic variant database: a shared ancestor plus
+// sequences related by a phylogenetic mutation cascade.
+type VariantDB struct {
+	Ancestor *Sequence
+	Variants []Variant
+}
+
+// GenerateVariantDB builds a synthetic variant database. Starting from a
+// random ancestor, it grows a BranchFactor-ary phylogeny breadth-first;
+// each branch applies a Poisson-ish (binomial thinned) number of point
+// mutations, a fraction of which are single-base indels. Generation is
+// fully determined by the config.
+func GenerateVariantDB(cfg VariantDBConfig) (*VariantDB, error) {
+	if cfg.AncestorLen <= 0 || cfg.NumVariants <= 0 {
+		return nil, fmt.Errorf("genome: invalid variant DB config %+v", cfg)
+	}
+	if cfg.BranchFactor < 1 {
+		return nil, fmt.Errorf("genome: branch factor %d < 1", cfg.BranchFactor)
+	}
+	if cfg.IndelFraction < 0 || cfg.IndelFraction > 1 {
+		return nil, fmt.Errorf("genome: indel fraction %v out of [0,1]", cfg.IndelFraction)
+	}
+	src := rng.New(cfg.Seed)
+	ancestor := Random(cfg.AncestorLen, src)
+
+	type node struct {
+		seq     *Sequence
+		lineage []int
+		dist    int
+	}
+	queue := []node{{seq: ancestor}}
+	db := &VariantDB{Ancestor: ancestor}
+	for len(db.Variants) < cfg.NumVariants {
+		cur := queue[0]
+		queue = queue[1:]
+		for c := 0; c < cfg.BranchFactor && len(db.Variants) < cfg.NumVariants; c++ {
+			child, edits := mutateBranch(cur.seq, cfg, src)
+			lineage := append(append([]int(nil), cur.lineage...), c)
+			v := Variant{
+				Record: Record{
+					ID:          fmt.Sprintf("VAR-%04d", len(db.Variants)),
+					Description: fmt.Sprintf("lineage=%v edits=%d", lineage, cur.dist+len(edits)),
+					Seq:         child,
+				},
+				Lineage:  lineage,
+				Distance: cur.dist + len(edits),
+			}
+			db.Variants = append(db.Variants, v)
+			queue = append(queue, node{seq: child, lineage: lineage, dist: v.Distance})
+		}
+	}
+	return db, nil
+}
+
+// mutateBranch applies one lineage step of mutations.
+func mutateBranch(seq *Sequence, cfg VariantDBConfig, src *rng.Source) (*Sequence, []Edit) {
+	// Draw the mutation count as Binomial(2·MutPerBranch, 1/2): mean
+	// MutPerBranch, small variance, never negative.
+	trials := int(2 * cfg.MutPerBranch)
+	k := 0
+	for i := 0; i < trials; i++ {
+		if src.Bool() {
+			k++
+		}
+	}
+	if k == 0 {
+		k = 1 // every branch changes something
+	}
+	nIndel := int(float64(k) * cfg.IndelFraction)
+	nSub := k - nIndel
+
+	mutated, edits := SubstituteExactly(seq, nSub, src)
+	for i := 0; i < nIndel; i++ {
+		pos := src.Intn(mutated.Len())
+		if src.Bool() { // single-base insertion
+			ins := Base(src.Intn(AlphabetSize))
+			mutated = mutated.Slice(0, pos).
+				Append(FromBases([]Base{ins})).
+				Append(mutated.Slice(pos, mutated.Len()))
+			edits = append(edits, Edit{Op: EditIns, Pos: pos, To: ins})
+		} else { // single-base deletion
+			mutated = mutated.Slice(0, pos).Append(mutated.Slice(pos+1, mutated.Len()))
+			edits = append(edits, Edit{Op: EditDel, Pos: pos})
+		}
+	}
+	return mutated, edits
+}
+
+// Read is a sampled sequencing read with its ground-truth origin.
+type Read struct {
+	Seq       *Sequence
+	SourceIdx int // index of the source sequence in the sampled set
+	Offset    int // offset of the error-free read within the source
+	Errors    int // number of sequencing errors injected
+}
+
+// ReadSamplerConfig parameterizes SampleReads.
+type ReadSamplerConfig struct {
+	ReadLen   int     // length of each read
+	NumReads  int     // how many reads to draw
+	ErrorRate float64 // per-base substitution error probability
+	Seed      uint64
+}
+
+// SampleReads draws reads uniformly from the given sequences (uniform
+// over sequences, then uniform over valid offsets) and injects
+// substitution sequencing errors. Sequences shorter than ReadLen are
+// skipped; an error is returned if none is long enough.
+func SampleReads(seqs []*Sequence, cfg ReadSamplerConfig) ([]Read, error) {
+	if cfg.ReadLen <= 0 || cfg.NumReads < 0 {
+		return nil, fmt.Errorf("genome: invalid read sampler config %+v", cfg)
+	}
+	if cfg.ErrorRate < 0 || cfg.ErrorRate > 1 {
+		return nil, fmt.Errorf("genome: error rate %v out of [0,1]", cfg.ErrorRate)
+	}
+	var eligible []int
+	for i, s := range seqs {
+		if s.Len() >= cfg.ReadLen {
+			eligible = append(eligible, i)
+		}
+	}
+	if len(eligible) == 0 {
+		return nil, fmt.Errorf("genome: no sequence of length ≥ %d to sample from", cfg.ReadLen)
+	}
+	src := rng.New(cfg.Seed)
+	reads := make([]Read, 0, cfg.NumReads)
+	for i := 0; i < cfg.NumReads; i++ {
+		si := eligible[src.Intn(len(eligible))]
+		seq := seqs[si]
+		off := src.Intn(seq.Len() - cfg.ReadLen + 1)
+		read := seq.Slice(off, off+cfg.ReadLen)
+		errs := 0
+		for p := 0; p < read.Len(); p++ {
+			if src.Float64() < cfg.ErrorRate {
+				orig := read.At(p)
+				read.Set(p, Base((int(orig)+1+src.Intn(AlphabetSize-1))%AlphabetSize))
+				errs++
+			}
+		}
+		reads = append(reads, Read{Seq: read, SourceIdx: si, Offset: off, Errors: errs})
+	}
+	return reads, nil
+}

@@ -1,0 +1,308 @@
+// Package hdc implements the Hyper-Dimensional Computing core used by
+// BioHD: high-dimensional binary hypervectors with bipolar semantics,
+// the three HDC primitives (binding, permutation, bundling), and
+// similarity measurement.
+//
+// # Representation
+//
+// A hypervector is a D-dimensional bipolar vector with components ±1,
+// stored packed: bit 1 encodes +1, bit 0 encodes −1. Under this packing
+// the bipolar element-wise product is XNOR and the dot product is
+// D − 2·hamming, both word-parallel operations — which is exactly what
+// makes the operations implementable row-parallel in a crossbar memory.
+//
+// # Primitives
+//
+//   - Bind (XNOR): associates two hypervectors. Self-inverse, similarity
+//     preserving in each operand, and dissimilar to both inputs.
+//   - Permute (rotation ρ^k): encodes sequence position. A rotation is a
+//     bijection that preserves pairwise similarity while making ρ^i(x)
+//     quasi-orthogonal to ρ^j(x) for i ≠ j.
+//   - Bundle (majority): superposes a set of hypervectors into one that
+//     is similar to every member. Bundling happens in an Acc (counter
+//     accumulator) and is finalized by Seal.
+package hdc
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/rng"
+)
+
+// HV is a D-dimensional bipolar hypervector in packed binary form.
+// The zero value is unusable; construct with NewHV or RandomHV.
+type HV struct {
+	bits *bitvec.Vector
+}
+
+// NewHV returns the all −1 hypervector of dimension d (all bits zero).
+// It panics if d is not a positive multiple of 64; BioHD dimensions are
+// always word-aligned so that every kernel stays word-parallel.
+func NewHV(d int) *HV {
+	if d <= 0 || d%64 != 0 {
+		panic(fmt.Sprintf("hdc: dimension %d must be a positive multiple of 64", d))
+	}
+	return &HV{bits: bitvec.New(d)}
+}
+
+// RandomHV returns a uniformly random hypervector of dimension d drawn
+// from src. Random hypervectors are the atomic symbols of an HDC system;
+// any two independent draws are quasi-orthogonal with overwhelming
+// probability (dot ≈ N(0, D)).
+func RandomHV(d int, src *rng.Source) *HV {
+	h := NewHV(d)
+	words := h.bits.Words()
+	for i := range words {
+		words[i] = src.Uint64()
+	}
+	return h
+}
+
+// Dim returns the dimensionality D.
+func (h *HV) Dim() int { return h.bits.Len() }
+
+// Bits exposes the packed representation (shared, not copied).
+func (h *HV) Bits() *bitvec.Vector { return h.bits }
+
+// Clone returns an independent copy.
+func (h *HV) Clone() *HV { return &HV{bits: h.bits.Clone()} }
+
+// Equal reports whether h and o are identical hypervectors.
+func (h *HV) Equal(o *HV) bool { return h.bits.Equal(o.bits) }
+
+// Bit returns the bipolar component at index i: +1 or −1.
+func (h *HV) Bit(i int) int {
+	if h.bits.Get(i) {
+		return 1
+	}
+	return -1
+}
+
+// Bind stores the bipolar product a ⊙ b (packed XNOR) into h.
+// Bind is self-inverse: Bind(Bind(a,b), b) == a.
+func (h *HV) Bind(a, b *HV) { h.bits.Xnor(a.bits, b.bits) }
+
+// Permute stores ρ^k(a) into h — a circular rotation by k positions.
+// h must not alias a unless k ≡ 0 (mod D).
+func (h *HV) Permute(a *HV, k int) { h.bits.RotateLeft(a.bits, k) }
+
+// Dot returns the bipolar dot product ⟨h, o⟩ ∈ [−D, D].
+// For independent random hypervectors the result is ≈ N(0, D); for equal
+// vectors it is exactly D.
+func (h *HV) Dot(o *HV) int { return h.bits.Dot(o.bits) }
+
+// Cosine returns the normalized similarity ⟨h,o⟩ / D ∈ [−1, 1]. Bipolar
+// hypervectors all have norm √D, so this is the true cosine similarity.
+func (h *HV) Cosine(o *HV) float64 {
+	return float64(h.Dot(o)) / float64(h.Dim())
+}
+
+// Hamming returns the number of disagreeing components.
+func (h *HV) Hamming(o *HV) int { return h.bits.HammingDistance(o.bits) }
+
+// Acc is a bundling accumulator: per-dimension signed counters that sum
+// bipolar hypervectors. Bundling many vectors and taking the element-wise
+// sign (Seal) yields a hypervector similar to every bundled member —
+// HDC's superposition memory, and the representation of a BioHD
+// reference-library vector while it is being built.
+type Acc struct {
+	counts []int32
+	n      int
+}
+
+// NewAcc returns an empty accumulator of dimension d (same dimension
+// rules as NewHV).
+func NewAcc(d int) *Acc {
+	if d <= 0 || d%64 != 0 {
+		panic(fmt.Sprintf("hdc: dimension %d must be a positive multiple of 64", d))
+	}
+	return &Acc{counts: make([]int32, d)}
+}
+
+// Dim returns the dimensionality D.
+func (a *Acc) Dim() int { return len(a.counts) }
+
+// N returns the number of hypervectors added minus those subtracted.
+func (a *Acc) N() int { return a.n }
+
+// Add folds h into the accumulator (+1 for bit 1, −1 for bit 0).
+func (a *Acc) Add(h *HV) {
+	a.mustMatch(h)
+	words := h.bits.Words()
+	for w, word := range words {
+		// Fixed-size window lets the compiler drop bounds checks;
+		// branchless sign accumulation moves each counter ±1.
+		c := a.counts[w*64 : w*64+64 : w*64+64]
+		for b := 0; b < 64; b++ {
+			c[b] += int32(word>>uint(b)&1)<<1 - 1
+		}
+	}
+	a.n++
+}
+
+// Sub removes a previously added hypervector from the superposition.
+// BioHD uses this for incremental library updates (deleting a reference
+// sequence without rebuilding the library).
+func (a *Acc) Sub(h *HV) {
+	a.mustMatch(h)
+	words := h.bits.Words()
+	for w, word := range words {
+		c := a.counts[w*64 : w*64+64 : w*64+64]
+		for b := 0; b < 64; b++ {
+			c[b] -= int32(word>>uint(b)&1)<<1 - 1
+		}
+	}
+	a.n--
+}
+
+// AddWeighted folds h in with integer weight w ≥ 1 (w copies at once).
+func (a *Acc) AddWeighted(h *HV, weight int32) {
+	a.mustMatch(h)
+	words := h.bits.Words()
+	for w, word := range words {
+		c := a.counts[w*64 : w*64+64 : w*64+64]
+		for b := 0; b < 64; b++ {
+			c[b] += (int32(word>>uint(b)&1)<<1 - 1) * weight
+		}
+	}
+	a.n += int(weight)
+}
+
+// Count returns the raw counter at dimension i.
+func (a *Acc) Count(i int) int32 { return a.counts[i] }
+
+// Counts exposes the raw counter slice (shared; read-only). For
+// serialization.
+func (a *Acc) Counts() []int32 { return a.counts }
+
+// AccFromCounts reconstructs an accumulator from raw counters and the
+// recorded member count n (the counters are copied). It panics on a
+// misaligned dimension.
+func AccFromCounts(counts []int32, n int) *Acc {
+	if len(counts) == 0 || len(counts)%64 != 0 {
+		panic(fmt.Sprintf("hdc: counter length %d must be a positive multiple of 64", len(counts)))
+	}
+	c := make([]int32, len(counts))
+	copy(c, counts)
+	return &Acc{counts: c, n: n}
+}
+
+// HVFromWords reconstructs a hypervector of dimension d from packed
+// words (copied). It panics if the words cannot hold d bits.
+func HVFromWords(words []uint64, d int) *HV {
+	if d <= 0 || d%64 != 0 || len(words) < d/64 {
+		panic(fmt.Sprintf("hdc: %d words cannot hold dimension %d", len(words), d))
+	}
+	w := make([]uint64, d/64)
+	copy(w, words[:d/64])
+	return &HV{bits: bitvec.FromWords(w, d)}
+}
+
+// Reset clears the accumulator for reuse.
+func (a *Acc) Reset() {
+	for i := range a.counts {
+		a.counts[i] = 0
+	}
+	a.n = 0
+}
+
+func (a *Acc) mustMatch(h *HV) {
+	if h.Dim() != len(a.counts) {
+		panic(fmt.Sprintf("hdc: dimension mismatch %d vs %d", h.Dim(), len(a.counts)))
+	}
+}
+
+// Seal binarizes the accumulator by element-wise sign: positive counters
+// become +1, negative −1, and exact ties are broken by a deterministic
+// pseudo-random stream derived from tieSeed, so sealing is reproducible.
+// The accumulator is left intact (Seal may be called repeatedly, e.g.
+// after incremental updates).
+func (a *Acc) Seal(tieSeed uint64) *HV {
+	h := NewHV(len(a.counts))
+	tie := rng.New(tieSeed)
+	for i, c := range a.counts {
+		switch {
+		case c > 0:
+			h.bits.Set(i)
+		case c == 0:
+			if tie.Bool() {
+				h.bits.Set(i)
+			}
+		}
+	}
+	return h
+}
+
+// DotAcc returns the dot product of the raw (unsealed) accumulator with a
+// bipolar hypervector: Σ_i counts[i] · h_i. BioHD's exact-match mode
+// checks queries against unsealed counters, which removes the
+// binarization noise term from the statistical model.
+func (a *Acc) DotAcc(h *HV) int64 {
+	a.mustMatch(h)
+	var dot int64
+	words := h.bits.Words()
+	for w, word := range words {
+		c := a.counts[w*64 : w*64+64 : w*64+64]
+		for b := 0; b < 64; b++ {
+			dot += int64(c[b]) * (int64(word>>uint(b)&1)<<1 - 1)
+		}
+	}
+	return dot
+}
+
+// Bundle is a convenience that accumulates hs and seals in one step.
+func Bundle(d int, tieSeed uint64, hs ...*HV) *HV {
+	acc := NewAcc(d)
+	for _, h := range hs {
+		acc.Add(h)
+	}
+	return acc.Seal(tieSeed)
+}
+
+// ItemMemory maps small integer symbols (e.g. DNA bases 0..3) to fixed
+// random hypervectors. The mapping is fully determined by (dimension,
+// seed), so encoders on different machines agree bit-for-bit.
+type ItemMemory struct {
+	d     int
+	items []*HV
+}
+
+// NewItemMemory creates an item memory with n symbols of dimension d,
+// seeded deterministically from seed.
+func NewItemMemory(d, n int, seed uint64) *ItemMemory {
+	src := rng.New(seed)
+	im := &ItemMemory{d: d, items: make([]*HV, n)}
+	for i := range im.items {
+		im.items[i] = RandomHV(d, src)
+	}
+	return im
+}
+
+// Dim returns the hypervector dimensionality.
+func (im *ItemMemory) Dim() int { return im.d }
+
+// Size returns the number of symbols.
+func (im *ItemMemory) Size() int { return len(im.items) }
+
+// Get returns the hypervector for symbol s. The returned vector is shared
+// and must not be mutated. It panics if s is out of range.
+func (im *ItemMemory) Get(s int) *HV {
+	if s < 0 || s >= len(im.items) {
+		panic(fmt.Sprintf("hdc: symbol %d out of range [0,%d)", s, len(im.items)))
+	}
+	return im.items[s]
+}
+
+// Nearest returns the symbol whose hypervector has the highest dot
+// product with h, together with that dot product — associative recall
+// from the item memory.
+func (im *ItemMemory) Nearest(h *HV) (symbol, dot int) {
+	best, bestDot := -1, -h.Dim()-1
+	for s, item := range im.items {
+		if d := item.Dot(h); d > bestDot {
+			best, bestDot = s, d
+		}
+	}
+	return best, bestDot
+}

@@ -1,0 +1,492 @@
+package hdc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+const testDim = 1024
+
+func TestNewHVDimensionRules(t *testing.T) {
+	for _, d := range []int{-64, 0, 63, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewHV(%d) did not panic", d)
+				}
+			}()
+			NewHV(d)
+		}()
+	}
+	if h := NewHV(128); h.Dim() != 128 {
+		t.Fatalf("Dim = %d", h.Dim())
+	}
+}
+
+func TestRandomHVQuasiOrthogonal(t *testing.T) {
+	src := rng.New(1)
+	a, b := RandomHV(testDim, src), RandomHV(testDim, src)
+	// |dot| should be within ~5σ = 5√D.
+	bound := int(5 * math.Sqrt(testDim))
+	if d := a.Dot(b); d > bound || d < -bound {
+		t.Fatalf("random pair dot = %d, beyond 5σ bound %d", d, bound)
+	}
+	if a.Dot(a) != testDim {
+		t.Fatalf("self dot = %d, want %d", a.Dot(a), testDim)
+	}
+	if a.Cosine(a) != 1 {
+		t.Fatalf("self cosine = %v", a.Cosine(a))
+	}
+}
+
+func TestRandomHVDeterministic(t *testing.T) {
+	a := RandomHV(testDim, rng.New(7))
+	b := RandomHV(testDim, rng.New(7))
+	if !a.Equal(b) {
+		t.Fatal("same seed produced different hypervectors")
+	}
+}
+
+func TestBit(t *testing.T) {
+	h := NewHV(64)
+	if h.Bit(0) != -1 {
+		t.Fatal("zero vector bit should read -1")
+	}
+	h.Bits().Set(5)
+	if h.Bit(5) != 1 {
+		t.Fatal("set bit should read +1")
+	}
+}
+
+func TestBindSelfInverse(t *testing.T) {
+	src := rng.New(2)
+	a, b := RandomHV(testDim, src), RandomHV(testDim, src)
+	bound, recovered := NewHV(testDim), NewHV(testDim)
+	bound.Bind(a, b)
+	recovered.Bind(bound, b)
+	if !recovered.Equal(a) {
+		t.Fatal("Bind is not self-inverse")
+	}
+}
+
+func TestBindDissimilarToOperands(t *testing.T) {
+	src := rng.New(3)
+	a, b := RandomHV(testDim, src), RandomHV(testDim, src)
+	bound := NewHV(testDim)
+	bound.Bind(a, b)
+	limit := int(6 * math.Sqrt(testDim))
+	if d := bound.Dot(a); d > limit || d < -limit {
+		t.Fatalf("bind similar to operand a: dot=%d", d)
+	}
+	if d := bound.Dot(b); d > limit || d < -limit {
+		t.Fatalf("bind similar to operand b: dot=%d", d)
+	}
+}
+
+func TestBindPreservesSimilarity(t *testing.T) {
+	// dot(a⊙k, b⊙k) == dot(a, b) for any key k.
+	src := rng.New(4)
+	a, b, k := RandomHV(testDim, src), RandomHV(testDim, src), RandomHV(testDim, src)
+	ak, bk := NewHV(testDim), NewHV(testDim)
+	ak.Bind(a, k)
+	bk.Bind(b, k)
+	if ak.Dot(bk) != a.Dot(b) {
+		t.Fatalf("binding broke similarity: %d vs %d", ak.Dot(bk), a.Dot(b))
+	}
+}
+
+func TestPermuteOrthogonalizes(t *testing.T) {
+	src := rng.New(5)
+	a := RandomHV(testDim, src)
+	rotated := NewHV(testDim)
+	limit := int(6 * math.Sqrt(testDim))
+	for _, k := range []int{1, 2, 10, 100, testDim / 2} {
+		rotated.Permute(a, k)
+		if d := a.Dot(rotated); d > limit || d < -limit {
+			t.Fatalf("rho^%d(a) similar to a: dot=%d", k, d)
+		}
+	}
+}
+
+func TestPermuteInverse(t *testing.T) {
+	src := rng.New(6)
+	a := RandomHV(testDim, src)
+	fwd, back := NewHV(testDim), NewHV(testDim)
+	fwd.Permute(a, 17)
+	back.Permute(fwd, -17)
+	if !back.Equal(a) {
+		t.Fatal("rho^-k(rho^k(a)) != a")
+	}
+}
+
+func TestPermutePreservesDistance(t *testing.T) {
+	src := rng.New(7)
+	a, b := RandomHV(testDim, src), RandomHV(testDim, src)
+	ra, rb := NewHV(testDim), NewHV(testDim)
+	ra.Permute(a, 33)
+	rb.Permute(b, 33)
+	if ra.Hamming(rb) != a.Hamming(b) {
+		t.Fatal("permutation changed pairwise distance")
+	}
+}
+
+func TestBundleSimilarToMembers(t *testing.T) {
+	src := rng.New(8)
+	members := make([]*HV, 9)
+	for i := range members {
+		members[i] = RandomHV(testDim, src)
+	}
+	bundle := Bundle(testDim, 99, members...)
+	// Expected dot of a member with the majority of t vectors is
+	// ≈ D·sqrt(2/(π t)); with t=9 and D=1024 that is ≈ 271.
+	// Noise floor for non-members is ~√D ≈ 32.
+	for i, m := range members {
+		if d := bundle.Dot(m); d < 150 {
+			t.Fatalf("member %d dot with bundle = %d, too low", i, d)
+		}
+	}
+	outsider := RandomHV(testDim, src)
+	if d := bundle.Dot(outsider); d > 150 {
+		t.Fatalf("outsider dot with bundle = %d, too high", d)
+	}
+}
+
+func TestAccAddSubRoundTrip(t *testing.T) {
+	src := rng.New(9)
+	acc := NewAcc(testDim)
+	a, b := RandomHV(testDim, src), RandomHV(testDim, src)
+	acc.Add(a)
+	acc.Add(b)
+	acc.Sub(b)
+	if acc.N() != 1 {
+		t.Fatalf("N = %d, want 1", acc.N())
+	}
+	sealed := acc.Seal(0)
+	if !sealed.Equal(a) {
+		t.Fatal("Add/Sub round trip did not recover the single member")
+	}
+}
+
+func TestAccAddWeighted(t *testing.T) {
+	src := rng.New(10)
+	a, b := RandomHV(testDim, src), RandomHV(testDim, src)
+	acc1, acc2 := NewAcc(testDim), NewAcc(testDim)
+	acc1.AddWeighted(a, 3)
+	acc1.Add(b)
+	for i := 0; i < 3; i++ {
+		acc2.Add(a)
+	}
+	acc2.Add(b)
+	if acc1.N() != acc2.N() {
+		t.Fatalf("N mismatch %d vs %d", acc1.N(), acc2.N())
+	}
+	for i := 0; i < testDim; i++ {
+		if acc1.Count(i) != acc2.Count(i) {
+			t.Fatalf("counter %d mismatch", i)
+		}
+	}
+}
+
+func TestAccReset(t *testing.T) {
+	acc := NewAcc(128)
+	acc.Add(RandomHV(128, rng.New(11)))
+	acc.Reset()
+	if acc.N() != 0 {
+		t.Fatal("Reset did not zero N")
+	}
+	for i := 0; i < 128; i++ {
+		if acc.Count(i) != 0 {
+			t.Fatal("Reset left nonzero counters")
+		}
+	}
+}
+
+func TestSealTieBreakDeterministic(t *testing.T) {
+	acc := NewAcc(256) // all counters zero → every dimension ties
+	a, b := acc.Seal(42), acc.Seal(42)
+	if !a.Equal(b) {
+		t.Fatal("tie-break not deterministic for equal seeds")
+	}
+	c := acc.Seal(43)
+	if a.Equal(c) {
+		t.Fatal("distinct tie seeds produced identical seal of all-ties")
+	}
+	// Tie-broken bits should be roughly balanced.
+	pc := a.Bits().PopCount()
+	if pc < 64 || pc > 192 {
+		t.Fatalf("tie-broken popcount %d far from balanced", pc)
+	}
+}
+
+func TestSealLeavesAccIntact(t *testing.T) {
+	src := rng.New(12)
+	acc := NewAcc(testDim)
+	a := RandomHV(testDim, src)
+	acc.Add(a)
+	_ = acc.Seal(1)
+	if acc.N() != 1 {
+		t.Fatal("Seal mutated accumulator")
+	}
+	if !acc.Seal(1).Equal(a) {
+		t.Fatal("second Seal differs")
+	}
+}
+
+func TestDotAccMatchesSealedForOddCounts(t *testing.T) {
+	// With an odd number of members no counter ties, and
+	// sign(counts) == sealed bits; DotAcc with the sealed vector must be
+	// Σ|counts|.
+	src := rng.New(13)
+	acc := NewAcc(testDim)
+	for i := 0; i < 5; i++ {
+		acc.Add(RandomHV(testDim, src))
+	}
+	sealed := acc.Seal(0)
+	var sumAbs int64
+	for i := 0; i < testDim; i++ {
+		c := int64(acc.Count(i))
+		if c < 0 {
+			c = -c
+		}
+		sumAbs += c
+	}
+	if got := acc.DotAcc(sealed); got != sumAbs {
+		t.Fatalf("DotAcc(sealed) = %d, want Σ|counts| = %d", got, sumAbs)
+	}
+}
+
+func TestDotAccMemberSignal(t *testing.T) {
+	// DotAcc of a member with the raw accumulator = D + cross-noise;
+	// for an outsider it is pure noise. The gap must be ≈ D.
+	src := rng.New(14)
+	acc := NewAcc(testDim)
+	members := make([]*HV, 7)
+	for i := range members {
+		members[i] = RandomHV(testDim, src)
+		acc.Add(members[i])
+	}
+	outsider := RandomHV(testDim, src)
+	memberDot := acc.DotAcc(members[3])
+	outsiderDot := acc.DotAcc(outsider)
+	if memberDot < int64(testDim)/2 {
+		t.Fatalf("member DotAcc = %d, want ≈ %d", memberDot, testDim)
+	}
+	if outsiderDot > int64(testDim)/2 {
+		t.Fatalf("outsider DotAcc = %d, want ≈ 0", outsiderDot)
+	}
+}
+
+func TestAccDimensionMismatchPanics(t *testing.T) {
+	acc := NewAcc(128)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("dimension mismatch did not panic")
+		}
+	}()
+	acc.Add(NewHV(64))
+}
+
+func TestItemMemory(t *testing.T) {
+	im := NewItemMemory(testDim, 4, 123)
+	if im.Size() != 4 || im.Dim() != testDim {
+		t.Fatalf("Size=%d Dim=%d", im.Size(), im.Dim())
+	}
+	// Symbols are mutually quasi-orthogonal.
+	limit := int(6 * math.Sqrt(testDim))
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			if d := im.Get(i).Dot(im.Get(j)); d > limit || d < -limit {
+				t.Fatalf("symbols %d,%d not quasi-orthogonal: %d", i, j, d)
+			}
+		}
+	}
+	// Nearest recovers the exact symbol.
+	for s := 0; s < 4; s++ {
+		if got, dot := im.Nearest(im.Get(s)); got != s || dot != testDim {
+			t.Fatalf("Nearest(%d) = %d (dot %d)", s, got, dot)
+		}
+	}
+}
+
+func TestItemMemoryDeterministic(t *testing.T) {
+	a := NewItemMemory(256, 4, 5)
+	b := NewItemMemory(256, 4, 5)
+	for s := 0; s < 4; s++ {
+		if !a.Get(s).Equal(b.Get(s)) {
+			t.Fatal("item memories with equal seeds differ")
+		}
+	}
+}
+
+func TestItemMemoryOutOfRangePanics(t *testing.T) {
+	im := NewItemMemory(64, 4, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Get(4) did not panic")
+		}
+	}()
+	im.Get(4)
+}
+
+// Property: binding commutes and is associative.
+func TestQuickBindAlgebra(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		d := 256
+		a, b, c := RandomHV(d, src), RandomHV(d, src), RandomHV(d, src)
+		ab, ba := NewHV(d), NewHV(d)
+		ab.Bind(a, b)
+		ba.Bind(b, a)
+		if !ab.Equal(ba) {
+			return false
+		}
+		l, r, t1, t2 := NewHV(d), NewHV(d), NewHV(d), NewHV(d)
+		t1.Bind(a, b)
+		l.Bind(t1, c)
+		t2.Bind(b, c)
+		r.Bind(a, t2)
+		return l.Equal(r)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: permutation distributes over binding:
+// rho(a ⊙ b) == rho(a) ⊙ rho(b).
+func TestQuickPermuteDistributesOverBind(t *testing.T) {
+	f := func(seed uint64, kRaw uint8) bool {
+		src := rng.New(seed)
+		d := 256
+		k := int(kRaw)
+		a, b := RandomHV(d, src), RandomHV(d, src)
+		lhs, rhs, ab, ra, rb := NewHV(d), NewHV(d), NewHV(d), NewHV(d), NewHV(d)
+		ab.Bind(a, b)
+		lhs.Permute(ab, k)
+		ra.Permute(a, k)
+		rb.Permute(b, k)
+		rhs.Bind(ra, rb)
+		return lhs.Equal(rhs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBind4096(b *testing.B) {
+	src := rng.New(1)
+	x, y := RandomHV(4096, src), RandomHV(4096, src)
+	out := NewHV(4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		out.Bind(x, y)
+	}
+}
+
+func BenchmarkAccAdd4096(b *testing.B) {
+	src := rng.New(2)
+	x := RandomHV(4096, src)
+	acc := NewAcc(4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		acc.Add(x)
+	}
+}
+
+func BenchmarkDot8192(b *testing.B) {
+	src := rng.New(3)
+	x, y := RandomHV(8192, src), RandomHV(8192, src)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = x.Dot(y)
+	}
+}
+
+func TestHVCloneAndAccessors(t *testing.T) {
+	src := rng.New(30)
+	a := RandomHV(256, src)
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Fatal("clone differs")
+	}
+	b.Bits().Flip(0)
+	if a.Equal(b) {
+		t.Fatal("clone shares storage")
+	}
+	acc := NewAcc(256)
+	if acc.Dim() != 256 {
+		t.Fatalf("Acc.Dim = %d", acc.Dim())
+	}
+}
+
+func TestNewAccBadDimensionPanics(t *testing.T) {
+	for _, d := range []int{0, -64, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewAcc(%d) did not panic", d)
+				}
+			}()
+			NewAcc(d)
+		}()
+	}
+}
+
+func TestAccCountsRoundTrip(t *testing.T) {
+	src := rng.New(31)
+	acc := NewAcc(128)
+	for i := 0; i < 5; i++ {
+		acc.Add(RandomHV(128, src))
+	}
+	back := AccFromCounts(acc.Counts(), acc.N())
+	if back.N() != acc.N() {
+		t.Fatalf("N %d vs %d", back.N(), acc.N())
+	}
+	for i := 0; i < 128; i++ {
+		if back.Count(i) != acc.Count(i) {
+			t.Fatalf("counter %d differs", i)
+		}
+	}
+	// The copy is independent.
+	back.Add(RandomHV(128, src))
+	if back.N() == acc.N() {
+		t.Fatal("AccFromCounts shares state")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("misaligned counters accepted")
+			}
+		}()
+		AccFromCounts(make([]int32, 100), 1)
+	}()
+}
+
+func TestHVFromWordsRoundTrip(t *testing.T) {
+	src := rng.New(32)
+	a := RandomHV(256, src)
+	b := HVFromWords(a.Bits().Words(), 256)
+	if !a.Equal(b) {
+		t.Fatal("HVFromWords differs")
+	}
+	b.Bits().Flip(3)
+	if a.Equal(b) {
+		t.Fatal("HVFromWords shares storage")
+	}
+	for _, tc := range []struct {
+		words int
+		d     int
+	}{{1, 128}, {2, 100}, {2, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("HVFromWords(%d words, d=%d) did not panic", tc.words, tc.d)
+				}
+			}()
+			HVFromWords(make([]uint64, tc.words), tc.d)
+		}()
+	}
+}

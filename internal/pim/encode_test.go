@@ -1,0 +1,237 @@
+package pim
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/genome"
+	"repro/internal/hdc"
+	"repro/internal/rng"
+)
+
+func TestEncodeInMemoryMatchesSoftware(t *testing.T) {
+	lib := buildLib(t, 2048, 24, 1, 500, 91)
+	eng, err := NewEngine(DefaultChipConfig(), lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := lib.Ref(0).Seq
+	src := rng.New(92)
+	for trial := 0; trial < 10; trial++ {
+		start := src.Intn(ref.Len() - 24)
+		got, cost, err := eng.EncodeInMemory(ref, start)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := lib.Encoder().EncodeWindowExact(ref, start)
+		if !got.Equal(want) {
+			t.Fatalf("start=%d: in-memory encoding differs from software", start)
+		}
+		if cost.Counts[OpXnor] != int64((24-1)*eng.RowsPerBucket()) {
+			t.Fatalf("xnor count %d", cost.Counts[OpXnor])
+		}
+		if cost.Counts[OpShift] != int64((24-1)*eng.RowsPerBucket()) {
+			t.Fatalf("shift count %d", cost.Counts[OpShift])
+		}
+		if cost.Counts[OpRowRead] != int64(24*eng.RowsPerBucket()) {
+			t.Fatalf("row-read count %d", cost.Counts[OpRowRead])
+		}
+	}
+}
+
+func TestEncodeInMemoryThenSearch(t *testing.T) {
+	// Full in-memory pipeline: encode in memory, search in memory, get
+	// the same matches software gets.
+	lib := buildLib(t, 8192, 32, 1, 2000, 93)
+	eng, err := NewEngine(DefaultChipConfig(), lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := lib.Ref(0).Seq
+	hv, _, err := eng.EncodeInMemory(ref, 444)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := eng.Search(hv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := lib.Probe(lib.Encoder().EncodeWindowExact(ref, 444), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) || len(got) == 0 {
+		t.Fatalf("in-memory pipeline candidates %v vs software %v", got, want)
+	}
+}
+
+func TestEncodeInMemoryValidation(t *testing.T) {
+	lib := buildLib(t, 1024, 16, 1, 200, 94)
+	eng, err := NewEngine(DefaultChipConfig(), lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := lib.Ref(0).Seq
+	if _, _, err := eng.EncodeInMemory(ref, ref.Len()); err == nil {
+		t.Fatal("overrunning window accepted")
+	}
+	// Approximate libraries are rejected.
+	alib, err := core.NewLibrary(core.Params{
+		Dim: 1024, Window: 16, Sealed: true, Approx: true, Capacity: 2,
+		MutTolerance: 2, Seed: 95,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := alib.Add(genome.Record{ID: "r", Seq: genome.Random(200, rng.New(96))}); err != nil {
+		t.Fatal(err)
+	}
+	alib.Freeze()
+	aeng, err := NewEngine(DefaultChipConfig(), alib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := aeng.EncodeInMemory(alib.Ref(0).Seq, 0); err == nil {
+		t.Fatal("approx in-memory encode accepted")
+	}
+}
+
+func TestSearchBatchPipelining(t *testing.T) {
+	lib := buildLib(t, 8192, 32, 1, 3000, 97)
+	eng, err := NewEngine(DefaultChipConfig(), lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := lib.Ref(0).Seq
+	src := rng.New(98)
+	var hvs []*hdc.HV
+	for i := 0; i < 8; i++ {
+		off := src.Intn(ref.Len() - 32)
+		hvs = append(hvs, lib.Encoder().EncodeWindowExact(ref, off))
+	}
+	results, bc, err := eng.SearchBatch(hvs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(hvs) {
+		t.Fatalf("%d results", len(results))
+	}
+	// Every planted query yields at least one candidate, identical to a
+	// standalone search.
+	for i, hv := range hvs {
+		want, _, err := eng.Search(hv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(results[i]) != len(want) {
+			t.Fatalf("query %d: batch %d candidates vs solo %d",
+				i, len(results[i]), len(want))
+		}
+	}
+	// Pipelining must beat serial but not be impossibly fast: it can
+	// only hide the broadcast phases after the first query.
+	if bc.Pipelined >= bc.Serial.LatencyNs {
+		t.Fatalf("pipelined %v not below serial %v", bc.Pipelined, bc.Serial.LatencyNs)
+	}
+	maxHidden := float64(len(hvs)-1) * float64(eng.RowsPerBucket()) *
+		eng.Config().Device.BroadcastNs
+	if bc.Serial.LatencyNs-bc.Pipelined > maxHidden+1e-6 {
+		t.Fatalf("pipelining hid %v ns, more than the %v ns of broadcasts",
+			bc.Serial.LatencyNs-bc.Pipelined, maxHidden)
+	}
+}
+
+func TestSearchBatchEmpty(t *testing.T) {
+	lib := buildLib(t, 1024, 16, 1, 200, 99)
+	eng, err := NewEngine(DefaultChipConfig(), lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, bc, err := eng.SearchBatch(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 0 || bc.Pipelined != 0 {
+		t.Fatal("empty batch produced work")
+	}
+}
+
+func TestEncodeApproxInMemoryMatchesSoftware(t *testing.T) {
+	alib, err := core.NewLibrary(core.Params{
+		Dim: 2048, Window: 17, Sealed: true, Approx: true, Capacity: 2,
+		MutTolerance: 2, Seed: 101,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := genome.Random(600, rng.New(102))
+	if err := alib.Add(genome.Record{ID: "r", Seq: ref}); err != nil {
+		t.Fatal(err)
+	}
+	alib.Freeze()
+	eng, err := NewEngine(DefaultChipConfig(), alib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(103)
+	for trial := 0; trial < 8; trial++ {
+		start := src.Intn(ref.Len() - 17)
+		got, cost, err := eng.EncodeApproxInMemory(ref, start)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := alib.Encoder().EncodeWindowApprox(ref, start)
+		if !got.Equal(want) {
+			t.Fatalf("start=%d: in-memory approx encoding differs", start)
+		}
+		if cost.Counts[OpPopcount] != int64(17*eng.RowsPerBucket()) {
+			t.Fatalf("accumulate count %d", cost.Counts[OpPopcount])
+		}
+		if cost.Counts[OpRowWrite] != int64(eng.RowsPerBucket()) {
+			t.Fatalf("seal writes %d", cost.Counts[OpRowWrite])
+		}
+	}
+	// Exact libraries are rejected.
+	elib := buildLib(t, 1024, 16, 1, 200, 104)
+	eeng, err := NewEngine(DefaultChipConfig(), elib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := eeng.EncodeApproxInMemory(elib.Ref(0).Seq, 0); err == nil {
+		t.Fatal("exact library accepted")
+	}
+	// Overrun rejected.
+	if _, _, err := eng.EncodeApproxInMemory(ref, ref.Len()); err == nil {
+		t.Fatal("overrunning window accepted")
+	}
+}
+
+func TestEncodeApproxInMemoryThenSearch(t *testing.T) {
+	alib, err := core.NewLibrary(core.Params{
+		Dim: 8192, Window: 48, Sealed: true, Approx: true, Capacity: 2,
+		MutTolerance: 4, Seed: 105,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := genome.Random(1500, rng.New(106))
+	if err := alib.Add(genome.Record{ID: "r", Seq: ref}); err != nil {
+		t.Fatal(err)
+	}
+	alib.Freeze()
+	eng, err := NewEngine(DefaultChipConfig(), alib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hv, _, err := eng.EncodeApproxInMemory(ref, 333)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands, _, err := eng.Search(hv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) == 0 {
+		t.Fatal("in-memory approx pipeline found nothing for a planted window")
+	}
+}

@@ -1,0 +1,304 @@
+// Package server exposes a frozen BioHD library as an HTTP JSON API —
+// the service form of the genome search platform. All endpoints are
+// stateless; a frozen library is immutable, so requests are served
+// concurrently without locking.
+//
+// Endpoints:
+//
+//	GET  /healthz     liveness
+//	GET  /v1/stats    library shape, model and calibration numbers
+//	POST /v1/search   one pattern → verified matches
+//	POST /v1/classify one long read → best-supported reference
+//	POST /v1/batch    many patterns → per-pattern matches
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/genome"
+)
+
+// maxBodyBytes bounds request bodies (patterns are short; reads are a
+// few kilobases).
+const maxBodyBytes = 16 << 20
+
+// Server serves search requests against one frozen library.
+type Server struct {
+	lib *core.Library
+}
+
+// New creates a Server. The library must be frozen.
+func New(lib *core.Library) (*Server, error) {
+	if lib == nil || !lib.Frozen() {
+		return nil, fmt.Errorf("server: library must be frozen")
+	}
+	return &Server{lib: lib}, nil
+}
+
+// Handler returns the HTTP handler with all routes mounted.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("POST /v1/search", s.handleSearch)
+	mux.HandleFunc("POST /v1/classify", s.handleClassify)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // client gone is not actionable
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...interface{}) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v interface{}) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// StatsResponse is the /v1/stats payload.
+type StatsResponse struct {
+	References int     `json:"references"`
+	Windows    int     `json:"windows"`
+	Buckets    int     `json:"buckets"`
+	Dim        int     `json:"dim"`
+	Window     int     `json:"window"`
+	Stride     int     `json:"stride"`
+	Capacity   int     `json:"capacity"`
+	Approx     bool    `json:"approx"`
+	Tolerance  int     `json:"tolerance"`
+	Threshold  float64 `json:"threshold"`
+	MemBytes   int64   `json:"memoryBytes"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	p := s.lib.Params()
+	writeJSON(w, http.StatusOK, StatsResponse{
+		References: s.lib.NumRefs(),
+		Windows:    s.lib.NumWindows(),
+		Buckets:    s.lib.NumBuckets(),
+		Dim:        p.Dim,
+		Window:     p.Window,
+		Stride:     p.Stride,
+		Capacity:   p.Capacity,
+		Approx:     p.Approx,
+		Tolerance:  p.MutTolerance,
+		Threshold:  s.lib.Threshold(),
+		MemBytes:   s.lib.MemoryFootprint(),
+	})
+}
+
+// SearchRequest is the /v1/search payload.
+type SearchRequest struct {
+	Pattern string `json:"pattern"`
+	// Strands selects "forward" (default) or "both".
+	Strands string `json:"strands,omitempty"`
+}
+
+// MatchJSON is one verified match.
+type MatchJSON struct {
+	Ref      string `json:"ref"`
+	Offset   int    `json:"offset"`
+	Distance int    `json:"distance"`
+	Strand   string `json:"strand"`
+}
+
+// SearchResponse is the /v1/search result.
+type SearchResponse struct {
+	Matches []MatchJSON `json:"matches"`
+	Probes  int         `json:"bucketProbes"`
+}
+
+func (s *Server) parsePattern(w http.ResponseWriter, text string) (*genome.Sequence, bool) {
+	if text == "" {
+		writeError(w, http.StatusBadRequest, "pattern is required")
+		return nil, false
+	}
+	seq, err := genome.FromString(strings.ToUpper(text))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return nil, false
+	}
+	return seq, true
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	var req SearchRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	pat, ok := s.parsePattern(w, req.Pattern)
+	if !ok {
+		return
+	}
+	resp := SearchResponse{Matches: []MatchJSON{}}
+	switch req.Strands {
+	case "", "forward":
+		matches, stats, err := s.lib.Lookup(pat)
+		if err != nil {
+			writeError(w, http.StatusUnprocessableEntity, "%v", err)
+			return
+		}
+		resp.Probes = stats.BucketProbes
+		for _, m := range matches {
+			resp.Matches = append(resp.Matches, MatchJSON{
+				Ref: s.lib.Ref(m.Ref).ID, Offset: m.Off, Distance: m.Distance, Strand: "+",
+			})
+		}
+	case "both":
+		matches, stats, err := s.lib.LookupBothStrands(pat)
+		if err != nil {
+			writeError(w, http.StatusUnprocessableEntity, "%v", err)
+			return
+		}
+		resp.Probes = stats.BucketProbes
+		for _, m := range matches {
+			resp.Matches = append(resp.Matches, MatchJSON{
+				Ref: s.lib.Ref(m.Ref).ID, Offset: m.Off, Distance: m.Distance,
+				Strand: m.Strand.String(),
+			})
+		}
+	default:
+		writeError(w, http.StatusBadRequest, "strands must be \"forward\" or \"both\"")
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ClassifyRequest is the /v1/classify payload.
+type ClassifyRequest struct {
+	Read        string  `json:"read"`
+	MinFraction float64 `json:"minFraction,omitempty"`
+}
+
+// ClassifyResponse is the /v1/classify result.
+type ClassifyResponse struct {
+	Ref      string  `json:"ref"`
+	Offset   int     `json:"offset"`
+	Votes    int     `json:"votes"`
+	Windows  int     `json:"windows"`
+	Fraction float64 `json:"fraction"`
+}
+
+func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
+	var req ClassifyRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	read, ok := s.parsePattern(w, req.Read)
+	if !ok {
+		return
+	}
+	minFrac := req.MinFraction
+	if minFrac <= 0 {
+		minFrac = 0.5
+	}
+	best, _, err := s.lib.Classify(read, minFrac)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ClassifyResponse{
+		Ref:      s.lib.Ref(best.Ref).ID,
+		Offset:   best.Offset,
+		Votes:    best.Votes,
+		Windows:  best.Windows,
+		Fraction: best.Fraction,
+	})
+}
+
+// BatchRequest is the /v1/batch payload.
+type BatchRequest struct {
+	Patterns []string `json:"patterns"`
+	Workers  int      `json:"workers,omitempty"`
+}
+
+// BatchItem is one pattern's result in a batch response.
+type BatchItem struct {
+	Matches []MatchJSON `json:"matches"`
+	Error   string      `json:"error,omitempty"`
+}
+
+// BatchResponse is the /v1/batch result.
+type BatchResponse struct {
+	Results []BatchItem `json:"results"`
+	Probes  int         `json:"bucketProbes"`
+}
+
+// maxBatchPatterns bounds one batch request.
+const maxBatchPatterns = 10_000
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Patterns) == 0 {
+		writeError(w, http.StatusBadRequest, "patterns are required")
+		return
+	}
+	if len(req.Patterns) > maxBatchPatterns {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			"batch of %d exceeds limit %d", len(req.Patterns), maxBatchPatterns)
+		return
+	}
+	seqs := make([]*genome.Sequence, len(req.Patterns))
+	parseErrs := make([]string, len(req.Patterns))
+	for i, p := range req.Patterns {
+		seq, err := genome.FromString(strings.ToUpper(p))
+		if err != nil {
+			parseErrs[i] = err.Error()
+			seq = genome.NewSequence(0) // placeholder; Lookup will reject it
+		}
+		seqs[i] = seq
+	}
+	workers := req.Workers
+	if workers <= 0 || workers > 64 {
+		workers = 4
+	}
+	results, agg, err := s.lib.LookupBatch(seqs, workers)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	resp := BatchResponse{Probes: agg.BucketProbes, Results: make([]BatchItem, len(results))}
+	for i, res := range results {
+		item := BatchItem{Matches: []MatchJSON{}}
+		switch {
+		case parseErrs[i] != "":
+			item.Error = parseErrs[i]
+		case res.Err != nil:
+			item.Error = res.Err.Error()
+		default:
+			for _, m := range res.Matches {
+				item.Matches = append(item.Matches, MatchJSON{
+					Ref: s.lib.Ref(m.Ref).ID, Offset: m.Off, Distance: m.Distance, Strand: "+",
+				})
+			}
+		}
+		resp.Results[i] = item
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,270 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/genome"
+	"repro/internal/rng"
+)
+
+// testServer builds a server over one random reference and returns it
+// with the reference for planting queries.
+func testServer(t *testing.T) (*httptest.Server, *genome.Sequence) {
+	t.Helper()
+	ref := genome.Random(3000, rng.New(81))
+	lib, err := core.NewLibrary(core.Params{Dim: 8192, Window: 32, Sealed: true, Seed: 82})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lib.Add(genome.Record{ID: "chr1", Seq: ref}); err != nil {
+		t.Fatal(err)
+	}
+	lib.Freeze()
+	s, err := New(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts, ref
+}
+
+func postJSON(t *testing.T, url string, body interface{}) *http.Response {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func decodeInto(t *testing.T, resp *http.Response, v interface{}) {
+	t.Helper()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewRequiresFrozen(t *testing.T) {
+	lib, err := core.NewLibrary(core.Params{Dim: 1024, Window: 16, Seed: 83})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(lib); err == nil {
+		t.Fatal("unfrozen library accepted")
+	}
+	if _, err := New(nil); err == nil {
+		t.Fatal("nil library accepted")
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	ts, _ := testServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+func TestStats(t *testing.T) {
+	ts, _ := testServer(t)
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats StatsResponse
+	decodeInto(t, resp, &stats)
+	if stats.References != 1 || stats.Dim != 8192 || stats.Buckets == 0 {
+		t.Fatalf("stats implausible: %+v", stats)
+	}
+}
+
+func TestSearchForward(t *testing.T) {
+	ts, ref := testServer(t)
+	pat := ref.Slice(500, 532)
+	resp := postJSON(t, ts.URL+"/v1/search", SearchRequest{Pattern: pat.String()})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var sr SearchResponse
+	decodeInto(t, resp, &sr)
+	found := false
+	for _, m := range sr.Matches {
+		if m.Ref == "chr1" && m.Offset == 500 && m.Strand == "+" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("planted pattern not found: %+v", sr)
+	}
+	if sr.Probes == 0 {
+		t.Fatal("no probes reported")
+	}
+}
+
+func TestSearchBothStrands(t *testing.T) {
+	ts, ref := testServer(t)
+	rc := ref.Slice(700, 732).ReverseComplement()
+	resp := postJSON(t, ts.URL+"/v1/search", SearchRequest{Pattern: rc.String(), Strands: "both"})
+	var sr SearchResponse
+	decodeInto(t, resp, &sr)
+	found := false
+	for _, m := range sr.Matches {
+		if m.Offset == 700 && m.Strand == "-" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("reverse-strand match missing: %+v", sr)
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	ts, _ := testServer(t)
+	for name, req := range map[string]SearchRequest{
+		"empty pattern": {},
+		"bad base":      {Pattern: "ACGN"},
+		"bad strands":   {Pattern: "ACGTACGTACGTACGTACGTACGTACGTACGT", Strands: "sideways"},
+	} {
+		resp := postJSON(t, ts.URL+"/v1/search", req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d", name, resp.StatusCode)
+		}
+	}
+	// Too-short pattern is a library-level rejection.
+	resp := postJSON(t, ts.URL+"/v1/search", SearchRequest{Pattern: "ACGT"})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("short pattern: status %d", resp.StatusCode)
+	}
+}
+
+func TestSearchRejectsUnknownFields(t *testing.T) {
+	ts, _ := testServer(t)
+	resp, err := http.Post(ts.URL+"/v1/search", "application/json",
+		strings.NewReader(`{"pattern":"ACGT","bogus":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown field: status %d", resp.StatusCode)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	ts, ref := testServer(t)
+	read := ref.Slice(1000, 1320)
+	resp := postJSON(t, ts.URL+"/v1/classify", ClassifyRequest{Read: read.String()})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var cr ClassifyResponse
+	decodeInto(t, resp, &cr)
+	if cr.Ref != "chr1" || cr.Offset != 1000 {
+		t.Fatalf("classification wrong: %+v", cr)
+	}
+	if cr.Fraction < 0.9 {
+		t.Fatalf("support %v", cr.Fraction)
+	}
+}
+
+func TestClassifyNotFound(t *testing.T) {
+	ts, _ := testServer(t)
+	unrelated := genome.Random(320, rng.New(84))
+	resp := postJSON(t, ts.URL+"/v1/classify", ClassifyRequest{Read: unrelated.String()})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+func TestBatch(t *testing.T) {
+	ts, ref := testServer(t)
+	req := BatchRequest{Patterns: []string{
+		ref.Slice(10, 42).String(),
+		genome.Random(32, rng.New(85)).String(),
+		"ACGT", // too short → per-item error
+	}}
+	resp := postJSON(t, ts.URL+"/v1/batch", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var br BatchResponse
+	decodeInto(t, resp, &br)
+	if len(br.Results) != 3 {
+		t.Fatalf("%d results", len(br.Results))
+	}
+	if len(br.Results[0].Matches) == 0 || br.Results[0].Error != "" {
+		t.Fatalf("planted pattern result: %+v", br.Results[0])
+	}
+	if br.Results[2].Error == "" {
+		t.Fatal("short pattern did not report an error")
+	}
+	if br.Probes == 0 {
+		t.Fatal("no aggregate probes")
+	}
+}
+
+func TestBatchValidation(t *testing.T) {
+	ts, _ := testServer(t)
+	resp := postJSON(t, ts.URL+"/v1/batch", BatchRequest{})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty batch: status %d", resp.StatusCode)
+	}
+	big := BatchRequest{Patterns: make([]string, maxBatchPatterns+1)}
+	resp = postJSON(t, ts.URL+"/v1/batch", big)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized batch: status %d", resp.StatusCode)
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	ts, _ := testServer(t)
+	resp, err := http.Get(ts.URL + "/v1/search")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/search: status %d", resp.StatusCode)
+	}
+}
+
+func TestBatchErrorCellsHaveBadBaseMessage(t *testing.T) {
+	ts, _ := testServer(t)
+	resp := postJSON(t, ts.URL+"/v1/batch", BatchRequest{Patterns: []string{"NNNN" + strings.Repeat("A", 28)}})
+	var br BatchResponse
+	decodeInto(t, resp, &br)
+	if br.Results[0].Error == "" {
+		t.Fatal("invalid base not reported")
+	}
+	if !strings.Contains(br.Results[0].Error, "invalid nucleotide") {
+		t.Fatalf("unexpected error text %q", br.Results[0].Error)
+	}
+}
+
+func ExampleServer() {
+	// Construct a library, freeze it, and serve it.
+	lib, _ := core.NewLibrary(core.Params{Dim: 1024, Window: 16, Sealed: true, Seed: 1})
+	_ = lib.Add(genome.Record{ID: "demo", Seq: genome.Random(100, rng.New(1))})
+	lib.Freeze()
+	s, _ := New(lib)
+	fmt.Println(s != nil)
+	// Output: true
+}

@@ -1,0 +1,306 @@
+// Package stats provides the statistical primitives behind BioHD's
+// alignment-quality model: exact and approximate binomial tails, the
+// normal distribution and its quantile function, and streaming moment
+// accumulators used by the experiment harness.
+//
+// The quality model reduces to tail probabilities of dot products between
+// random hypervectors. A dot product of two independent random bipolar
+// D-vectors is 2·Binomial(D, 1/2) − D, so everything here is expressed in
+// terms of binomial and normal tails.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// NormalCDF returns P(Z ≤ x) for a standard normal Z.
+func NormalCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+// NormalTail returns P(Z ≥ x) for a standard normal Z, accurate in the
+// far tail where 1−CDF would cancel.
+func NormalTail(x float64) float64 {
+	return 0.5 * math.Erfc(x/math.Sqrt2)
+}
+
+// NormalQuantile returns the x with P(Z ≤ x) = p for a standard normal Z.
+// It panics unless 0 < p < 1. The implementation is the Acklam rational
+// approximation polished by one Halley iteration, giving ~1e-15 relative
+// accuracy across the full domain.
+func NormalQuantile(p float64) float64 {
+	if p <= 0 || p >= 1 || math.IsNaN(p) {
+		panic(fmt.Sprintf("stats: NormalQuantile domain error: p=%v", p))
+	}
+	// Acklam's coefficients.
+	a := [6]float64{
+		-3.969683028665376e+01, 2.209460984245205e+02,
+		-2.759285104469687e+02, 1.383577518672690e+02,
+		-3.066479806614716e+01, 2.506628277459239e+00,
+	}
+	b := [5]float64{
+		-5.447609879822406e+01, 1.615858368580409e+02,
+		-1.556989798598866e+02, 6.680131188771972e+01,
+		-1.328068155288572e+01,
+	}
+	c := [6]float64{
+		-7.784894002430293e-03, -3.223964580411365e-01,
+		-2.400758277161838e+00, -2.549732539343734e+00,
+		4.374664141464968e+00, 2.938163982698783e+00,
+	}
+	d := [4]float64{
+		7.784695709041462e-03, 3.224671290700398e-01,
+		2.445134137142996e+00, 3.754408661907416e+00,
+	}
+	const pLow = 0.02425
+	var x float64
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		x = (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= 1-pLow:
+		q := p - 0.5
+		r := q * q
+		x = (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		x = -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+	// One Halley polish step against the exact CDF.
+	e := NormalCDF(x) - p
+	u := e * math.Sqrt(2*math.Pi) * math.Exp(x*x/2)
+	x -= u / (1 + x*u/2)
+	return x
+}
+
+// NormalUpperQuantile returns the x with P(Z ≥ x) = p. It is exact in
+// the far upper tail where 1−p would round to 1 and NormalQuantile(1−p)
+// would lose all precision: by symmetry x = −NormalQuantile(p).
+func NormalUpperQuantile(p float64) float64 {
+	return -NormalQuantile(p)
+}
+
+// LogBinomialCoeff returns ln C(n, k). It panics on invalid arguments.
+func LogBinomialCoeff(n, k int) float64 {
+	if k < 0 || n < 0 || k > n {
+		panic(fmt.Sprintf("stats: LogBinomialCoeff(%d, %d) out of domain", n, k))
+	}
+	lg := func(x int) float64 {
+		v, _ := math.Lgamma(float64(x) + 1)
+		return v
+	}
+	return lg(n) - lg(k) - lg(n-k)
+}
+
+// BinomialPMF returns P(X = k) for X ~ Binomial(n, p).
+func BinomialPMF(n int, p float64, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if p <= 0 {
+		if k == 0 {
+			return 1
+		}
+		return 0
+	}
+	if p >= 1 {
+		if k == n {
+			return 1
+		}
+		return 0
+	}
+	lp := LogBinomialCoeff(n, k) +
+		float64(k)*math.Log(p) + float64(n-k)*math.Log1p(-p)
+	return math.Exp(lp)
+}
+
+// BinomialTail returns P(X ≥ k) for X ~ Binomial(n, p), computed through
+// the regularized incomplete beta function: P(X ≥ k) = I_p(k, n−k+1).
+func BinomialTail(n int, p float64, k int) float64 {
+	switch {
+	case k <= 0:
+		return 1
+	case k > n:
+		return 0
+	case p <= 0:
+		return 0
+	case p >= 1:
+		return 1
+	}
+	return RegIncBeta(float64(k), float64(n-k+1), p)
+}
+
+// BinomialCDF returns P(X ≤ k) for X ~ Binomial(n, p).
+func BinomialCDF(n int, p float64, k int) float64 {
+	if k < 0 {
+		return 0
+	}
+	if k >= n {
+		return 1
+	}
+	return 1 - BinomialTail(n, p, k+1)
+}
+
+// RegIncBeta returns the regularized incomplete beta function I_x(a, b)
+// using the Lentz continued-fraction expansion. It panics outside the
+// domain a, b > 0 and 0 ≤ x ≤ 1.
+func RegIncBeta(a, b, x float64) float64 {
+	if a <= 0 || b <= 0 || x < 0 || x > 1 || math.IsNaN(x) {
+		panic(fmt.Sprintf("stats: RegIncBeta(%v, %v, %v) out of domain", a, b, x))
+	}
+	if x == 0 {
+		return 0
+	}
+	if x == 1 {
+		return 1
+	}
+	lgA, _ := math.Lgamma(a)
+	lgB, _ := math.Lgamma(b)
+	lgAB, _ := math.Lgamma(a + b)
+	front := math.Exp(lgAB - lgA - lgB + a*math.Log(x) + b*math.Log1p(-x))
+	// Use the symmetry relation where the continued fraction converges
+	// fastest: for x < (a+1)/(a+b+2), expand directly, else reflect.
+	if x < (a+1)/(a+b+2) {
+		return front * betaCF(a, b, x) / a
+	}
+	return 1 - math.Exp(lgAB-lgA-lgB+a*math.Log(x)+b*math.Log1p(-x))*
+		betaCF(b, a, 1-x)/b
+}
+
+// betaCF evaluates the continued fraction for the incomplete beta
+// function by the modified Lentz method.
+func betaCF(a, b, x float64) float64 {
+	const (
+		maxIter = 500
+		eps     = 1e-14
+		tiny    = 1e-300
+	)
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < tiny {
+		d = tiny
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		fm := float64(m)
+		m2 := 2 * fm
+		// Even step.
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		h *= d * c
+		// Odd step.
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			return h
+		}
+	}
+	return h // converged enough for our tolerances
+}
+
+// DotTail returns P(S ≥ s) where S is the bipolar dot product of two
+// independent uniform random D-dimensional binary hypervectors.
+// S = 2X − D with X ~ Binomial(D, 1/2), so P(S ≥ s) = P(X ≥ ⌈(s+D)/2⌉).
+func DotTail(d int, s int) float64 {
+	k := (s + d + 1) / 2 // ceil((s+d)/2)
+	return BinomialTail(d, 0.5, k)
+}
+
+// DotTailNormal is the normal approximation to DotTail: S has mean 0 and
+// variance D, so P(S ≥ s) ≈ Q(s/√D). Used when D is large and exact
+// binomial evaluation is unnecessary.
+func DotTailNormal(d int, s float64) float64 {
+	return NormalTail(s / math.Sqrt(float64(d)))
+}
+
+// Welford is a streaming mean/variance accumulator (Welford's algorithm),
+// numerically stable for long experiment runs.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add folds x into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	delta := x - w.mean
+	w.mean += delta / float64(w.n)
+	w.m2 += delta * (x - w.mean)
+}
+
+// N returns the number of samples folded in.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean (0 for an empty accumulator).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the unbiased sample variance (0 for n < 2).
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// StdErr returns the standard error of the mean.
+func (w *Welford) StdErr() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.StdDev() / math.Sqrt(float64(w.n))
+}
+
+// WilsonInterval returns the Wilson score interval for a binomial
+// proportion with successes k out of n at confidence level (1−alpha).
+// It is well behaved for small n and proportions near 0 or 1, which is
+// exactly the regime of false-positive-rate measurements.
+func WilsonInterval(k, n int, alpha float64) (lo, hi float64) {
+	if n == 0 {
+		return 0, 1
+	}
+	if alpha <= 0 || alpha >= 1 {
+		panic(fmt.Sprintf("stats: WilsonInterval alpha=%v out of (0,1)", alpha))
+	}
+	z := NormalQuantile(1 - alpha/2)
+	nf := float64(n)
+	phat := float64(k) / nf
+	denom := 1 + z*z/nf
+	center := (phat + z*z/(2*nf)) / denom
+	half := z * math.Sqrt(phat*(1-phat)/nf+z*z/(4*nf*nf)) / denom
+	lo, hi = center-half, center+half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}

@@ -1,0 +1,111 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/genome"
+	"repro/internal/hdc"
+	"repro/internal/pim"
+	"repro/internal/rng"
+)
+
+func init() {
+	register(Experiment{ID: "F11", Title: "Ablation: sealed vs raw-counter buckets", Run: runF11})
+	register(Experiment{ID: "F12", Title: "Ablation: batched search pipelining", Run: runF12})
+}
+
+// runF11 quantifies the sealed/raw-counter design choice (DESIGN.md §6
+// item 1): binarized buckets are 32× smaller and crossbar-native but
+// lose the ρ(C) attenuation, so their admissible capacity is smaller.
+func runF11(cfg Config) (*Result, error) {
+	cfg = cfg.normalized()
+	refLen := cfg.scaled(40_000, 4_000)
+	probes := cfg.scaled(150, 30)
+	ref := genome.Random(refLen, rng.New(cfg.Seed+101))
+	t := &Table{
+		ID:    "F11",
+		Title: "Sealed (binary) vs raw-counter bucket storage",
+		Columns: []string{"storage", "auto-capacity", "buckets", "mem-KiB",
+			"recall", "filter-FPR", "PIM-native"},
+		Notes: []string{
+			"auto-capacity from the statistical model at D=8192, exact mode",
+			"raw counters score with full precision but need 32 bits/dim and cannot map onto binary crossbars",
+		},
+	}
+	for _, sealed := range []bool{true, false} {
+		lib, err := buildLibrary(core.Params{
+			Dim: 8192, Window: 32, Sealed: sealed, Seed: cfg.Seed + 102,
+		}, Dataset{Name: "rand", Recs: []genome.Record{{ID: "r", Seq: ref}}})
+		if err != nil {
+			return nil, err
+		}
+		src := rng.New(cfg.Seed + 103)
+		recall, fpr := filterRates(lib, ref, 32, probes, src)
+		t.AddRow(storageName(sealed), lib.Params().Capacity, lib.NumBuckets(),
+			float64(lib.MemoryFootprint())/1024, recall, fpr, pimNative(sealed))
+	}
+	return &Result{Tables: []*Table{t}}, nil
+}
+
+func storageName(sealed bool) string {
+	if sealed {
+		return "sealed"
+	}
+	return "raw-counters"
+}
+
+func pimNative(sealed bool) string {
+	if sealed {
+		return "yes"
+	}
+	return "no (digital PIM)"
+}
+
+// runF12 measures the pipelined-broadcast optimization and the fully
+// in-memory encode+search pipeline against the serial baseline.
+func runF12(cfg Config) (*Result, error) {
+	cfg = cfg.normalized()
+	covid, err := covidDataset(cfg)
+	if err != nil {
+		return nil, err
+	}
+	lib, eng, err := pimSetup(cfg, covid, pim.DefaultChipConfig())
+	if err != nil {
+		return nil, err
+	}
+	src := rng.New(cfg.Seed + 104)
+	t := &Table{
+		ID:    "F12",
+		Title: "Batched search: serial vs pipelined broadcast",
+		Columns: []string{"batch", "serial-µs", "pipelined-µs", "saved%",
+			"inmem-encode-µs/query"},
+		Notes: []string{
+			"pipelining overlaps the next query's broadcast with the current compute",
+			"in-memory encode runs the Horner binding chain on array primitives (bit-exact)",
+		},
+	}
+	w := lib.Params().Window
+	for _, batch := range []int{1, 4, 16, 64} {
+		var hvs []*hdc.HV
+		var encNs float64
+		for i := 0; i < batch; i++ {
+			wr := sampleWindows(covid, w, 1, src)[0]
+			seq := covid.Recs[wr.Ref].Seq
+			hv, encCost, err := eng.EncodeInMemory(seq, int(wr.Off))
+			if err != nil {
+				return nil, err
+			}
+			encNs += encCost.LatencyNs
+			hvs = append(hvs, hv)
+		}
+		_, bc, err := eng.SearchBatch(hvs)
+		if err != nil {
+			return nil, err
+		}
+		saved := 100 * (bc.Serial.LatencyNs - bc.Pipelined) / bc.Serial.LatencyNs
+		t.AddRow(batch, bc.Serial.LatencyNs/1000, bc.Pipelined/1000,
+			fmt.Sprintf("%.2f", saved), encNs/float64(batch)/1000)
+	}
+	return &Result{Tables: []*Table{t}}, nil
+}
