@@ -1,0 +1,45 @@
+# BioHD reproduction — build and quality gates.
+#
+# `make check` is the pre-commit gate: it runs everything CI runs.
+
+GO       ?= go
+FUZZTIME ?= 30s
+PKGS      = ./...
+
+.PHONY: all build test race vet lint fuzz check clean
+
+all: build
+
+## build: compile every package and command
+build:
+	$(GO) build $(PKGS)
+
+## test: run the full test suite
+test:
+	$(GO) test $(PKGS)
+
+## race: run the test suite under the race detector
+race:
+	$(GO) test -race $(PKGS)
+
+## vet: run go vet
+vet:
+	$(GO) vet $(PKGS)
+
+## lint: run the repo-specific static analyzers (see internal/lint/README.md)
+lint:
+	$(GO) run ./cmd/biohdlint $(PKGS)
+
+## fuzz: run each fuzz target for FUZZTIME (default 30s)
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzFromString -fuzztime=$(FUZZTIME) ./internal/genome
+	$(GO) test -run='^$$' -fuzz=FuzzReadFASTA -fuzztime=$(FUZZTIME) ./internal/genome
+	$(GO) test -run='^$$' -fuzz=FuzzApplyEdits -fuzztime=$(FUZZTIME) ./internal/genome
+	$(GO) test -run='^$$' -fuzz=FuzzEncodeDecode -fuzztime=$(FUZZTIME) ./internal/encoding
+	$(GO) test -run='^$$' -fuzz=FuzzReadLibrary -fuzztime=$(FUZZTIME) ./internal/core
+
+## check: the full gate — build, vet, lint, then tests under the race detector
+check: build vet lint race
+
+clean:
+	$(GO) clean $(PKGS)

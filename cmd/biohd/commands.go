@@ -251,7 +251,7 @@ func cmdBuild(args []string, out io.Writer) error {
 			return err
 		}
 		if _, err := lib.WriteTo(f); err != nil {
-			f.Close()
+			_ = f.Close() // the write error is the one worth reporting
 			return err
 		}
 		if err := f.Close(); err != nil {

@@ -1,0 +1,111 @@
+// Command biohdlint runs BioHD's repo-specific static analyzers over
+// the module (see internal/lint for the rule set). It prints one line
+// per finding in the form
+//
+//	file:line: [rule] message
+//
+// and exits 1 when anything is found, 2 on usage or load errors.
+//
+// Usage:
+//
+//	biohdlint [flags] [./...]
+//
+// The argument is accepted for familiarity with go tooling; the linter
+// always analyzes the whole module enclosing the given directory
+// (default: the current directory).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point; it returns the process exit code.
+func run(args []string, out, errOut io.Writer) int {
+	fs := flag.NewFlagSet("biohdlint", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	rules := fs.String("rules", "", "comma-separated rule subset to run (default: all)")
+	list := fs.Bool("list", false, "list the available rules and exit")
+	fs.Usage = func() {
+		fmt.Fprintln(errOut, "usage: biohdlint [flags] [./...]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Fprintf(out, "%-12s %s\n", a.Name(), a.Doc())
+		}
+		return 0
+	}
+
+	dir := "."
+	if fs.NArg() > 0 {
+		// Accept "./...", "./internal/...", or a plain directory; the
+		// module root is located from it.
+		dir = strings.TrimSuffix(fs.Arg(0), "...")
+		dir = strings.TrimSuffix(dir, "/")
+		if dir == "" || dir == "." {
+			dir = "."
+		}
+	}
+
+	analyzers, err := selectAnalyzers(*rules)
+	if err != nil {
+		fmt.Fprintln(errOut, "biohdlint:", err)
+		return 2
+	}
+	pkgs, err := lint.Load(dir)
+	if err != nil {
+		fmt.Fprintln(errOut, "biohdlint:", err)
+		return 2
+	}
+	for _, p := range pkgs {
+		if p.TypeErr != nil {
+			fmt.Fprintf(errOut, "biohdlint: %s: incomplete type information: %v\n",
+				p.Path, p.TypeErr)
+		}
+	}
+	diags := lint.Run(pkgs, analyzers)
+	for _, d := range diags {
+		fmt.Fprintln(out, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(errOut, "biohdlint: %d finding(s) in %d package(s)\n",
+			len(diags), len(pkgs))
+		return 1
+	}
+	return 0
+}
+
+// selectAnalyzers resolves the -rules flag against the registry.
+func selectAnalyzers(spec string) ([]lint.Analyzer, error) {
+	all := lint.All()
+	if spec == "" {
+		return all, nil
+	}
+	byName := map[string]lint.Analyzer{}
+	for _, a := range all {
+		byName[a.Name()] = a
+	}
+	var out []lint.Analyzer
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown rule %q (run -list for the rule set)", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

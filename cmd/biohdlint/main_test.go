@@ -1,0 +1,50 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestListRules(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("-list exit = %d, stderr: %s", code, errOut.String())
+	}
+	for _, rule := range []string{"determinism", "purity", "errcheck", "concurrency", "dimsafety"} {
+		if !strings.Contains(out.String(), rule) {
+			t.Errorf("-list output missing rule %q:\n%s", rule, out.String())
+		}
+	}
+}
+
+func TestUnknownRule(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-rules", "nonsense"}, &out, &errOut); code != 2 {
+		t.Fatalf("unknown rule exit = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown rule") {
+		t.Fatalf("stderr missing explanation: %s", errOut.String())
+	}
+}
+
+func TestFindingsFailTheRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping fixture lint in -short mode")
+	}
+	fixture := filepath.Join("..", "..", "internal", "lint", "testdata", "src", "fake")
+	var out, errOut bytes.Buffer
+	code := run([]string{fixture + "/..."}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("fixture exit = %d, want 1; stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "[determinism]") {
+		t.Errorf("fixture findings missing [determinism]:\n%s", out.String())
+	}
+	for _, line := range strings.Split(strings.TrimSpace(out.String()), "\n") {
+		if !strings.Contains(line, ".go:") || !strings.Contains(line, ": [") {
+			t.Errorf("malformed finding line %q", line)
+		}
+	}
+}

@@ -41,7 +41,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	go http.Serve(ln, srv.Handler()) //nolint:errcheck
+	//lint:ignore concurrency demo server runs until the process exits
+	go http.Serve(ln, srv.Handler())
 	base := "http://" + ln.Addr().String()
 	fmt.Println("serving on", base)
 

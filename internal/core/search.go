@@ -212,9 +212,16 @@ func (l *Library) LookupLong(query *genome.Sequence, minFrac float64) ([]RefMatc
 			}
 		}
 	}
+	// Pick the winning diagonal per reference. Equal-vote ties are
+	// broken by the smaller diagonal so the reported Offset does not
+	// depend on map iteration order.
 	best := map[int]diag{}
 	for d, v := range votes {
-		if cur, ok := best[d.ref]; !ok || v > votes[cur] {
+		cur, ok := best[d.ref]
+		switch {
+		case !ok || v > votes[cur]:
+			best[d.ref] = d
+		case v == votes[cur] && d.diff < cur.diff:
 			best[d.ref] = d
 		}
 	}

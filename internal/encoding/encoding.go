@@ -158,6 +158,30 @@ func (e *Encoder) EncodeWindowApprox(seq *genome.Sequence, start int) *hdc.HV {
 	return e.SealLogical(acc, 0)
 }
 
+// DecodeWindowApprox recovers the window content memorized in a sealed
+// positional-bundle encoding by associative recall: position i decodes to
+// the base whose rotated item vector ρ^i(B[b]) correlates most strongly
+// with the bundle. The superposed other positions act as near-orthogonal
+// noise, so with the dimensionalities BioHD operates at (D ≫ Window) the
+// reconstruction is exact with overwhelming probability. Ties decode to
+// the smallest base so the result is deterministic.
+func (e *Encoder) DecodeWindowApprox(h *hdc.HV) (*genome.Sequence, error) {
+	if h.Dim() != e.cfg.Dim {
+		return nil, fmt.Errorf("encoding: decode dimension %d != encoder %d", h.Dim(), e.cfg.Dim)
+	}
+	out := genome.NewSequence(e.cfg.Window)
+	for i := 0; i < e.cfg.Window; i++ {
+		best, bestDot := genome.Base(0), h.Dot(e.rot[0][i])
+		for b := 1; b < genome.AlphabetSize; b++ {
+			if d := h.Dot(e.rot[b][i]); d > bestDot {
+				best, bestDot = genome.Base(b), d
+			}
+		}
+		out.Set(i, best)
+	}
+	return out, nil
+}
+
 // AccumulateWindow returns the raw (unsealed) positional-bundle counters
 // for the window of seq starting at start.
 func (e *Encoder) AccumulateWindow(seq *genome.Sequence, start int) *hdc.Acc {

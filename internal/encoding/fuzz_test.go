@@ -1,0 +1,100 @@
+package encoding
+
+import (
+	"testing"
+
+	"repro/internal/genome"
+	"repro/internal/hdc"
+)
+
+// fuzzEnc is shared by the fuzz targets; the Encoder is read-only after
+// construction, so reuse across iterations is safe. Window is kept small
+// relative to Dim so associative decode has a huge statistical margin
+// (member correlation ≈ D·√(2/πw) against noise σ ≈ √D) and the fuzzer
+// cannot stumble into a legitimate recall failure.
+var fuzzEnc = func() *Encoder {
+	e, err := New(Config{Dim: 2048, Window: 12, Seed: 7})
+	if err != nil {
+		panic(err)
+	}
+	return e
+}()
+
+// fuzzSequence maps arbitrary fuzz bytes onto a base sequence at least
+// window+3 long, so every input exercises full windows plus sliding.
+func fuzzSequence(raw []byte, window int) *genome.Sequence {
+	n := len(raw)
+	if n < window+3 {
+		n = window + 3
+	}
+	bases := make([]genome.Base, n)
+	for i := range bases {
+		var b byte
+		if len(raw) > 0 {
+			b = raw[i%len(raw)]
+		}
+		bases[i] = genome.Base((b + byte(i)) & 3)
+	}
+	return genome.FromBases(bases)
+}
+
+// FuzzEncodeDecode checks the two round trips the encoder promises, on
+// arbitrary sequence content and stride:
+//
+//  1. Memorization recall: every approximate window encoding decodes back
+//     to exactly the window it memorized (DecodeWindowApprox inverts
+//     EncodeWindowApprox).
+//  2. Incremental/direct agreement: the sliding encoders reproduce the
+//     direct per-window encodings bit for bit, for both modes.
+func FuzzEncodeDecode(f *testing.F) {
+	f.Add([]byte("ACGTACGTACGTACGTACGTACGT"), uint8(1))
+	f.Add([]byte("AAAAAAAAAAAAAAAA"), uint8(2)) // repeated base: rotations of one item vector
+	f.Add([]byte("GATTACA"), uint8(3))          // shorter than a window: padded
+	f.Add([]byte{}, uint8(0))
+	f.Add([]byte{0xff, 0x00, 0xa5, 0x5a, 0x13, 0x37, 0xfe, 0xed, 0xbe, 0xef, 0x01, 0x02, 0x03}, uint8(7))
+	f.Fuzz(func(t *testing.T, raw []byte, strideByte uint8) {
+		enc := fuzzEnc
+		w := enc.Window()
+		seq := fuzzSequence(raw, w)
+		if seq.Len() > 4*w {
+			seq = seq.Slice(0, 4*w) // bound per-iteration work
+		}
+		stride := 1 + int(strideByte%5)
+
+		// Round trip 1: encode → decode recovers the window exactly.
+		for start := 0; start+w <= seq.Len(); start += stride {
+			hv := enc.EncodeWindowApprox(seq, start)
+			dec, err := enc.DecodeWindowApprox(hv)
+			if err != nil {
+				t.Fatalf("decode window at %d: %v", start, err)
+			}
+			if want := seq.Slice(start, start+w); !dec.Equal(want) {
+				t.Fatalf("window at %d decoded to %s, want %s", start, dec, want)
+			}
+		}
+
+		// Round trip 2a: incremental exact slide == direct exact encoding.
+		enc.SlideExact(seq, stride, func(start int, hv *hdc.HV) bool {
+			if direct := enc.EncodeWindowExact(seq, start); !hv.Equal(direct) {
+				t.Errorf("exact slide diverges from direct encoding at %d", start)
+				return false
+			}
+			return true
+		})
+
+		// Round trip 2b: incremental approx slide, sealed, == direct
+		// approx encoding.
+		enc.SlideApprox(seq, stride, func(start int, acc *hdc.Acc, off int) bool {
+			if direct := enc.EncodeWindowApprox(seq, start); !enc.SealLogical(acc, off).Equal(direct) {
+				t.Errorf("approx slide diverges from direct encoding at %d", start)
+				return false
+			}
+			return true
+		})
+
+		// A wrong-dimension decode must be rejected, not mangled.
+		if _, err := enc.DecodeWindowApprox(hdc.NewHV(64)); err == nil {
+			t.Fatal("decode accepted a hypervector of the wrong dimension")
+		}
+	})
+}

@@ -235,7 +235,9 @@ func WriteFASTA(w io.Writer, records []Record, width int) error {
 			if end > len(s) {
 				end = len(s)
 			}
+			//lint:ignore errcheck bufio errors are sticky and surface at Flush
 			bw.WriteString(s[start:end])
+			//lint:ignore errcheck bufio errors are sticky and surface at Flush
 			bw.WriteByte('\n')
 		}
 	}

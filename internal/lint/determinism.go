@@ -1,0 +1,192 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Determinism enforces that all randomness flows through internal/rng
+// and that nothing accumulates results in map iteration order. BioHD's
+// reproduction claims rest on bit-identical rebuilds from a seed:
+// math/rand's global functions are process-global and its source is
+// unspecified across Go releases, and Go map iteration order is
+// deliberately randomized, so either one silently breaks replay.
+//
+// Flagged:
+//   - importing math/rand or math/rand/v2 (use internal/rng)
+//   - inside a range over a map: appending to a variable declared
+//     outside the loop, or compound-assigning (+=, etc.) to an outside
+//     string or float variable — both produce iteration-order-dependent
+//     results
+//
+// The collect-then-sort idiom is recognized: an append whose slice is
+// later passed to a sort call in the same function is accepted, since
+// the sort re-establishes a deterministic order (provided its
+// comparison is total — that part is on the reviewer).
+//
+// internal/rng itself is exempt (it is the sanctioned wrapper), as are
+// _test.go files (never loaded by the engine).
+type Determinism struct{}
+
+// Name implements Analyzer.
+func (Determinism) Name() string { return "determinism" }
+
+// Doc implements Analyzer.
+func (Determinism) Doc() string {
+	return "forbid math/rand and map-iteration-order-dependent accumulation outside internal/rng"
+}
+
+// Run implements Analyzer.
+func (Determinism) Run(pkg *Package) []Diagnostic {
+	if strings.HasSuffix(pkg.Path, "internal/rng") {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if path == "math/rand" || path == "math/rand/v2" {
+				diags = append(diags, Diagnostic{
+					Pos:  pkg.Fset.Position(imp.Pos()),
+					Rule: "determinism",
+					Message: "import of " + path + " is forbidden outside internal/rng; " +
+						"use repro/internal/rng for seeded, reproducible randomness",
+				})
+			}
+		}
+		diags = append(diags, mapOrderDiags(pkg, f)...)
+	}
+	return diags
+}
+
+// mapOrderDiags flags order-dependent accumulation inside map ranges.
+// It needs type information to know a range is over a map; without it
+// the check is skipped (the import ban above is purely syntactic).
+func mapOrderDiags(pkg *Package, f *ast.File) []Diagnostic {
+	if !pkg.IsTypeOK() {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, decl := range f.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			continue
+		}
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pkg.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			diags = append(diags, mapBodyDiags(pkg, fn, rs)...)
+			return true
+		})
+	}
+	return diags
+}
+
+// mapBodyDiags scans one map-range body for accumulation into variables
+// declared outside the loop.
+func mapBodyDiags(pkg *Package, fn *ast.FuncDecl, rs *ast.RangeStmt) []Diagnostic {
+	var diags []Diagnostic
+	report := func(pos token.Pos, msg string) {
+		diags = append(diags, Diagnostic{
+			Pos: pkg.Fset.Position(pos), Rule: "determinism", Message: msg,
+		})
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" || !declaredOutside(pkg, id, rs.Pos(), rs.End()) {
+				continue
+			}
+			switch {
+			case as.Tok == token.ASSIGN && i < len(as.Rhs) && isAppendCall(as.Rhs[i]):
+				if sortedAfter(pkg, fn, id, as.Pos()) {
+					continue
+				}
+				report(as.Pos(), "append to "+id.Name+
+					" inside a map range depends on map iteration order; "+
+					"sort the slice afterwards or iterate sorted keys")
+			case as.Tok != token.ASSIGN && as.Tok != token.DEFINE && isOrderSensitive(pkg.TypeOf(id)):
+				report(as.Pos(), as.Tok.String()+" on "+id.Name+
+					" inside a map range depends on map iteration order; "+
+					"iterate sorted keys instead")
+			}
+		}
+		return true
+	})
+	return diags
+}
+
+// sortCallees are the sorting entry points that re-establish order.
+var sortCallees = map[string]bool{
+	"sort.Slice": true, "sort.SliceStable": true, "sort.Sort": true,
+	"sort.Stable": true, "sort.Strings": true, "sort.Ints": true,
+	"sort.Float64s": true, "slices.Sort": true, "slices.SortFunc": true,
+	"slices.SortStableFunc": true,
+}
+
+// sortedAfter reports whether the variable bound to id is passed to a
+// recognized sort call later in the same function — the collect-then-
+// sort idiom.
+func sortedAfter(pkg *Package, fn *ast.FuncDecl, id *ast.Ident, after token.Pos) bool {
+	obj := pkg.ObjectOf(id)
+	if obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < after || len(call.Args) == 0 {
+			return true
+		}
+		if !sortCallees[calleeName(pkg, call)] {
+			return true
+		}
+		if arg, ok := call.Args[0].(*ast.Ident); ok && pkg.ObjectOf(arg) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isAppendCall reports whether e is a call to the append builtin.
+func isAppendCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "append"
+}
+
+// isOrderSensitive reports whether compound assignment on t is affected
+// by operand order: string concatenation and floating-point addition
+// are; integer arithmetic is commutative and exact, so it is not.
+func isOrderSensitive(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Info()&(types.IsString|types.IsFloat|types.IsComplex) != 0
+}

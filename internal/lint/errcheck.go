@@ -1,0 +1,121 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Errcheck flags call statements that silently discard an error result.
+// A dropped error in the build or serving path turns data corruption
+// (short writes, failed closes on output files) into wrong search
+// results with no trace.
+//
+// Only bare call statements are flagged:
+//
+//	f.Close()          // flagged: error silently dropped
+//	_ = f.Close()      // allowed: explicit, reviewable discard
+//	defer f.Close()    // allowed: the deferred-close idiom
+//	go produce(ch)     // allowed: nothing to receive the error
+//
+// The fmt.Print/Fprint family and methods of strings.Builder and
+// bytes.Buffer are exempt: the former's error is the terminal/report
+// writer's (not actionable at the call site, and flagging it would bury
+// real findings under hundreds of report lines), and the latter are
+// documented never to fail.
+//
+// The check needs type information (to know a callee returns an error)
+// and is skipped for packages that failed to type-check.
+type Errcheck struct{}
+
+// Name implements Analyzer.
+func (Errcheck) Name() string { return "errcheck" }
+
+// Doc implements Analyzer.
+func (Errcheck) Doc() string { return "forbid silently discarded error return values" }
+
+// Run implements Analyzer.
+func (Errcheck) Run(pkg *Package) []Diagnostic {
+	if !pkg.IsTypeOK() {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			es, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !returnsErrorValue(pkg, call) || isExemptCallee(pkg, call) {
+				return true
+			}
+			diags = append(diags, Diagnostic{
+				Pos:  pkg.Fset.Position(call.Pos()),
+				Rule: "errcheck",
+				Message: "result of " + callName(call) +
+					" is discarded; handle the error or assign it to _",
+			})
+			return true
+		})
+	}
+	return diags
+}
+
+// returnsErrorValue reports whether the call produces at least one
+// error-typed result.
+func returnsErrorValue(pkg *Package, call *ast.CallExpr) bool {
+	t := pkg.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	if tuple, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if isErrorType(tuple.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isErrorType(t)
+}
+
+// isExemptCallee reports whether the callee is on the documented exempt
+// list: fmt's print family and the never-failing buffer writers.
+func isExemptCallee(pkg *Package, call *ast.CallExpr) bool {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return false
+	}
+	fn, ok := pkg.ObjectOf(id).(*types.Func)
+	if !ok {
+		return false
+	}
+	full := fn.FullName()
+	return strings.HasPrefix(full, "fmt.Print") ||
+		strings.HasPrefix(full, "fmt.Fprint") ||
+		strings.HasPrefix(full, "(*strings.Builder).") ||
+		strings.HasPrefix(full, "(*bytes.Buffer).")
+}
+
+// callName renders the callee for the diagnostic message.
+func callName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			return id.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	}
+	return "call"
+}

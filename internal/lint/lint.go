@@ -1,0 +1,335 @@
+// Package lint is biohdlint's analysis engine: a dependency-free
+// static-analysis framework built on the standard library's go/ast,
+// go/parser and go/types. It loads every package in the module and runs
+// a set of repo-specific analyzers that guard the invariants BioHD's
+// reproduction claims depend on:
+//
+//	determinism  no math/rand or map-iteration-order-dependent
+//	             accumulation outside internal/rng and tests
+//	purity       no prints/exits in library code; error paths return
+//	             errors instead of panicking
+//	errcheck     no silently discarded error return values
+//	concurrency  goroutines join in the function that launches them and
+//	             do not capture loop variables by reference
+//	dimsafety    bitvec/hdc binary kernels guard operand lengths before
+//	             touching raw storage
+//
+// A diagnostic can be suppressed with a comment on the offending line
+// or the line directly above it:
+//
+//	//lint:ignore <rule> <reason>
+//
+// The reason is mandatory; a suppression without one is itself reported.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, formatted as "file:line: [rule] message".
+type Diagnostic struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+}
+
+// String renders the diagnostic in the canonical file:line form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Rule, d.Message)
+}
+
+// Package is one loaded, type-checked package presented to analyzers.
+type Package struct {
+	// Path is the import path ("repro/internal/core").
+	Path string
+	// Name is the package name ("core", "main").
+	Name string
+	// Files are the parsed non-test sources, in filename order.
+	Files []*ast.File
+	// Fset positions all files of the module.
+	Fset *token.FileSet
+	// Types is the checked package; nil when type checking failed.
+	Types *types.Package
+	// Info holds type information for the files. Its maps are always
+	// non-nil but may be incomplete when TypeErr is set.
+	Info *types.Info
+	// TypeErr records the first type-checking error, if any. Analyzers
+	// must degrade to syntactic checks when set.
+	TypeErr error
+}
+
+// IsTypeOK reports whether full type information is available.
+func (p *Package) IsTypeOK() bool { return p.TypeErr == nil && p.Types != nil }
+
+// TypeOf returns the type of e, or nil when unknown.
+func (p *Package) TypeOf(e ast.Expr) types.Type {
+	if p.Info == nil {
+		return nil
+	}
+	return p.Info.TypeOf(e)
+}
+
+// ObjectOf resolves an identifier to its object, or nil.
+func (p *Package) ObjectOf(id *ast.Ident) types.Object {
+	if p.Info == nil {
+		return nil
+	}
+	if o := p.Info.ObjectOf(id); o != nil {
+		return o
+	}
+	return nil
+}
+
+// An Analyzer inspects one package and reports diagnostics.
+type Analyzer interface {
+	// Name is the rule identifier used in output and suppressions.
+	Name() string
+	// Doc is a one-line description of what the rule enforces.
+	Doc() string
+	// Run analyzes pkg and returns its findings.
+	Run(pkg *Package) []Diagnostic
+}
+
+// All returns the full analyzer set in reporting order.
+func All() []Analyzer {
+	return []Analyzer{
+		Determinism{},
+		Purity{},
+		Errcheck{},
+		Concurrency{},
+		DimSafety{},
+	}
+}
+
+// Run applies every analyzer to every package, filters suppressed
+// findings, and returns the survivors sorted by position. Malformed
+// suppressions (no rule, or no reason) are reported under the
+// "suppress" pseudo-rule.
+func Run(pkgs []*Package, analyzers []Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		sup, bad := collectSuppressions(pkg)
+		out = append(out, bad...)
+		for _, a := range analyzers {
+			for _, d := range a.Run(pkg) {
+				if !sup.matches(d) {
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Rule < b.Rule
+	})
+	return out
+}
+
+// ignorePrefix introduces a suppression comment.
+const ignorePrefix = "lint:ignore"
+
+// suppressionKey identifies the lines a suppression covers for a rule.
+type suppressionKey struct {
+	file string
+	line int
+	rule string
+}
+
+type suppressions map[suppressionKey]bool
+
+// matches reports whether d is covered by a suppression on its own line
+// or the line directly above it.
+func (s suppressions) matches(d Diagnostic) bool {
+	for _, line := range [2]int{d.Pos.Line, d.Pos.Line - 1} {
+		if s[suppressionKey{d.Pos.Filename, line, d.Rule}] {
+			return true
+		}
+	}
+	return false
+}
+
+// collectSuppressions scans every comment in the package for
+// "//lint:ignore rule reason" markers. Markers missing the rule or the
+// reason are returned as diagnostics instead of being honored.
+func collectSuppressions(pkg *Package) (suppressions, []Diagnostic) {
+	sup := suppressions{}
+	var bad []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, ignorePrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(strings.TrimPrefix(text, ignorePrefix))
+				if len(fields) < 2 {
+					bad = append(bad, Diagnostic{
+						Pos:  pos,
+						Rule: "suppress",
+						Message: "malformed suppression: want " +
+							"//lint:ignore <rule> <reason>",
+					})
+					continue
+				}
+				sup[suppressionKey{pos.Filename, pos.Line, fields[0]}] = true
+			}
+		}
+	}
+	return sup, bad
+}
+
+// --- shared AST helpers used by several analyzers ---
+
+// calleeName resolves a call expression to "pkg.Func" for package-level
+// functions of an imported package (e.g. "fmt.Println", "os.Exit"),
+// using type information when available and import-name syntax
+// otherwise. It returns "" for anything else (methods, locals).
+func calleeName(pkg *Package, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if obj := pkg.ObjectOf(id); obj != nil {
+		pn, ok := obj.(*types.PkgName)
+		if !ok {
+			return ""
+		}
+		return pn.Imported().Path() + "." + sel.Sel.Name
+	}
+	// Syntactic fallback: resolve id against the file's imports.
+	return id.Name + "." + sel.Sel.Name
+}
+
+// enclosingFuncs pairs each node of interest with its nearest enclosing
+// function (declaration or literal) by a single walk.
+type funcStack struct {
+	stack []ast.Node // *ast.FuncDecl or *ast.FuncLit
+}
+
+func (fs *funcStack) push(n ast.Node) { fs.stack = append(fs.stack, n) }
+func (fs *funcStack) pop()            { fs.stack = fs.stack[:len(fs.stack)-1] }
+
+// top returns the innermost enclosing function node, or nil.
+func (fs *funcStack) top() ast.Node {
+	if len(fs.stack) == 0 {
+		return nil
+	}
+	return fs.stack[len(fs.stack)-1]
+}
+
+// topDecl returns the outermost enclosing declaration, or nil.
+func (fs *funcStack) topDecl() *ast.FuncDecl {
+	if len(fs.stack) == 0 {
+		return nil
+	}
+	d, _ := fs.stack[0].(*ast.FuncDecl)
+	return d
+}
+
+// funcType returns the signature syntax of a function node.
+func funcType(n ast.Node) *ast.FuncType {
+	switch fn := n.(type) {
+	case *ast.FuncDecl:
+		return fn.Type
+	case *ast.FuncLit:
+		return fn.Type
+	}
+	return nil
+}
+
+// walkFuncs traverses f, calling visit for every node with the current
+// function stack maintained.
+func walkFuncs(f *ast.File, visit func(n ast.Node, fs *funcStack) bool) {
+	fs := &funcStack{}
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			if !visit(n, fs) {
+				return false
+			}
+			fs.push(n)
+			defer fs.pop()
+			// Inspect children within the pushed frame.
+			for _, c := range childrenOf(n) {
+				ast.Inspect(c, walk)
+			}
+			return false
+		default:
+			return visit(n, fs)
+		}
+	}
+	ast.Inspect(f, walk)
+}
+
+// childrenOf lists the walkable children of a function node.
+func childrenOf(n ast.Node) []ast.Node {
+	var out []ast.Node
+	switch fn := n.(type) {
+	case *ast.FuncDecl:
+		if fn.Body != nil {
+			out = append(out, fn.Body)
+		}
+	case *ast.FuncLit:
+		if fn.Body != nil {
+			out = append(out, fn.Body)
+		}
+	}
+	return out
+}
+
+// returnsError reports whether the function signature includes an error
+// result (syntactically: a result whose type is the identifier "error").
+func returnsError(ft *ast.FuncType) bool {
+	if ft == nil || ft.Results == nil {
+		return false
+	}
+	for _, r := range ft.Results.List {
+		if id, ok := r.Type.(*ast.Ident); ok && id.Name == "error" {
+			return true
+		}
+	}
+	return false
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() == nil && obj.Name() == "error"
+}
+
+// declaredOutside reports whether the object bound to id was declared
+// outside the [from, to] source interval (i.e. it is free with respect
+// to that region). Falls back to false when resolution fails.
+func declaredOutside(pkg *Package, id *ast.Ident, from, to token.Pos) bool {
+	obj := pkg.ObjectOf(id)
+	if obj == nil {
+		return false
+	}
+	p := obj.Pos()
+	return p != token.NoPos && (p < from || p > to)
+}

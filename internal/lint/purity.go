@@ -1,0 +1,127 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Purity keeps library code under internal/ quiet and recoverable:
+// serving-path packages must neither write to the process's stdout nor
+// kill the process. Printing belongs to main packages and test files;
+// hot paths surface failures as errors so callers (the HTTP server, the
+// batch engine) can degrade per-request instead of crashing the fleet.
+//
+// Flagged in non-main, non-test packages under internal/:
+//   - fmt.Print / fmt.Printf / fmt.Println (unredirectable stdout)
+//   - the print / println built-ins
+//   - log.Fatal* and log.Panic* (os.Exit / panic in disguise)
+//   - os.Exit
+//   - panic inside a function that has an error result (return the
+//     error instead), or panic whose argument is an error value
+//
+// Documented invariant guards — panics in functions with no error
+// result, e.g. index-out-of-range checks in bitvec — follow the
+// standard library's slice idiom and are allowed, as are Must* helpers.
+type Purity struct{}
+
+// Name implements Analyzer.
+func (Purity) Name() string { return "purity" }
+
+// Doc implements Analyzer.
+func (Purity) Doc() string {
+	return "forbid prints, exits, and error-path panics in internal library code"
+}
+
+// bannedCalls maps fully-qualified callees to the reason they are
+// banned in library code.
+var bannedCalls = map[string]string{
+	"fmt.Print":   "writes to process stdout; return data or take an io.Writer",
+	"fmt.Printf":  "writes to process stdout; return data or take an io.Writer",
+	"fmt.Println": "writes to process stdout; return data or take an io.Writer",
+	"log.Fatal":   "exits the process; return an error",
+	"log.Fatalf":  "exits the process; return an error",
+	"log.Fatalln": "exits the process; return an error",
+	"log.Panic":   "panics across API boundaries; return an error",
+	"log.Panicf":  "panics across API boundaries; return an error",
+	"log.Panicln": "panics across API boundaries; return an error",
+	"os.Exit":     "exits the process; return an error",
+}
+
+// Run implements Analyzer.
+func (Purity) Run(pkg *Package) []Diagnostic {
+	if pkg.Name == "main" || !strings.Contains(pkg.Path, "/internal/") {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		walkFuncs(f, func(n ast.Node, fs *funcStack) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if d, ok := bannedDiag(pkg, call); ok {
+				diags = append(diags, d)
+				return true
+			}
+			if d, ok := panicDiag(pkg, call, fs); ok {
+				diags = append(diags, d)
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// bannedDiag flags calls to the banned stdout/exit functions and the
+// print builtins.
+func bannedDiag(pkg *Package, call *ast.CallExpr) (Diagnostic, bool) {
+	name := calleeName(pkg, call)
+	if name == "" {
+		if id, ok := call.Fun.(*ast.Ident); ok && (id.Name == "print" || id.Name == "println") {
+			name = id.Name
+			return Diagnostic{
+				Pos:     pkg.Fset.Position(call.Pos()),
+				Rule:    "purity",
+				Message: name + " builtin is a debug print; remove it or take an io.Writer",
+			}, true
+		}
+		return Diagnostic{}, false
+	}
+	reason, banned := bannedCalls[name]
+	if !banned {
+		return Diagnostic{}, false
+	}
+	return Diagnostic{
+		Pos:     pkg.Fset.Position(call.Pos()),
+		Rule:    "purity",
+		Message: name + " in library code: " + reason,
+	}, true
+}
+
+// panicDiag flags panics that should have been error returns.
+func panicDiag(pkg *Package, call *ast.CallExpr, fs *funcStack) (Diagnostic, bool) {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "panic" || len(call.Args) != 1 {
+		return Diagnostic{}, false
+	}
+	if decl := fs.topDecl(); decl != nil && strings.HasPrefix(decl.Name.Name, "Must") {
+		return Diagnostic{}, false
+	}
+	if returnsError(funcType(fs.top())) {
+		return Diagnostic{
+			Pos:  pkg.Fset.Position(call.Pos()),
+			Rule: "purity",
+			Message: "panic in a function with an error result; " +
+				"return the error instead",
+		}, true
+	}
+	if isErrorType(pkg.TypeOf(call.Args[0])) {
+		return Diagnostic{
+			Pos:  pkg.Fset.Position(call.Pos()),
+			Rule: "purity",
+			Message: "panicking with an error value; " +
+				"propagate it through an error return",
+		}, true
+	}
+	return Diagnostic{}, false
+}

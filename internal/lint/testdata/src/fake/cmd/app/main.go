@@ -1,0 +1,12 @@
+// Command app shows that main packages may print and exit.
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func main() {
+	fmt.Println("fine in main")
+	os.Exit(0)
+}

@@ -1,0 +1,3 @@
+module fake
+
+go 1.22

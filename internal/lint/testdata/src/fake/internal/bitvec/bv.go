@@ -1,0 +1,49 @@
+// Package bitvec exercises the dimension-safety analyzer (the rule
+// matches any package path ending in internal/bitvec or internal/hdc).
+package bitvec
+
+// Vector is a minimal packed bit vector.
+type Vector struct {
+	words []uint64
+	n     int
+}
+
+func (v *Vector) mustMatch(o *Vector) {
+	if v.n != o.n {
+		panic("bitvec: length mismatch")
+	}
+}
+
+// Xor combines raw words without any guard.
+func (v *Vector) Xor(a, b *Vector) {
+	for i := range v.words {
+		v.words[i] = a.words[i] ^ b.words[i] // flagged
+	}
+}
+
+// And guards with the checker helper first.
+func (v *Vector) And(a, b *Vector) {
+	a.mustMatch(b)
+	v.mustMatch(a)
+	for i := range v.words {
+		v.words[i] = a.words[i] & b.words[i]
+	}
+}
+
+// Equal guards with the inline length comparison.
+func (v *Vector) Equal(o *Vector) bool {
+	if v.n != o.n {
+		return false
+	}
+	for i, w := range v.words {
+		if w != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Both delegates to a guarded operation; no raw access, no finding.
+func (v *Vector) Both(a, b *Vector) {
+	v.And(a, b)
+}

@@ -1,0 +1,50 @@
+// Package det exercises the determinism analyzer.
+package det
+
+import (
+	"math/rand" // line 6: flagged import
+	"sort"
+)
+
+// M is a shared map.
+var M = map[string]int{}
+
+// Roll uses the forbidden global source.
+func Roll() int { return rand.Intn(6) }
+
+// CollectUnsorted appends in map order and never repairs it.
+func CollectUnsorted() []string {
+	var out []string
+	for k := range M {
+		out = append(out, k) // flagged: no later sort
+	}
+	return out
+}
+
+// CollectSorted is the sanctioned collect-then-sort idiom.
+func CollectSorted() []string {
+	var out []string
+	for k := range M {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SumFloats accumulates floats in map order (rounding differs by order).
+func SumFloats(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // flagged: float accumulation
+	}
+	return sum
+}
+
+// SumInts is commutative and exact; not flagged.
+func SumInts(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,37 @@
+// Package errs exercises the errcheck analyzer and suppressions.
+package errs
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Drop discards errors every way the rule distinguishes.
+func Drop(path string) {
+	os.Remove(path)     // flagged: bare discard
+	_ = os.Remove(path) // allowed: explicit discard
+
+	f, err := os.Open(path)
+	if err != nil {
+		return
+	}
+	defer f.Close() // allowed: deferred close idiom
+
+	var sb strings.Builder
+	sb.WriteString("x")        // allowed: never fails
+	fmt.Fprintf(&sb, "%d", 1)  // allowed: fmt print family
+	fmt.Println("report line") // allowed for errcheck (purity flags it separately)
+}
+
+// Suppressed documents an intentional discard.
+func Suppressed(path string) {
+	//lint:ignore errcheck best-effort cleanup
+	os.Remove(path)
+}
+
+// Malformed has a reason-less suppression that is itself reported.
+func Malformed(path string) {
+	//lint:ignore errcheck
+	os.Remove(path)
+}

@@ -1,0 +1,53 @@
+// Package pure exercises the purity analyzer.
+package pure
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"os"
+)
+
+// Chatty prints to stdout from library code.
+func Chatty() {
+	fmt.Println("noisy") // flagged
+}
+
+// Quit exits the process from library code.
+func Quit() {
+	log.Fatalf("dead") // flagged
+	os.Exit(1)         // flagged
+}
+
+// Parse panics although it could return its error.
+func Parse(s string) (int, error) {
+	if s == "" {
+		panic("empty") // flagged: function has an error result
+	}
+	return len(s), nil
+}
+
+// Wrap panics with an error value.
+func Wrap(s string) int {
+	if s == "" {
+		panic(errors.New("empty")) // flagged: panicking with an error
+	}
+	return len(s)
+}
+
+// Index panics as a documented invariant guard; allowed.
+func Index(xs []int, i int) int {
+	if i < 0 || i >= len(xs) {
+		panic("pure: index out of range")
+	}
+	return xs[i]
+}
+
+// MustParse is the sanctioned Must* wrapper; allowed.
+func MustParse(s string) int {
+	v, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}

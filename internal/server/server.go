@@ -53,7 +53,8 @@ func (s *Server) Handler() http.Handler {
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(v) //nolint:errcheck // client gone is not actionable
+	//lint:ignore errcheck a failed response write means the client is gone
+	json.NewEncoder(w).Encode(v)
 }
 
 type errorBody struct {

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -210,13 +211,16 @@ func All() []Experiment {
 	return out
 }
 
-// expKey orders T1 < T2 < ... < F1 < F2 < ... by (class, number).
+// expKey orders T1 < T2 < ... < F1 < F2 < ... by (class, number);
+// malformed IDs sort last.
 func expKey(id string) int {
 	if len(id) < 2 {
 		return 1 << 20
 	}
-	n := 0
-	fmt.Sscanf(id[1:], "%d", &n)
+	n, err := strconv.Atoi(id[1:])
+	if err != nil {
+		return 1 << 20
+	}
 	if id[0] == 'T' {
 		return n
 	}
