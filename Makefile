@@ -6,7 +6,7 @@ GO       ?= go
 FUZZTIME ?= 30s
 PKGS      = ./...
 
-.PHONY: all build test race vet lint fuzz check clean
+.PHONY: all build test race vet lint fuzz bench benchsmoke check clean
 
 all: build
 
@@ -29,6 +29,16 @@ vet:
 ## lint: run the repo-specific static analyzers (see internal/lint/README.md)
 lint:
 	$(GO) run ./cmd/biohdlint $(PKGS)
+
+## bench: run the probe A/B benchmark (arena kernel vs seed scalar scan)
+## and refresh the checked-in BENCH_probe.json record
+bench:
+	$(GO) run ./cmd/benchprobe -out BENCH_probe.json
+
+## benchsmoke: compile and run every micro-benchmark once — catches
+## benchmarks that no longer build or crash, without measuring anything
+benchsmoke:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./internal/bitvec ./internal/hdc ./internal/encoding ./internal/core .
 
 ## fuzz: run each fuzz target for FUZZTIME (default 30s)
 fuzz:

@@ -1,0 +1,218 @@
+// Command benchprobe measures the frozen-library associative probe —
+// the contiguous-arena fused XNOR-popcount kernel with early
+// abandonment — against a faithful reimplementation of the seed's
+// scalar scan (individually heap-allocated bucket vectors, one HV.Dot
+// per bucket, per-iteration stats branches), and writes the comparison
+// as JSON. `make bench` runs it to refresh BENCH_probe.json, the
+// checked-in record of the probe speedup at the default geometry.
+//
+// Both sides run interleaved via testing.Benchmark, several
+// repetitions each, and the report keys off medians: on a shared
+// machine a single benchmark invocation can swing by tens of percent,
+// and interleaving keeps slow minutes from landing on only one side.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/core"
+	"repro/internal/genome"
+	"repro/internal/hdc"
+	"repro/internal/rng"
+)
+
+// Benchmark geometry: D=8192 sealed approximate windows, 16 per
+// bucket — the dimensionality the rest of the suite tests at, with
+// 1024 buckets ≈ one PIM crossbar array of rows. Must match
+// internal/core/probe_bench_test.go so `go test -bench BenchmarkProbe`
+// and this command measure the same thing.
+const (
+	dim      = 8192
+	window   = 32
+	capacity = 16
+	queries  = 12
+)
+
+type repPair struct {
+	KernelNsPerOp float64 `json:"kernel_ns_per_op"`
+	SeedNsPerOp   float64 `json:"seed_ns_per_op"`
+}
+
+type report struct {
+	Benchmark         string    `json:"benchmark"`
+	Dim               int       `json:"dim"`
+	Window            int       `json:"window"`
+	Capacity          int       `json:"capacity"`
+	Buckets           int       `json:"buckets"`
+	Queries           int       `json:"queries"`
+	GoVersion         string    `json:"go_version"`
+	GOARCH            string    `json:"goarch"`
+	GOMAXPROCS        int       `json:"gomaxprocs"`
+	SIMD              bool      `json:"simd_kernel"`
+	Reps              []repPair `json:"reps"`
+	KernelNsPerBucket float64   `json:"median_kernel_ns_per_bucket"`
+	SeedNsPerBucket   float64   `json:"median_seed_ns_per_bucket"`
+	Speedup           float64   `json:"speedup"`
+}
+
+func main() {
+	buckets := flag.Int("buckets", 1024, "library size in buckets")
+	reps := flag.Int("reps", 5, "interleaved repetitions per side")
+	out := flag.String("out", "BENCH_probe.json", "output path, or - for stdout")
+	flag.Parse()
+
+	lib, qs, err := buildLibrary(*buckets)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchprobe:", err)
+		os.Exit(1)
+	}
+	scattered := scatterBuckets(lib)
+
+	rep := report{
+		Benchmark: "probe", Dim: dim, Window: window, Capacity: capacity,
+		Buckets: *buckets, Queries: queries,
+		GoVersion: runtime.Version(), GOARCH: runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0), SIMD: bitvec.AccelAvailable(),
+	}
+	var kernelNs, seedNs []float64
+	for r := 0; r < *reps; r++ {
+		k := testing.Benchmark(func(b *testing.B) {
+			var stats core.Stats
+			for i := 0; i < b.N; i++ {
+				if _, err := lib.Probe(qs[i%len(qs)], &stats); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		s := testing.Benchmark(func(b *testing.B) {
+			var stats core.Stats
+			for i := 0; i < b.N; i++ {
+				seedProbeBaseline(lib, scattered, qs[i%len(qs)], &stats)
+			}
+		})
+		pair := repPair{
+			KernelNsPerOp: float64(k.NsPerOp()),
+			SeedNsPerOp:   float64(s.NsPerOp()),
+		}
+		rep.Reps = append(rep.Reps, pair)
+		kernelNs = append(kernelNs, pair.KernelNsPerOp)
+		seedNs = append(seedNs, pair.SeedNsPerOp)
+		fmt.Fprintf(os.Stderr, "rep %d/%d: kernel %.0f ns/op, seed %.0f ns/op\n",
+			r+1, *reps, pair.KernelNsPerOp, pair.SeedNsPerOp)
+	}
+	rep.KernelNsPerBucket = median(kernelNs) / float64(*buckets)
+	rep.SeedNsPerBucket = median(seedNs) / float64(*buckets)
+	rep.Speedup = rep.SeedNsPerBucket / rep.KernelNsPerBucket
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchprobe:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		if _, err := os.Stdout.Write(data); err != nil {
+			fmt.Fprintln(os.Stderr, "benchprobe:", err)
+			os.Exit(1)
+		}
+	} else if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchprobe:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "median: kernel %.1f ns/bucket, seed %.1f ns/bucket, speedup %.2fx\n",
+		rep.KernelNsPerBucket, rep.SeedNsPerBucket, rep.Speedup)
+}
+
+// buildLibrary builds the frozen benchmark library and its query mix
+// (3:1 absent to present, like a read-mapping workload where most
+// probes miss everywhere).
+func buildLibrary(buckets int) (*core.Library, []*hdc.HV, error) {
+	p := core.Params{Dim: dim, Window: window, Stride: 1, Capacity: capacity,
+		Approx: true, Sealed: true, MutTolerance: 2, Seed: 42}
+	lib, err := core.NewLibrary(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	src := rng.New(4242)
+	ref := genome.Random(buckets*capacity+window-1, src)
+	if err := lib.Add(genome.Record{ID: "bench", Seq: ref}); err != nil {
+		return nil, nil, err
+	}
+	lib.Freeze()
+	if lib.NumBuckets() != buckets {
+		return nil, nil, fmt.Errorf("built %d buckets, want %d", lib.NumBuckets(), buckets)
+	}
+	var qs []*hdc.HV
+	for i := 0; i < queries; i++ {
+		var q *genome.Sequence
+		if i%4 == 0 {
+			off := src.Intn(ref.Len() - window)
+			q = ref.Slice(off, off+window)
+		} else {
+			q = genome.Random(window, src)
+		}
+		qs = append(qs, lib.Encoder().EncodeWindowApprox(q, 0))
+	}
+	return lib, qs, nil
+}
+
+// seedProbeBaseline reproduces the seed implementation of Probe
+// operation for operation: a serial scan over individually
+// heap-allocated per-bucket hypervectors, one HV.Dot per bucket,
+// per-iteration stats branches, and an un-presized append.
+func seedProbeBaseline(l *core.Library, scattered []*hdc.HV, hv *hdc.HV, stats *core.Stats) []core.Candidate {
+	tau := l.Threshold()
+	var out []core.Candidate
+	for i := range scattered {
+		score := float64(scattered[i].Dot(hv))
+		if stats != nil {
+			stats.BucketProbes++
+		}
+		if score >= tau {
+			out = append(out, core.Candidate{Bucket: i, Score: score, Excess: score - tau})
+			if stats != nil {
+				stats.CandidateBuckets++
+			}
+		}
+	}
+	return out
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// scatterBuckets reproduces the seed's freeze-time heap layout: bucket
+// i's sealed vector was allocated the moment bucket i+1 opened, i.e.
+// interleaved with the next bucket's live 4·D-byte counter accumulator,
+// so consecutive rows landed pages apart rather than back-to-back. The
+// accumulators are released after the build, exactly as sealing
+// released them, but Go's non-moving collector leaves the rows where
+// they were born.
+func scatterBuckets(l *core.Library) []*hdc.HV {
+	n := l.NumBuckets()
+	d := l.Params().Dim
+	out := make([]*hdc.HV, n)
+	accs := make([][]int32, n)
+	for i := range out {
+		out[i] = l.BucketVector(i).Clone()
+		accs[i] = make([]int32, d)
+	}
+	for i := range accs {
+		accs[i] = nil
+	}
+	return out
+}

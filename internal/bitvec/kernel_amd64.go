@@ -1,0 +1,37 @@
+//go:build amd64 && !purego
+
+package bitvec
+
+// Implemented in kernel_amd64.s.
+func hammingAVX2(a, b *uint64, nblocks int) int
+func cpuid(leaf, subleaf uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv() (eax, edx uint32)
+
+// useAccel is true when the CPU and OS support the AVX2 kernel. The
+// check follows the Intel manual: AVX needs OSXSAVE plus the OS having
+// enabled XMM and YMM state (XCR0 bits 1 and 2); AVX2 is then leaf 7
+// EBX bit 5.
+var useAccel = func() bool {
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	_, _, c, _ := cpuid(1, 0)
+	const osxsave = 1 << 27
+	const avx = 1 << 28
+	if c&osxsave == 0 || c&avx == 0 {
+		return false
+	}
+	if lo, _ := xgetbv(); lo&0x6 != 0x6 {
+		return false
+	}
+	_, b, _, _ := cpuid(7, 0)
+	return b&(1<<5) != 0
+}()
+
+// hammingBlocks computes the Hamming distance over the two slices,
+// whose length must be a positive multiple of kernelBlock, using the
+// AVX2 kernel. Callers must check useAccel first.
+func hammingBlocks(a, b []uint64) int {
+	return hammingAVX2(&a[0], &b[0], len(a)/kernelBlock)
+}

@@ -1,0 +1,112 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// Fused XNOR+popcount over packed 64-bit words using AVX2 and the
+// nibble-LUT popcount (Muła's algorithm): each 32-byte vector of
+// a XOR b is split into low and high nibbles, VPSHUFB looks every
+// nibble's popcount up in a 16-entry table, and the per-byte counts
+// accumulate in a byte vector that is flushed into 64-bit lanes with
+// VPSADBW before it can overflow (each 64-byte block adds at most 16
+// to a byte lane, so 15 blocks stay under 255).
+
+// popcount of 0..15, one byte each, repeated in both 128-bit lanes
+// (VPSHUFB shuffles within lanes).
+DATA popcntLUT<>+0(SB)/8, $0x0302020102010100
+DATA popcntLUT<>+8(SB)/8, $0x0403030203020201
+DATA popcntLUT<>+16(SB)/8, $0x0302020102010100
+DATA popcntLUT<>+24(SB)/8, $0x0403030203020201
+GLOBL popcntLUT<>(SB), RODATA|NOPTR, $32
+
+DATA nibbleMask<>+0(SB)/8, $0x0f0f0f0f0f0f0f0f
+DATA nibbleMask<>+8(SB)/8, $0x0f0f0f0f0f0f0f0f
+DATA nibbleMask<>+16(SB)/8, $0x0f0f0f0f0f0f0f0f
+DATA nibbleMask<>+24(SB)/8, $0x0f0f0f0f0f0f0f0f
+GLOBL nibbleMask<>(SB), RODATA|NOPTR, $32
+
+// func hammingAVX2(a, b *uint64, nblocks int) int
+// Hamming distance over nblocks consecutive 64-byte blocks (8 words
+// each) of a and b. The caller guarantees both operands hold
+// 8*nblocks words.
+TEXT ·hammingAVX2(SB), NOSPLIT, $0-32
+	MOVQ a+0(FP), SI
+	MOVQ b+8(FP), DI
+	MOVQ nblocks+16(FP), CX
+
+	VPXOR Y8, Y8, Y8              // Y8: running 64-bit lane totals
+	VPXOR Y9, Y9, Y9              // Y9: zero, VPSADBW's second operand
+	VMOVDQU popcntLUT<>(SB), Y10  // Y10: nibble popcount table
+	VMOVDQU nibbleMask<>(SB), Y11 // Y11: 0x0f byte mask
+
+outer:
+	TESTQ CX, CX
+	JZ    done
+	// Run at most 15 blocks into the byte accumulator, then flush.
+	MOVQ CX, DX
+	CMPQ DX, $15
+	JLE  haveRun
+	MOVQ $15, DX
+haveRun:
+	SUBQ  DX, CX
+	VPXOR Y7, Y7, Y7 // Y7: per-byte counts for this run
+
+blockloop:
+	VMOVDQU (SI), Y0
+	VPXOR   (DI), Y0, Y0
+	VMOVDQU 32(SI), Y1
+	VPXOR   32(DI), Y1, Y1
+	ADDQ    $64, SI
+	ADDQ    $64, DI
+
+	VPAND   Y0, Y11, Y2
+	VPSRLW  $4, Y0, Y0
+	VPAND   Y0, Y11, Y0
+	VPSHUFB Y2, Y10, Y2
+	VPSHUFB Y0, Y10, Y0
+	VPADDB  Y2, Y7, Y7
+	VPADDB  Y0, Y7, Y7
+
+	VPAND   Y1, Y11, Y3
+	VPSRLW  $4, Y1, Y1
+	VPAND   Y1, Y11, Y1
+	VPSHUFB Y3, Y10, Y3
+	VPSHUFB Y1, Y10, Y1
+	VPADDB  Y3, Y7, Y7
+	VPADDB  Y1, Y7, Y7
+
+	DECQ DX
+	JNZ  blockloop
+
+	VPSADBW Y9, Y7, Y7 // horizontal byte sums per 64-bit lane
+	VPADDQ  Y7, Y8, Y8
+	JMP     outer
+
+done:
+	// Reduce the four 64-bit lane totals to one scalar.
+	VEXTRACTI128 $1, Y8, X1
+	VPADDQ       X1, X8, X8
+	VPSHUFD      $0xee, X8, X1
+	VPADDQ       X1, X8, X8
+	VMOVQ        X8, AX
+	VZEROUPPER
+	MOVQ         AX, ret+24(FP)
+	RET
+
+// func cpuid(leaf, subleaf uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL  leaf+0(FP), AX
+	MOVL  subleaf+4(FP), CX
+	CPUID
+	MOVL  AX, eax+8(FP)
+	MOVL  BX, ebx+12(FP)
+	MOVL  CX, ecx+16(FP)
+	MOVL  DX, edx+20(FP)
+	RET
+
+// func xgetbv() (eax, edx uint32)
+TEXT ·xgetbv(SB), NOSPLIT, $0-8
+	XORL    CX, CX
+	XGETBV
+	MOVL    AX, eax+0(FP)
+	MOVL    DX, edx+4(FP)
+	RET

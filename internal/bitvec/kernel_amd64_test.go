@@ -1,0 +1,37 @@
+//go:build amd64 && !purego
+
+package bitvec
+
+import "testing"
+
+// TestHammingBlocksMatchesScalar pins the AVX2 kernel to the portable
+// scalar loop, concentrating on the byte-accumulator flush edges: runs
+// of exactly 15 blocks (the most a flush interval holds), one block
+// past it, and all-ones operands that drive every byte lane to its
+// 16-per-block maximum (15·16 = 240, the closest the accumulator gets
+// to overflowing).
+func TestHammingBlocksMatchesScalar(t *testing.T) {
+	if !useAccel {
+		t.Skip("no AVX2 on this machine")
+	}
+	for _, nw := range []int{8, 16, 64, 112, 120, 128, 136, 1024} {
+		a := randWords(nw, uint64(nw))
+		b := randWords(nw, uint64(nw)*3+1)
+		if got, want := hammingBlocks(a, b), hammingScalar(a, b); got != want {
+			t.Errorf("nw=%d: AVX2=%d, scalar=%d", nw, got, want)
+		}
+	}
+	for _, nw := range []int{120, 128} { // 15 blocks and 16 blocks, worst-case density
+		ones := make([]uint64, nw)
+		for i := range ones {
+			ones[i] = ^uint64(0)
+		}
+		zeros := make([]uint64, nw)
+		if got := hammingBlocks(ones, zeros); got != nw*64 {
+			t.Errorf("nw=%d all-ones: AVX2=%d, want %d", nw, got, nw*64)
+		}
+		if got := hammingBlocks(ones, ones); got != 0 {
+			t.Errorf("nw=%d self: AVX2=%d, want 0", nw, got)
+		}
+	}
+}

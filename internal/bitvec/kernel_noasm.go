@@ -1,0 +1,11 @@
+//go:build !amd64 || purego
+
+package bitvec
+
+// useAccel is false on platforms without an assembly kernel; every
+// distance runs through the portable scalar loops.
+const useAccel = false
+
+func hammingBlocks(a, b []uint64) int {
+	panic("bitvec: hammingBlocks without an accelerated kernel")
+}

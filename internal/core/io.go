@@ -368,6 +368,12 @@ func ReadLibrary(r io.Reader) (*Library, error) {
 		return nil, fmt.Errorf("core: library checksum mismatch (file %08x, computed %08x)", got, cr.crc)
 	}
 	lib.frozen = len(lib.bkts) > 0
+	if lib.frozen {
+		// Rebuild the flat probe arena exactly as Freeze would, so a
+		// loaded library probes through the same kernel as the one
+		// that was saved.
+		lib.packArena()
+	}
 	lib.cal = cal
 	return lib, nil
 }

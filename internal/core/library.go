@@ -2,7 +2,9 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
+	"repro/internal/bitvec"
 	"repro/internal/encoding"
 	"repro/internal/genome"
 	"repro/internal/hdc"
@@ -110,7 +112,51 @@ type Library struct {
 	frozen bool
 	nWin   int
 	cal    Calibration
+
+	// arena is the flat probe store, built when the library freezes:
+	// every bucket's sealed hypervector packed back-to-back
+	// (nBuckets × rowWords words). The probe kernel scans it as one
+	// streaming read instead of chasing per-bucket heap pointers, and
+	// each bucket's sealed HV is repointed to alias its row, so
+	// BucketVector/score/WriteTo all read the same storage.
+	arena    []uint64
+	rowWords int
+
+	// scratch pools per-query lookup state (query hypervector, counter
+	// accumulator, candidate slice) so steady-state Lookup does not
+	// allocate; see lookupScratch.
+	scratch sync.Pool
 }
+
+// lookupScratch is the reusable per-query state of the lookup paths.
+// Instances are pooled on the library; a frozen library is probed
+// concurrently (LookupBatch), so scratch must be per-call, not shared.
+type lookupScratch struct {
+	hv    *hdc.HV  // query window encoding
+	acc   *hdc.Acc // counter scratch for approximate encoding; nil in exact mode
+	cands []Candidate
+}
+
+// candidateHint pre-sizes candidate slices: probes that hit at all
+// typically yield a handful of buckets, so this avoids append growth
+// churn without holding meaningful memory.
+const candidateHint = 16
+
+func (l *Library) getScratch() *lookupScratch {
+	if s, ok := l.scratch.Get().(*lookupScratch); ok {
+		return s
+	}
+	s := &lookupScratch{
+		hv:    hdc.NewHV(l.params.Dim),
+		cands: make([]Candidate, 0, candidateHint),
+	}
+	if l.params.Approx {
+		s.acc = hdc.NewAcc(l.params.Dim)
+	}
+	return s
+}
+
+func (l *Library) putScratch(s *lookupScratch) { l.scratch.Put(s) }
 
 // NewLibrary creates an empty library with the given parameters.
 // If params.Capacity is 0 it is derived from the statistical model.
@@ -243,19 +289,54 @@ func (l *Library) Freeze() {
 	for i := range l.bkts {
 		l.sealBucket(i)
 	}
+	l.packArena()
 	l.frozen = true
 	if l.params.Approx {
 		l.cal = l.calibrate()
 	}
 }
 
+// packArena copies every sealed bucket vector into one contiguous
+// []uint64 and repoints each bucket's sealed view at its arena row.
+// Called once at Freeze (and at load), after every bucket is sealed.
+func (l *Library) packArena() {
+	l.rowWords = l.params.Dim / 64
+	l.arena = make([]uint64, len(l.bkts)*l.rowWords)
+	for i := range l.bkts {
+		l.packRow(i)
+	}
+}
+
+// packRow refreshes bucket i's arena row from its sealed hypervector
+// and aliases the sealed view back onto the row. Remove uses it to
+// republish a re-sealed bucket.
+func (l *Library) packRow(i int) {
+	row := l.arenaRow(i)
+	copy(row, l.bkts[i].sealed.Words())
+	l.bkts[i].sealed = hdc.HVFromArenaRow(row, l.params.Dim)
+}
+
+// arenaRow returns bucket i's packed words inside the arena. The full
+// slice expression caps the row so an overrunning kernel cannot creep
+// into the next bucket.
+func (l *Library) arenaRow(i int) []uint64 {
+	lo := i * l.rowWords
+	hi := lo + l.rowWords
+	return l.arena[lo:hi:hi]
+}
+
 // Frozen reports whether Freeze has been called.
 func (l *Library) Frozen() bool { return l.frozen }
 
 // score returns the similarity score of query hv against bucket i under
-// the library's storage mode.
+// the library's storage mode. Sealed scores read the flat arena when it
+// exists (it always does once frozen); raw-count mode keeps the exact
+// counter dot product.
 func (l *Library) score(i int, hv *hdc.HV) float64 {
 	if l.params.Sealed {
+		if l.arena != nil {
+			return float64(bitvec.DotWords(l.arenaRow(i), hv.Words(), l.params.Dim))
+		}
 		return float64(l.bkts[i].sealed.Dot(hv))
 	}
 	return float64(l.bkts[i].acc.DotAcc(hv))

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/genome"
+	"repro/internal/hdc"
+	"repro/internal/rng"
+)
+
+// benchLib builds a frozen sealed approximate library with the given
+// bucket count: the default probe-benchmark geometry (D=8192, w=32,
+// capacity 16, the dimensionality the rest of the suite tests at). One
+// reference supplies capacity·nBuckets windows.
+func benchLib(tb testing.TB, nBuckets int) (*Library, []*hdc.HV) {
+	tb.Helper()
+	const capacity = 16
+	p := Params{Dim: 8192, Window: 32, Stride: 1, Capacity: capacity,
+		Approx: true, Sealed: true, MutTolerance: 2, Seed: 42}
+	lib, err := NewLibrary(p)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	src := rng.New(4242)
+	ref := genome.Random(nBuckets*capacity+p.Window-1, src)
+	if err := lib.Add(genome.Record{ID: "bench", Seq: ref}); err != nil {
+		tb.Fatal(err)
+	}
+	lib.Freeze()
+	if lib.NumBuckets() != nBuckets {
+		tb.Fatalf("built %d buckets, want %d", lib.NumBuckets(), nBuckets)
+	}
+	// Query mix, 3:1 absent to present — most probes miss everywhere,
+	// some light up a bucket, like a read-mapping workload.
+	var queries []*hdc.HV
+	for i := 0; i < 12; i++ {
+		var q *genome.Sequence
+		if i%4 == 0 {
+			off := src.Intn(ref.Len() - p.Window)
+			q = ref.Slice(off, off+p.Window)
+		} else {
+			q = genome.Random(p.Window, src)
+		}
+		queries = append(queries, lib.Encoder().EncodeWindowApprox(q, 0))
+	}
+	return lib, queries
+}
+
+// seedProbeBaseline reproduces the seed implementation of Probe
+// operation for operation: a serial scan over individually
+// heap-allocated per-bucket hypervectors, one HV.Dot per bucket,
+// per-iteration stats branches, and an un-presized append. It is the
+// baseline BenchmarkProbe's speedup is measured against.
+func seedProbeBaseline(l *Library, scattered []*hdc.HV, hv *hdc.HV, stats *Stats) []Candidate {
+	tau := l.Threshold()
+	var out []Candidate
+	for i := range scattered {
+		score := float64(scattered[i].Dot(hv))
+		if stats != nil {
+			stats.BucketProbes++
+		}
+		if score >= tau {
+			out = append(out, Candidate{Bucket: i, Score: score, Excess: score - tau})
+			if stats != nil {
+				stats.CandidateBuckets++
+			}
+		}
+	}
+	return out
+}
+
+// scatterBuckets reproduces the seed's freeze-time heap layout. In the
+// seed, bucket i's sealed vector was allocated by Acc.Seal at the
+// moment bucket i+1 opened — i.e. interleaved with the next bucket's
+// live 4·D-byte counter accumulator and window slice — so consecutive
+// sealed rows landed pages apart, not back-to-back. The baseline
+// clones with the same interleaving (the accumulators are released
+// after the build, exactly as sealing released them, but Go's
+// non-moving collector leaves the rows where they were born).
+func scatterBuckets(l *Library) []*hdc.HV {
+	n := l.NumBuckets()
+	d := l.Params().Dim
+	out := make([]*hdc.HV, n)
+	accs := make([][]int32, n)
+	for i := range out {
+		out[i] = l.BucketVector(i).Clone()
+		accs[i] = make([]int32, d)
+	}
+	for i := range accs {
+		accs[i] = nil
+	}
+	return out
+}
+
+var benchSizes = []int{1024, 4096, 16384}
+
+// defaultBenchBuckets is the library size the BENCH_probe.json
+// trajectory tracks (see cmd/benchprobe): 1024 buckets — one PIM
+// crossbar array of rows in the paper's geometry.
+const defaultBenchBuckets = 1024
+
+func BenchmarkProbe(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("buckets=%d", n), func(b *testing.B) {
+			lib, queries := benchLib(b, n)
+			var stats Stats
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := lib.Probe(queries[i%len(queries)], &stats); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*n), "ns/bucket")
+		})
+	}
+}
+
+func BenchmarkProbeSeedScalar(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("buckets=%d", n), func(b *testing.B) {
+			lib, queries := benchLib(b, n)
+			scattered := scatterBuckets(lib)
+			var stats Stats
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				seedProbeBaseline(lib, scattered, queries[i%len(queries)], &stats)
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*n), "ns/bucket")
+		})
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	lib, _ := benchLib(b, defaultBenchBuckets)
+	src := rng.New(7)
+	pat := genome.Random(lib.Params().Window, src)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := lib.Lookup(pat); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/genome"
+	"repro/internal/hdc"
+	"repro/internal/rng"
+)
+
+// seedScalarProbe replicates the seed implementation of Probe — a
+// serial full scan through per-bucket hypervector objects with no
+// early abandonment — as the golden reference the arena kernel must
+// match candidate-for-candidate.
+func seedScalarProbe(l *Library, hv *hdc.HV) []Candidate {
+	tau := l.Threshold()
+	var out []Candidate
+	for i := range l.bkts {
+		var score float64
+		if l.params.Sealed {
+			score = float64(l.bkts[i].sealed.Dot(hv))
+		} else {
+			score = float64(l.bkts[i].acc.DotAcc(hv))
+		}
+		if score >= tau {
+			out = append(out, Candidate{Bucket: i, Score: score, Excess: score - tau})
+		}
+	}
+	return out
+}
+
+func sameCandidates(a, b []Candidate) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// buildProbeLib builds a frozen library over a few random references in
+// the given mode.
+func buildProbeLib(t *testing.T, sealed, approx bool, seed uint64) (*Library, []*genome.Sequence) {
+	t.Helper()
+	p := Params{Dim: 2048, Window: 24, Sealed: sealed, Approx: approx, Seed: seed}
+	if approx {
+		p.MutTolerance = 2
+	}
+	lib := mustLibrary(t, p)
+	src := rng.New(seed ^ 0xfeed)
+	var refs []*genome.Sequence
+	for i := 0; i < 3; i++ {
+		ref := genome.Random(1500, src)
+		refs = append(refs, ref)
+		if err := lib.Add(genome.Record{ID: "ref", Seq: ref}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lib.Freeze()
+	return lib, refs
+}
+
+// probeQueries yields a mix of member windows, mutated member windows,
+// and random absent windows — together they exercise candidate hits,
+// near-threshold scores, and early-abandoned rows.
+func probeQueries(t *testing.T, lib *Library, refs []*genome.Sequence, seed uint64) []*hdc.HV {
+	t.Helper()
+	src := rng.New(seed ^ 0xabcd)
+	w := lib.Params().Window
+	encode := func(s *genome.Sequence) *hdc.HV {
+		if lib.Params().Approx {
+			return lib.Encoder().EncodeWindowApprox(s, 0)
+		}
+		return lib.Encoder().EncodeWindowExact(s, 0)
+	}
+	var qs []*hdc.HV
+	for i := 0; i < 12; i++ {
+		ref := refs[i%len(refs)]
+		off := src.Intn(ref.Len() - w)
+		window := ref.Slice(off, off+w)
+		qs = append(qs, encode(window))
+		mut, _ := genome.SubstituteExactly(window, 1+i%3, src)
+		qs = append(qs, encode(mut))
+		qs = append(qs, encode(genome.Random(w, src)))
+	}
+	return qs
+}
+
+// TestProbeGoldenEquivalence asserts the arena + early-abandon +
+// sharded probe returns byte-identical candidates to the seed scalar
+// scan across every storage × encoding mode.
+func TestProbeGoldenEquivalence(t *testing.T) {
+	for _, tc := range []struct {
+		name           string
+		sealed, approx bool
+	}{
+		{"sealed-exact", true, false},
+		{"sealed-approx", true, true},
+		{"raw-exact", false, false},
+		{"raw-approx", false, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			lib, refs := buildProbeLib(t, tc.sealed, tc.approx, 77)
+			for qi, hv := range probeQueries(t, lib, refs, 99) {
+				want := seedScalarProbe(lib, hv)
+				var stats Stats
+				got, err := lib.Probe(hv, &stats)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !sameCandidates(got, want) {
+					t.Fatalf("query %d: kernel probe diverges from scalar scan:\n got %+v\nwant %+v", qi, got, want)
+				}
+				if stats.BucketProbes != lib.NumBuckets() || stats.CandidateBuckets != len(want) {
+					t.Fatalf("query %d: stats %+v inconsistent with %d buckets / %d candidates",
+						qi, stats, lib.NumBuckets(), len(want))
+				}
+			}
+		})
+	}
+}
+
+// TestProbeShardedEquivalence forces the sharded scan on a small
+// library and asserts the merged result is identical (same order, same
+// scores) to the serial kernel and the scalar reference.
+func TestProbeShardedEquivalence(t *testing.T) {
+	defer func(v int) { probeShardMin = v }(probeShardMin)
+	for _, sealed := range []bool{true, false} {
+		lib, refs := buildProbeLib(t, sealed, true, 123)
+		for _, hv := range probeQueries(t, lib, refs, 321) {
+			probeShardMin = lib.NumBuckets() + 1 // serial
+			serial, err := lib.Probe(hv, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			probeShardMin = 1 // one bucket per worker: maximal sharding
+			sharded, err := lib.Probe(hv, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameCandidates(serial, sharded) {
+				t.Fatalf("sealed=%v: sharded probe diverges:\n got %+v\nwant %+v", sealed, sharded, serial)
+			}
+			if want := seedScalarProbe(lib, hv); !sameCandidates(sharded, want) {
+				t.Fatalf("sealed=%v: sharded probe diverges from scalar scan", sealed)
+			}
+		}
+	}
+}
+
+// TestProbeEquivalenceAfterRoundTrip asserts the arena rebuilt by
+// ReadLibrary probes identically to the arena built by Freeze.
+func TestProbeEquivalenceAfterRoundTrip(t *testing.T) {
+	lib, refs := buildProbeLib(t, true, true, 7)
+	back := saveLoad(t, lib)
+	for _, hv := range probeQueries(t, lib, refs, 8) {
+		want, err := lib.Probe(hv, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := back.Probe(hv, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameCandidates(got, want) {
+			t.Fatalf("loaded library probes differently:\n got %+v\nwant %+v", got, want)
+		}
+	}
+}
+
+// TestLookupAllocs is the allocation regression gate for the lookup hot
+// path: with the scratch pool warm, a Lookup that finds nothing must
+// not allocate at all, and a Lookup that hits stays within the small
+// budget of its result slice and sort.
+func TestLookupAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation perturbs sync.Pool allocation counts")
+	}
+	lib, refs := buildProbeLib(t, true, false, 55)
+	w := lib.Params().Window
+	miss := genome.Random(w, rng.New(9001))
+	hit := refs[0].Slice(100, 100+w)
+	// Warm the scratch pool (and confirm both paths work).
+	if _, _, err := lib.Lookup(miss); err != nil {
+		t.Fatal(err)
+	}
+	if m, _, err := lib.Lookup(hit); err != nil || len(m) == 0 {
+		t.Fatalf("warmup hit lookup: %v matches, err %v", len(m), err)
+	}
+	if avg := testing.AllocsPerRun(50, func() {
+		if _, _, err := lib.Lookup(miss); err != nil {
+			t.Fatal(err)
+		}
+	}); avg > 0 {
+		t.Errorf("miss Lookup allocates %.1f times per op, want 0", avg)
+	}
+	// A hit allocates the caller-owned match slice and the sort.Slice
+	// plumbing; budget a small constant so regressions (per-bucket or
+	// per-probe allocations) trip the gate.
+	if avg := testing.AllocsPerRun(50, func() {
+		if _, _, err := lib.Lookup(hit); err != nil {
+			t.Fatal(err)
+		}
+	}); avg > 8 {
+		t.Errorf("hit Lookup allocates %.1f times per op, want ≤ 8", avg)
+	}
+}

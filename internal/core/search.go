@@ -2,8 +2,12 @@ package core
 
 import (
 	"fmt"
+	"math"
+	"runtime"
 	"sort"
+	"sync"
 
+	"repro/internal/bitvec"
 	"repro/internal/genome"
 	"repro/internal/hdc"
 )
@@ -54,10 +58,26 @@ func (l *Library) Threshold() float64 {
 		l.params.Alpha, l.params.Beta, maxInt(len(l.bkts), 1), l.params.MutTolerance)
 }
 
+// probeShardMin is the minimum number of buckets each worker must have
+// before the probe scan fans out across goroutines; below
+// 2·probeShardMin buckets the scan stays serial (goroutine dispatch
+// would cost more than the scan). A variable so tests can force the
+// sharded path on small libraries.
+var probeShardMin = 4096
+
 // Probe scores an encoded query window against every bucket and returns
 // the candidates above the model threshold. This is the pure HDC search
 // stage — exactly the computation the PIM architecture executes in
 // memory. The library must be frozen.
+//
+// Sealed libraries scan the flat arena with the fused XNOR-popcount
+// kernel, converting the threshold τ into a maximum Hamming distance
+// once per probe and abandoning each row as soon as that bound is
+// exceeded; large libraries shard the scan across a bounded worker
+// pool. Both transformations are exact: the candidates (order, scores,
+// excesses) are identical to a serial full scan. Stats count the full
+// scan — BucketProbes is the work the PIM hardware would do, not the
+// words the software kernel happened to touch.
 func (l *Library) Probe(hv *hdc.HV, stats *Stats) ([]Candidate, error) {
 	if !l.frozen {
 		return nil, fmt.Errorf("core: Probe before Freeze")
@@ -65,29 +85,98 @@ func (l *Library) Probe(hv *hdc.HV, stats *Stats) ([]Candidate, error) {
 	if hv.Dim() != l.params.Dim {
 		return nil, fmt.Errorf("core: query dimension %d != library %d", hv.Dim(), l.params.Dim)
 	}
-	tau := l.Threshold()
-	var out []Candidate
-	for i := range l.bkts {
-		score := l.score(i, hv)
-		if stats != nil {
-			stats.BucketProbes++
-		}
-		if score >= tau {
-			out = append(out, Candidate{Bucket: i, Score: score, Excess: score - tau})
-			if stats != nil {
-				stats.CandidateBuckets++
-			}
-		}
+	out := l.probeInto(make([]Candidate, 0, candidateHint), hv)
+	if stats != nil {
+		stats.BucketProbes += len(l.bkts)
+		stats.CandidateBuckets += len(out)
+	}
+	if len(out) == 0 {
+		return nil, nil
 	}
 	return out, nil
 }
 
+// probeInto appends every bucket whose score reaches the threshold to
+// dst and returns it. Callers must have validated frozenness and the
+// query dimension.
+func (l *Library) probeInto(dst []Candidate, hv *hdc.HV) []Candidate {
+	tau := l.Threshold()
+	// τ → Hamming bound: an integer dot passes score ≥ τ iff
+	// dot ≥ ⌈τ⌉, and dot = D − 2·hamming, so a sealed row passes iff
+	// hamming ≤ ⌊(D − ⌈τ⌉)/2⌋. A row whose partial distance already
+	// exceeds that can never become a candidate. The arithmetic shift
+	// is a floor division — Go's / truncates toward zero, which for a
+	// negative numerator (τ > D) would admit distance 0.
+	maxHam := (l.params.Dim - int(math.Ceil(tau))) >> 1
+	n := len(l.bkts)
+	workers := runtime.GOMAXPROCS(0)
+	if w := n / probeShardMin; workers > w {
+		workers = w
+	}
+	if workers <= 1 {
+		return l.probeRange(dst, hv, tau, maxHam, 0, n)
+	}
+	// Sharded scan: contiguous bucket ranges, one per worker, merged in
+	// shard order so the result is byte-identical to the serial scan.
+	per := (n + workers - 1) / workers
+	parts := make([][]Candidate, workers)
+	var wg sync.WaitGroup
+	for s := 0; s < workers; s++ {
+		lo := s * per
+		hi := minInt(lo+per, n)
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(s, lo, hi int) {
+			defer wg.Done()
+			parts[s] = l.probeRange(nil, hv, tau, maxHam, lo, hi)
+		}(s, lo, hi)
+	}
+	wg.Wait()
+	for _, p := range parts {
+		dst = append(dst, p...)
+	}
+	return dst
+}
+
+// probeRange scans buckets [lo, hi), appending candidates to dst.
+// Sealed libraries run the early-abandoning fused XNOR-popcount kernel
+// over consecutive arena rows (AVX2 on amd64); raw-count libraries
+// keep the exact counter dot product.
+func (l *Library) probeRange(dst []Candidate, hv *hdc.HV, tau float64, maxHam, lo, hi int) []Candidate {
+	if l.params.Sealed && l.arena != nil {
+		q := hv.Words()
+		d := l.params.Dim
+		rw := l.rowWords
+		if len(q) != rw {
+			panic(fmt.Sprintf("core: query words %d != row words %d", len(q), rw))
+		}
+		arena := l.arena
+		for i := lo; i < hi; i++ {
+			row := arena[i*rw : i*rw+rw : i*rw+rw]
+			if h, ok := bitvec.HammingBounded(row, q, maxHam); ok {
+				score := float64(d - 2*h)
+				dst = append(dst, Candidate{Bucket: i, Score: score, Excess: score - tau})
+			}
+		}
+		return dst
+	}
+	for i := lo; i < hi; i++ {
+		if score := l.score(i, hv); score >= tau {
+			dst = append(dst, Candidate{Bucket: i, Score: score, Excess: score - tau})
+		}
+	}
+	return dst
+}
+
 // verify refines candidates into matches by direct comparison of the
 // query window against each member window of each candidate bucket,
-// accepting distance ≤ tol.
-func (l *Library) verify(q *genome.Sequence, qOff int, cands []Candidate, tol int, stats *Stats) []Match {
+// accepting distance ≤ tol. Matches are appended to out, which is
+// returned (append-style, so Lookup accumulates across alignments
+// without an intermediate slice).
+func (l *Library) verify(out []Match, q *genome.Sequence, qOff int, cands []Candidate, tol int, stats *Stats) []Match {
 	w := l.params.Window
-	var out []Match
 	for _, c := range cands {
 		for _, wr := range l.bkts[c.Bucket].windows {
 			ref := l.refs[wr.Ref].Seq
@@ -137,27 +226,29 @@ func (l *Library) Lookup(pattern *genome.Sequence) ([]Match, Stats, error) {
 		tol = l.params.MutTolerance
 	}
 	alignments := minInt(l.params.Stride, pattern.Len()-w+1)
+	sc := l.getScratch()
+	defer l.putScratch(sc)
 	var matches []Match
 	for a := 0; a < alignments; a++ {
-		var hv *hdc.HV
 		if l.params.Approx {
-			hv = l.enc.EncodeWindowApprox(pattern, a)
+			l.enc.EncodeWindowApproxInto(sc.hv, sc.acc, pattern, a)
 		} else {
-			hv = l.enc.EncodeWindowExact(pattern, a)
+			l.enc.EncodeWindowExactInto(sc.hv, pattern, a)
 		}
 		stats.Alignments++
-		cands, err := l.Probe(hv, &stats)
-		if err != nil {
-			return nil, stats, err
-		}
-		matches = append(matches, l.verify(pattern, a, cands, tol, &stats)...)
+		sc.cands = l.probeInto(sc.cands[:0], sc.hv)
+		stats.BucketProbes += len(l.bkts)
+		stats.CandidateBuckets += len(sc.cands)
+		matches = l.verify(matches, pattern, a, sc.cands, tol, &stats)
 	}
-	sort.Slice(matches, func(i, j int) bool {
-		if matches[i].Ref != matches[j].Ref {
-			return matches[i].Ref < matches[j].Ref
-		}
-		return matches[i].Off < matches[j].Off
-	})
+	if len(matches) > 1 {
+		sort.Slice(matches, func(i, j int) bool {
+			if matches[i].Ref != matches[j].Ref {
+				return matches[i].Ref < matches[j].Ref
+			}
+			return matches[i].Off < matches[j].Off
+		})
+	}
 	return matches, stats, nil
 }
 

@@ -51,6 +51,7 @@ func (l *Library) Remove(refIdx int) error {
 		b.windows = kept
 		if touched {
 			b.sealed = b.acc.Seal(l.params.Seed ^ 0x5ea1)
+			l.packRow(bi) // republish the re-sealed row in the probe arena
 		}
 	}
 	rec.Seq = nil

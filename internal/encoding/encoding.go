@@ -140,15 +140,31 @@ func (e *Encoder) checkWindow(seq *genome.Sequence, start int) {
 	}
 }
 
+func (e *Encoder) checkDim(dst *hdc.HV) {
+	if dst.Dim() != e.cfg.Dim {
+		panic(fmt.Sprintf("encoding: destination dimension %d != encoder %d", dst.Dim(), e.cfg.Dim))
+	}
+}
+
 // EncodeWindowExact returns the binding-chain encoding of the window of
 // seq starting at start. It panics if the window overruns the sequence.
 func (e *Encoder) EncodeWindowExact(seq *genome.Sequence, start int) *hdc.HV {
-	e.checkWindow(seq, start)
-	out := e.rot[seq.At(start)][0].Clone()
-	for i := 1; i < e.cfg.Window; i++ {
-		out.Bind(out, e.rot[seq.At(start+i)][i])
-	}
+	out := hdc.NewHV(e.cfg.Dim)
+	e.EncodeWindowExactInto(out, seq, start)
 	return out
+}
+
+// EncodeWindowExactInto stores the binding-chain encoding of the window
+// of seq starting at start into dst, reusing dst's storage — the
+// allocation-free variant for query hot paths. It panics if the window
+// overruns the sequence or dst has the wrong dimension.
+func (e *Encoder) EncodeWindowExactInto(dst *hdc.HV, seq *genome.Sequence, start int) {
+	e.checkWindow(seq, start)
+	e.checkDim(dst)
+	dst.CopyFrom(e.rot[seq.At(start)][0])
+	for i := 1; i < e.cfg.Window; i++ {
+		dst.Bind(dst, e.rot[seq.At(start+i)][i])
+	}
 }
 
 // EncodeWindowApprox returns the sealed positional-bundle encoding of the
@@ -156,6 +172,21 @@ func (e *Encoder) EncodeWindowExact(seq *genome.Sequence, start int) *hdc.HV {
 func (e *Encoder) EncodeWindowApprox(seq *genome.Sequence, start int) *hdc.HV {
 	acc := e.AccumulateWindow(seq, start)
 	return e.SealLogical(acc, 0)
+}
+
+// EncodeWindowApproxInto stores the sealed positional-bundle encoding of
+// the window at start into dst, using acc as counter scratch (its prior
+// contents are discarded) — the allocation-free variant for query hot
+// paths. It panics if the window overruns the sequence or dst/acc have
+// the wrong dimension.
+func (e *Encoder) EncodeWindowApproxInto(dst *hdc.HV, acc *hdc.Acc, seq *genome.Sequence, start int) {
+	e.checkWindow(seq, start)
+	e.checkDim(dst)
+	acc.Reset()
+	for i := 0; i < e.cfg.Window; i++ {
+		acc.Add(e.rot[seq.At(start+i)][i])
+	}
+	e.SealLogicalInto(dst, acc, 0)
 }
 
 // DecodeWindowApprox recovers the window content memorized in a sealed
@@ -302,9 +333,17 @@ func addLogical(acc *hdc.Acc, h *hdc.HV, off int, scratch *hdc.HV, add bool) {
 // deterministic hash of the *logical* dimension index, so the same window
 // seals identically whether encoded directly or reached by sliding.
 func (e *Encoder) SealLogical(acc *hdc.Acc, off int) *hdc.HV {
+	out := hdc.NewHV(e.cfg.Dim)
+	e.SealLogicalInto(out, acc, off)
+	return out
+}
+
+// SealLogicalInto is SealLogical writing into dst instead of
+// allocating. It panics if dst has the wrong dimension.
+func (e *Encoder) SealLogicalInto(dst *hdc.HV, acc *hdc.Acc, off int) {
 	d := e.cfg.Dim
-	out := hdc.NewHV(d)
-	words := out.Bits().Words()
+	e.checkDim(dst)
+	words := dst.Bits().Words()
 	seed := e.tieSeed()
 	raw := off
 	for j := 0; j < d; j += 64 {
@@ -321,7 +360,6 @@ func (e *Encoder) SealLogical(acc *hdc.Acc, off int) *hdc.HV {
 		}
 		words[j/64] = w
 	}
-	return out
 }
 
 // tieBit is a deterministic balanced bit derived from (seed, logical

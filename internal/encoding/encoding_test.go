@@ -337,3 +337,36 @@ func BenchmarkEncodeWindowApproxDirect(b *testing.B) {
 		_ = e.EncodeWindowApprox(seq, i%64)
 	}
 }
+
+// The Into-variant benchmarks are the allocation story of the lookup
+// hot path: with caller-owned destinations, steady-state window
+// encoding must not allocate at all (allocs/op = 0 in the report).
+
+func BenchmarkEncodeWindowExactInto(b *testing.B) {
+	e, err := New(Config{Dim: 4096, Window: 64, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	seq := genome.Random(128, rng.New(1))
+	dst := hdc.NewHV(4096)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.EncodeWindowExactInto(dst, seq, i%64)
+	}
+}
+
+func BenchmarkEncodeWindowApproxInto(b *testing.B) {
+	e, err := New(Config{Dim: 4096, Window: 64, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	seq := genome.Random(128, rng.New(1))
+	dst := hdc.NewHV(4096)
+	acc := hdc.NewAcc(4096)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.EncodeWindowApproxInto(dst, acc, seq, i%64)
+	}
+}

@@ -65,8 +65,29 @@ func (h *HV) Dim() int { return h.bits.Len() }
 // Bits exposes the packed representation (shared, not copied).
 func (h *HV) Bits() *bitvec.Vector { return h.bits }
 
+// Words exposes the packed words directly (shared, not copied) — the
+// row format of the frozen-library arena kernels.
+func (h *HV) Words() []uint64 { return h.bits.Words() }
+
 // Clone returns an independent copy.
 func (h *HV) Clone() *HV { return &HV{bits: h.bits.Clone()} }
+
+// CopyFrom overwrites h with the contents of o, reusing h's storage.
+// Dimensions must match.
+func (h *HV) CopyFrom(o *HV) { h.bits.CopyFrom(o.bits) }
+
+// HVFromArenaRow wraps an arena row (exactly d/64 packed words) as a
+// hypervector WITHOUT copying: the returned HV aliases words, so
+// mutating either afterwards corrupts the other. It panics on a
+// misaligned dimension or a row of the wrong length; unlike
+// HVFromWords it insists on the exact length so that a frozen arena
+// row cannot silently carry trailing garbage.
+func HVFromArenaRow(words []uint64, d int) *HV {
+	if d <= 0 || d%64 != 0 || len(words) != d/64 {
+		panic(fmt.Sprintf("hdc: arena row of %d words cannot view dimension %d", len(words), d))
+	}
+	return &HV{bits: bitvec.FromWords(words, d)}
+}
 
 // Equal reports whether h and o are identical hypervectors.
 func (h *HV) Equal(o *HV) bool { return h.bits.Equal(o.bits) }

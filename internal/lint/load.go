@@ -3,6 +3,7 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -246,8 +247,13 @@ func isSourceFile(name string) bool {
 		!strings.HasPrefix(name, ".") && !strings.HasPrefix(name, "_")
 }
 
-// parseDir parses the non-test .go files of one directory. The returned
-// error is the first parse error; files that parse are still returned.
+// parseDir parses the non-test .go files of one directory that apply
+// to the host platform. Build constraints (//go:build lines and
+// filename suffixes like _amd64.go) are honored via go/build, so
+// platform-alternative files declaring the same names — e.g. an
+// assembly dispatch stub and its portable fallback — do not collide
+// during type checking. The returned error is the first parse error;
+// files that parse are still returned.
 func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
 	ents, err := os.ReadDir(dir)
 	if err != nil {
@@ -257,9 +263,13 @@ func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
 	var firstErr error
 	var names []string
 	for _, e := range ents {
-		if !e.IsDir() && isSourceFile(e.Name()) {
-			names = append(names, e.Name())
+		if e.IsDir() || !isSourceFile(e.Name()) {
+			continue
 		}
+		if ok, err := build.Default.MatchFile(dir, e.Name()); err != nil || !ok {
+			continue
+		}
+		names = append(names, e.Name())
 	}
 	sort.Strings(names)
 	for _, name := range names {
