@@ -6,7 +6,7 @@ GO       ?= go
 FUZZTIME ?= 30s
 PKGS      = ./...
 
-.PHONY: all build test race vet lint fuzz bench benchsmoke check clean
+.PHONY: all build test race vet lint fuzz bench benchsmoke smoke check clean
 
 all: build
 
@@ -48,8 +48,14 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzEncodeDecode -fuzztime=$(FUZZTIME) ./internal/encoding
 	$(GO) test -run='^$$' -fuzz=FuzzReadLibrary -fuzztime=$(FUZZTIME) ./internal/core
 
-## check: the full gate — build, vet, lint, then tests under the race detector
-check: build vet lint race
+## smoke: end-to-end service check — serve a generated library, hit
+## /healthz, /v1/search, and /metrics, then SIGTERM and assert a clean drain
+smoke:
+	./scripts/smoke.sh
+
+## check: the full gate — build, vet, lint, tests under the race
+## detector, then the service smoke test
+check: build vet lint race smoke
 
 clean:
 	$(GO) clean $(PKGS)

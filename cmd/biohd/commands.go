@@ -1,13 +1,19 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"log"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"repro/internal/accel"
 	"repro/internal/core"
@@ -21,12 +27,25 @@ import (
 
 // cmdServe exposes a library over HTTP (see internal/server for the
 // API). The library is built from -ref or loaded from -lib.
+//
+// Lifecycle: the server runs until SIGINT/SIGTERM, then stops accepting
+// connections and drains in-flight requests for up to -drain before
+// exiting. A clean drain exits 0; overrunning the drain deadline is an
+// error.
 func cmdServe(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	lf := addLibFlags(fs)
 	refFile := fs.String("ref", "", "reference FASTA")
 	libFile := fs.String("lib", "", "saved library file (alternative to -ref)")
 	addr := fs.String("addr", "127.0.0.1:8650", "listen address")
+	cfg := server.DefaultConfig()
+	fs.DurationVar(&cfg.ReadHeaderTimeout, "header-timeout", cfg.ReadHeaderTimeout, "request header read timeout")
+	fs.DurationVar(&cfg.ReadTimeout, "read-timeout", cfg.ReadTimeout, "full request read timeout")
+	fs.DurationVar(&cfg.WriteTimeout, "write-timeout", cfg.WriteTimeout, "response write timeout")
+	fs.DurationVar(&cfg.IdleTimeout, "idle-timeout", cfg.IdleTimeout, "keep-alive idle connection timeout")
+	fs.DurationVar(&cfg.RequestTimeout, "request-timeout", cfg.RequestTimeout, "per-request handler deadline (cancels in-flight batches)")
+	drain := fs.Duration("drain", 15*time.Second, "graceful-shutdown drain deadline after SIGINT/SIGTERM")
+	quiet := fs.Bool("quiet", false, "disable per-request logging")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -34,7 +53,11 @@ func cmdServe(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	srv, err := server.New(lib)
+	opts := []server.Option{server.WithConfig(cfg)}
+	if !*quiet {
+		opts = append(opts, server.WithLogger(log.New(out, "", log.LstdFlags)))
+	}
+	srv, err := server.New(lib, opts...)
 	if err != nil {
 		return err
 	}
@@ -42,9 +65,33 @@ func cmdServe(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "serving %d references (%d buckets) on http://%s\n",
-		lib.NumRefs(), lib.NumBuckets(), ln.Addr())
-	return http.Serve(ln, srv.Handler())
+	hs := srv.HTTPServer(*addr)
+	fmt.Fprintf(out, "serving %d references (%d buckets) on http://%s (drain %s)\n",
+		lib.NumRefs(), lib.NumBuckets(), ln.Addr(), *drain)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		// The listener failed before any signal arrived.
+		return err
+	case <-ctx.Done():
+	}
+	stop() // a second signal now kills the process immediately
+	fmt.Fprintf(out, "signal received; draining for up to %s\n", *drain)
+	sctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	shutdownErr := hs.Shutdown(sctx)
+	if serveErr := <-errc; serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) {
+		return serveErr
+	}
+	if shutdownErr != nil {
+		return fmt.Errorf("drain deadline exceeded: %w", shutdownErr)
+	}
+	fmt.Fprintln(out, "shutdown complete")
+	return nil
 }
 
 // cmdGen generates synthetic datasets as FASTA on stdout or -o.

@@ -1,18 +1,24 @@
 // Searchservice: the platform as a service. Builds a library, serves it
-// over the HTTP JSON API on a loopback port, and exercises the API as a
-// client would — stats, single search, both-strand search, read
-// classification, and a batch.
+// over the HTTP JSON API on a loopback port with production lifecycle
+// settings (connection timeouts, per-request deadline), and exercises
+// the API as a client would — stats, single search, both-strand search,
+// read classification, a batch, and the Prometheus metrics — then
+// drains the server gracefully.
 //
 //	go run ./examples/searchservice
 package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
+	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/genome"
@@ -32,8 +38,11 @@ func main() {
 	must(lib.Add(genome.Record{ID: "chr2", Seq: chr2}))
 	lib.Freeze()
 
-	// 2. Serve on an ephemeral loopback port.
-	srv, err := server.New(lib)
+	// 2. Serve on an ephemeral loopback port with lifecycle timeouts:
+	// a production-shaped http.Server, not a bare http.Serve.
+	srv, err := server.New(lib, server.WithConfig(server.Config{
+		RequestTimeout: 10 * time.Second,
+	}))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -41,8 +50,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	//lint:ignore concurrency demo server runs until the process exits
-	go http.Serve(ln, srv.Handler())
+	hs := srv.HTTPServer(ln.Addr().String())
+	done := make(chan error, 1)
+	go func() { done <- hs.Serve(ln) }()
 	base := "http://" + ln.Addr().String()
 	fmt.Println("serving on", base)
 
@@ -89,6 +99,32 @@ func main() {
 	for i, item := range br.Results {
 		fmt.Printf("batch[%d]: %d match(es)\n", i, len(item.Matches))
 	}
+
+	// 8. Metrics: every request above was counted and timed.
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	must(resp.Body.Close())
+	for _, line := range strings.Split(string(body), "\n") {
+		if strings.HasPrefix(line, "biohd_http_requests_total") ||
+			strings.HasPrefix(line, "biohd_core_bucket_probes_total") {
+			fmt.Println("metric:", line)
+		}
+	}
+
+	// 9. Graceful shutdown: stop accepting, drain in-flight requests.
+	if err := hs.Shutdown(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+	if err := <-done; err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+	fmt.Println("server drained cleanly")
 }
 
 func must(err error) {

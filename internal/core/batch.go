@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -20,6 +21,20 @@ type BatchResult struct {
 // locking. Results are returned in input order, and the aggregate Stats
 // sums every query's work.
 func (l *Library) LookupBatch(patterns []*genome.Sequence, workers int) ([]BatchResult, Stats, error) {
+	return l.LookupBatchContext(context.Background(), patterns, workers)
+}
+
+// LookupBatchContext is LookupBatch with cancellation: once ctx is
+// canceled (client disconnect, deadline), workers stop dequeuing
+// patterns and undispatched patterns are marked with ctx's error
+// instead of being searched. The call still returns the partial
+// results — every pattern slot is filled, either with its lookup
+// outcome or with Err set to ctx.Err() — plus the aggregate Stats of
+// the lookups that did run, and ctx's error so callers can tell a
+// complete batch (nil) from a truncated one. Lookups already in flight
+// when ctx fires run to completion; cancellation stops new work, it
+// does not tear down the probe kernel mid-scan.
+func (l *Library) LookupBatchContext(ctx context.Context, patterns []*genome.Sequence, workers int) ([]BatchResult, Stats, error) {
 	if !l.frozen {
 		return nil, Stats{}, fmt.Errorf("core: LookupBatch before Freeze")
 	}
@@ -32,18 +47,34 @@ func (l *Library) LookupBatch(patterns []*genome.Sequence, workers int) ([]Batch
 	results := make([]BatchResult, len(patterns))
 	var wg sync.WaitGroup
 	next := make(chan int)
+	done := ctx.Done()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range next {
+				// A pattern may have been queued just before ctx fired;
+				// re-check so at most `workers` lookups start after
+				// cancellation.
+				if err := ctx.Err(); err != nil {
+					results[i] = BatchResult{Err: err}
+					continue
+				}
 				m, s, err := l.Lookup(patterns[i])
 				results[i] = BatchResult{Matches: m, Stats: s, Err: err}
 			}
 		}()
 	}
+feed:
 	for i := range patterns {
-		next <- i
+		select {
+		case next <- i:
+		case <-done:
+			for j := i; j < len(patterns); j++ {
+				results[j] = BatchResult{Err: ctx.Err()}
+			}
+			break feed
+		}
 	}
 	close(next)
 	wg.Wait()
@@ -51,7 +82,11 @@ func (l *Library) LookupBatch(patterns []*genome.Sequence, workers int) ([]Batch
 	for _, r := range results {
 		agg.add(r.Stats)
 	}
-	return results, agg, nil
+	err := ctx.Err()
+	if err != nil {
+		l.ctr.batchCancellations.Add(1)
+	}
+	return results, agg, err
 }
 
 // Strand identifies which DNA strand a match was found on.

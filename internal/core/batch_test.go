@@ -1,7 +1,10 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"testing"
+	"time"
 
 	"repro/internal/genome"
 	"repro/internal/rng"
@@ -79,6 +82,117 @@ func TestLookupBatchPropagatesQueryErrors(t *testing.T) {
 	if results[1].Err == nil {
 		t.Fatal("short query did not error")
 	}
+}
+
+func TestLookupBatchContextPreCanceled(t *testing.T) {
+	lib, ref := buildExactLib(t, 2000, 71)
+	patterns := []*genome.Sequence{ref.Slice(0, 32), ref.Slice(40, 72)}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	before := lib.Counters()
+	results, agg, err := lib.LookupBatchContext(ctx, patterns, 2)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(results) != len(patterns) {
+		t.Fatalf("%d results", len(results))
+	}
+	for i, r := range results {
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Fatalf("result %d: err = %v, want context.Canceled", i, r.Err)
+		}
+	}
+	if agg != (Stats{}) {
+		t.Fatalf("canceled batch reported work: %+v", agg)
+	}
+	after := lib.Counters()
+	if after.BucketProbes != before.BucketProbes {
+		t.Fatalf("probe counter advanced on a pre-canceled batch: %d → %d",
+			before.BucketProbes, after.BucketProbes)
+	}
+	if after.BatchCancellations != before.BatchCancellations+1 {
+		t.Fatalf("cancellation counter %d → %d, want +1",
+			before.BatchCancellations, after.BatchCancellations)
+	}
+}
+
+func TestLookupBatchContextCancelMidBatch(t *testing.T) {
+	// A dense library (capacity 4 → hundreds of buckets per probe)
+	// keeps individual lookups slow enough that a cancel fired right
+	// after the first probe lands mid-batch. The outer loop retries
+	// the rare scheduling fluke where the whole batch still finishes
+	// before the cancel is observed.
+	src := rng.New(72)
+	ref := genome.Random(3000, src)
+	lib := mustLibrary(t, Params{Dim: 8192, Window: 32, Sealed: true, Capacity: 4, Seed: 73})
+	if err := lib.Add(genome.Record{ID: "ref", Seq: ref}); err != nil {
+		t.Fatal(err)
+	}
+	lib.Freeze()
+	const n = 1024
+	patterns := make([]*genome.Sequence, n)
+	for i := range patterns {
+		off := (i * 37) % (ref.Len() - 32)
+		patterns[i] = ref.Slice(off, off+32)
+	}
+	// Measure what the full batch costs, then rerun it with a context
+	// canceled as soon as the probe counter first advances.
+	_, fullAgg, err := lib.LookupBatch(patterns, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for attempt := 0; ; attempt++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		start := lib.Counters().BucketProbes
+		go func() {
+			for lib.Counters().BucketProbes == start {
+				time.Sleep(20 * time.Microsecond)
+			}
+			cancel()
+		}()
+		before := lib.Counters()
+		results, agg, err := lib.LookupBatchContext(ctx, patterns, 2)
+		cancel()
+		if !errors.Is(err, context.Canceled) || countCanceled(results) == 0 {
+			if attempt < 5 {
+				continue // batch outran the cancel; try again
+			}
+			t.Fatalf("batch of %d finished before cancel on every attempt (err=%v)", n, err)
+		}
+		delta := lib.Counters().BucketProbes - before.BucketProbes
+		if delta >= int64(fullAgg.BucketProbes) {
+			t.Fatalf("canceled batch probed as much as a full batch (%d probes)", delta)
+		}
+		done := 0
+		var wantAgg Stats
+		for i, r := range results {
+			switch {
+			case r.Err == nil:
+				done++
+				wantAgg.add(r.Stats)
+			case errors.Is(r.Err, context.Canceled):
+			default:
+				t.Fatalf("result %d: unexpected error %v", i, r.Err)
+			}
+		}
+		if done == 0 {
+			t.Fatal("no pattern completed before the cancel")
+		}
+		if agg != wantAgg {
+			t.Fatalf("aggregate %+v != sum of completed results %+v", agg, wantAgg)
+		}
+		return
+	}
+}
+
+func countCanceled(results []BatchResult) int {
+	n := 0
+	for _, r := range results {
+		if errors.Is(r.Err, context.Canceled) {
+			n++
+		}
+	}
+	return n
 }
 
 func TestLookupBatchRequiresFreeze(t *testing.T) {

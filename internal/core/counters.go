@@ -1,0 +1,44 @@
+package core
+
+import "sync/atomic"
+
+// Counters is a point-in-time snapshot of a library's cumulative
+// operational counters, taken with Library.Counters. Unlike Stats —
+// which models the work one query *would* cost the PIM hardware and is
+// deterministic per query — these count what the software actually did
+// across the library's lifetime, including shortcuts the hardware model
+// ignores. They exist for observability (the HTTP /metrics endpoint
+// exposes them as Prometheus counters), not for experiments.
+type Counters struct {
+	// BucketProbes counts query-window/bucket probe scans across every
+	// lookup served by this library (each probe scans all buckets).
+	BucketProbes int64
+	// EarlyAbandons counts sealed-arena rows the bounded XNOR-popcount
+	// kernel rejected before completing the full row scan.
+	EarlyAbandons int64
+	// BatchCancellations counts LookupBatchContext calls stopped early
+	// by context cancellation or deadline expiry.
+	BatchCancellations int64
+}
+
+// libCounters is the live atomic form embedded in Library. Writers
+// accumulate locally and publish with one atomic add per probe/range,
+// so the hot kernel loop stays free of synchronization.
+type libCounters struct {
+	bucketProbes       atomic.Int64
+	earlyAbandons      atomic.Int64
+	batchCancellations atomic.Int64
+}
+
+// Counters returns a snapshot of the library's cumulative operational
+// counters. Safe to call concurrently with lookups; the three fields
+// are read independently, so a snapshot taken mid-lookup may be
+// slightly torn across fields — each field is itself consistent and
+// monotonic.
+func (l *Library) Counters() Counters {
+	return Counters{
+		BucketProbes:       l.ctr.bucketProbes.Load(),
+		EarlyAbandons:      l.ctr.earlyAbandons.Load(),
+		BatchCancellations: l.ctr.batchCancellations.Load(),
+	}
+}

@@ -126,6 +126,11 @@ type Library struct {
 	// accumulator, candidate slice) so steady-state Lookup does not
 	// allocate; see lookupScratch.
 	scratch sync.Pool
+
+	// ctr accumulates lifetime operational counters (probe scans, early
+	// abandons, batch cancellations) for the /metrics endpoint; see
+	// Counters.
+	ctr libCounters
 }
 
 // lookupScratch is the reusable per-query state of the lookup paths.

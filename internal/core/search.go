@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
@@ -100,6 +101,7 @@ func (l *Library) Probe(hv *hdc.HV, stats *Stats) ([]Candidate, error) {
 // dst and returns it. Callers must have validated frozenness and the
 // query dimension.
 func (l *Library) probeInto(dst []Candidate, hv *hdc.HV) []Candidate {
+	l.ctr.bucketProbes.Add(int64(len(l.bkts)))
 	tau := l.Threshold()
 	// τ → Hamming bound: an integer dot passes score ≥ τ iff
 	// dot ≥ ⌈τ⌉, and dot = D − 2·hamming, so a sealed row passes iff
@@ -153,12 +155,20 @@ func (l *Library) probeRange(dst []Candidate, hv *hdc.HV, tau float64, maxHam, l
 			panic(fmt.Sprintf("core: query words %d != row words %d", len(q), rw))
 		}
 		arena := l.arena
+		abandoned := int64(0)
 		for i := lo; i < hi; i++ {
 			row := arena[i*rw : i*rw+rw : i*rw+rw]
 			if h, ok := bitvec.HammingBounded(row, q, maxHam); ok {
 				score := float64(d - 2*h)
 				dst = append(dst, Candidate{Bucket: i, Score: score, Excess: score - tau})
+			} else {
+				abandoned++
 			}
+		}
+		if abandoned > 0 {
+			// One atomic publish per range keeps the row loop
+			// synchronization-free.
+			l.ctr.earlyAbandons.Add(abandoned)
 		}
 		return dst
 	}
@@ -335,6 +345,12 @@ func (l *Library) LookupLong(query *genome.Sequence, minFrac float64) ([]RefMatc
 	return out, stats, nil
 }
 
+// ErrNoSupport is returned (wrapped) by Classify when the query is
+// valid but no reference reaches the requested window-vote support —
+// a not-found outcome, distinct from invalid-input errors such as a
+// query shorter than the window. Test with errors.Is.
+var ErrNoSupport = errors.New("core: no reference reaches support")
+
 // Classify returns the single best-supported reference for a query, or
 // an error if no reference reaches minFrac support. It is the variant-
 // classification entry point used by the COVID-19 case study.
@@ -344,7 +360,7 @@ func (l *Library) Classify(query *genome.Sequence, minFrac float64) (RefMatch, S
 		return RefMatch{}, stats, err
 	}
 	if len(ranked) == 0 {
-		return RefMatch{}, stats, fmt.Errorf("core: no reference reaches support %v", minFrac)
+		return RefMatch{}, stats, fmt.Errorf("%w %v", ErrNoSupport, minFrac)
 	}
 	return ranked[0], stats, nil
 }

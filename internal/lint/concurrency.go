@@ -6,9 +6,10 @@ import (
 	"go/types"
 )
 
-// Concurrency enforces two local hygiene rules on goroutine launches,
-// the invariants that keep the concurrent build (AddConcurrent) and the
-// batch engine (LookupBatch) race-free as they grow:
+// Concurrency enforces three local hygiene rules on goroutine launches
+// and server construction, the invariants that keep the concurrent
+// build (AddConcurrent), the batch engine (LookupBatch), and the HTTP
+// front end race-free and unstallable as they grow:
 //
 //  1. A function that launches goroutines must also join them: a
 //     WaitGroup Wait, a channel receive (including range and select),
@@ -19,6 +20,10 @@ import (
 //     variable by reference; pass it as an argument. (Go ≥ 1.22 makes
 //     the capture per-iteration, but the explicit parameter keeps the
 //     dataflow reviewable and the code safe to backport.)
+//  3. An http.Server composite literal must set ReadHeaderTimeout.
+//     The zero value means a client can hold a connection (and its
+//     serving goroutine) open forever before sending headers — a
+//     slow-loris leak that no join discipline can see.
 //
 // The join rule is deliberately function-local; a launcher that hands
 // ownership of the join to its caller documents that with a
@@ -30,7 +35,8 @@ func (Concurrency) Name() string { return "concurrency" }
 
 // Doc implements Analyzer.
 func (Concurrency) Doc() string {
-	return "goroutines must join in their launching function and not capture loop variables"
+	return "goroutines must join in their launching function and not capture loop variables; " +
+		"http.Server literals must set ReadHeaderTimeout"
 }
 
 // Run implements Analyzer.
@@ -43,8 +49,57 @@ func (Concurrency) Run(pkg *Package) []Diagnostic {
 				diags = append(diags, checkFunc(pkg, fn)...)
 			}
 		}
+		diags = append(diags, serverLiteralDiags(pkg, f)...)
 	}
 	return diags
+}
+
+// serverLiteralDiags flags net/http.Server composite literals that do
+// not set ReadHeaderTimeout. Identification is type-based when type
+// information resolved, with a syntactic http.Server fallback so the
+// rule still fires in packages whose imports failed to load.
+func serverLiteralDiags(pkg *Package, f *ast.File) []Diagnostic {
+	var diags []Diagnostic
+	ast.Inspect(f, func(n ast.Node) bool {
+		lit, ok := n.(*ast.CompositeLit)
+		if !ok || !isHTTPServerLit(pkg, lit) {
+			return true
+		}
+		for _, el := range lit.Elts {
+			kv, ok := el.(*ast.KeyValueExpr)
+			if !ok {
+				continue
+			}
+			if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "ReadHeaderTimeout" {
+				return true
+			}
+		}
+		diags = append(diags, Diagnostic{
+			Pos:  pkg.Fset.Position(lit.Pos()),
+			Rule: "concurrency",
+			Message: "http.Server literal without ReadHeaderTimeout; " +
+				"a header-less client holds its serving goroutine forever (slow loris)",
+		})
+		return true
+	})
+	return diags
+}
+
+// isHTTPServerLit reports whether the composite literal constructs a
+// net/http.Server value.
+func isHTTPServerLit(pkg *Package, lit *ast.CompositeLit) bool {
+	if t := pkg.TypeOf(lit); t != nil {
+		if named, ok := t.(*types.Named); ok {
+			obj := named.Obj()
+			return obj.Name() == "Server" && obj.Pkg() != nil && obj.Pkg().Path() == "net/http"
+		}
+	}
+	sel, ok := lit.Type.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Server" {
+		return false
+	}
+	x, ok := sel.X.(*ast.Ident)
+	return ok && x.Name == "http"
 }
 
 // checkFunc applies both goroutine rules to one function declaration.

@@ -1,7 +1,11 @@
 // Package conc exercises the concurrency analyzer.
 package conc
 
-import "sync"
+import (
+	"net/http"
+	"sync"
+	"time"
+)
 
 // Detached launches and never joins.
 func Detached(work func()) {
@@ -45,4 +49,18 @@ func ChannelJoined(n int, f func() int) int {
 		total += <-ch
 	}
 	return total
+}
+
+// BareServer builds an http.Server that accepts header-less connections
+// forever.
+func BareServer(addr string) *http.Server {
+	return &http.Server{Addr: addr} // flagged: no ReadHeaderTimeout
+}
+
+// GuardedServer bounds the header read and must pass.
+func GuardedServer(addr string) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
 }

@@ -1,0 +1,289 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/genome"
+	"repro/internal/rng"
+)
+
+// denseServer builds a server over a deliberately over-sharded library
+// (tiny bucket capacity => many buckets => slow scans) so that a large
+// batch takes long enough to cancel or drain mid-flight.
+func denseServer(t *testing.T, opts ...Option) (*Server, *genome.Sequence) {
+	t.Helper()
+	ref := genome.Random(3000, rng.New(91))
+	lib, err := core.NewLibrary(core.Params{
+		Dim: 8192, Window: 32, Sealed: true, Capacity: 4, Seed: 92,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lib.Add(genome.Record{ID: "chr1", Seq: ref}); err != nil {
+		t.Fatal(err)
+	}
+	lib.Freeze()
+	s, err := New(lib, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, ref
+}
+
+func batchBody(t *testing.T, ref *genome.Sequence, n int) []byte {
+	t.Helper()
+	req := BatchRequest{Workers: 1}
+	for i := 0; i < n; i++ {
+		off := (i * 7) % (ref.Len() - 32)
+		req.Patterns = append(req.Patterns, ref.Slice(off, off+32).String())
+	}
+	data, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func countBatchErrors(br *BatchResponse) (done, failed int) {
+	for _, r := range br.Results {
+		if r.Error == "" {
+			done++
+		} else {
+			failed++
+		}
+	}
+	return done, failed
+}
+
+// TestBatchDeadlineCancels exercises the per-request deadline middleware:
+// with an (absurdly) tight RequestTimeout every batch item is marked
+// canceled, the response still arrives as 200 with canceled=true, and no
+// probes were spent on the library.
+func TestBatchDeadlineCancels(t *testing.T) {
+	s, ref := denseServer(t, WithConfig(Config{RequestTimeout: time.Nanosecond}))
+	before := s.lib.Counters().BucketProbes
+
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("POST", "/v1/batch", bytes.NewReader(batchBody(t, ref, 8)))
+	s.Handler().ServeHTTP(rec, req)
+
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d, want 200 with partial results", rec.Code)
+	}
+	var br BatchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &br); err != nil {
+		t.Fatal(err)
+	}
+	if !br.Canceled {
+		t.Fatalf("canceled flag not set: %+v", br)
+	}
+	done, failed := countBatchErrors(&br)
+	if done != 0 || failed != 8 {
+		t.Fatalf("done=%d failed=%d, want all 8 canceled", done, failed)
+	}
+	if after := s.lib.Counters().BucketProbes; after != before {
+		t.Fatalf("expired request still probed the library (%d probes)", after-before)
+	}
+}
+
+// TestBatchClientCancelPartial cancels the request context while the
+// batch is mid-flight and checks three things: the handler returns a 200
+// partial response with canceled=true, some results completed while
+// others carry the context error, and the library's probe counter stops
+// advancing once the handler returns (workers actually quit).
+func TestBatchClientCancelPartial(t *testing.T) {
+	s, ref := denseServer(t)
+	body := batchBody(t, ref, 1024)
+
+	var br BatchResponse
+	for attempt := 0; ; attempt++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		start := s.lib.Counters().BucketProbes
+		go func() {
+			// Cancel as soon as the batch demonstrably started probing.
+			for s.lib.Counters().BucketProbes == start {
+				time.Sleep(20 * time.Microsecond)
+			}
+			cancel()
+		}()
+
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest("POST", "/v1/batch", bytes.NewReader(body)).WithContext(ctx)
+		s.Handler().ServeHTTP(rec, req)
+		cancel()
+
+		if rec.Code != http.StatusOK {
+			t.Fatalf("status %d, want 200 with partial results", rec.Code)
+		}
+		br = BatchResponse{}
+		if err := json.Unmarshal(rec.Body.Bytes(), &br); err != nil {
+			t.Fatal(err)
+		}
+		if br.Canceled {
+			break
+		}
+		// The whole batch outran the canceler; rare, but retry.
+		if attempt >= 5 {
+			t.Skip("batch repeatedly completed before cancellation; machine too fast for this timing test")
+		}
+	}
+
+	done, failed := countBatchErrors(&br)
+	if failed == 0 {
+		t.Fatalf("canceled batch has no canceled items (done=%d)", done)
+	}
+	for _, r := range br.Results {
+		if r.Error != "" && !strings.Contains(r.Error, "context canceled") {
+			t.Fatalf("unexpected item error %q", r.Error)
+		}
+	}
+
+	// Workers must have quit: the probe counter is static after return.
+	after := s.lib.Counters().BucketProbes
+	time.Sleep(30 * time.Millisecond)
+	if later := s.lib.Counters().BucketProbes; later != after {
+		t.Fatalf("probes still advancing after handler returned: %d -> %d", after, later)
+	}
+}
+
+// TestMetricsEndpoint drives traffic through the handler and checks the
+// Prometheus rendering: per-endpoint counters with status classes,
+// latency histogram buckets, and the core library counters.
+func TestMetricsEndpoint(t *testing.T) {
+	ts, ref := testServer(t)
+	resp := postJSON(t, ts.URL+"/v1/search", SearchRequest{Pattern: ref.Slice(10, 42).String()})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("search status %d", resp.StatusCode)
+	}
+	if resp, err := http.Get(ts.URL + "/healthz"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+	}
+	// One client error too, to get a 4xx series.
+	if got := postJSON(t, ts.URL+"/v1/search", SearchRequest{Pattern: ""}); got.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty pattern status %d", got.StatusCode)
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	if ct := mresp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	raw, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(raw)
+
+	for _, want := range []string{
+		`biohd_http_requests_total{path="/v1/search",status="2xx"} 1`,
+		`biohd_http_requests_total{path="/v1/search",status="4xx"} 1`,
+		`biohd_http_requests_total{path="/healthz",status="2xx"} 1`,
+		`biohd_http_request_seconds_bucket{path="/v1/search",le="+Inf"} 2`,
+		"# TYPE biohd_http_request_seconds histogram",
+		"# TYPE biohd_core_bucket_probes_total counter",
+		"# TYPE biohd_core_early_abandons_total counter",
+		"# TYPE biohd_core_batch_cancellations_total counter",
+		// The /metrics request itself is mid-flight while rendering.
+		"biohd_http_inflight_requests 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("metrics output missing %q:\n%s", want, out)
+		}
+	}
+
+	// The successful search probed real buckets; the exposed core counter
+	// must reflect that.
+	var probes int64
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "biohd_core_bucket_probes_total ") {
+			if _, err := fmt.Sscanf(line, "biohd_core_bucket_probes_total %d", &probes); err != nil {
+				t.Fatalf("unparsable counter line %q: %v", line, err)
+			}
+		}
+	}
+	if probes <= 0 {
+		t.Fatalf("biohd_core_bucket_probes_total = %d, want > 0", probes)
+	}
+}
+
+// TestGracefulShutdownDrains starts a real listener, parks a slow batch
+// in flight, then calls Shutdown: the in-flight request must complete
+// with a full (un-canceled) 200 response before Shutdown returns, and
+// the serve loop must exit with ErrServerClosed.
+func TestGracefulShutdownDrains(t *testing.T) {
+	s, ref := denseServer(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := s.HTTPServer(ln.Addr().String())
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	type result struct {
+		status int
+		br     BatchResponse
+		err    error
+	}
+	resc := make(chan result, 1)
+	go func() {
+		resp, err := http.Post("http://"+ln.Addr().String()+"/v1/batch",
+			"application/json", bytes.NewReader(batchBody(t, ref, 1024)))
+		if err != nil {
+			resc <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		var br BatchResponse
+		if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+			resc <- result{err: err}
+			return
+		}
+		resc <- result{status: resp.StatusCode, br: br}
+	}()
+
+	// Wait until the batch is demonstrably in flight before shutting down.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.InFlight() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("batch never went in flight")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := <-serveErr; err != http.ErrServerClosed {
+		t.Fatalf("Serve returned %v, want ErrServerClosed", err)
+	}
+
+	res := <-resc
+	if res.err != nil {
+		t.Fatalf("in-flight request failed during drain: %v", res.err)
+	}
+	if res.status != http.StatusOK || res.br.Canceled {
+		t.Fatalf("drained request: status=%d canceled=%v, want clean 200", res.status, res.br.Canceled)
+	}
+	if done, failed := countBatchErrors(&res.br); failed != 0 || done != 1024 {
+		t.Fatalf("drained batch truncated: done=%d failed=%d", done, failed)
+	}
+}

@@ -1,0 +1,116 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Metric names exposed by /metrics. Per-endpoint series are labeled
+// with the route path (unknown paths collapse to "other" to bound
+// cardinality) and, for the request counter, the status class.
+const (
+	metricRequestsTotal = "biohd_http_requests_total"
+	metricRequestSecs   = "biohd_http_request_seconds"
+	metricInFlight      = "biohd_http_inflight_requests"
+
+	helpRequestsTotal = "HTTP requests served, by route path and status class."
+	helpRequestSecs   = "HTTP request latency in seconds, by route path."
+	helpInFlight      = "HTTP requests currently being served."
+)
+
+// knownPaths are the mounted routes; everything else is labeled
+// "other" so a path-scanning client cannot mint unbounded series.
+var knownPaths = map[string]bool{
+	"/healthz":     true,
+	"/metrics":     true,
+	"/v1/stats":    true,
+	"/v1/search":   true,
+	"/v1/classify": true,
+	"/v1/batch":    true,
+}
+
+func normalizePath(p string) string {
+	if knownPaths[p] {
+		return p
+	}
+	return "other"
+}
+
+// statusClass buckets an HTTP status into "2xx".."5xx".
+func statusClass(code int) string {
+	switch {
+	case code >= 500:
+		return "5xx"
+	case code >= 400:
+		return "4xx"
+	case code >= 300:
+		return "3xx"
+	default:
+		return "2xx"
+	}
+}
+
+// statusWriter records the status code a handler wrote. Handlers in
+// this package always set explicit statuses; a body write without
+// WriteHeader still records the implicit 200.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.status == 0 {
+		sw.status = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	return sw.ResponseWriter.Write(b)
+}
+
+// withObservability counts and times every request (including unknown
+// routes and method mismatches) and maintains the in-flight gauge.
+func (s *Server) withObservability(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.inflight.Inc()
+		defer s.inflight.Dec()
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r)
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		path := normalizePath(r.URL.Path)
+		elapsed := time.Since(start)
+		s.reg.Counter(metricRequestsTotal, helpRequestsTotal,
+			metrics.Label{Key: "path", Value: path},
+			metrics.Label{Key: "status", Value: statusClass(status)}).Inc()
+		s.reg.Histogram(metricRequestSecs, helpRequestSecs, metrics.DefBuckets,
+			metrics.Label{Key: "path", Value: path}).Observe(elapsed.Seconds())
+		if s.logger != nil {
+			s.logger.Printf("%s %s %d %s", r.Method, r.URL.Path, status, elapsed)
+		}
+	})
+}
+
+// withDeadline applies the per-request handler deadline: the request
+// context is canceled RequestTimeout after the handler starts, which
+// cancellation-aware handlers (the batch path) observe mid-flight.
+func (s *Server) withDeadline(next http.Handler) http.Handler {
+	if s.cfg.RequestTimeout <= 0 {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
+}

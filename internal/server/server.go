@@ -6,20 +6,35 @@
 // Endpoints:
 //
 //	GET  /healthz     liveness
+//	GET  /metrics     Prometheus text metrics (requests, latency, core counters)
 //	GET  /v1/stats    library shape, model and calibration numbers
 //	POST /v1/search   one pattern → verified matches
 //	POST /v1/classify one long read → best-supported reference
 //	POST /v1/batch    many patterns → per-pattern matches
+//
+// Request lifecycle: the handler chain applies a per-request deadline
+// (Config.RequestTimeout) and records per-endpoint request counts and
+// latency histograms. Batch requests observe the request context —
+// when the client disconnects or the deadline fires, workers stop
+// dequeuing patterns and the response carries the partial results with
+// a "canceled" marker. Run the service through HTTPServer to get the
+// connection-level timeouts; see cmd/biohd's serve for the full
+// SIGTERM-drains-then-exits lifecycle.
 package server
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"strings"
 
 	"repro/internal/core"
 	"repro/internal/genome"
+	"repro/internal/metrics"
 )
 
 // maxBodyBytes bounds request bodies (patterns are short; reads are a
@@ -28,26 +43,61 @@ const maxBodyBytes = 16 << 20
 
 // Server serves search requests against one frozen library.
 type Server struct {
-	lib *core.Library
+	lib      *core.Library
+	cfg      Config
+	reg      *metrics.Registry
+	inflight *metrics.Gauge
+	logger   *log.Logger // nil: no per-request logging
+}
+
+// Option customizes a Server.
+type Option func(*Server)
+
+// WithConfig sets the request-lifecycle configuration (zero fields
+// take defaults; negative durations disable the timeout).
+func WithConfig(cfg Config) Option {
+	return func(s *Server) { s.cfg = cfg }
+}
+
+// WithLogger enables per-request logging (method, path, status,
+// latency) on the given logger.
+func WithLogger(l *log.Logger) Option {
+	return func(s *Server) { s.logger = l }
 }
 
 // New creates a Server. The library must be frozen.
-func New(lib *core.Library) (*Server, error) {
+func New(lib *core.Library, opts ...Option) (*Server, error) {
 	if lib == nil || !lib.Frozen() {
 		return nil, fmt.Errorf("server: library must be frozen")
 	}
-	return &Server{lib: lib}, nil
+	s := &Server{lib: lib, cfg: DefaultConfig(), reg: metrics.NewRegistry()}
+	for _, opt := range opts {
+		opt(s)
+	}
+	s.cfg = s.cfg.withDefaults()
+	s.inflight = s.reg.Gauge(metricInFlight, helpInFlight)
+	return s, nil
 }
 
-// Handler returns the HTTP handler with all routes mounted.
+// Registry exposes the server's metrics registry, e.g. for registering
+// additional series or asserting on counters in tests.
+func (s *Server) Registry() *metrics.Registry { return s.reg }
+
+// InFlight returns the number of requests currently being served.
+func (s *Server) InFlight() int64 { return s.inflight.Value() }
+
+// Handler returns the HTTP handler with all routes mounted and the
+// middleware chain applied (observability outermost, then the
+// per-request deadline).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("POST /v1/search", s.handleSearch)
 	mux.HandleFunc("POST /v1/classify", s.handleClassify)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
-	return mux
+	return s.withObservability(s.withDeadline(mux))
 }
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {
@@ -77,6 +127,27 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v interface{}) bool {
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleMetrics renders the HTTP metrics registry plus the library's
+// cumulative core counters in the Prometheus text format.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	var buf bytes.Buffer
+	if err := s.reg.WritePrometheus(&buf); err != nil {
+		writeError(w, http.StatusInternalServerError, "rendering metrics: %v", err)
+		return
+	}
+	c := s.lib.Counters()
+	fmt.Fprintf(&buf, "# HELP biohd_core_bucket_probes_total Query-window bucket probes executed by the library.\n"+
+		"# TYPE biohd_core_bucket_probes_total counter\nbiohd_core_bucket_probes_total %d\n", c.BucketProbes)
+	fmt.Fprintf(&buf, "# HELP biohd_core_early_abandons_total Sealed-arena rows rejected by the bounded probe kernel before a full row scan.\n"+
+		"# TYPE biohd_core_early_abandons_total counter\nbiohd_core_early_abandons_total %d\n", c.EarlyAbandons)
+	fmt.Fprintf(&buf, "# HELP biohd_core_batch_cancellations_total Batch lookups stopped early by context cancellation.\n"+
+		"# TYPE biohd_core_batch_cancellations_total counter\nbiohd_core_batch_cancellations_total %d\n", c.BatchCancellations)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	//lint:ignore errcheck a failed response write means the client is gone
+	w.Write(buf.Bytes())
 }
 
 // StatsResponse is the /v1/stats payload.
@@ -212,13 +283,25 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	if req.MinFraction > 1 {
+		// A fraction above 1 can never be satisfied; classifying with it
+		// would silently return 404 for every read.
+		writeError(w, http.StatusBadRequest, "minFraction %v must be in (0, 1]", req.MinFraction)
+		return
+	}
 	minFrac := req.MinFraction
 	if minFrac <= 0 {
 		minFrac = 0.5
 	}
 	best, _, err := s.lib.Classify(read, minFrac)
-	if err != nil {
+	switch {
+	case errors.Is(err, core.ErrNoSupport):
+		// Valid read, no reference reaches the support threshold.
 		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	case err != nil:
+		// Invalid input, e.g. a read shorter than the window.
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, ClassifyResponse{
@@ -242,14 +325,39 @@ type BatchItem struct {
 	Error   string      `json:"error,omitempty"`
 }
 
-// BatchResponse is the /v1/batch result.
+// BatchResponse is the /v1/batch result. Canceled reports that the
+// request context was canceled (client disconnect or deadline) before
+// every pattern was searched: the per-pattern results are partial, and
+// unsearched patterns carry a context error in their Error field.
 type BatchResponse struct {
-	Results []BatchItem `json:"results"`
-	Probes  int         `json:"bucketProbes"`
+	Results  []BatchItem `json:"results"`
+	Probes   int         `json:"bucketProbes"`
+	Canceled bool        `json:"canceled,omitempty"`
 }
 
 // maxBatchPatterns bounds one batch request.
 const maxBatchPatterns = 10_000
+
+// Batch worker bounds: requests may ask for up to maxBatchWorkers;
+// out-of-range values clamp (≤ 0 falls back to the default).
+const (
+	defaultBatchWorkers = 4
+	maxBatchWorkers     = 64
+)
+
+// clampWorkers resolves a requested worker count: non-positive selects
+// the default, oversized requests clamp to the cap instead of silently
+// resetting to the default.
+func clampWorkers(requested int) int {
+	switch {
+	case requested <= 0:
+		return defaultBatchWorkers
+	case requested > maxBatchWorkers:
+		return maxBatchWorkers
+	default:
+		return requested
+	}
+}
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	var req BatchRequest
@@ -265,41 +373,49 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			"batch of %d exceeds limit %d", len(req.Patterns), maxBatchPatterns)
 		return
 	}
-	seqs := make([]*genome.Sequence, len(req.Patterns))
-	parseErrs := make([]string, len(req.Patterns))
+	// Parse up front and dispatch only the patterns that parsed: a
+	// malformed pattern gets its per-item error without burning a
+	// worker slot or entering the lookup pipeline at all. idx maps
+	// each dispatched sequence back to its request slot.
+	resp := BatchResponse{Results: make([]BatchItem, len(req.Patterns))}
+	seqs := make([]*genome.Sequence, 0, len(req.Patterns))
+	idx := make([]int, 0, len(req.Patterns))
 	for i, p := range req.Patterns {
+		resp.Results[i] = BatchItem{Matches: []MatchJSON{}}
 		seq, err := genome.FromString(strings.ToUpper(p))
 		if err != nil {
-			parseErrs[i] = err.Error()
-			seq = genome.NewSequence(0) // placeholder; Lookup will reject it
+			resp.Results[i].Error = err.Error()
+			continue
 		}
-		seqs[i] = seq
+		seqs = append(seqs, seq)
+		idx = append(idx, i)
 	}
-	workers := req.Workers
-	if workers <= 0 || workers > 64 {
-		workers = 4
-	}
-	results, agg, err := s.lib.LookupBatch(seqs, workers)
-	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, "%v", err)
-		return
-	}
-	resp := BatchResponse{Probes: agg.BucketProbes, Results: make([]BatchItem, len(results))}
-	for i, res := range results {
-		item := BatchItem{Matches: []MatchJSON{}}
-		switch {
-		case parseErrs[i] != "":
-			item.Error = parseErrs[i]
-		case res.Err != nil:
-			item.Error = res.Err.Error()
-		default:
+	if len(seqs) > 0 {
+		results, agg, err := s.lib.LookupBatchContext(r.Context(), seqs, clampWorkers(req.Workers))
+		if err != nil && !isContextErr(err) {
+			writeError(w, http.StatusUnprocessableEntity, "%v", err)
+			return
+		}
+		resp.Canceled = err != nil
+		resp.Probes = agg.BucketProbes
+		for k, res := range results {
+			item := &resp.Results[idx[k]]
+			if res.Err != nil {
+				item.Error = res.Err.Error()
+				continue
+			}
 			for _, m := range res.Matches {
 				item.Matches = append(item.Matches, MatchJSON{
 					Ref: s.lib.Ref(m.Ref).ID, Offset: m.Off, Distance: m.Distance, Strand: "+",
 				})
 			}
 		}
-		resp.Results[i] = item
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// isContextErr reports whether err is a cancellation/deadline outcome
+// rather than a request-level failure.
+func isContextErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }

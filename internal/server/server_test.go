@@ -185,6 +185,99 @@ func TestClassify(t *testing.T) {
 	}
 }
 
+func TestClassifyShortReadIsUnprocessable(t *testing.T) {
+	ts, _ := testServer(t)
+	// A valid DNA string shorter than the 32-base window is an
+	// invalid-input error (422), not a not-found (404).
+	resp := postJSON(t, ts.URL+"/v1/classify", ClassifyRequest{Read: "ACGTACGT"})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("short read: status %d, want 422", resp.StatusCode)
+	}
+}
+
+func TestClassifyRejectsImpossibleMinFraction(t *testing.T) {
+	ts, ref := testServer(t)
+	resp := postJSON(t, ts.URL+"/v1/classify", ClassifyRequest{
+		Read:        ref.Slice(1000, 1320).String(),
+		MinFraction: 1.5,
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("minFraction 1.5: status %d, want 400", resp.StatusCode)
+	}
+	// The boundary value 1.0 (perfect support) stays classifiable.
+	resp = postJSON(t, ts.URL+"/v1/classify", ClassifyRequest{
+		Read:        ref.Slice(1000, 1320).String(),
+		MinFraction: 1.0,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("minFraction 1.0: status %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestClampWorkers(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{0, defaultBatchWorkers},
+		{-3, defaultBatchWorkers},
+		{1, 1},
+		{10, 10},
+		{maxBatchWorkers, maxBatchWorkers},
+		{maxBatchWorkers + 1, maxBatchWorkers}, // clamp, not reset to default
+		{1 << 20, maxBatchWorkers},
+	} {
+		if got := clampWorkers(tc.in); got != tc.want {
+			t.Errorf("clampWorkers(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestBatchOversizedWorkerCountClamps(t *testing.T) {
+	ts, ref := testServer(t)
+	resp := postJSON(t, ts.URL+"/v1/batch", BatchRequest{
+		Patterns: []string{ref.Slice(10, 42).String()},
+		Workers:  maxBatchWorkers + 1,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var br BatchResponse
+	decodeInto(t, resp, &br)
+	if len(br.Results) != 1 || len(br.Results[0].Matches) == 0 {
+		t.Fatalf("clamped batch lost its result: %+v", br)
+	}
+}
+
+func TestBatchSkipsUnparsablePatterns(t *testing.T) {
+	ts, ref := testServer(t)
+	good1 := ref.Slice(10, 42).String()
+	good2 := ref.Slice(200, 232).String()
+	resp := postJSON(t, ts.URL+"/v1/batch", BatchRequest{
+		Patterns: []string{good1, "NOT-DNA-AT-ALL", good2},
+	})
+	var br BatchResponse
+	decodeInto(t, resp, &br)
+	if len(br.Results) != 3 {
+		t.Fatalf("%d results", len(br.Results))
+	}
+	if br.Results[1].Error == "" || len(br.Results[1].Matches) != 0 {
+		t.Fatalf("unparsable pattern result: %+v", br.Results[1])
+	}
+	if br.Results[0].Error != "" || len(br.Results[0].Matches) == 0 {
+		t.Fatalf("index mapping broken for slot 0: %+v", br.Results[0])
+	}
+	if br.Results[2].Error != "" || len(br.Results[2].Matches) == 0 {
+		t.Fatalf("index mapping broken for slot 2: %+v", br.Results[2])
+	}
+	// Unparsable patterns must not enter the lookup pipeline: aggregate
+	// probes equal exactly the two real lookups' probes.
+	var s1, s2 SearchResponse
+	decodeInto(t, postJSON(t, ts.URL+"/v1/search", SearchRequest{Pattern: good1}), &s1)
+	decodeInto(t, postJSON(t, ts.URL+"/v1/search", SearchRequest{Pattern: good2}), &s2)
+	if br.Probes != s1.Probes+s2.Probes {
+		t.Fatalf("batch probes %d != %d+%d (placeholder lookup polluted the aggregate?)",
+			br.Probes, s1.Probes, s2.Probes)
+	}
+}
+
 func TestClassifyNotFound(t *testing.T) {
 	ts, _ := testServer(t)
 	unrelated := genome.Random(320, rng.New(84))

@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Service smoke test: build the CLI, serve a generated library on an
+# ephemeral port, exercise /healthz, /v1/search, and /metrics with curl,
+# then SIGTERM the server and assert it drains to a clean exit.
+#
+# Run via `make smoke` (CI runs it too). Needs only bash, curl, awk.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+server_pid=""
+watchdog_pid=""
+cleanup() {
+    [ -n "$server_pid" ] && kill -9 "$server_pid" 2>/dev/null || true
+    [ -n "$watchdog_pid" ] && kill "$watchdog_pid" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "== build"
+go build -o "$workdir/biohd" ./cmd/biohd
+
+echo "== generate references"
+"$workdir/biohd" gen -kind covid -n 4 -len 4000 -o "$workdir/refs.fa"
+
+# A 32-base pattern planted in the first reference: skip the FASTA
+# header, concatenate the sequence lines, take bases 100..131.
+pattern=$(awk '/^>/{n++; next} n==1{printf "%s", $0}' "$workdir/refs.fa" | cut -c101-132)
+[ ${#pattern} -eq 32 ] || { echo "FATAL: pattern extraction failed: '$pattern'"; exit 1; }
+
+echo "== serve"
+"$workdir/biohd" serve -ref "$workdir/refs.fa" -addr 127.0.0.1:0 -quiet \
+    >"$workdir/serve.log" 2>&1 &
+server_pid=$!
+
+# Watchdog: if anything below wedges, kill the server after 60s so the
+# `wait` cannot hang forever.
+( sleep 60; kill -9 "$server_pid" 2>/dev/null ) &
+watchdog_pid=$!
+
+# The banner line is "serving N references (M buckets) on http://ADDR (drain D)".
+base=""
+for _ in $(seq 1 100); do
+    base=$(awk '/^serving /{for (i=1; i<=NF; i++) if ($i ~ /^http:/) print $i}' \
+        "$workdir/serve.log" 2>/dev/null || true)
+    [ -n "$base" ] && break
+    kill -0 "$server_pid" 2>/dev/null || { cat "$workdir/serve.log"; echo "FATAL: server died"; exit 1; }
+    sleep 0.1
+done
+[ -n "$base" ] || { cat "$workdir/serve.log"; echo "FATAL: no serving banner"; exit 1; }
+echo "   $base"
+
+echo "== /healthz"
+for _ in $(seq 1 50); do
+    curl -sf "$base/healthz" >/dev/null 2>&1 && break
+    sleep 0.1
+done
+curl -sf "$base/healthz" | grep -q ok
+
+echo "== /v1/search"
+search=$(curl -sf -X POST -H 'Content-Type: application/json' \
+    -d "{\"pattern\":\"$pattern\"}" "$base/v1/search")
+echo "$search" | grep -q '"matches":\[{' || { echo "FATAL: no match in: $search"; exit 1; }
+
+echo "== /metrics"
+metrics=$(curl -sf "$base/metrics")
+for want in \
+    'biohd_http_requests_total{path="/v1/search",status="2xx"} 1' \
+    'biohd_http_request_seconds_bucket' \
+    'biohd_core_bucket_probes_total'; do
+    echo "$metrics" | grep -qF "$want" || { echo "FATAL: /metrics missing: $want"; exit 1; }
+done
+
+echo "== SIGTERM drain"
+kill -TERM "$server_pid"
+rc=0
+wait "$server_pid" || rc=$?
+server_pid=""
+if [ "$rc" -ne 0 ]; then
+    cat "$workdir/serve.log"
+    echo "FATAL: server exited $rc after SIGTERM, want 0"
+    exit 1
+fi
+
+echo "smoke OK"
