@@ -30,15 +30,23 @@ vet:
 lint:
 	$(GO) run ./cmd/biohdlint $(PKGS)
 
-## bench: run the probe A/B benchmark (arena kernel vs seed scalar scan)
-## and refresh the checked-in BENCH_probe.json record
+## bench: run the probe A/B benchmarks and refresh the checked-in
+## records — BENCH_probe.json (arena kernel vs seed scalar scan) and
+## BENCH_multiprobe.json (query-blocked scan vs sequential probes at
+## Q ∈ {1,4,8}, single-threaded so the win measured is the blocking
+## itself, not parallelism)
 bench:
 	$(GO) run ./cmd/benchprobe -out BENCH_probe.json
+	GOMAXPROCS=1 $(GO) run ./cmd/benchprobe -queries-per-block 8 -out BENCH_multiprobe.json
 
 ## benchsmoke: compile and run every micro-benchmark once — catches
-## benchmarks that no longer build or crash, without measuring anything
+## benchmarks that no longer build or crash, without measuring anything.
+## The second pass re-runs the kernel benchmarks under the purego tag so
+## the scalar fallbacks of the single- and multi-query kernels stay
+## exercised on machines whose first pass dispatches to vector tiers.
 benchsmoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./internal/bitvec ./internal/hdc ./internal/encoding ./internal/core .
+	$(GO) test -tags purego -run='^$$' -bench=. -benchtime=1x ./internal/bitvec
 
 ## fuzz: run each fuzz target for FUZZTIME (default 30s)
 fuzz:

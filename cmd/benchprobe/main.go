@@ -6,6 +6,14 @@
 // as JSON. `make bench` runs it to refresh BENCH_probe.json, the
 // checked-in record of the probe speedup at the default geometry.
 //
+// With -queries-per-block N > 0 the command instead A/B-tests the
+// query-blocked scan: ProbeMulti over blocks of Q queries versus Q
+// sequential Probe calls over the same queries, at Q ∈ {1, 4, 8}
+// capped to N. `make bench` runs this mode under GOMAXPROCS=1 to
+// refresh BENCH_multiprobe.json — single-threaded, so the measured
+// win is the blocking itself (row traffic amortized across the
+// block), not parallelism.
+//
 // Both sides run interleaved via testing.Benchmark, several
 // repetitions each, and the report keys off medians: on a shared
 // machine a single benchmark invocation can swing by tens of percent,
@@ -56,6 +64,7 @@ type report struct {
 	GOARCH            string    `json:"goarch"`
 	GOMAXPROCS        int       `json:"gomaxprocs"`
 	SIMD              bool      `json:"simd_kernel"`
+	Kernel            string    `json:"kernel"`
 	Reps              []repPair `json:"reps"`
 	KernelNsPerBucket float64   `json:"median_kernel_ns_per_bucket"`
 	SeedNsPerBucket   float64   `json:"median_seed_ns_per_bucket"`
@@ -66,12 +75,18 @@ func main() {
 	buckets := flag.Int("buckets", 1024, "library size in buckets")
 	reps := flag.Int("reps", 5, "interleaved repetitions per side")
 	out := flag.String("out", "BENCH_probe.json", "output path, or - for stdout")
+	qpb := flag.Int("queries-per-block", 0,
+		"A/B-test the query-blocked scan at up to this block width instead of the seed comparison")
 	flag.Parse()
 
 	lib, qs, err := buildLibrary(*buckets)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchprobe:", err)
 		os.Exit(1)
+	}
+	if *qpb > 0 {
+		runMulti(lib, qs, *buckets, *qpb, *reps, *out)
+		return
 	}
 	scattered := scatterBuckets(lib)
 
@@ -80,6 +95,7 @@ func main() {
 		Buckets: *buckets, Queries: queries,
 		GoVersion: runtime.Version(), GOARCH: runtime.GOARCH,
 		GOMAXPROCS: runtime.GOMAXPROCS(0), SIMD: bitvec.AccelAvailable(),
+		Kernel: bitvec.Kernel(),
 	}
 	var kernelNs, seedNs []float64
 	for r := 0; r < *reps; r++ {
@@ -128,6 +144,114 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "median: kernel %.1f ns/bucket, seed %.1f ns/bucket, speedup %.2fx\n",
 		rep.KernelNsPerBucket, rep.SeedNsPerBucket, rep.Speedup)
+}
+
+// multiLevel is one block width's A/B result: the blocked scan versus
+// the same queries probed sequentially, in ns per query.
+type multiLevel struct {
+	Q                 int       `json:"queries_per_block"`
+	Reps              []repPair `json:"reps"`
+	BlockedNsPerQuery float64   `json:"median_blocked_ns_per_query"`
+	SequentNsPerQuery float64   `json:"median_sequential_ns_per_query"`
+	Speedup           float64   `json:"speedup"`
+}
+
+type multiReport struct {
+	Benchmark  string       `json:"benchmark"`
+	Dim        int          `json:"dim"`
+	Window     int          `json:"window"`
+	Capacity   int          `json:"capacity"`
+	Buckets    int          `json:"buckets"`
+	Queries    int          `json:"queries"`
+	GoVersion  string       `json:"go_version"`
+	GOARCH     string       `json:"goarch"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	SIMD       bool         `json:"simd_kernel"`
+	Kernel     string       `json:"kernel"`
+	MaxQ       int          `json:"max_queries_per_block"`
+	Levels     []multiLevel `json:"levels"`
+}
+
+// runMulti A/B-tests the query-blocked probe at block widths 1, 4, 8
+// (capped to qpb): for each width Q, kernel side = one ProbeMulti call
+// over a block of Q queries, baseline side = Q sequential Probe calls
+// over the same queries. The two sides return identical candidates
+// (the golden tests pin that), so the ratio is pure scan efficiency.
+func runMulti(lib *core.Library, qs []*hdc.HV, buckets, qpb, reps int, out string) {
+	rep := multiReport{
+		Benchmark: "multiprobe", Dim: dim, Window: window, Capacity: capacity,
+		Buckets: buckets, Queries: queries,
+		GoVersion: runtime.Version(), GOARCH: runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0), SIMD: bitvec.AccelAvailable(),
+		Kernel: bitvec.Kernel(), MaxQ: qpb,
+	}
+	for _, q := range []int{1, 4, 8} {
+		if q > qpb {
+			break
+		}
+		// Rotations of the query mix, so both sides cycle through every
+		// present/absent composition a block can have.
+		blocks := make([][]*hdc.HV, len(qs))
+		for k := range blocks {
+			blk := make([]*hdc.HV, q)
+			for j := range blk {
+				blk[j] = qs[(k+j)%len(qs)]
+			}
+			blocks[k] = blk
+		}
+		lvl := multiLevel{Q: q}
+		var blockedNs, seqNs []float64
+		for r := 0; r < reps; r++ {
+			blocked := testing.Benchmark(func(b *testing.B) {
+				var stats core.Stats
+				for i := 0; i < b.N; i++ {
+					if _, err := lib.ProbeMulti(blocks[i%len(blocks)], &stats); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			seq := testing.Benchmark(func(b *testing.B) {
+				var stats core.Stats
+				for i := 0; i < b.N; i++ {
+					for _, hv := range blocks[i%len(blocks)] {
+						if _, err := lib.Probe(hv, &stats); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			})
+			pair := repPair{
+				KernelNsPerOp: float64(blocked.NsPerOp()) / float64(q),
+				SeedNsPerOp:   float64(seq.NsPerOp()) / float64(q),
+			}
+			lvl.Reps = append(lvl.Reps, pair)
+			blockedNs = append(blockedNs, pair.KernelNsPerOp)
+			seqNs = append(seqNs, pair.SeedNsPerOp)
+			fmt.Fprintf(os.Stderr, "Q=%d rep %d/%d: blocked %.0f ns/query, sequential %.0f ns/query\n",
+				q, r+1, reps, pair.KernelNsPerOp, pair.SeedNsPerOp)
+		}
+		lvl.BlockedNsPerQuery = median(blockedNs)
+		lvl.SequentNsPerQuery = median(seqNs)
+		lvl.Speedup = lvl.SequentNsPerQuery / lvl.BlockedNsPerQuery
+		fmt.Fprintf(os.Stderr, "Q=%d median: blocked %.0f ns/query, sequential %.0f ns/query, speedup %.2fx\n",
+			q, lvl.BlockedNsPerQuery, lvl.SequentNsPerQuery, lvl.Speedup)
+		rep.Levels = append(rep.Levels, lvl)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchprobe:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if out == "-" {
+		if _, err := os.Stdout.Write(data); err != nil {
+			fmt.Fprintln(os.Stderr, "benchprobe:", err)
+			os.Exit(1)
+		}
+	} else if err := os.WriteFile(out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchprobe:", err)
+		os.Exit(1)
+	}
 }
 
 // buildLibrary builds the frozen benchmark library and its query mix

@@ -117,11 +117,18 @@ func HammingBounded(a, b []uint64, bound int) (int, bool) {
 }
 
 // AccelAvailable reports whether the distance kernels run through the
-// platform's vectorized implementation (AVX2 on amd64) rather than the
-// portable scalar loop. Results are identical either way; benchmark
-// reports record it so numbers from different hosts compare fairly.
+// platform's vectorized implementation (AVX2 or AVX-512 on amd64)
+// rather than the portable scalar loop. Results are identical either
+// way; benchmark reports record it so numbers from different hosts
+// compare fairly.
 func AccelAvailable() bool {
 	return useAccel
+}
+
+// Kernel names the dispatched kernel tier ("avx512-vpopcnt",
+// "avx2-lut", or "scalar"), for benchmark reports.
+func Kernel() string {
+	return kernelName
 }
 
 // DotWords returns the bipolar dot product of two n-bit vectors given

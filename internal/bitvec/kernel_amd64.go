@@ -4,34 +4,111 @@ package bitvec
 
 // Implemented in kernel_amd64.s.
 func hammingAVX2(a, b *uint64, nblocks int) int
+
+//go:noescape
+func hammingPopcntAVX512(a, b *uint64, nblocks int) int
+
+//go:noescape
+func hammingMulti4AVX2(row, q0, q1, q2, q3 *uint64, nblocks int, sums *[4]int64)
+
+//go:noescape
+func hammingMulti4AVX512(row, q0, q1, q2, q3 *uint64, nblocks int, sums *[4]int64)
+
+//go:noescape
+func hammingMulti8Ptrs(row *uint64, qp *[8]*uint64, nblocks int, sums *[8]int64)
+
 func cpuid(leaf, subleaf uint32) (eax, ebx, ecx, edx uint32)
 func xgetbv() (eax, edx uint32)
 
-// useAccel is true when the CPU and OS support the AVX2 kernel. The
-// check follows the Intel manual: AVX needs OSXSAVE plus the OS having
-// enabled XMM and YMM state (XCR0 bits 1 and 2); AVX2 is then leaf 7
-// EBX bit 5.
-var useAccel = func() bool {
+// useAccel is true when the CPU and OS support the AVX2 kernel;
+// useAVX512 additionally requires the hardware-popcount tier
+// (VPOPCNTQ), which replaces the nibble-LUT popcount with one
+// instruction per 64-byte block and roughly quadruples kernel
+// throughput. The checks follow the Intel manual: AVX needs OSXSAVE
+// plus the OS having enabled XMM and YMM state (XCR0 bits 1 and 2),
+// AVX2 is leaf 7 EBX bit 5; the AVX-512 tier further needs opmask and
+// ZMM state enabled (XCR0 bits 5–7), AVX512F (leaf 7 EBX bit 16), and
+// AVX512VPOPCNTDQ (leaf 7 ECX bit 14).
+var useAccel, useAVX512 = detectAccel()
+
+func detectAccel() (avx2ok, avx512ok bool) {
 	maxLeaf, _, _, _ := cpuid(0, 0)
 	if maxLeaf < 7 {
-		return false
+		return false, false
 	}
 	_, _, c, _ := cpuid(1, 0)
 	const osxsave = 1 << 27
 	const avx = 1 << 28
 	if c&osxsave == 0 || c&avx == 0 {
-		return false
+		return false, false
 	}
-	if lo, _ := xgetbv(); lo&0x6 != 0x6 {
-		return false
+	lo, _ := xgetbv()
+	if lo&0x6 != 0x6 {
+		return false, false
 	}
-	_, b, _, _ := cpuid(7, 0)
-	return b&(1<<5) != 0
+	_, b, c7, _ := cpuid(7, 0)
+	avx2ok = b&(1<<5) != 0
+	const avx512f = 1 << 16
+	const vpopcntdq = 1 << 14
+	avx512ok = avx2ok && lo&0xe6 == 0xe6 && b&avx512f != 0 && c7&vpopcntdq != 0
+	return avx2ok, avx512ok
+}
+
+// kernelName names the fastest dispatched kernel tier, for benchmark
+// reports.
+var kernelName = func() string {
+	switch {
+	case useAVX512:
+		return "avx512-vpopcnt"
+	case useAccel:
+		return "avx2-lut"
+	}
+	return "scalar"
 }()
 
 // hammingBlocks computes the Hamming distance over the two slices,
 // whose length must be a positive multiple of kernelBlock, using the
-// AVX2 kernel. Callers must check useAccel first.
+// best available vector kernel. Callers must check useAccel first.
 func hammingBlocks(a, b []uint64) int {
+	if useAVX512 {
+		return hammingPopcntAVX512(&a[0], &b[0], len(a)/kernelBlock)
+	}
 	return hammingAVX2(&a[0], &b[0], len(a)/kernelBlock)
+}
+
+// useMulti8 is true when the eight-wide fused kernel is available: it
+// needs the AVX-512 tier, whose thirty-two vector registers hold eight
+// query accumulators alongside the row and scratch (the sixteen-register
+// AVX2 tier tops out at four).
+var useMulti8 = useAVX512
+
+// hammingMulti8Blocks computes sums[j] = Hamming(row[lo:hi], qs[j][lo:hi])
+// for up to eight query slices in one fused pass over the row chunk,
+// whose word count must be a positive multiple of kernelBlock. Slots
+// past len(qs) repeat query 0 and their sums are garbage the caller
+// ignores. Callers must check useMulti8 and equal lengths first.
+func hammingMulti8Blocks(row []uint64, qs [][]uint64, lo, hi int, sums *[8]int64) {
+	var p [8]*uint64
+	for j := range p {
+		if j < len(qs) {
+			p[j] = &qs[j][lo]
+		} else {
+			p[j] = p[0]
+		}
+	}
+	hammingMulti8Ptrs(&row[lo], &p, (hi-lo)/kernelBlock, sums)
+}
+
+// hammingMulti4Blocks computes sums[j] = Hamming(row, qj) for four
+// query slices in one fused pass over row, whose length must be a
+// positive multiple of kernelBlock shared by every operand. The vector
+// kernels load each 64-byte row block once and XNOR-popcount it
+// against all four query streams. Callers must check useAccel and
+// equal lengths first.
+func hammingMulti4Blocks(row, q0, q1, q2, q3 []uint64, sums *[4]int64) {
+	if useAVX512 {
+		hammingMulti4AVX512(&row[0], &q0[0], &q1[0], &q2[0], &q3[0], len(row)/kernelBlock, sums)
+		return
+	}
+	hammingMulti4AVX2(&row[0], &q0[0], &q1[0], &q2[0], &q3[0], len(row)/kernelBlock, sums)
 }

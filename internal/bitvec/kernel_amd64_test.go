@@ -4,20 +4,26 @@ package bitvec
 
 import "testing"
 
-// TestHammingBlocksMatchesScalar pins the AVX2 kernel to the portable
-// scalar loop, concentrating on the byte-accumulator flush edges: runs
-// of exactly 15 blocks (the most a flush interval holds), one block
-// past it, and all-ones operands that drive every byte lane to its
-// 16-per-block maximum (15·16 = 240, the closest the accumulator gets
-// to overflowing).
-func TestHammingBlocksMatchesScalar(t *testing.T) {
+// The dispatch wrappers (hammingBlocks, hammingMulti4Blocks) pick the
+// fastest tier the host supports, so on an AVX-512 machine the AVX2
+// kernels would never run under test. These pins call each tier's
+// assembly directly, gated on its own feature bit, so every kernel the
+// binary carries is checked against the portable scalar loop.
+
+// TestHammingAVX2MatchesScalar pins the AVX2 nibble-LUT kernel,
+// concentrating on the byte-accumulator flush edges: runs of exactly
+// 15 blocks (the most a flush interval holds), one block past it, and
+// all-ones operands that drive every byte lane to its 16-per-block
+// maximum (15·16 = 240, the closest the accumulator gets to
+// overflowing).
+func TestHammingAVX2MatchesScalar(t *testing.T) {
 	if !useAccel {
 		t.Skip("no AVX2 on this machine")
 	}
 	for _, nw := range []int{8, 16, 64, 112, 120, 128, 136, 1024} {
 		a := randWords(nw, uint64(nw))
 		b := randWords(nw, uint64(nw)*3+1)
-		if got, want := hammingBlocks(a, b), hammingScalar(a, b); got != want {
+		if got, want := hammingAVX2(&a[0], &b[0], nw/kernelBlock), hammingScalar(a, b); got != want {
 			t.Errorf("nw=%d: AVX2=%d, scalar=%d", nw, got, want)
 		}
 	}
@@ -27,11 +33,138 @@ func TestHammingBlocksMatchesScalar(t *testing.T) {
 			ones[i] = ^uint64(0)
 		}
 		zeros := make([]uint64, nw)
-		if got := hammingBlocks(ones, zeros); got != nw*64 {
+		if got := hammingAVX2(&ones[0], &zeros[0], nw/kernelBlock); got != nw*64 {
 			t.Errorf("nw=%d all-ones: AVX2=%d, want %d", nw, got, nw*64)
 		}
-		if got := hammingBlocks(ones, ones); got != 0 {
+		if got := hammingAVX2(&ones[0], &ones[0], nw/kernelBlock); got != 0 {
 			t.Errorf("nw=%d self: AVX2=%d, want 0", nw, got)
+		}
+	}
+}
+
+// TestHammingPopcntAVX512MatchesScalar pins the AVX-512 hardware
+// popcount kernel on the unroll edges: odd and even block counts (the
+// loop runs pairs with a one-block tail) and all-ones density.
+func TestHammingPopcntAVX512MatchesScalar(t *testing.T) {
+	if !useAVX512 {
+		t.Skip("no AVX-512 VPOPCNTDQ on this machine")
+	}
+	for _, nw := range []int{8, 16, 24, 64, 120, 128, 136, 1024} {
+		a := randWords(nw, uint64(nw)+1)
+		b := randWords(nw, uint64(nw)*5+2)
+		if got, want := hammingPopcntAVX512(&a[0], &b[0], nw/kernelBlock), hammingScalar(a, b); got != want {
+			t.Errorf("nw=%d: AVX512=%d, scalar=%d", nw, got, want)
+		}
+	}
+	ones := make([]uint64, 128)
+	for i := range ones {
+		ones[i] = ^uint64(0)
+	}
+	zeros := make([]uint64, 128)
+	if got := hammingPopcntAVX512(&ones[0], &zeros[0], 16); got != 128*64 {
+		t.Errorf("all-ones: AVX512=%d, want %d", got, 128*64)
+	}
+	if got := hammingPopcntAVX512(&ones[0], &ones[0], 16); got != 0 {
+		t.Errorf("self: AVX512=%d, want 0", got)
+	}
+}
+
+// multi4Tiers returns the four-query kernels the host supports, by
+// name, each wrapped to a common signature.
+func multi4Tiers() map[string]func(row, q0, q1, q2, q3 []uint64, sums *[4]int64) {
+	tiers := map[string]func(row, q0, q1, q2, q3 []uint64, sums *[4]int64){}
+	if useAccel {
+		tiers["avx2"] = func(row, q0, q1, q2, q3 []uint64, sums *[4]int64) {
+			hammingMulti4AVX2(&row[0], &q0[0], &q1[0], &q2[0], &q3[0], len(row)/kernelBlock, sums)
+		}
+	}
+	if useAVX512 {
+		tiers["avx512"] = func(row, q0, q1, q2, q3 []uint64, sums *[4]int64) {
+			hammingMulti4AVX512(&row[0], &q0[0], &q1[0], &q2[0], &q3[0], len(row)/kernelBlock, sums)
+		}
+	}
+	return tiers
+}
+
+// TestHammingMulti4MatchesScalar pins every fused four-query tier to
+// the portable scalar loop, per query stream, on the AVX2 kernel's
+// flush-cadence edges (15 blocks, one past it) plus all-ones operands
+// that drive every accumulator to its per-block maximum simultaneously.
+func TestHammingMulti4MatchesScalar(t *testing.T) {
+	tiers := multi4Tiers()
+	if len(tiers) == 0 {
+		t.Skip("no vector kernels on this machine")
+	}
+	for name, kern := range tiers {
+		var sums [4]int64
+		for _, nw := range []int{8, 16, 64, 112, 120, 128, 136, 1024} {
+			row := randWords(nw, uint64(nw)+5)
+			q := multiQueries(4, nw, uint64(nw)*7+3)
+			kern(row, q[0], q[1], q[2], q[3], &sums)
+			for j := 0; j < 4; j++ {
+				if want := int64(hammingScalar(row, q[j])); sums[j] != want {
+					t.Errorf("%s nw=%d query %d: got %d, scalar %d", name, nw, j, sums[j], want)
+				}
+			}
+		}
+		for _, nw := range []int{120, 128} { // worst-case accumulator density
+			ones := make([]uint64, nw)
+			for i := range ones {
+				ones[i] = ^uint64(0)
+			}
+			zeros := make([]uint64, nw)
+			kern(ones, zeros, ones, zeros, ones, &sums)
+			want := [4]int64{int64(nw) * 64, 0, int64(nw) * 64, 0}
+			if sums != want {
+				t.Errorf("%s nw=%d dense: got %v, want %v", name, nw, sums, want)
+			}
+		}
+	}
+}
+
+// TestHammingMulti8PtrsMatchesScalar pins the eight-wide AVX-512
+// kernel — including its log-depth shuffle-tree reduction, whose lane
+// bookkeeping is the easiest part to get wrong — against the scalar
+// loop per query stream, plus an all-ones pattern that makes every
+// sum distinct per query slot.
+func TestHammingMulti8PtrsMatchesScalar(t *testing.T) {
+	if !useMulti8 {
+		t.Skip("no eight-wide kernel on this machine")
+	}
+	for _, nw := range []int{8, 16, 24, 64, 128, 136, 1024} {
+		row := randWords(nw, uint64(nw)+11)
+		q := multiQueries(8, nw, uint64(nw)*13+7)
+		var qp [8]*uint64
+		for j := range qp {
+			qp[j] = &q[j][0]
+		}
+		var sums [8]int64
+		hammingMulti8Ptrs(&row[0], &qp, nw/kernelBlock, &sums)
+		for j := 0; j < 8; j++ {
+			if want := int64(hammingScalar(row, q[j])); sums[j] != want {
+				t.Errorf("nw=%d query %d: got %d, scalar %d", nw, j, sums[j], want)
+			}
+		}
+	}
+	// Distinct per-slot totals: query j is all-ones in its first j+1
+	// blocks, zero elsewhere, so a slot mix-up in the reduction tree
+	// changes some sum.
+	const nw = 64
+	row := make([]uint64, nw) // all zeros
+	var qp [8]*uint64
+	qs := make([][]uint64, 8)
+	for j := range qs {
+		qs[j] = make([]uint64, nw)
+		for w := 0; w < (j+1)*kernelBlock; w++ {
+			qs[j][w] = ^uint64(0)
+		}
+		qp[j] = &qs[j][0]
+	}
+	var sums [8]int64
+	hammingMulti8Ptrs(&row[0], &qp, nw/kernelBlock, &sums)
+	for j := 0; j < 8; j++ {
+		if want := int64((j + 1) * kernelBlock * 64); sums[j] != want {
+			t.Errorf("slot %d: got %d, want %d", j, sums[j], want)
 		}
 	}
 }

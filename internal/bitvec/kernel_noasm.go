@@ -6,6 +6,24 @@ package bitvec
 // distance runs through the portable scalar loops.
 const useAccel = false
 
+const kernelName = "scalar"
+
+// useMulti8 mirrors kernel_amd64.go; without an assembly kernel there
+// is no eight-wide fused pass.
+const useMulti8 = false
+
 func hammingBlocks(a, b []uint64) int {
 	panic("bitvec: hammingBlocks without an accelerated kernel")
+}
+
+func hammingMulti4Blocks(row, q0, q1, q2, q3 []uint64, sums *[4]int64) {
+	panic("bitvec: hammingMulti4Blocks without an accelerated kernel")
+}
+
+func hammingMulti8Blocks(row []uint64, qs [][]uint64, lo, hi int, sums *[8]int64) {
+	panic("bitvec: hammingMulti8Blocks without an accelerated kernel")
+}
+
+func hammingMulti8Ptrs(row *uint64, qp *[8]*uint64, nblocks int, sums *[8]int64) {
+	panic("bitvec: hammingMulti8Ptrs without an accelerated kernel")
 }

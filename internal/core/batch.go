@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/genome"
@@ -26,14 +27,20 @@ func (l *Library) LookupBatch(patterns []*genome.Sequence, workers int) ([]Batch
 
 // LookupBatchContext is LookupBatch with cancellation: once ctx is
 // canceled (client disconnect, deadline), workers stop dequeuing
-// patterns and undispatched patterns are marked with ctx's error
-// instead of being searched. The call still returns the partial
-// results — every pattern slot is filled, either with its lookup
-// outcome or with Err set to ctx.Err() — plus the aggregate Stats of
-// the lookups that did run, and ctx's error so callers can tell a
-// complete batch (nil) from a truncated one. Lookups already in flight
-// when ctx fires run to completion; cancellation stops new work, it
-// does not tear down the probe kernel mid-scan.
+// work and undispatched patterns are marked with ctx's error instead
+// of being searched. The call still returns the partial results —
+// every pattern slot is filled, either with its lookup outcome or with
+// Err set to ctx.Err() — plus the aggregate Stats of the lookups that
+// did run, and ctx's error so callers can tell a complete batch (nil)
+// from a truncated one. Work already in flight when ctx fires runs to
+// completion; cancellation stops new work, it does not tear down the
+// probe kernel mid-scan.
+//
+// Workers dequeue patterns in index blocks of up to probeBlock and run
+// each block through the query-blocked probe path (lookupBlock), so
+// one streaming pass over the sealed arena serves a whole block of
+// query alignments. Per pattern, the matches, stats, and errors are
+// identical to an individual Lookup call.
 func (l *Library) LookupBatchContext(ctx context.Context, patterns []*genome.Sequence, workers int) ([]BatchResult, Stats, error) {
 	if !l.frozen {
 		return nil, Stats{}, fmt.Errorf("core: LookupBatch before Freeze")
@@ -44,33 +51,42 @@ func (l *Library) LookupBatchContext(ctx context.Context, patterns []*genome.Seq
 	if workers > len(patterns) {
 		workers = maxInt(len(patterns), 1)
 	}
+	// Block width: a full probe block when there is enough work, shrunk
+	// on small batches so every worker still gets at least one block.
+	blk := probeBlock
+	if per := (len(patterns) + workers - 1) / workers; blk > per {
+		blk = maxInt(per, 1)
+	}
 	results := make([]BatchResult, len(patterns))
 	var wg sync.WaitGroup
-	next := make(chan int)
+	next := make(chan [2]int)
 	done := ctx.Done()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range next {
-				// A pattern may have been queued just before ctx fired;
-				// re-check so at most `workers` lookups start after
+			sc := l.getBlockScratch()
+			defer l.putBlockScratch(sc)
+			for r := range next {
+				// A block may have been queued just before ctx fired;
+				// re-check so at most workers·blk lookups start after
 				// cancellation.
 				if err := ctx.Err(); err != nil {
-					results[i] = BatchResult{Err: err}
+					for i := r[0]; i < r[1]; i++ {
+						results[i] = BatchResult{Err: err}
+					}
 					continue
 				}
-				m, s, err := l.Lookup(patterns[i])
-				results[i] = BatchResult{Matches: m, Stats: s, Err: err}
+				l.lookupBlock(patterns[r[0]:r[1]], results[r[0]:r[1]], sc)
 			}
 		}()
 	}
 feed:
-	for i := range patterns {
+	for lo := 0; lo < len(patterns); lo += blk {
 		select {
-		case next <- i:
+		case next <- [2]int{lo, minInt(lo+blk, len(patterns))}:
 		case <-done:
-			for j := i; j < len(patterns); j++ {
+			for j := lo; j < len(patterns); j++ {
 				results[j] = BatchResult{Err: ctx.Err()}
 			}
 			break feed
@@ -87,6 +103,75 @@ feed:
 		l.ctr.batchCancellations.Add(1)
 	}
 	return results, agg, err
+}
+
+// lookupBlock runs the Lookup pipeline for one block of at most
+// probeBlock patterns, sharing probe passes across the block: wave a
+// encodes the a-th alignment of every pattern that still offers one
+// and probes them as a single query block. Verification order within a
+// pattern is alignment-major, exactly as in Lookup, so each result's
+// Matches, Stats, and Err are identical to an individual Lookup call.
+func (l *Library) lookupBlock(patterns []*genome.Sequence, results []BatchResult, sc *blockScratch) {
+	w := l.params.Window
+	tol := 0
+	if l.params.Approx {
+		tol = l.params.MutTolerance
+	}
+	var aligns [probeBlock]int // alignments per pattern; 0 skips invalid ones
+	maxAlign := 0
+	for i, p := range patterns {
+		if p == nil || p.Len() < w {
+			results[i] = BatchResult{Err: fmt.Errorf("core: pattern shorter than window %d", w)}
+			continue
+		}
+		aligns[i] = minInt(l.params.Stride, p.Len()-w+1)
+		if aligns[i] > maxAlign {
+			maxAlign = aligns[i]
+		}
+	}
+	var idx [probeBlock]int // block slot → pattern index, per wave
+	nBkts := len(l.bkts)
+	for a := 0; a < maxAlign; a++ {
+		nq := 0
+		for i, p := range patterns {
+			if a >= aligns[i] {
+				continue
+			}
+			if l.params.Approx {
+				l.enc.EncodeWindowApproxInto(sc.hvs[nq], sc.acc, p, a)
+			} else {
+				l.enc.EncodeWindowExactInto(sc.hvs[nq], p, a)
+			}
+			idx[nq] = i
+			nq++
+		}
+		if nq == 0 {
+			break
+		}
+		dsts := sc.cands[:nq]
+		for j := range dsts {
+			dsts[j] = dsts[j][:0]
+		}
+		l.probeBlockInto(dsts, sc.hvs[:nq], sc)
+		for j := 0; j < nq; j++ {
+			i := idx[j]
+			r := &results[i]
+			r.Stats.Alignments++
+			r.Stats.BucketProbes += nBkts
+			r.Stats.CandidateBuckets += len(dsts[j])
+			r.Matches = l.verify(r.Matches, patterns[i], a, dsts[j], tol, &r.Stats)
+		}
+	}
+	for i := range results {
+		if m := results[i].Matches; len(m) > 1 {
+			sort.Slice(m, func(x, y int) bool {
+				if m[x].Ref != m[y].Ref {
+					return m[x].Ref < m[y].Ref
+				}
+				return m[x].Off < m[y].Off
+			})
+		}
+	}
 }
 
 // Strand identifies which DNA strand a match was found on.

@@ -19,6 +19,14 @@ type Counters struct {
 	// BatchCancellations counts LookupBatchContext calls stopped early
 	// by context cancellation or deadline expiry.
 	BatchCancellations int64
+	// BlockedProbes counts multi-query probe blocks executed — arena
+	// passes that served a whole query block at once (ProbeMulti and the
+	// blocked LookupLong/LookupBatch paths).
+	BlockedProbes int64
+	// BlockedWindows counts query windows served through those blocks;
+	// BlockedWindows / BlockedProbes is the realized mean block
+	// occupancy (≤ bitvec.MaxMultiQueries).
+	BlockedWindows int64
 }
 
 // libCounters is the live atomic form embedded in Library. Writers
@@ -28,17 +36,20 @@ type libCounters struct {
 	bucketProbes       atomic.Int64
 	earlyAbandons      atomic.Int64
 	batchCancellations atomic.Int64
+	blockedProbes      atomic.Int64
+	blockedWindows     atomic.Int64
 }
 
 // Counters returns a snapshot of the library's cumulative operational
-// counters. Safe to call concurrently with lookups; the three fields
-// are read independently, so a snapshot taken mid-lookup may be
-// slightly torn across fields — each field is itself consistent and
-// monotonic.
+// counters. Safe to call concurrently with lookups; the fields are
+// read independently, so a snapshot taken mid-lookup may be slightly
+// torn across fields — each field is itself consistent and monotonic.
 func (l *Library) Counters() Counters {
 	return Counters{
 		BucketProbes:       l.ctr.bucketProbes.Load(),
 		EarlyAbandons:      l.ctr.earlyAbandons.Load(),
 		BatchCancellations: l.ctr.batchCancellations.Load(),
+		BlockedProbes:      l.ctr.blockedProbes.Load(),
+		BlockedWindows:     l.ctr.blockedWindows.Load(),
 	}
 }

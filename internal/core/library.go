@@ -127,6 +127,11 @@ type Library struct {
 	// allocate; see lookupScratch.
 	scratch sync.Pool
 
+	// blockPool pools the cross-query scratch plane of the blocked probe
+	// paths — one query block's worth of encodings, kernel state, and
+	// candidate buffers; see blockScratch.
+	blockPool sync.Pool
+
 	// ctr accumulates lifetime operational counters (probe scans, early
 	// abandons, batch cancellations) for the /metrics endpoint; see
 	// Counters.
@@ -162,6 +167,56 @@ func (l *Library) getScratch() *lookupScratch {
 }
 
 func (l *Library) putScratch(s *lookupScratch) { l.scratch.Put(s) }
+
+// blockScratch is the reusable state of the query-blocked probe paths
+// (ProbeMulti, LookupLong, lookupBlock): one block's worth of query
+// window encodings, the multi-kernel's word views, bounds and distance
+// vectors, per-query candidate buffers, and the diagonal-voting state
+// of LookupLong. Pooled per library — batch workers run blocked probes
+// concurrently, so the plane must be per-call, not shared.
+type blockScratch struct {
+	hvs    []*hdc.HV     // query window encodings, probeBlock of them
+	acc    *hdc.Acc      // counter scratch for approximate encoding; nil in exact mode
+	qs     [][]uint64    // word views of the active encodings, for the multi kernel
+	bounds []int         // per-query Hamming bounds
+	dist   []int         // per-query distances (kernel output)
+	cands  [][]Candidate // per-query candidate buffers
+
+	// LookupLong's diagonal voting state, reused across calls so a long
+	// read does not rebuild its maps window by window.
+	matches []Match          // per-window match buffer
+	seen    map[diagKey]bool // per-window diagonal dedup
+	votes   map[diagKey]int  // per-call diagonal votes
+	best    map[int]diagKey  // per-call winning diagonal per reference
+}
+
+func (l *Library) getBlockScratch() *blockScratch {
+	if s, ok := l.blockPool.Get().(*blockScratch); ok {
+		return s
+	}
+	s := &blockScratch{
+		hvs:    make([]*hdc.HV, probeBlock),
+		qs:     make([][]uint64, 0, probeBlock),
+		bounds: make([]int, probeBlock),
+		dist:   make([]int, probeBlock),
+		cands:  make([][]Candidate, probeBlock),
+		seen:   make(map[diagKey]bool),
+		votes:  make(map[diagKey]int),
+		best:   make(map[int]diagKey),
+	}
+	for i := range s.hvs {
+		s.hvs[i] = hdc.NewHV(l.params.Dim)
+	}
+	for i := range s.cands {
+		s.cands[i] = make([]Candidate, 0, candidateHint)
+	}
+	if l.params.Approx {
+		s.acc = hdc.NewAcc(l.params.Dim)
+	}
+	return s
+}
+
+func (l *Library) putBlockScratch(s *blockScratch) { l.blockPool.Put(s) }
 
 // NewLibrary creates an empty library with the given parameters.
 // If params.Capacity is 0 it is derived from the statistical model.

@@ -1,0 +1,377 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/genome"
+	"repro/internal/hdc"
+	"repro/internal/rng"
+)
+
+// seedLookupLong replicates the pre-blocking LookupLong — one Lookup
+// per non-overlapping window, diagonal voting over the matches — as the
+// golden reference the query-blocked implementation must match result-
+// for-result and stat-for-stat.
+func seedLookupLong(l *Library, query *genome.Sequence, minFrac float64) ([]RefMatch, Stats, error) {
+	var stats Stats
+	w := l.params.Window
+	if query == nil || query.Len() < w {
+		return nil, stats, fmt.Errorf("core: query shorter than window %d", w)
+	}
+	type diag struct {
+		ref  int
+		diff int
+	}
+	votes := map[diag]int{}
+	nWindows := 0
+	for qOff := 0; qOff+w <= query.Len(); qOff += w {
+		window := query.Slice(qOff, qOff+w)
+		matches, s, err := l.Lookup(window)
+		stats.add(s)
+		if err != nil {
+			return nil, stats, err
+		}
+		nWindows++
+		seen := map[diag]bool{}
+		for _, m := range matches {
+			d := diag{ref: m.Ref, diff: m.Off - (qOff + m.QueryOff)}
+			if !seen[d] {
+				seen[d] = true
+				votes[d]++
+			}
+		}
+	}
+	best := map[int]diag{}
+	for d, v := range votes {
+		cur, ok := best[d.ref]
+		switch {
+		case !ok || v > votes[cur]:
+			best[d.ref] = d
+		case v == votes[cur] && d.diff < cur.diff:
+			best[d.ref] = d
+		}
+	}
+	var out []RefMatch
+	for ref, d := range best {
+		v := votes[d]
+		frac := float64(v) / float64(nWindows)
+		if frac >= minFrac {
+			out = append(out, RefMatch{
+				Ref: ref, Votes: v, Windows: nWindows, Offset: d.diff, Fraction: frac,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Votes != out[j].Votes {
+			return out[i].Votes > out[j].Votes
+		}
+		return out[i].Ref < out[j].Ref
+	})
+	return out, stats, nil
+}
+
+// TestProbeMultiGoldenEquivalence asserts ProbeMulti returns, per
+// query, exactly what Q sequential Probe calls return — candidates,
+// order, scores, excesses, and nil on a miss — across every storage ×
+// encoding mode, with stats modeling the full Q × buckets scan.
+func TestProbeMultiGoldenEquivalence(t *testing.T) {
+	for _, tc := range []struct {
+		name           string
+		sealed, approx bool
+	}{
+		{"sealed-exact", true, false},
+		{"sealed-approx", true, true},
+		{"raw-exact", false, false},
+		{"raw-approx", false, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			lib, refs := buildProbeLib(t, tc.sealed, tc.approx, 2077)
+			qs := probeQueries(t, lib, refs, 2099) // 36 queries → 4 full blocks + a partial
+			var multiStats Stats
+			got, err := lib.ProbeMulti(qs, &multiStats)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(qs) {
+				t.Fatalf("%d result rows for %d queries", len(got), len(qs))
+			}
+			var wantStats Stats
+			total := 0
+			for i, hv := range qs {
+				want, err := lib.Probe(hv, &wantStats)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if want == nil && got[i] != nil {
+					t.Fatalf("query %d: Probe missed but ProbeMulti returned %+v", i, got[i])
+				}
+				if !sameCandidates(got[i], want) {
+					t.Fatalf("query %d: blocked probe diverges from sequential:\n got %+v\nwant %+v", i, got[i], want)
+				}
+				total += len(want)
+			}
+			if multiStats.BucketProbes != len(qs)*lib.NumBuckets() || multiStats.CandidateBuckets != total {
+				t.Fatalf("stats %+v inconsistent with %d queries × %d buckets / %d candidates",
+					multiStats, len(qs), lib.NumBuckets(), total)
+			}
+		})
+	}
+}
+
+// TestProbeMultiShardedEquivalence forces the sharded [query block ×
+// bucket shard] tiling on a small library and asserts the ordered
+// merge is identical to the serial blocked scan and to sequential
+// probes.
+func TestProbeMultiShardedEquivalence(t *testing.T) {
+	defer func(v int) { probeShardMin = v }(probeShardMin)
+	for _, sealed := range []bool{true, false} {
+		lib, refs := buildProbeLib(t, sealed, true, 2123)
+		qs := probeQueries(t, lib, refs, 2321)
+		probeShardMin = lib.NumBuckets() + 1 // serial
+		serial, err := lib.ProbeMulti(qs, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		probeShardMin = 1 // one bucket per worker: maximal sharding
+		sharded, err := lib.ProbeMulti(qs, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range qs {
+			if !sameCandidates(serial[i], sharded[i]) {
+				t.Fatalf("sealed=%v query %d: sharded blocked probe diverges:\n got %+v\nwant %+v",
+					sealed, i, sharded[i], serial[i])
+			}
+			want, err := lib.Probe(qs[i], nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameCandidates(sharded[i], want) {
+				t.Fatalf("sealed=%v query %d: sharded blocked probe diverges from Probe", sealed, i)
+			}
+		}
+	}
+}
+
+// TestProbeMultiAfterRoundTrip asserts the blocked probe path over an
+// arena rebuilt by ReadLibrary matches the freeze-time arena.
+func TestProbeMultiAfterRoundTrip(t *testing.T) {
+	lib, refs := buildProbeLib(t, true, true, 2007)
+	back := saveLoad(t, lib)
+	qs := probeQueries(t, lib, refs, 2008)
+	want, err := lib.ProbeMulti(qs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := back.ProbeMulti(qs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range qs {
+		if !sameCandidates(got[i], want[i]) {
+			t.Fatalf("query %d: loaded library blocked-probes differently:\n got %+v\nwant %+v",
+				i, got[i], want[i])
+		}
+	}
+}
+
+func TestProbeMultiValidation(t *testing.T) {
+	lib, refs := buildProbeLib(t, true, false, 2055)
+	unfrozen := mustLibrary(t, Params{Dim: 2048, Window: 24, Sealed: true, Seed: 2056})
+	if _, err := unfrozen.ProbeMulti(nil, nil); err == nil {
+		t.Fatal("unfrozen ProbeMulti accepted")
+	}
+	if _, err := lib.ProbeMulti([]*hdc.HV{hdc.NewHV(1024)}, nil); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+	out, err := lib.ProbeMulti(nil, nil)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty batch: out=%v err=%v", out, err)
+	}
+	_ = refs
+}
+
+// TestBlockedProbeCounters checks the blocked-path operational
+// counters: one block per probeBlock-sized group of queries, one
+// blocked window per query.
+func TestBlockedProbeCounters(t *testing.T) {
+	lib, refs := buildProbeLib(t, true, false, 2066)
+	qs := probeQueries(t, lib, refs, 2067)[:probeBlock+2] // one full block + one partial
+	before := lib.Counters()
+	if _, err := lib.ProbeMulti(qs, nil); err != nil {
+		t.Fatal(err)
+	}
+	after := lib.Counters()
+	if got := after.BlockedProbes - before.BlockedProbes; got != 2 {
+		t.Fatalf("BlockedProbes advanced by %d, want 2", got)
+	}
+	if got := after.BlockedWindows - before.BlockedWindows; got != int64(len(qs)) {
+		t.Fatalf("BlockedWindows advanced by %d, want %d", got, len(qs))
+	}
+	if got := after.BucketProbes - before.BucketProbes; got != int64(len(qs)*lib.NumBuckets()) {
+		t.Fatalf("BucketProbes advanced by %d, want %d", got, len(qs)*lib.NumBuckets())
+	}
+}
+
+// TestLookupLongBlockedEquivalence pins the query-blocked LookupLong to
+// the sequential per-window implementation: identical ranked
+// references, stats, and errors, for reads that fill partial blocks,
+// exact block multiples, mutated reads, misses, and invalid input.
+func TestLookupLongBlockedEquivalence(t *testing.T) {
+	for _, approx := range []bool{false, true} {
+		lib, refs := buildProbeLib(t, true, approx, 3001)
+		w := lib.Params().Window
+		src := rng.New(3003)
+		var reads []*genome.Sequence
+		// Window counts straddling the block width: 1, probeBlock-1,
+		// probeBlock, probeBlock+1, and a couple of blocks plus change.
+		for _, nwin := range []int{1, probeBlock - 1, probeBlock, probeBlock + 1, 2*probeBlock + 3} {
+			off := src.Intn(refs[0].Len() - nwin*w)
+			reads = append(reads, refs[0].Slice(off, off+nwin*w))
+		}
+		// A read crossing two references' vote patterns: mutated copy.
+		clean := refs[1].Slice(100, 100+6*w)
+		mutated, _ := genome.SubstituteExactly(clean, 4, src)
+		reads = append(reads, mutated)
+		// A miss and a tail that is not a whole number of windows.
+		reads = append(reads, genome.Random(5*w+w/2, src))
+		reads = append(reads, refs[2].Slice(37, 37+3*w+w/3))
+		for ri, read := range reads {
+			want, wantStats, wantErr := seedLookupLong(lib, read, 0.3)
+			got, gotStats, gotErr := lib.LookupLong(read, 0.3)
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("approx=%v read %d: err %v vs sequential %v", approx, ri, gotErr, wantErr)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("approx=%v read %d: blocked LookupLong diverges:\n got %+v\nwant %+v",
+					approx, ri, got, want)
+			}
+			if gotStats != wantStats {
+				t.Fatalf("approx=%v read %d: stats %+v != sequential %+v", approx, ri, gotStats, wantStats)
+			}
+		}
+		// Invalid input: identical error text, no partial work reported.
+		short := genome.Random(w-1, src)
+		_, _, wantErr := seedLookupLong(lib, short, 0.3)
+		_, gotStats, gotErr := lib.LookupLong(short, 0.3)
+		if gotErr == nil || gotErr.Error() != wantErr.Error() {
+			t.Fatalf("short read error %q, want %q", gotErr, wantErr)
+		}
+		if gotStats != (Stats{}) {
+			t.Fatalf("short read reported work: %+v", gotStats)
+		}
+	}
+}
+
+// TestLookupLongBlockedUnfrozen: the blocked path must reject an
+// unfrozen library with the same error the sequential path surfaced
+// from its first Lookup.
+func TestLookupLongBlockedUnfrozen(t *testing.T) {
+	lib := mustLibrary(t, Params{Dim: 1024, Window: 16, Sealed: true, Seed: 3010})
+	if err := lib.Add(genome.Record{ID: "r", Seq: genome.Random(200, rng.New(3011))}); err != nil {
+		t.Fatal(err)
+	}
+	// Not frozen.
+	_, _, err := lib.LookupLong(genome.Random(64, rng.New(3012)), 0.5)
+	if err == nil || err.Error() != "core: Lookup before Freeze" {
+		t.Fatalf("unfrozen LookupLong error = %v", err)
+	}
+}
+
+// TestLookupBatchBlockedMultiAlignment pins the wave-blocked batch path
+// against sequential Lookup on a stride > 1 library, where patterns
+// offer different alignment counts (so waves shrink as short patterns
+// exhaust their alignments) and invalid patterns ride along mid-block.
+func TestLookupBatchBlockedMultiAlignment(t *testing.T) {
+	src := rng.New(3100)
+	ref := genome.Random(4000, src)
+	lib := mustLibrary(t, Params{Dim: 8192, Window: 32, Stride: 3, Sealed: true, Capacity: 16, Seed: 3101})
+	if err := lib.Add(genome.Record{ID: "ref", Seq: ref}); err != nil {
+		t.Fatal(err)
+	}
+	lib.Freeze()
+	var patterns []*genome.Sequence
+	for i := 0; i < 21; i++ {
+		switch i % 7 {
+		case 3:
+			patterns = append(patterns, nil) // invalid mid-block
+		case 5:
+			patterns = append(patterns, genome.Random(10, src)) // too short
+		default:
+			off := src.Intn(ref.Len() - 40)
+			// Lengths 32..38 → 1..min(3, len-31) alignments.
+			patterns = append(patterns, ref.Slice(off, off+32+i%7))
+		}
+	}
+	for _, workers := range []int{1, 3} {
+		results, agg, err := lib.LookupBatch(patterns, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wantAgg Stats
+		for i, p := range patterns {
+			want, st, wantErr := lib.Lookup(p)
+			wantAgg.add(st)
+			r := results[i]
+			if (wantErr == nil) != (r.Err == nil) {
+				t.Fatalf("workers=%d pattern %d: err %v vs sequential %v", workers, i, r.Err, wantErr)
+			}
+			if wantErr != nil {
+				if r.Err.Error() != wantErr.Error() {
+					t.Fatalf("workers=%d pattern %d: err %q vs sequential %q", workers, i, r.Err, wantErr)
+				}
+				continue
+			}
+			if !reflect.DeepEqual(r.Matches, want) {
+				t.Fatalf("workers=%d pattern %d: matches diverge:\n got %+v\nwant %+v",
+					workers, i, r.Matches, want)
+			}
+			if r.Stats != st {
+				t.Fatalf("workers=%d pattern %d: stats %+v != sequential %+v", workers, i, r.Stats, st)
+			}
+		}
+		if agg != wantAgg {
+			t.Fatalf("workers=%d: aggregate %+v != sequential %+v", workers, agg, wantAgg)
+		}
+	}
+}
+
+// TestLookupLongAllocs gates the blocked long-read path's steady-state
+// allocations: with the block scratch plane warm, a read that matches
+// nothing must not allocate at all.
+func TestLookupLongAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation perturbs sync.Pool allocation counts")
+	}
+	lib, refs := buildProbeLib(t, true, false, 3200)
+	w := lib.Params().Window
+	miss := genome.Random((probeBlock+2)*w, rng.New(3201))
+	hit := refs[0].Slice(0, (probeBlock+2)*w)
+	// Warm the scratch pool (and confirm both paths work).
+	if _, _, err := lib.LookupLong(miss, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if m, _, err := lib.LookupLong(hit, 0.5); err != nil || len(m) == 0 {
+		t.Fatalf("warmup hit: %d refs, err %v", len(m), err)
+	}
+	if avg := testing.AllocsPerRun(50, func() {
+		if _, _, err := lib.LookupLong(miss, 0.5); err != nil {
+			t.Fatal(err)
+		}
+	}); avg > 0 {
+		t.Errorf("miss LookupLong allocates %.1f times per op, want 0", avg)
+	}
+	// A hit pays for the result slice and the per-window vote map
+	// entries; budget a small constant so per-block or per-bucket
+	// regressions trip the gate.
+	if avg := testing.AllocsPerRun(50, func() {
+		if _, _, err := lib.LookupLong(hit, 0.5); err != nil {
+			t.Fatal(err)
+		}
+	}); avg > 8 {
+		t.Errorf("hit LookupLong allocates %.1f times per op, want ≤ 8", avg)
+	}
+}

@@ -59,6 +59,19 @@ func (l *Library) Threshold() float64 {
 		l.params.Alpha, l.params.Beta, maxInt(len(l.bkts), 1), l.params.MutTolerance)
 }
 
+// probeBlock is the query-block width of the blocked probe paths: up
+// to this many query windows share one streaming pass over the arena,
+// so each row's memory traffic is amortized across the block.
+const probeBlock = bitvec.MaxMultiQueries
+
+// diagKey identifies one alignment diagonal: matches of a reference
+// whose reference offset minus query offset agree all support the same
+// placement of the query in that reference.
+type diagKey struct {
+	ref  int
+	diff int
+}
+
 // probeShardMin is the minimum number of buckets each worker must have
 // before the probe scan fans out across goroutines; below
 // 2·probeShardMin buckets the scan stays serial (goroutine dispatch
@@ -140,6 +153,149 @@ func (l *Library) probeInto(dst []Candidate, hv *hdc.HV) []Candidate {
 		dst = append(dst, p...)
 	}
 	return dst
+}
+
+// ProbeMulti probes a batch of encoded query windows in blocks of up
+// to probeBlock queries: each sealed arena row is streamed once per
+// block and XNOR-popcounted against every query in it, amortizing the
+// memory traffic that dominates a large scan. The result is exactly
+// len(hvs) independent probes — out[i] is identical to what
+// Probe(hvs[i], ...) returns (same candidates, order, scores, excesses,
+// nil on a miss) — and stats count the same modeled work: every query
+// scans every bucket, whatever the software kernel skipped.
+func (l *Library) ProbeMulti(hvs []*hdc.HV, stats *Stats) ([][]Candidate, error) {
+	if !l.frozen {
+		return nil, fmt.Errorf("core: ProbeMulti before Freeze")
+	}
+	for _, hv := range hvs {
+		if hv.Dim() != l.params.Dim {
+			return nil, fmt.Errorf("core: query dimension %d != library %d", hv.Dim(), l.params.Dim)
+		}
+	}
+	out := make([][]Candidate, len(hvs))
+	sc := l.getBlockScratch()
+	defer l.putBlockScratch(sc)
+	total := 0
+	for base := 0; base < len(hvs); base += probeBlock {
+		hi := minInt(base+probeBlock, len(hvs))
+		dsts := out[base:hi]
+		for j := range dsts {
+			dsts[j] = make([]Candidate, 0, candidateHint)
+		}
+		l.probeBlockInto(dsts, hvs[base:hi], sc)
+		for j := range dsts {
+			total += len(dsts[j])
+			if len(dsts[j]) == 0 {
+				dsts[j] = nil
+			}
+		}
+	}
+	if stats != nil {
+		stats.BucketProbes += len(hvs) * len(l.bkts)
+		stats.CandidateBuckets += total
+	}
+	return out, nil
+}
+
+// probeBlockInto fills dsts[j] with the candidates of hvs[j] for one
+// block of at most probeBlock queries, appending to whatever each dst
+// already holds. Candidate content and order are identical to calling
+// probeInto once per query; the only difference is that each sealed
+// arena row is read once per block instead of once per query. The
+// bucket shards and their ordered merge mirror probeInto exactly, so
+// the tiling is [query block × bucket shard]. Callers must have
+// validated frozenness and query dimensions; sc supplies the kernel
+// scratch (word views, bounds, distances).
+func (l *Library) probeBlockInto(dsts [][]Candidate, hvs []*hdc.HV, sc *blockScratch) {
+	nq := len(hvs)
+	n := len(l.bkts)
+	l.ctr.bucketProbes.Add(int64(nq) * int64(n))
+	l.ctr.blockedProbes.Add(1)
+	l.ctr.blockedWindows.Add(int64(nq))
+	tau := l.Threshold()
+	maxHam := (l.params.Dim - int(math.Ceil(tau))) >> 1
+	workers := runtime.GOMAXPROCS(0)
+	if w := n / probeShardMin; workers > w {
+		workers = w
+	}
+	if workers <= 1 {
+		l.probeBlockRange(dsts, hvs, sc.qs[:0], tau, maxHam, 0, n, sc.bounds, sc.dist)
+		return
+	}
+	per := (n + workers - 1) / workers
+	parts := make([][][]Candidate, workers)
+	var wg sync.WaitGroup
+	for s := 0; s < workers; s++ {
+		lo := s * per
+		hi := minInt(lo+per, n)
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(s, lo, hi int) {
+			defer wg.Done()
+			part := make([][]Candidate, nq)
+			l.probeBlockRange(part, hvs, nil, tau, maxHam, lo, hi, make([]int, nq), make([]int, nq))
+			parts[s] = part
+		}(s, lo, hi)
+	}
+	wg.Wait()
+	for _, part := range parts {
+		for j, p := range part {
+			dsts[j] = append(dsts[j], p...)
+		}
+	}
+}
+
+// probeBlockRange scans buckets [lo, hi) against a whole query block,
+// appending each query's candidates to dsts. Sealed libraries run the
+// fused multi-query XNOR-popcount kernel — one pass over each arena
+// row serves the block, with per-query early abandonment via the
+// kernel's live mask; raw-count libraries — and single-query blocks,
+// which the lighter sequential kernel serves faster than the fused
+// pass — fall back to the per-query scan.
+func (l *Library) probeBlockRange(dsts [][]Candidate, hvs []*hdc.HV, qs [][]uint64, tau float64, maxHam, lo, hi int, bounds, dist []int) {
+	if l.params.Sealed && l.arena != nil && len(hvs) > 1 {
+		d := l.params.Dim
+		rw := l.rowWords
+		qs = qs[:0]
+		for j, hv := range hvs {
+			w := hv.Words()
+			if len(w) != rw {
+				panic(fmt.Sprintf("core: query words %d != row words %d", len(w), rw))
+			}
+			qs = append(qs, w)
+			bounds[j] = maxHam
+		}
+		arena := l.arena
+		abandoned := int64(0)
+		// One scanner per range hoists validation, the live-mask seed,
+		// and the fused kernel's query pointer block out of the row loop.
+		var ms bitvec.MultiScanner
+		ms.Init(qs, bounds[:len(qs)], rw)
+		for i := lo; i < hi; i++ {
+			row := arena[i*rw : i*rw+rw : i*rw+rw]
+			mask := ms.ScanRow(row, dist)
+			for j := range qs {
+				if mask&(1<<uint(j)) != 0 {
+					score := float64(d - 2*dist[j])
+					dsts[j] = append(dsts[j], Candidate{Bucket: i, Score: score, Excess: score - tau})
+				} else {
+					abandoned++
+				}
+			}
+		}
+		if abandoned > 0 {
+			// One atomic publish per range, counting abandoned
+			// (row, query) pairs — the same total Q sequential bounded
+			// scans would report.
+			l.ctr.earlyAbandons.Add(abandoned)
+		}
+		return
+	}
+	for j, hv := range hvs {
+		dsts[j] = l.probeRange(dsts[j], hv, tau, maxHam, lo, hi)
+	}
 }
 
 // probeRange scans buckets [lo, hi), appending candidates to dst.
@@ -279,44 +435,74 @@ type RefMatch struct {
 }
 
 // LookupLong maps a long query (e.g. a sequencing read or a gene) against
-// the references: the query is cut into non-overlapping windows, each is
-// looked up, and per-reference votes are accumulated along alignment
-// diagonals (matches whose reference offset minus query offset agree).
-// References are returned in decreasing vote order, filtered to vote
-// fraction ≥ minFrac.
+// the references: the query is cut into non-overlapping windows, the
+// windows are probed in blocks (each sealed arena row streams once per
+// block of up to probeBlock windows), and per-reference votes are
+// accumulated along alignment diagonals (matches whose reference offset
+// minus query offset agree). References are returned in decreasing vote
+// order, filtered to vote fraction ≥ minFrac. Matches, votes, and
+// stats are identical to looking each window up individually.
 func (l *Library) LookupLong(query *genome.Sequence, minFrac float64) ([]RefMatch, Stats, error) {
 	var stats Stats
 	w := l.params.Window
 	if query == nil || query.Len() < w {
 		return nil, stats, fmt.Errorf("core: query shorter than window %d", w)
 	}
-	type diag struct {
-		ref  int
-		diff int
+	if !l.frozen {
+		return nil, stats, fmt.Errorf("core: Lookup before Freeze")
 	}
-	votes := map[diag]int{}
+	tol := 0
+	if l.params.Approx {
+		tol = l.params.MutTolerance
+	}
+	sc := l.getBlockScratch()
+	defer l.putBlockScratch(sc)
+	clear(sc.votes)
 	nWindows := 0
-	for qOff := 0; qOff+w <= query.Len(); qOff += w {
-		window := query.Slice(qOff, qOff+w)
-		matches, s, err := l.Lookup(window)
-		stats.add(s)
-		if err != nil {
-			return nil, stats, err
+	nBkts := len(l.bkts)
+	var offs [probeBlock]int
+	for base := 0; base+w <= query.Len(); {
+		// Encode the next block of non-overlapping windows straight from
+		// the query (window i of the read starts at absolute offset i·w,
+		// so no sub-slices are materialized).
+		nq := 0
+		for nq < probeBlock && base+w <= query.Len() {
+			if l.params.Approx {
+				l.enc.EncodeWindowApproxInto(sc.hvs[nq], sc.acc, query, base)
+			} else {
+				l.enc.EncodeWindowExactInto(sc.hvs[nq], query, base)
+			}
+			offs[nq] = base
+			nq++
+			base += w
 		}
-		nWindows++
-		seen := map[diag]bool{} // one vote per diagonal per query window
-		for _, m := range matches {
-			d := diag{ref: m.Ref, diff: m.Off - (qOff + m.QueryOff)}
-			if !seen[d] {
-				seen[d] = true
-				votes[d]++
+		dsts := sc.cands[:nq]
+		for j := range dsts {
+			dsts[j] = dsts[j][:0]
+		}
+		l.probeBlockInto(dsts, sc.hvs[:nq], sc)
+		stats.Alignments += nq
+		stats.BucketProbes += nq * nBkts
+		for j := 0; j < nq; j++ {
+			stats.CandidateBuckets += len(dsts[j])
+			sc.matches = l.verify(sc.matches[:0], query, offs[j], dsts[j], tol, &stats)
+			nWindows++
+			clear(sc.seen) // one vote per diagonal per query window
+			for _, m := range sc.matches {
+				d := diagKey{ref: m.Ref, diff: m.Off - m.QueryOff}
+				if !sc.seen[d] {
+					sc.seen[d] = true
+					sc.votes[d]++
+				}
 			}
 		}
 	}
 	// Pick the winning diagonal per reference. Equal-vote ties are
 	// broken by the smaller diagonal so the reported Offset does not
 	// depend on map iteration order.
-	best := map[int]diag{}
+	votes := sc.votes
+	clear(sc.best)
+	best := sc.best
 	for d, v := range votes {
 		cur, ok := best[d.ref]
 		switch {

@@ -15,9 +15,17 @@ import (
 // or, worse, a silently truncated similarity — exactly the corruption
 // a hyperdimensional memory cannot detect downstream.
 //
+// Operands come in two shapes: the storage-carrying vector types
+// (*Vector, *HV, *Acc), whose raw storage is reached through their
+// words/counts fields and accessors, and the bare word-slice forms the
+// flat kernels take ([]uint64 rows, [][]uint64 query blocks), which
+// ARE raw storage — for those, indexing or reslicing the operand is
+// the raw access.
+//
 // Accepted guards, which must precede the first combining access:
-//   - a call to a checker helper (mustMatch / check / sameLen) with a
-//     vector operand as receiver or argument
+//   - a call to a checker helper (mustMatch / check / sameLen /
+//     checkMultiOperands) with a vector operand as receiver or
+//     argument
 //   - an if statement whose condition mentions two distinct operands
 //     (the length-comparison idiom, e.g. "if v.n != o.n")
 //
@@ -44,7 +52,12 @@ var rawFields = map[string]bool{"words": true, "counts": true}
 var rawMethods = map[string]bool{"Words": true, "Counts": true, "Count": true}
 
 // guardNames are checker-helper method names accepted as guards.
-var guardNames = map[string]bool{"mustMatch": true, "check": true, "sameLen": true}
+var guardNames = map[string]bool{
+	"mustMatch":          true,
+	"check":              true,
+	"sameLen":            true,
+	"checkMultiOperands": true,
+}
 
 // Run implements Analyzer.
 func (DimSafety) Run(pkg *Package) []Diagnostic {
@@ -96,6 +109,16 @@ func checkDims(pkg *Package, fn *ast.FuncDecl) (Diagnostic, bool) {
 			if name, ok := rawFieldAccess(n, operands); ok {
 				recordAccess(accessed, name, n.Pos(), &combinePos)
 			}
+		case *ast.IndexExpr:
+			// Word-slice operands are raw storage; indexing one is the
+			// access itself (row[w], qs[i][w]).
+			if name, ok := operandBase(n.X, operands); ok {
+				recordAccess(accessed, name, n.Pos(), &combinePos)
+			}
+		case *ast.SliceExpr:
+			if name, ok := operandBase(n.X, operands); ok {
+				recordAccess(accessed, name, n.Pos(), &combinePos)
+			}
 		}
 		return true
 	})
@@ -135,7 +158,7 @@ func vectorOperands(fn *ast.FuncDecl) map[string]bool {
 			return
 		}
 		for _, field := range fl.List {
-			if !isVectorType(field.Type) {
+			if !isVectorType(field.Type) && !isWordSliceType(field.Type) {
 				continue
 			}
 			for _, name := range field.Names {
@@ -162,6 +185,26 @@ func isVectorType(e ast.Expr) bool {
 		return vectorTypeNames[t.Name]
 	case *ast.SelectorExpr:
 		return vectorTypeNames[t.Sel.Name]
+	}
+	return false
+}
+
+// isWordSliceType matches the flat-kernel operand shapes []uint64 and
+// [][]uint64.
+func isWordSliceType(e ast.Expr) bool {
+	arr, ok := e.(*ast.ArrayType)
+	if !ok || arr.Len != nil {
+		return false
+	}
+	switch el := arr.Elt.(type) {
+	case *ast.Ident:
+		return el.Name == "uint64"
+	case *ast.ArrayType:
+		if el.Len != nil {
+			return false
+		}
+		id, ok := el.Elt.(*ast.Ident)
+		return ok && id.Name == "uint64"
 	}
 	return false
 }

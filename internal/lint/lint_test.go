@@ -123,9 +123,10 @@ func TestConcurrency(t *testing.T) {
 func TestDimSafety(t *testing.T) {
 	diags := fixtureDiags(t)
 	requireFinding(t, diags, "dimsafety", "bv.go", "Xor combines the raw storage")
-	if got := findingsIn(diags, "dimsafety", "bv.go"); len(got) != 1 {
-		t.Errorf("bv.go: want 1 dimsafety finding "+
-			"(And, Equal, Both must pass), got %d:\n%s",
+	requireFinding(t, diags, "dimsafety", "bv.go", "ScanRows combines the raw storage")
+	if got := findingsIn(diags, "dimsafety", "bv.go"); len(got) != 2 {
+		t.Errorf("bv.go: want 2 dimsafety findings "+
+			"(And, Equal, Both, ScanRowsGuarded, ScanRowsInline must pass), got %d:\n%s",
 			len(got), formatDiags(got))
 	}
 }

@@ -47,3 +47,52 @@ func (v *Vector) Equal(o *Vector) bool {
 func (v *Vector) Both(a, b *Vector) {
 	v.And(a, b)
 }
+
+// checkMultiOperands validates a query block against a row, mirroring
+// the flat multi-query kernels' checker helper.
+func checkMultiOperands(row []uint64, qs [][]uint64) {
+	for i := range qs {
+		if len(qs[i]) != len(row) {
+			panic("bitvec: length mismatch")
+		}
+	}
+}
+
+// ScanRows combines a row's raw words with a query block's without any
+// guard.
+func ScanRows(row []uint64, qs [][]uint64) int {
+	d := 0
+	for i := range qs {
+		for w := range row {
+			d += int(row[w] ^ qs[i][w]) // flagged
+		}
+	}
+	return d
+}
+
+// ScanRowsGuarded runs the checker helper before touching either
+// operand's words.
+func ScanRowsGuarded(row []uint64, qs [][]uint64) int {
+	checkMultiOperands(row, qs)
+	d := 0
+	for i := range qs {
+		for w := range row {
+			d += int(row[w] ^ qs[i][w])
+		}
+	}
+	return d
+}
+
+// ScanRowsInline guards with the inline length comparison.
+func ScanRowsInline(row []uint64, qs [][]uint64) int {
+	for i := range qs {
+		if len(qs[i]) != len(row) {
+			return -1
+		}
+	}
+	d := 0
+	for i := range qs {
+		d += int(row[0] ^ qs[i][0])
+	}
+	return d
+}

@@ -175,6 +175,13 @@ func TestMetricsEndpoint(t *testing.T) {
 	if got := postJSON(t, ts.URL+"/v1/search", SearchRequest{Pattern: ""}); got.StatusCode != http.StatusBadRequest {
 		t.Fatalf("empty pattern status %d", got.StatusCode)
 	}
+	// A batch runs the query-blocked scan, advancing the blocked-probe
+	// counters.
+	if got := postJSON(t, ts.URL+"/v1/batch", BatchRequest{
+		Patterns: []string{ref.Slice(10, 42).String(), ref.Slice(50, 82).String()},
+	}); got.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d", got.StatusCode)
+	}
 
 	mresp, err := http.Get(ts.URL + "/metrics")
 	if err != nil {
@@ -199,6 +206,8 @@ func TestMetricsEndpoint(t *testing.T) {
 		"# TYPE biohd_core_bucket_probes_total counter",
 		"# TYPE biohd_core_early_abandons_total counter",
 		"# TYPE biohd_core_batch_cancellations_total counter",
+		"# TYPE biohd_core_blocked_probes_total counter",
+		"# TYPE biohd_core_blocked_windows_total counter",
 		// The /metrics request itself is mid-flight while rendering.
 		"biohd_http_inflight_requests 1",
 	} {
@@ -207,18 +216,35 @@ func TestMetricsEndpoint(t *testing.T) {
 		}
 	}
 
-	// The successful search probed real buckets; the exposed core counter
-	// must reflect that.
-	var probes int64
+	// The successful search probed real buckets and the batch ran
+	// blocked scans over both patterns; the exposed core counters must
+	// reflect that.
+	var probes, blockedProbes, blockedWindows int64
 	for _, line := range strings.Split(out, "\n") {
-		if strings.HasPrefix(line, "biohd_core_bucket_probes_total ") {
-			if _, err := fmt.Sscanf(line, "biohd_core_bucket_probes_total %d", &probes); err != nil {
-				t.Fatalf("unparsable counter line %q: %v", line, err)
+		for _, c := range []struct {
+			name string
+			dst  *int64
+		}{
+			{"biohd_core_bucket_probes_total", &probes},
+			{"biohd_core_blocked_probes_total", &blockedProbes},
+			{"biohd_core_blocked_windows_total", &blockedWindows},
+		} {
+			if strings.HasPrefix(line, c.name+" ") {
+				if _, err := fmt.Sscanf(line, c.name+" %d", c.dst); err != nil {
+					t.Fatalf("unparsable counter line %q: %v", line, err)
+				}
 			}
 		}
 	}
 	if probes <= 0 {
 		t.Fatalf("biohd_core_bucket_probes_total = %d, want > 0", probes)
+	}
+	if blockedProbes <= 0 {
+		t.Fatalf("biohd_core_blocked_probes_total = %d, want > 0", blockedProbes)
+	}
+	if blockedWindows < blockedProbes {
+		t.Fatalf("blocked windows %d < blocked probes %d: every blocked scan serves at least one window",
+			blockedWindows, blockedProbes)
 	}
 }
 

@@ -144,6 +144,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		"# TYPE biohd_core_early_abandons_total counter\nbiohd_core_early_abandons_total %d\n", c.EarlyAbandons)
 	fmt.Fprintf(&buf, "# HELP biohd_core_batch_cancellations_total Batch lookups stopped early by context cancellation.\n"+
 		"# TYPE biohd_core_batch_cancellations_total counter\nbiohd_core_batch_cancellations_total %d\n", c.BatchCancellations)
+	fmt.Fprintf(&buf, "# HELP biohd_core_blocked_probes_total Query-blocked arena scans executed by the fused multi-query kernel.\n"+
+		"# TYPE biohd_core_blocked_probes_total counter\nbiohd_core_blocked_probes_total %d\n", c.BlockedProbes)
+	fmt.Fprintf(&buf, "# HELP biohd_core_blocked_windows_total Query windows served by blocked scans; divided by blocked probes this is the realized block occupancy.\n"+
+		"# TYPE biohd_core_blocked_windows_total counter\nbiohd_core_blocked_windows_total %d\n", c.BlockedWindows)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
 	//lint:ignore errcheck a failed response write means the client is gone

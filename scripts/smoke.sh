@@ -68,7 +68,9 @@ metrics=$(curl -sf "$base/metrics")
 for want in \
     'biohd_http_requests_total{path="/v1/search",status="2xx"} 1' \
     'biohd_http_request_seconds_bucket' \
-    'biohd_core_bucket_probes_total'; do
+    'biohd_core_bucket_probes_total' \
+    'biohd_core_blocked_probes_total' \
+    'biohd_core_blocked_windows_total'; do
     echo "$metrics" | grep -qF "$want" || { echo "FATAL: /metrics missing: $want"; exit 1; }
 done
 
