@@ -31,13 +31,16 @@ lint:
 	$(GO) run ./cmd/biohdlint $(PKGS)
 
 ## bench: run the probe A/B benchmarks and refresh the checked-in
-## records — BENCH_probe.json (arena kernel vs seed scalar scan) and
+## records — BENCH_probe.json (arena kernel vs seed scalar scan),
 ## BENCH_multiprobe.json (query-blocked scan vs sequential probes at
 ## Q ∈ {1,4,8}, single-threaded so the win measured is the blocking
-## itself, not parallelism)
+## itself, not parallelism), and BENCH_segments.json (segmented-library
+## scan vs a monolithic build of the same references at S ∈ {1,4,16};
+## the S=1 overhead is the cost of the snapshot indirection itself)
 bench:
 	$(GO) run ./cmd/benchprobe -out BENCH_probe.json
 	GOMAXPROCS=1 $(GO) run ./cmd/benchprobe -queries-per-block 8 -out BENCH_multiprobe.json
+	GOMAXPROCS=1 $(GO) run ./cmd/benchprobe -segments 1,4,16 -reps 9 -out BENCH_segments.json
 
 ## benchsmoke: compile and run every micro-benchmark once — catches
 ## benchmarks that no longer build or crash, without measuring anything.

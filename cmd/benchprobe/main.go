@@ -14,6 +14,15 @@
 // win is the blocking itself (row traffic amortized across the
 // block), not parallelism.
 //
+// With -segments "1,4,16" the command instead measures what the
+// segmented-snapshot refactor costs the probe: per segment count S,
+// both sides hold the same references, the monolithic side built
+// entirely pre-freeze (one sealed segment) and the segmented side
+// built one reference pre-freeze plus S-1 live ingests that each
+// seal their own segment. The overhead at S=1 is the price of the
+// snapshot indirection itself and must stay in the noise; `make
+// bench` runs this mode to refresh BENCH_segments.json.
+//
 // Both sides run interleaved via testing.Benchmark, several
 // repetitions each, and the report keys off medians: on a shared
 // machine a single benchmark invocation can swing by tens of percent,
@@ -27,6 +36,8 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strconv"
+	"strings"
 	"testing"
 
 	"repro/internal/bitvec"
@@ -77,8 +88,14 @@ func main() {
 	out := flag.String("out", "BENCH_probe.json", "output path, or - for stdout")
 	qpb := flag.Int("queries-per-block", 0,
 		"A/B-test the query-blocked scan at up to this block width instead of the seed comparison")
+	segs := flag.String("segments", "",
+		"comma-separated segment counts (e.g. 1,4,16): A/B-test the segmented scan against a monolithic build instead of the seed comparison")
 	flag.Parse()
 
+	if *segs != "" {
+		runSegments(*buckets, *segs, *reps, *out)
+		return
+	}
 	lib, qs, err := buildLibrary(*buckets)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchprobe:", err)
@@ -252,6 +269,186 @@ func runMulti(lib *core.Library, qs []*hdc.HV, buckets, qpb, reps int, out strin
 		fmt.Fprintln(os.Stderr, "benchprobe:", err)
 		os.Exit(1)
 	}
+}
+
+// segPair is one repetition of the segmented-vs-monolithic probe A/B.
+type segPair struct {
+	SegmentedNsPerOp  float64 `json:"segmented_ns_per_op"`
+	MonolithicNsPerOp float64 `json:"monolithic_ns_per_op"`
+}
+
+// segLevel is one segment count's result. Overhead is the fractional
+// slowdown of the segmented scan over the monolithic one (0.02 = 2%
+// slower); at S=1 both libraries hold a single sealed segment, so
+// anything beyond measurement noise there is a regression in the
+// snapshot plumbing itself.
+type segLevel struct {
+	Segments          int       `json:"segments"`
+	Reps              []segPair `json:"reps"`
+	SegmentedNsPerOp  float64   `json:"median_segmented_ns_per_op"`
+	MonolithicNsPerOp float64   `json:"median_monolithic_ns_per_op"`
+	Overhead          float64   `json:"overhead"`
+}
+
+type segReport struct {
+	Benchmark  string     `json:"benchmark"`
+	Dim        int        `json:"dim"`
+	Window     int        `json:"window"`
+	Capacity   int        `json:"capacity"`
+	Buckets    int        `json:"buckets"`
+	Queries    int        `json:"queries"`
+	GoVersion  string     `json:"go_version"`
+	GOARCH     string     `json:"goarch"`
+	GOMAXPROCS int        `json:"gomaxprocs"`
+	SIMD       bool       `json:"simd_kernel"`
+	Kernel     string     `json:"kernel"`
+	Levels     []segLevel `json:"levels"`
+}
+
+// runSegments A/B-tests the segmented probe scan. Per level S, both
+// sides are built from the same S references, each sized to fill
+// buckets/S buckets exactly so bucket contents line up reference for
+// reference: the monolithic side adds them all before Freeze (one
+// sealed segment), the segmented side adds one before Freeze and
+// ingests the rest live with a seal threshold of one window, sealing
+// a segment per reference. Identical bucket vectors, identical
+// thresholds of work — the ratio is pure per-segment dispatch cost.
+func runSegments(buckets int, levels string, reps int, out string) {
+	rep := segReport{
+		Benchmark: "segments", Dim: dim, Window: window, Capacity: capacity,
+		Buckets: buckets, Queries: queries,
+		GoVersion: runtime.Version(), GOARCH: runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0), SIMD: bitvec.AccelAvailable(),
+		Kernel: bitvec.Kernel(),
+	}
+	for _, field := range strings.Split(levels, ",") {
+		s, err := strconv.Atoi(strings.TrimSpace(field))
+		if err != nil || s <= 0 {
+			fmt.Fprintf(os.Stderr, "benchprobe: bad segment count %q\n", field)
+			os.Exit(1)
+		}
+		mono, segd, qs, err := buildSegmentedPair(buckets, s)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchprobe:", err)
+			os.Exit(1)
+		}
+		lvl := segLevel{Segments: s}
+		var segNs, monoNs []float64
+		for r := 0; r < reps; r++ {
+			sg := testing.Benchmark(func(b *testing.B) {
+				var stats core.Stats
+				for i := 0; i < b.N; i++ {
+					if _, err := segd.Probe(qs[i%len(qs)], &stats); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			mn := testing.Benchmark(func(b *testing.B) {
+				var stats core.Stats
+				for i := 0; i < b.N; i++ {
+					if _, err := mono.Probe(qs[i%len(qs)], &stats); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			pair := segPair{
+				SegmentedNsPerOp:  float64(sg.NsPerOp()),
+				MonolithicNsPerOp: float64(mn.NsPerOp()),
+			}
+			lvl.Reps = append(lvl.Reps, pair)
+			segNs = append(segNs, pair.SegmentedNsPerOp)
+			monoNs = append(monoNs, pair.MonolithicNsPerOp)
+			fmt.Fprintf(os.Stderr, "S=%d rep %d/%d: segmented %.0f ns/op, monolithic %.0f ns/op\n",
+				s, r+1, reps, pair.SegmentedNsPerOp, pair.MonolithicNsPerOp)
+		}
+		lvl.SegmentedNsPerOp = median(segNs)
+		lvl.MonolithicNsPerOp = median(monoNs)
+		lvl.Overhead = lvl.SegmentedNsPerOp/lvl.MonolithicNsPerOp - 1
+		fmt.Fprintf(os.Stderr, "S=%d median: segmented %.0f ns/op, monolithic %.0f ns/op, overhead %+.1f%%\n",
+			s, lvl.SegmentedNsPerOp, lvl.MonolithicNsPerOp, 100*lvl.Overhead)
+		rep.Levels = append(rep.Levels, lvl)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchprobe:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if out == "-" {
+		if _, err := os.Stdout.Write(data); err != nil {
+			fmt.Fprintln(os.Stderr, "benchprobe:", err)
+			os.Exit(1)
+		}
+	} else if err := os.WriteFile(out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchprobe:", err)
+		os.Exit(1)
+	}
+}
+
+// buildSegmentedPair builds the two sides of one segment level: a
+// monolithic library and an S-segment library over the same S
+// references, plus the shared query mix (3:1 absent to present,
+// present queries drawn round-robin across the references).
+func buildSegmentedPair(buckets, S int) (mono, segd *core.Library, qs []*hdc.HV, err error) {
+	if buckets%S != 0 {
+		return nil, nil, nil, fmt.Errorf("segment count %d does not divide %d buckets", S, buckets)
+	}
+	p := core.Params{Dim: dim, Window: window, Stride: 1, Capacity: capacity,
+		Approx: true, Sealed: true, MutTolerance: 2, Seed: 42}
+	src := rng.New(4242)
+	refs := make([]genome.Record, S)
+	for i := range refs {
+		// (buckets/S)*capacity windows per reference: every reference
+		// fills whole buckets, so monolithic and segmented bucket
+		// vectors are identical content in the same order.
+		refs[i] = genome.Record{
+			ID:  fmt.Sprintf("bench-%d", i),
+			Seq: genome.Random((buckets/S)*capacity+window-1, src),
+		}
+	}
+	if mono, err = core.NewLibrary(p); err != nil {
+		return nil, nil, nil, err
+	}
+	for _, rec := range refs {
+		if err = mono.Add(rec); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	mono.Freeze()
+	if segd, err = core.NewLibrary(p); err != nil {
+		return nil, nil, nil, err
+	}
+	if err = segd.Add(refs[0]); err != nil {
+		return nil, nil, nil, err
+	}
+	segd.Freeze()
+	segd.SetSealThreshold(1)
+	for _, rec := range refs[1:] {
+		if err = segd.Add(rec); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	if mono.NumSegments() != 1 || segd.NumSegments() != S {
+		return nil, nil, nil, fmt.Errorf("built %d/%d segments, want 1/%d",
+			mono.NumSegments(), segd.NumSegments(), S)
+	}
+	if mono.NumBuckets() != buckets || segd.NumBuckets() != buckets {
+		return nil, nil, nil, fmt.Errorf("built %d/%d buckets, want %d",
+			mono.NumBuckets(), segd.NumBuckets(), buckets)
+	}
+	qsrc := rng.New(24242)
+	for i := 0; i < queries; i++ {
+		var q *genome.Sequence
+		if i%4 == 0 {
+			ref := refs[i%len(refs)].Seq
+			off := qsrc.Intn(ref.Len() - window)
+			q = ref.Slice(off, off+window)
+		} else {
+			q = genome.Random(window, qsrc)
+		}
+		qs = append(qs, mono.Encoder().EncodeWindowApprox(q, 0))
+	}
+	return mono, segd, qs, nil
 }
 
 // buildLibrary builds the frozen benchmark library and its query mix

@@ -46,13 +46,20 @@ func cmdServe(args []string, out io.Writer) error {
 	fs.DurationVar(&cfg.RequestTimeout, "request-timeout", cfg.RequestTimeout, "per-request handler deadline (cancels in-flight batches)")
 	drain := fs.Duration("drain", 15*time.Second, "graceful-shutdown drain deadline after SIGINT/SIGTERM")
 	quiet := fs.Bool("quiet", false, "disable per-request logging")
+	sealThreshold := fs.Int("seal-threshold", 0, "buckets in the active segment before live ingest seals it (0 = default)")
+	compactTrigger := fs.Float64("compact-trigger", 0, "tombstone ratio that auto-compacts a segment after DELETE (0 = manual compaction only)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *compactTrigger < 0 || *compactTrigger > 1 {
+		return fmt.Errorf("-compact-trigger %v must be in [0, 1]", *compactTrigger)
 	}
 	lib, err := loadOrBuild(*refFile, *libFile, lf)
 	if err != nil {
 		return err
 	}
+	lib.SetSealThreshold(*sealThreshold)
+	lib.SetAutoCompact(*compactTrigger)
 	opts := []server.Option{server.WithConfig(cfg)}
 	if !*quiet {
 		opts = append(opts, server.WithLogger(log.New(out, "", log.LstdFlags)))
@@ -519,5 +526,85 @@ func cmdPIM(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "ops/query: xnor=%d popcount=%d broadcast=%d compare=%d\n",
 		total.Counts[pim.OpXnor]/int64(q), total.Counts[pim.OpPopcount]/int64(q),
 		total.Counts[pim.OpBroadcast]/int64(q), total.Counts[pim.OpCompare]/int64(q))
+	return nil
+}
+
+// cmdCompact maintains a saved library offline: optionally tombstones
+// references by ID, rewrites every segment whose tombstone ratio is at
+// least -min-ratio, and saves the result. This is the batch form of the
+// serve API's DELETE /v1/refs + POST /v1/compact lifecycle.
+func cmdCompact(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("compact", flag.ContinueOnError)
+	libFile := fs.String("lib", "", "saved library file (required)")
+	output := fs.String("o", "", "output file (default: rewrite -lib in place)")
+	remove := fs.String("remove", "", "comma-separated reference IDs to tombstone before compacting")
+	minRatio := fs.Float64("min-ratio", 0, "minimum tombstone ratio for a segment to be rewritten")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *libFile == "" {
+		return fmt.Errorf("compact requires -lib")
+	}
+	if *minRatio < 0 || *minRatio > 1 {
+		return fmt.Errorf("-min-ratio %v must be in [0, 1]", *minRatio)
+	}
+	f, err := os.Open(*libFile)
+	if err != nil {
+		return err
+	}
+	lib, err := core.ReadLibrary(f)
+	_ = f.Close() // read-only; nothing to flush
+	if err != nil {
+		return err
+	}
+	if *remove != "" {
+		for _, id := range strings.Split(*remove, ",") {
+			id = strings.TrimSpace(id)
+			idx := -1
+			for i := 0; i < lib.NumRefs(); i++ {
+				if rec := lib.Ref(i); rec.ID == id && rec.Seq != nil {
+					idx = i
+					break
+				}
+			}
+			if idx < 0 {
+				return fmt.Errorf("no live reference %q in %s", id, *libFile)
+			}
+			if err := lib.Remove(idx); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "removed %s\n", id)
+		}
+	}
+	before := lib.NumSegments()
+	ratio := lib.TombstoneRatio()
+	rewritten, err := lib.Compact(*minRatio)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "compacted: %d of %d segments rewritten (tombstone ratio %.3f -> %.3f), %d segments remain\n",
+		rewritten, before, ratio, lib.TombstoneRatio(), lib.NumSegments())
+	dst := *output
+	if dst == "" {
+		dst = *libFile
+	}
+	tmp := dst + ".tmp"
+	g, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := lib.WriteTo(g); err != nil {
+		_ = g.Close() // the write error is the one worth reporting
+		_ = os.Remove(tmp)
+		return err
+	}
+	if err := g.Close(); err != nil {
+		_ = os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, dst); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "saved library to %s\n", dst)
 	return nil
 }

@@ -9,6 +9,7 @@
 //	experiment regenerate a paper table/figure (or "all")
 //	pim        simulate a search batch on the PIM architecture
 //	serve      expose a library over an HTTP JSON API
+//	compact    rewrite a saved library's tombstoned segments
 //
 // Run "biohd <subcommand> -h" for flags.
 package main
@@ -47,6 +48,8 @@ func run(args []string, out io.Writer) error {
 		return cmdServe(args[1:], out)
 	case "pim":
 		return cmdPIM(args[1:], out)
+	case "compact":
+		return cmdCompact(args[1:], out)
 	case "help", "-h", "--help":
 		usage(out)
 		return nil
@@ -69,5 +72,6 @@ subcommands:
   experiment  regenerate a paper table/figure by ID (T1..T3, F1..F10, all)
   pim         simulate a search batch on the crossbar PIM architecture
   serve       expose a library over an HTTP JSON API
+  compact     rewrite a saved library's tombstoned segments and save it back
 `)
 }

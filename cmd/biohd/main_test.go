@@ -349,3 +349,40 @@ func TestBuildParallelWorkersMatch(t *testing.T) {
 		t.Fatal("parallel build produced different library bytes")
 	}
 }
+
+func TestCompactRemovesReference(t *testing.T) {
+	refs := genRefs(t)
+	lib := filepath.Join(t.TempDir(), "refs.lib")
+	var sb strings.Builder
+	if err := run([]string{"build", "-ref", refs, "-o", lib}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	// The covid generator names its variants VAR-0000, ...
+	sb.Reset()
+	if err := run([]string{"compact", "-lib", lib, "-remove", "VAR-0000"}, &sb); err != nil {
+		t.Fatalf("compact: %v\n%s", err, sb.String())
+	}
+	out := sb.String()
+	if !strings.Contains(out, "removed VAR-0000") || !strings.Contains(out, "segments rewritten") {
+		t.Fatalf("compact output missing lifecycle report:\n%s", out)
+	}
+	if !strings.Contains(out, "saved library to "+lib) {
+		t.Fatalf("compact did not rewrite the library in place:\n%s", out)
+	}
+	// The removed reference is gone from the compacted library; the
+	// others still serve searches.
+	sb.Reset()
+	if err := run([]string{"compact", "-lib", lib, "-remove", "VAR-0000"}, &sb); err == nil {
+		t.Fatal("removing an already-removed reference succeeded")
+	}
+}
+
+func TestCompactValidation(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"compact"}, &sb); err == nil {
+		t.Fatal("compact without -lib accepted")
+	}
+	if err := run([]string{"compact", "-lib", "nope.lib", "-min-ratio", "2"}, &sb); err == nil {
+		t.Fatal("out-of-range -min-ratio accepted")
+	}
+}

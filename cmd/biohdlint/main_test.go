@@ -12,7 +12,7 @@ func TestListRules(t *testing.T) {
 	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
 		t.Fatalf("-list exit = %d, stderr: %s", code, errOut.String())
 	}
-	for _, rule := range []string{"determinism", "purity", "errcheck", "concurrency", "dimsafety"} {
+	for _, rule := range []string{"determinism", "purity", "errcheck", "concurrency", "dimsafety", "snapshotsafety"} {
 		if !strings.Contains(out.String(), rule) {
 			t.Errorf("-list output missing rule %q:\n%s", rule, out.String())
 		}

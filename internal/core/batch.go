@@ -42,7 +42,10 @@ func (l *Library) LookupBatch(patterns []*genome.Sequence, workers int) ([]Batch
 // query alignments. Per pattern, the matches, stats, and errors are
 // identical to an individual Lookup call.
 func (l *Library) LookupBatchContext(ctx context.Context, patterns []*genome.Sequence, workers int) ([]BatchResult, Stats, error) {
-	if !l.frozen {
+	// One snapshot serves the whole batch: every pattern sees the same
+	// library state even if mutations land mid-batch.
+	sn := l.snap.Load()
+	if sn == nil {
 		return nil, Stats{}, fmt.Errorf("core: LookupBatch before Freeze")
 	}
 	if workers <= 0 {
@@ -77,7 +80,7 @@ func (l *Library) LookupBatchContext(ctx context.Context, patterns []*genome.Seq
 					}
 					continue
 				}
-				l.lookupBlock(patterns[r[0]:r[1]], results[r[0]:r[1]], sc)
+				l.lookupBlock(sn, patterns[r[0]:r[1]], results[r[0]:r[1]], sc)
 			}
 		}()
 	}
@@ -111,7 +114,7 @@ feed:
 // and probes them as a single query block. Verification order within a
 // pattern is alignment-major, exactly as in Lookup, so each result's
 // Matches, Stats, and Err are identical to an individual Lookup call.
-func (l *Library) lookupBlock(patterns []*genome.Sequence, results []BatchResult, sc *blockScratch) {
+func (l *Library) lookupBlock(sn *snapshot, patterns []*genome.Sequence, results []BatchResult, sc *blockScratch) {
 	w := l.params.Window
 	tol := 0
 	if l.params.Approx {
@@ -130,7 +133,7 @@ func (l *Library) lookupBlock(patterns []*genome.Sequence, results []BatchResult
 		}
 	}
 	var idx [probeBlock]int // block slot → pattern index, per wave
-	nBkts := len(l.bkts)
+	nBkts := sn.numBuckets()
 	for a := 0; a < maxAlign; a++ {
 		nq := 0
 		for i, p := range patterns {
@@ -152,14 +155,14 @@ func (l *Library) lookupBlock(patterns []*genome.Sequence, results []BatchResult
 		for j := range dsts {
 			dsts[j] = dsts[j][:0]
 		}
-		l.probeBlockInto(dsts, sc.hvs[:nq], sc)
+		l.probeBlockInto(sn, dsts, sc.hvs[:nq], sc)
 		for j := 0; j < nq; j++ {
 			i := idx[j]
 			r := &results[i]
 			r.Stats.Alignments++
 			r.Stats.BucketProbes += nBkts
 			r.Stats.CandidateBuckets += len(dsts[j])
-			r.Matches = l.verify(r.Matches, patterns[i], a, dsts[j], tol, &r.Stats)
+			r.Matches = l.verify(sn, r.Matches, patterns[i], a, dsts[j], tol, &r.Stats)
 		}
 	}
 	for i := range results {

@@ -278,10 +278,49 @@ func TestRemoveFromUnsealedLibrary(t *testing.T) {
 	}
 }
 
-func TestRemoveRejectsSealed(t *testing.T) {
-	lib, _ := buildExactLib(t, 500, 71)
-	if err := lib.Remove(0); err == nil {
-		t.Fatal("sealed removal accepted")
+func TestRemoveOnSealedLibrary(t *testing.T) {
+	// Sealed libraries drop their counters at Freeze and cannot subtract;
+	// the tombstone path makes Remove work anyway: the windows stay
+	// superposed (noise) but can never verify, so the reference is gone
+	// from every result.
+	src := rng.New(71)
+	refs := []*genome.Sequence{genome.Random(500, src), genome.Random(500, src)}
+	lib := mustLibrary(t, Params{Dim: 8192, Window: 32, Sealed: true, Seed: 71})
+	for i, r := range refs {
+		if err := lib.Add(genome.Record{ID: string(rune('a' + i)), Seq: r}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lib.Freeze()
+	windowsBefore := lib.NumWindows()
+	if err := lib.Remove(0); err != nil {
+		t.Fatalf("sealed removal rejected: %v", err)
+	}
+	if lib.NumWindows() >= windowsBefore {
+		t.Fatal("live window count did not drop")
+	}
+	if lib.TombstoneRatio() <= 0 {
+		t.Fatal("tombstone ratio not tracked")
+	}
+	if matches, _, _ := lib.Lookup(refs[0].Slice(100, 132)); len(matches) != 0 {
+		t.Fatalf("removed reference still matches: %+v", matches)
+	}
+	if ok, _, _ := lib.Contains(refs[1].Slice(100, 132)); !ok {
+		t.Fatal("surviving reference lost")
+	}
+	// Compaction rewrites the tombstoned segment and clears the ratio.
+	n, err := lib.Compact(0)
+	if err != nil || n == 0 {
+		t.Fatalf("Compact = (%d, %v), want rewrites", n, err)
+	}
+	if lib.TombstoneRatio() != 0 {
+		t.Fatalf("tombstone ratio %v after Compact", lib.TombstoneRatio())
+	}
+	if got := lib.Counters().Compactions; got != int64(n) {
+		t.Fatalf("Compactions counter %d, want %d", got, n)
+	}
+	if ok, _, _ := lib.Contains(refs[1].Slice(100, 132)); !ok {
+		t.Fatal("surviving reference lost after Compact")
 	}
 }
 
@@ -299,9 +338,10 @@ func TestRemoveValidation(t *testing.T) {
 	}
 }
 
-func TestRemoveExactSubtractionIsClean(t *testing.T) {
-	// After removing ref 0, the library must behave exactly like one
-	// built from ref 1 alone (counters fully cancel).
+func TestRemoveThenCompactIsClean(t *testing.T) {
+	// After removing ref 0 and compacting, the library must behave
+	// exactly like one built from ref 1 alone: compaction re-encodes the
+	// live windows, so ref 0's superposition contribution is fully gone.
 	src := rng.New(74)
 	r0, r1 := genome.Random(300, src), genome.Random(300, src)
 	// One shared bucket (capacity ≫ windows); D sized so the ~540-window
@@ -317,11 +357,13 @@ func TestRemoveExactSubtractionIsClean(t *testing.T) {
 	if err := both.Remove(0); err != nil {
 		t.Fatal(err)
 	}
-	// Every counter equals the contribution of r1's windows alone; a
-	// probe with any query scores identically to a fresh single-ref
-	// library built with the same seed. Window offsets differ (bucket
-	// packing), so compare scores via DotAcc through Probe candidates.
+	// Pre-compaction, the tombstoned windows are noise but r1 must still
+	// verify (the decision threshold accounts for full occupancy).
 	q := r1.Slice(50, 82)
+	if _, err := both.Compact(0); err != nil {
+		t.Fatal(err)
+	}
+	// Every counter now equals the contribution of r1's windows alone.
 	m, _, err := both.Lookup(q)
 	if err != nil {
 		t.Fatal(err)
@@ -333,7 +375,27 @@ func TestRemoveExactSubtractionIsClean(t *testing.T) {
 		}
 	}
 	if !found {
-		t.Fatalf("r1 window lost after removing r0: %+v", m)
+		t.Fatalf("r1 window lost after remove+compact: %+v", m)
+	}
+	// The compacted library scores r1's windows exactly like a fresh
+	// library built from r1 alone with the same seed: same counters,
+	// modulo bucket packing. Compare probe scores for the same query.
+	solo := mustLibrary(t, Params{Dim: 8192, Window: 32, Capacity: 1 << 20, Seed: 75})
+	if err := solo.Add(genome.Record{ID: "r1", Seq: r1}); err != nil {
+		t.Fatal(err)
+	}
+	solo.Freeze()
+	hv := both.Encoder().EncodeWindowExact(q, 0)
+	cb, err := both.Probe(hv, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := solo.Probe(hv, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cb) != 1 || len(cs) != 1 || cb[0].Score != cs[0].Score {
+		t.Fatalf("compacted scores diverge from fresh build: %+v vs %+v", cb, cs)
 	}
 }
 

@@ -23,13 +23,17 @@ type encodedRef struct {
 // Add calls over the same records. At most workers references are
 // encoded at once (workers ≤ 0 selects 1), bounding the in-flight
 // encoding memory to roughly workers × (reference windows × D/8) bytes.
+//
+// On a frozen library, AddConcurrent is a bulk ingest: the references
+// land in the active segment (auto-sealing as usual) and one snapshot
+// covering the whole batch is published at the end — cheaper than
+// len(recs) individual publishes.
 func (l *Library) AddConcurrent(recs []genome.Record, workers int) error {
-	if l.frozen {
-		return fmt.Errorf("core: AddConcurrent after Freeze")
-	}
 	if workers <= 0 {
 		workers = 1
 	}
+	// Encoding reads only the immutable encoder and parameters, so it
+	// runs outside the mutation lock.
 	sem := make(chan struct{}, workers)
 	jobs := make([]*encodedRef, len(recs))
 	var wg sync.WaitGroup
@@ -45,6 +49,10 @@ func (l *Library) AddConcurrent(recs []genome.Record, workers int) error {
 		}(jobs[i])
 	}
 	// Insert in input order as each reference completes.
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	frozen := l.snap.Load() != nil
+	inserted := 0
 	var firstErr error
 	for _, job := range jobs {
 		<-job.done
@@ -60,10 +68,17 @@ func (l *Library) AddConcurrent(recs []genome.Record, workers int) error {
 		refIdx := int32(len(l.refs))
 		l.refs = append(l.refs, job.rec)
 		for k := range job.hvs {
-			l.insert(WindowRef{Ref: refIdx, Off: job.offsets[k]}, job.hvs[k])
+			l.active.insert(WindowRef{Ref: refIdx, Off: job.offsets[k]}, job.hvs[k], &l.params)
+		}
+		inserted++
+		if frozen {
+			l.maybeSealActiveLocked()
 		}
 	}
 	wg.Wait()
+	if frozen && inserted > 0 {
+		l.publishLocked(true)
+	}
 	return firstErr
 }
 

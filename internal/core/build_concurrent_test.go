@@ -95,11 +95,17 @@ func TestAddConcurrentErrors(t *testing.T) {
 	if lib.NumRefs() > 1 {
 		t.Fatalf("%d refs inserted after failure", lib.NumRefs())
 	}
-	// Frozen library rejects.
-	lib2, _ := buildExactLib(t, 500, 209)
-	_ = lib2
+	// A frozen library accepts AddConcurrent as live bulk ingest: the
+	// batch lands in the active segment and one snapshot covers it.
 	frozen, _ := buildExactLib(t, 500, 210)
-	if err := frozen.AddConcurrent(recs[:1], 2); err == nil {
-		t.Fatal("AddConcurrent after Freeze accepted")
+	refsBefore := frozen.NumRefs()
+	if err := frozen.AddConcurrent(recs[:1], 2); err != nil {
+		t.Fatalf("AddConcurrent after Freeze rejected: %v", err)
+	}
+	if frozen.NumRefs() != refsBefore+1 {
+		t.Fatalf("NumRefs = %d, want %d", frozen.NumRefs(), refsBefore+1)
+	}
+	if ok, _, _ := frozen.Contains(recs[0].Seq.Slice(0, 32)); !ok {
+		t.Fatal("bulk-ingested reference not searchable")
 	}
 }

@@ -33,10 +33,12 @@ type Calibration struct {
 // calibrationProbes is the number of noise and signal probes drawn.
 const calibrationProbes = 192
 
-// calibrate measures noise and signal score distributions on the frozen
-// library and derives the operating threshold. Deterministic given the
-// library seed and contents.
-func (l *Library) calibrate() Calibration {
+// calibrate measures noise and signal score distributions on a snapshot
+// and derives the operating threshold. Deterministic given the library
+// seed and the snapshot's contents — every mutation recalibrates the
+// snapshot it publishes, and a snapshot with no tombstones calibrates
+// identically to the pre-segmented monolith.
+func (l *Library) calibrate(sn *snapshot) Calibration {
 	src := rng.New(l.params.Seed ^ 0xca11b7a7e)
 	w := l.params.Window
 
@@ -45,30 +47,50 @@ func (l *Library) calibrate() Calibration {
 	for i := 0; i < calibrationProbes; i++ {
 		q := genome.Random(w, src)
 		hv := l.enc.EncodeWindowApprox(q, 0)
-		b := src.Intn(len(l.bkts))
-		noise.Add(l.score(b, hv))
+		b := src.Intn(sn.numBuckets())
+		noise.Add(sn.score(b, hv, &l.params))
 	}
 
 	// Signal side: member windows re-queried with MutTolerance
-	// substitutions, scored against their own bucket. Buckets emptied by
-	// Remove are skipped.
+	// substitutions, scored against their own bucket. Tombstoned windows
+	// cannot be re-queried (their sequence is gone), so sampling runs
+	// over each bucket's live members; buckets with no live member —
+	// emptied by Remove — are skipped entirely.
 	var nonEmpty []int
-	for i := range l.bkts {
-		if len(l.bkts[i].windows) > 0 {
-			nonEmpty = append(nonEmpty, i)
+	var live [][]WindowRef
+	for g := 0; g < sn.numBuckets(); g++ {
+		members := sn.windows(g)
+		kept := members
+		for _, wr := range members {
+			if sn.refs[wr.Ref].Seq == nil {
+				// Tombstones present: switch to a filtered copy. Untouched
+				// buckets keep sharing the snapshot's slice, so the draw
+				// sequence matches the tombstone-free case exactly.
+				kept = make([]WindowRef, 0, len(members))
+				for _, wr2 := range members {
+					if sn.refs[wr2.Ref].Seq != nil {
+						kept = append(kept, wr2)
+					}
+				}
+				break
+			}
+		}
+		if len(kept) > 0 {
+			nonEmpty = append(nonEmpty, g)
+			live = append(live, kept)
 		}
 	}
 	var signal stats.Welford
 	for i := 0; i < calibrationProbes && len(nonEmpty) > 0; i++ {
-		b := nonEmpty[src.Intn(len(nonEmpty))]
-		members := l.bkts[b].windows
+		j := src.Intn(len(nonEmpty))
+		members := live[j]
 		wr := members[src.Intn(len(members))]
-		window := l.refs[wr.Ref].Seq.Slice(int(wr.Off), int(wr.Off)+w)
+		window := sn.refs[wr.Ref].Seq.Slice(int(wr.Off), int(wr.Off)+w)
 		if l.params.MutTolerance > 0 {
 			window, _ = genome.SubstituteExactly(window, l.params.MutTolerance, src)
 		}
 		hv := l.enc.EncodeWindowApprox(window, 0)
-		signal.Add(l.score(b, hv))
+		signal.Add(sn.score(nonEmpty[j], hv, &l.params))
 	}
 
 	cal := Calibration{
@@ -82,7 +104,7 @@ func (l *Library) calibrate() Calibration {
 	// buckets), FN bound from the signal quantile; take the midpoint when
 	// the margin allows, else the FP bound wins (report fewer,
 	// trustworthy matches).
-	tauFP := cal.NoiseMean + zUpper(l.params.Alpha/float64(maxInt(len(l.bkts), 1)))*cal.NoiseStd
+	tauFP := cal.NoiseMean + zUpper(l.params.Alpha/float64(maxInt(sn.numBuckets(), 1)))*cal.NoiseStd
 	tauFN := cal.SignalMean - zUpper(l.params.Beta)*cal.SignalStd
 	if tauFN >= tauFP {
 		cal.Tau = (tauFP + tauFN) / 2
@@ -91,18 +113,19 @@ func (l *Library) calibrate() Calibration {
 	}
 	// Guard against degenerate probe spreads (e.g. a one-bucket library).
 	if math.IsNaN(cal.Tau) || math.IsInf(cal.Tau, 0) {
-		cal.Tau = l.Model().DecisionThreshold(
-			l.params.Alpha, l.params.Beta, maxInt(len(l.bkts), 1), l.params.MutTolerance)
+		cal.Tau = l.modelWith(sn.maxOccupancy()).DecisionThreshold(
+			l.params.Alpha, l.params.Beta, maxInt(sn.numBuckets(), 1), l.params.MutTolerance)
 	}
 	return cal
 }
 
-// Calibration returns the freeze-time calibration. The boolean is false
-// for exact-mode libraries (the a-priori model is exact there) and for
-// unfrozen libraries.
+// Calibration returns the calibration of the current snapshot. The
+// boolean is false for exact-mode libraries (the a-priori model is
+// exact there) and for unfrozen libraries.
 func (l *Library) Calibration() (Calibration, bool) {
-	if !l.frozen || !l.params.Approx {
+	sn := l.snap.Load()
+	if sn == nil || !l.params.Approx {
 		return Calibration{}, false
 	}
-	return l.cal, true
+	return sn.cal, true
 }

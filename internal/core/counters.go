@@ -27,6 +27,12 @@ type Counters struct {
 	// BlockedWindows / BlockedProbes is the realized mean block
 	// occupancy (≤ bitvec.MaxMultiQueries).
 	BlockedWindows int64
+	// SegmentSeals counts active segments sealed into immutable ones by
+	// post-freeze ingest reaching the auto-seal threshold.
+	SegmentSeals int64
+	// Compactions counts segments rewritten by Compact (manual or
+	// auto-triggered), including active-segment rebuilds.
+	Compactions int64
 }
 
 // libCounters is the live atomic form embedded in Library. Writers
@@ -38,6 +44,8 @@ type libCounters struct {
 	batchCancellations atomic.Int64
 	blockedProbes      atomic.Int64
 	blockedWindows     atomic.Int64
+	segmentSeals       atomic.Int64
+	compactions        atomic.Int64
 }
 
 // Counters returns a snapshot of the library's cumulative operational
@@ -51,5 +59,7 @@ func (l *Library) Counters() Counters {
 		BatchCancellations: l.ctr.batchCancellations.Load(),
 		BlockedProbes:      l.ctr.blockedProbes.Load(),
 		BlockedWindows:     l.ctr.blockedWindows.Load(),
+		SegmentSeals:       l.ctr.segmentSeals.Load(),
+		Compactions:        l.ctr.compactions.Load(),
 	}
 }

@@ -15,17 +15,21 @@ import (
 // Library file format (little endian):
 //
 //	magic "BIOHDLIB" | version u32 | params | calibration |
-//	refs u32 { id, desc, len u64, packed words } |
-//	buckets u32 { windows u32 {ref i32, off i32},
-//	              sealed u8, payload (sealed words | counters + n) } |
+//	refs u32 { id, desc, removed u32, [len u64, packed words] } |
+//	segments u32 { buckets u32 { windows u32 {ref i32, off i32},
+//	              sealed u8, payload (sealed words | counters + n) } } |
 //	crc32 (IEEE, over everything before it)
 //
-// The format is self-contained: loading reconstructs a frozen library
-// that answers queries identically to the one saved.
-
+// Version 2 (current) writes one bucket block per segment and flags
+// removed references (their sequence is omitted). Version 1 — the
+// pre-segmented monolith — had no removed flag and one flat bucket
+// block; v1 files load as a single segment and answer queries
+// identically to the library that saved them. The active segment is
+// serialized like a sealed one: a loaded library starts with an empty
+// active segment and every saved bucket immutable.
 const (
 	libMagic   = "BIOHDLIB"
-	libVersion = 1
+	libVersion = 2
 )
 
 // crcWriter tees writes into a running CRC.
@@ -71,11 +75,12 @@ func (cw *crcWriter) words(ws []uint64) {
 	cw.write(buf)
 }
 
-// WriteTo serializes the library. Only frozen libraries can be saved (a
-// half-built library has no stable search semantics). It returns the
-// number of payload bytes written.
+// WriteTo serializes the library's current snapshot. Only frozen
+// libraries can be saved (a half-built library has no stable search
+// semantics). It returns the number of payload bytes written.
 func (l *Library) WriteTo(w io.Writer) (int64, error) {
-	if !l.frozen {
+	sn := l.snap.Load()
+	if sn == nil {
 		return 0, fmt.Errorf("core: cannot save an unfrozen library")
 	}
 	bw := bufio.NewWriter(w)
@@ -95,42 +100,51 @@ func (l *Library) WriteTo(w io.Writer) (int64, error) {
 	cw.f64(p.Beta)
 	cw.u64(p.Seed)
 
-	cw.f64(l.cal.NoiseMean)
-	cw.f64(l.cal.NoiseStd)
-	cw.f64(l.cal.SignalMean)
-	cw.f64(l.cal.SignalStd)
-	cw.f64(l.cal.Tau)
-	cw.u32(uint32(l.cal.Samples))
+	cw.f64(sn.cal.NoiseMean)
+	cw.f64(sn.cal.NoiseStd)
+	cw.f64(sn.cal.SignalMean)
+	cw.f64(sn.cal.SignalStd)
+	cw.f64(sn.cal.Tau)
+	cw.u32(uint32(sn.cal.Samples))
 
-	cw.u32(uint32(len(l.refs)))
-	for _, rec := range l.refs {
+	cw.u32(uint32(len(sn.refs)))
+	for _, rec := range sn.refs {
 		cw.str(rec.ID)
 		cw.str(rec.Description)
+		if rec.Seq == nil {
+			cw.u32(1) // removed: tombstone keeps the slot, drops the bases
+			continue
+		}
+		cw.u32(0)
 		cw.u64(uint64(rec.Seq.Len()))
 		cw.words(rec.Seq.PackedWords())
 	}
 
-	cw.u32(uint32(len(l.bkts)))
-	for i := range l.bkts {
-		b := &l.bkts[i]
-		cw.u32(uint32(len(b.windows)))
-		for _, wr := range b.windows {
-			cw.u32(uint32(wr.Ref))
-			cw.u32(uint32(wr.Off))
-		}
-		if l.params.Sealed {
-			cw.u32(1)
-			cw.words(b.sealed.Bits().Words())
-		} else {
-			cw.u32(0)
-			counts := b.acc.Counts()
-			cw.u32(uint32(len(counts)))
-			buf := make([]byte, 4*len(counts))
-			for j, c := range counts {
-				binary.LittleEndian.PutUint32(buf[j*4:], uint32(c))
+	cw.u32(uint32(len(sn.segs)))
+	for _, seg := range sn.segs {
+		cw.u32(uint32(seg.numBuckets()))
+		for i := 0; i < seg.numBuckets(); i++ {
+			ws := seg.windows(i)
+			cw.u32(uint32(len(ws)))
+			for _, wr := range ws {
+				cw.u32(uint32(wr.Ref))
+				cw.u32(uint32(wr.Off))
 			}
-			cw.write(buf)
-			cw.u32(uint32(b.acc.N()))
+			if l.params.Sealed {
+				cw.u32(1)
+				cw.words(seg.vector(i).Bits().Words())
+			} else {
+				cw.u32(0)
+				acc := seg.counters(i)
+				counts := acc.Counts()
+				cw.u32(uint32(len(counts)))
+				buf := make([]byte, 4*len(counts))
+				for j, c := range counts {
+					binary.LittleEndian.PutUint32(buf[j*4:], uint32(c))
+				}
+				cw.write(buf)
+				cw.u32(uint32(acc.N()))
+			}
 		}
 	}
 	if cw.err != nil {
@@ -229,15 +243,20 @@ const (
 	maxCount    = 1 << 24
 )
 
-// ReadLibrary deserializes a library saved by WriteTo, verifying the
-// checksum; the result is frozen and ready to search.
+// ReadLibrary deserializes a library saved by WriteTo (version 2) or by
+// the pre-segmented code (version 1), verifying the checksum; the
+// result is frozen and ready to search. A v1 file loads as one segment
+// and a v2 file preserves its segment boundaries, so both probe through
+// the same kernels — and produce the same answers — as the library that
+// was saved.
 func ReadLibrary(r io.Reader) (*Library, error) {
 	cr := &crcReader{r: bufio.NewReader(r)}
 	if magic := cr.read(len(libMagic)); cr.err != nil || string(magic) != libMagic {
 		return nil, fmt.Errorf("core: not a BioHD library file")
 	}
-	if v := cr.u32(); cr.err == nil && v != libVersion {
-		return nil, fmt.Errorf("core: unsupported library version %d", v)
+	version := cr.u32()
+	if cr.err == nil && version != 1 && version != libVersion {
+		return nil, fmt.Errorf("core: unsupported library version %d", version)
 	}
 	var p Params
 	p.Dim = int(cr.u32())
@@ -289,6 +308,11 @@ func ReadLibrary(r io.Reader) (*Library, error) {
 	for i := uint32(0); i < nRefs && cr.err == nil; i++ {
 		id := cr.str(maxStrLen)
 		desc := cr.str(maxStrLen)
+		if version >= 2 && cr.u32() == 1 {
+			// Removed reference: the slot keeps its index, no sequence.
+			lib.refs = append(lib.refs, genome.Record{ID: id, Description: desc})
+			continue
+		}
 		n := cr.u64()
 		words := cr.words(maxSeqWords)
 		if cr.err != nil {
@@ -303,59 +327,78 @@ func ReadLibrary(r io.Reader) (*Library, error) {
 		})
 	}
 
-	nBuckets := cr.u32()
-	if cr.err == nil && nBuckets > maxCount {
-		return nil, fmt.Errorf("core: implausible bucket count %d", nBuckets)
+	// v1 has one flat bucket block; v2 prefixes a segment count.
+	nSegs := uint32(1)
+	if version >= 2 {
+		nSegs = cr.u32()
+		if cr.err == nil && nSegs > maxCount {
+			return nil, fmt.Errorf("core: implausible segment count %d", nSegs)
+		}
 	}
-	for i := uint32(0); i < nBuckets && cr.err == nil; i++ {
-		var b bucket
-		nWin := cr.u32()
-		if cr.err == nil && nWin > maxCount {
-			return nil, fmt.Errorf("core: implausible window count %d", nWin)
+	for s := uint32(0); s < nSegs && cr.err == nil; s++ {
+		nBuckets := cr.u32()
+		if cr.err == nil && nBuckets > maxCount {
+			return nil, fmt.Errorf("core: implausible bucket count %d", nBuckets)
 		}
-		for j := uint32(0); j < nWin && cr.err == nil; j++ {
-			wr := WindowRef{Ref: int32(cr.u32()), Off: int32(cr.u32())}
-			if int(wr.Ref) >= len(lib.refs) || wr.Ref < 0 {
-				return nil, fmt.Errorf("core: bucket %d references sequence %d of %d", i, wr.Ref, len(lib.refs))
+		bkts := make([]bucket, 0, nBuckets)
+		for i := uint32(0); i < nBuckets && cr.err == nil; i++ {
+			var b bucket
+			nWin := cr.u32()
+			if cr.err == nil && nWin > maxCount {
+				return nil, fmt.Errorf("core: implausible window count %d", nWin)
 			}
-			b.windows = append(b.windows, wr)
-			lib.nWin++
+			for j := uint32(0); j < nWin && cr.err == nil; j++ {
+				wr := WindowRef{Ref: int32(cr.u32()), Off: int32(cr.u32())}
+				if int(wr.Ref) >= len(lib.refs) || wr.Ref < 0 {
+					return nil, fmt.Errorf("core: bucket %d references sequence %d of %d", i, wr.Ref, len(lib.refs))
+				}
+				b.windows = append(b.windows, wr)
+			}
+			sealed := cr.u32() == 1
+			if sealed != p.Sealed {
+				if cr.err == nil {
+					return nil, fmt.Errorf("core: bucket %d storage mode disagrees with parameters", i)
+				}
+				break
+			}
+			if sealed {
+				words := cr.words(maxSeqWords)
+				if cr.err != nil {
+					break
+				}
+				if len(words)*64 != p.Dim {
+					return nil, fmt.Errorf("core: bucket %d has %d words for dimension %d", i, len(words), p.Dim)
+				}
+				b.sealed = hdc.HVFromWords(words, p.Dim)
+			} else {
+				nc := cr.u32()
+				if cr.err == nil && int(nc) != p.Dim {
+					return nil, fmt.Errorf("core: bucket %d has %d counters for dimension %d", i, nc, p.Dim)
+				}
+				buf := cr.read(int(nc) * 4)
+				if buf == nil {
+					break
+				}
+				counts := make([]int32, nc)
+				for j := range counts {
+					counts[j] = int32(binary.LittleEndian.Uint32(buf[j*4:]))
+				}
+				n := int(cr.u32())
+				acc := hdc.AccFromCounts(counts, n)
+				b.acc = acc
+				b.sealed = acc.Seal(p.Seed ^ 0x5ea1)
+			}
+			bkts = append(bkts, b)
 		}
-		sealed := cr.u32() == 1
-		if sealed != p.Sealed {
-			if cr.err == nil {
-				return nil, fmt.Errorf("core: bucket %d storage mode disagrees with parameters", i)
-			}
+		if cr.err != nil {
 			break
 		}
-		if sealed {
-			words := cr.words(maxSeqWords)
-			if cr.err != nil {
-				break
-			}
-			if len(words)*64 != p.Dim {
-				return nil, fmt.Errorf("core: bucket %d has %d words for dimension %d", i, len(words), p.Dim)
-			}
-			b.sealed = hdc.HVFromWords(words, p.Dim)
-		} else {
-			nc := cr.u32()
-			if cr.err == nil && int(nc) != p.Dim {
-				return nil, fmt.Errorf("core: bucket %d has %d counters for dimension %d", i, nc, p.Dim)
-			}
-			buf := cr.read(int(nc) * 4)
-			if buf == nil {
-				break
-			}
-			counts := make([]int32, nc)
-			for j := range counts {
-				counts[j] = int32(binary.LittleEndian.Uint32(buf[j*4:]))
-			}
-			n := int(cr.u32())
-			acc := hdc.AccFromCounts(counts, n)
-			b.acc = acc
-			b.sealed = acc.Seal(p.Seed ^ 0x5ea1)
+		if len(bkts) == 0 {
+			continue // v1 wrote no empty bucket blocks; v2 never writes empty segments either
 		}
-		lib.bkts = append(lib.bkts, b)
+		seg := newSegment(bkts, p.Dim)
+		seg.tombs = seg.countTombs(lib.refs)
+		lib.segs = append(lib.segs, seg)
 	}
 	if cr.err != nil {
 		return nil, fmt.Errorf("core: reading library: %w", cr.err)
@@ -367,13 +410,12 @@ func ReadLibrary(r io.Reader) (*Library, error) {
 	if got := binary.LittleEndian.Uint32(tail[:]); got != cr.crc {
 		return nil, fmt.Errorf("core: library checksum mismatch (file %08x, computed %08x)", got, cr.crc)
 	}
-	lib.frozen = len(lib.bkts) > 0
-	if lib.frozen {
-		// Rebuild the flat probe arena exactly as Freeze would, so a
-		// loaded library probes through the same kernel as the one
-		// that was saved.
-		lib.packArena()
-	}
 	lib.cal = cal
+	// v2 files are only ever written by frozen libraries; a v1 file is
+	// frozen iff it holds buckets. Publish the loaded snapshot with the
+	// stored calibration — loading must not re-derive it.
+	if version >= 2 || len(lib.segs) > 0 {
+		lib.publishLocked(false)
+	}
 	return lib, nil
 }

@@ -3,8 +3,8 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
-	"repro/internal/bitvec"
 	"repro/internal/encoding"
 	"repro/internal/genome"
 	"repro/internal/hdc"
@@ -89,38 +89,41 @@ type WindowRef struct {
 	Off int32
 }
 
-// bucket is one library hypervector plus the windows superposed in it.
-// Sealed libraries drop a bucket's counters as soon as it fills (the
-// binary view is all search needs — 32× less memory); unsealed libraries
-// keep the counters, which DotAcc scoring reads directly.
-type bucket struct {
-	acc     *hdc.Acc    // raw counters; nil once sealed-and-dropped
-	sealed  *hdc.HV     // binarized view; nil until sealed
-	windows []WindowRef // members, in insertion order
-}
+// defaultSealThreshold is the active-segment bucket count at which a
+// post-freeze Add seals the active segment into a new immutable one.
+const defaultSealThreshold = 4096
 
 // Library is a BioHD reference library: genome references encoded window
 // by window and memorized into superposed hypervector buckets.
 //
-// Build once with NewLibrary/Add, then Freeze and search. A frozen
-// library is safe for concurrent Lookup calls.
+// The library is segmented: immutable sealed segments plus one mutable
+// active segment, with every read path going through an atomically
+// published snapshot. Build with NewLibrary/Add, then Freeze; after
+// Freeze the library keeps accepting Add and Remove concurrently with
+// searches — each mutation assembles the next snapshot off-line under
+// the mutation lock and publishes it with one pointer swap, so readers
+// never lock and never observe a half-applied change. The active
+// segment auto-seals into a new immutable segment once it reaches
+// SetSealThreshold buckets, and Compact rewrites segments whose
+// tombstone fraction (from Remove) crossed a trigger.
 type Library struct {
 	params Params
 	enc    *encoding.Encoder
-	refs   []genome.Record // retained for candidate verification
-	bkts   []bucket
-	frozen bool
-	nWin   int
+
+	// snap is the current read view. Nil until Freeze; every search path
+	// loads it exactly once per operation.
+	snap atomic.Pointer[snapshot]
+
+	// mu serializes mutations (Add, Remove, Compact, Freeze). The master
+	// state below is only touched with mu held.
+	mu     sync.Mutex
+	refs   []genome.Record // master reference table (removed ⇒ Seq nil)
+	segs   []*segment      // sealed segments, in creation order
+	active *builder        // the mutable tail
 	cal    Calibration
 
-	// arena is the flat probe store, built when the library freezes:
-	// every bucket's sealed hypervector packed back-to-back
-	// (nBuckets × rowWords words). The probe kernel scans it as one
-	// streaming read instead of chasing per-bucket heap pointers, and
-	// each bucket's sealed HV is repointed to alias its row, so
-	// BucketVector/score/WriteTo all read the same storage.
-	arena    []uint64
-	rowWords int
+	sealThreshold int     // active-segment bucket count that triggers auto-seal
+	autoCompact   float64 // tombstone ratio that triggers compaction on Remove; 0 = manual
 
 	// scratch pools per-query lookup state (query hypervector, counter
 	// accumulator, candidate slice) so steady-state Lookup does not
@@ -133,8 +136,8 @@ type Library struct {
 	blockPool sync.Pool
 
 	// ctr accumulates lifetime operational counters (probe scans, early
-	// abandons, batch cancellations) for the /metrics endpoint; see
-	// Counters.
+	// abandons, batch cancellations, seals, compactions) for the /metrics
+	// endpoint; see Counters.
 	ctr libCounters
 }
 
@@ -240,7 +243,12 @@ func NewLibrary(params Params) (*Library, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Library{params: params, enc: enc}, nil
+	return &Library{
+		params:        params,
+		enc:           enc,
+		active:        &builder{},
+		sealThreshold: defaultSealThreshold,
+	}, nil
 }
 
 // Params returns the library's effective parameters (with derived
@@ -251,17 +259,99 @@ func (l *Library) Params() Params { return l.params }
 // outside Lookup).
 func (l *Library) Encoder() *encoding.Encoder { return l.enc }
 
+// SetSealThreshold sets the active-segment bucket count at which a
+// post-freeze Add seals the active segment into a new immutable one
+// (default 4096; n ≤ 0 restores the default).
+func (l *Library) SetSealThreshold(n int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if n <= 0 {
+		n = defaultSealThreshold
+	}
+	l.sealThreshold = n
+}
+
+// SetAutoCompact sets the tombstone ratio at which Remove triggers an
+// automatic Compact of the affected segments; ratio ≤ 0 (the default)
+// keeps compaction manual.
+func (l *Library) SetAutoCompact(ratio float64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.autoCompact = ratio
+}
+
 // NumBuckets returns the number of library hypervectors.
-func (l *Library) NumBuckets() int { return len(l.bkts) }
+func (l *Library) NumBuckets() int {
+	if sn := l.snap.Load(); sn != nil {
+		return sn.numBuckets()
+	}
+	return l.active.numBuckets()
+}
 
-// NumWindows returns the number of reference windows memorized.
-func (l *Library) NumWindows() int { return l.nWin }
+// NumWindows returns the number of live (non-removed) reference windows
+// memorized.
+func (l *Library) NumWindows() int {
+	if sn := l.snap.Load(); sn != nil {
+		return sn.nWin
+	}
+	return l.active.numWindows()
+}
 
-// NumRefs returns the number of reference sequences added.
-func (l *Library) NumRefs() int { return len(l.refs) }
+// NumRefs returns the number of reference sequences added, including
+// removed ones (tombstoned slots keep their indices).
+func (l *Library) NumRefs() int {
+	if sn := l.snap.Load(); sn != nil {
+		return len(sn.refs)
+	}
+	return len(l.refs)
+}
 
-// Ref returns the i-th reference record.
-func (l *Library) Ref(i int) genome.Record { return l.refs[i] }
+// Ref returns the i-th reference record. A removed reference has a nil
+// Seq and a " (removed)" description suffix.
+func (l *Library) Ref(i int) genome.Record {
+	if sn := l.snap.Load(); sn != nil {
+		return sn.refs[i]
+	}
+	return l.refs[i]
+}
+
+// NumSegments returns the number of segments in the current snapshot
+// (sealed segments plus the active view); 0 before Freeze.
+func (l *Library) NumSegments() int {
+	if sn := l.snap.Load(); sn != nil {
+		return sn.numSegments()
+	}
+	return 0
+}
+
+// TombstoneRatio returns the fraction of memorized windows whose
+// reference has been removed but not yet compacted away.
+func (l *Library) TombstoneRatio() float64 {
+	if sn := l.snap.Load(); sn != nil {
+		return sn.tombRatio()
+	}
+	return 0
+}
+
+// SegmentInfo describes one segment of the current snapshot.
+type SegmentInfo struct {
+	Buckets    int // buckets in the segment
+	Windows    int // member windows, including tombstoned ones
+	Tombstones int // member windows whose reference was removed
+}
+
+// Segments describes the current snapshot's segments in scan order.
+func (l *Library) Segments() []SegmentInfo {
+	sn := l.snap.Load()
+	if sn == nil {
+		return nil
+	}
+	out := make([]SegmentInfo, len(sn.segs))
+	for k, seg := range sn.segs {
+		out[k] = SegmentInfo{Buckets: seg.numBuckets(), Windows: seg.total, Tombstones: seg.tombs}
+	}
+	return out
+}
 
 // Model returns the statistical model for this library's geometry. The
 // capacity entering the model is the *effective* one — the largest
@@ -269,11 +359,15 @@ func (l *Library) Ref(i int) genome.Record { return l.refs[i] }
 // small reference set does not inflate the predicted noise.
 func (l *Library) Model() Model {
 	c := 0
-	for i := range l.bkts {
-		if n := len(l.bkts[i].windows); n > c {
-			c = n
-		}
+	if sn := l.snap.Load(); sn != nil {
+		c = sn.maxOccupancy()
+	} else {
+		c = l.active.maxOccupancy()
 	}
+	return l.modelWith(c)
+}
+
+func (l *Library) modelWith(c int) Model {
 	if c == 0 {
 		c = l.params.Capacity
 	}
@@ -287,12 +381,19 @@ func (l *Library) Model() Model {
 }
 
 // Add encodes every stride-aligned window of rec and memorizes it.
-// References shorter than one window are rejected. Add must not be
-// called after Freeze.
+// References shorter than one window are rejected. Before Freeze, Add
+// builds the initial segment; after Freeze, Add appends to the active
+// segment and publishes a new snapshot, so the reference becomes
+// searchable immediately and concurrently running lookups are never
+// disturbed. The active segment auto-seals at the SetSealThreshold
+// bucket count.
 func (l *Library) Add(rec genome.Record) error {
-	if l.frozen {
-		return fmt.Errorf("core: Add after Freeze")
-	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.addLocked(rec)
+}
+
+func (l *Library) addLocked(rec genome.Record) error {
 	if rec.Seq == nil || rec.Seq.Len() < l.params.Window {
 		return fmt.Errorf("core: reference %q shorter than window %d", rec.ID, l.params.Window)
 	}
@@ -300,128 +401,108 @@ func (l *Library) Add(rec genome.Record) error {
 	l.refs = append(l.refs, rec)
 	if l.params.Approx {
 		l.enc.SlideApprox(rec.Seq, l.params.Stride, func(start int, acc *hdc.Acc, off int) bool {
-			l.insert(WindowRef{Ref: refIdx, Off: int32(start)}, l.enc.SealLogical(acc, off))
+			l.active.insert(WindowRef{Ref: refIdx, Off: int32(start)}, l.enc.SealLogical(acc, off), &l.params)
 			return true
 		})
 	} else {
 		l.enc.SlideExact(rec.Seq, l.params.Stride, func(start int, hv *hdc.HV) bool {
-			l.insert(WindowRef{Ref: refIdx, Off: int32(start)}, hv)
+			l.active.insert(WindowRef{Ref: refIdx, Off: int32(start)}, hv, &l.params)
 			return true
 		})
 	}
+	if l.snap.Load() == nil {
+		return nil // still building; Freeze publishes the first snapshot
+	}
+	l.maybeSealActiveLocked()
+	l.publishLocked(true)
 	return nil
 }
 
-func (l *Library) insert(ref WindowRef, hv *hdc.HV) {
-	if n := len(l.bkts); n == 0 || len(l.bkts[n-1].windows) >= l.params.Capacity {
-		if n > 0 {
-			l.sealBucket(n - 1)
-		}
-		l.bkts = append(l.bkts, bucket{acc: hdc.NewAcc(l.params.Dim)})
-	}
-	b := &l.bkts[len(l.bkts)-1]
-	b.acc.Add(hv)
-	b.windows = append(b.windows, ref)
-	l.nWin++
-}
-
-// sealBucket binarizes bucket i and, for sealed libraries, releases its
-// counters.
-func (l *Library) sealBucket(i int) {
-	b := &l.bkts[i]
-	if b.acc == nil {
+// maybeSealActiveLocked seals the active segment into a new immutable
+// one when it has reached the auto-seal threshold. Sealing happens at
+// Add granularity — a reference's windows never straddle a seal that
+// its own Add triggered mid-insert.
+func (l *Library) maybeSealActiveLocked() {
+	if l.active.numBuckets() < l.sealThreshold {
 		return
 	}
-	b.sealed = b.acc.Seal(l.params.Seed ^ 0x5ea1)
-	if l.params.Sealed {
-		b.acc = nil
+	if seg := l.active.seal(&l.params, l.refs); seg != nil {
+		l.segs = append(l.segs, seg)
+		l.ctr.segmentSeals.Add(1)
 	}
 }
 
-// Freeze finalizes the library: buckets are sealed, approximate-mode
-// libraries calibrate their operating threshold (see Calibration), and
-// the library becomes immutable and safe for concurrent search.
-// Freezing an empty library is a no-op that leaves it unfrozen.
+// Freeze publishes the first snapshot: the buckets built so far seal
+// into the library's first immutable segment, approximate-mode libraries
+// calibrate their operating threshold (see Calibration), and the library
+// becomes safe for concurrent search — and, unlike the pre-segmented
+// design, keeps accepting Add/Remove/Compact afterwards. Freezing an
+// empty library is a no-op that leaves it unfrozen.
 func (l *Library) Freeze() {
-	if l.frozen || len(l.bkts) == 0 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.snap.Load() != nil || l.active.numBuckets() == 0 {
 		return
 	}
-	for i := range l.bkts {
-		l.sealBucket(i)
+	if seg := l.active.seal(&l.params, l.refs); seg != nil {
+		l.segs = append(l.segs, seg)
 	}
-	l.packArena()
-	l.frozen = true
-	if l.params.Approx {
-		l.cal = l.calibrate()
+	l.publishLocked(true)
+}
+
+// publishLocked assembles a fresh snapshot from the master state — the
+// sealed segments plus an isolated view of the active builder — and
+// publishes it with one atomic pointer swap. recal re-runs threshold
+// calibration (approximate mode only) on the new snapshot before it
+// goes live, so readers never see a snapshot whose calibration lags its
+// contents.
+func (l *Library) publishLocked(recal bool) {
+	segs := make([]*segment, 0, len(l.segs)+1)
+	segs = append(segs, l.segs...)
+	if v := l.active.view(&l.params, l.refs); v != nil {
+		segs = append(segs, v)
 	}
-}
-
-// packArena copies every sealed bucket vector into one contiguous
-// []uint64 and repoints each bucket's sealed view at its arena row.
-// Called once at Freeze (and at load), after every bucket is sealed.
-func (l *Library) packArena() {
-	l.rowWords = l.params.Dim / 64
-	l.arena = make([]uint64, len(l.bkts)*l.rowWords)
-	for i := range l.bkts {
-		l.packRow(i)
+	refs := l.refs[:len(l.refs):len(l.refs)]
+	sn := newSnapshot(segs, refs, l.cal)
+	if recal && l.params.Approx && sn.numBuckets() > 0 {
+		sn.cal = l.calibrate(sn)
+		l.cal = sn.cal
 	}
+	l.snap.Store(sn)
 }
 
-// packRow refreshes bucket i's arena row from its sealed hypervector
-// and aliases the sealed view back onto the row. Remove uses it to
-// republish a re-sealed bucket.
-func (l *Library) packRow(i int) {
-	row := l.arenaRow(i)
-	copy(row, l.bkts[i].sealed.Words())
-	l.bkts[i].sealed = hdc.HVFromArenaRow(row, l.params.Dim)
-}
-
-// arenaRow returns bucket i's packed words inside the arena. The full
-// slice expression caps the row so an overrunning kernel cannot creep
-// into the next bucket.
-func (l *Library) arenaRow(i int) []uint64 {
-	lo := i * l.rowWords
-	hi := lo + l.rowWords
-	return l.arena[lo:hi:hi]
-}
-
-// Frozen reports whether Freeze has been called.
-func (l *Library) Frozen() bool { return l.frozen }
-
-// score returns the similarity score of query hv against bucket i under
-// the library's storage mode. Sealed scores read the flat arena when it
-// exists (it always does once frozen); raw-count mode keeps the exact
-// counter dot product.
-func (l *Library) score(i int, hv *hdc.HV) float64 {
-	if l.params.Sealed {
-		if l.arena != nil {
-			return float64(bitvec.DotWords(l.arenaRow(i), hv.Words(), l.params.Dim))
-		}
-		return float64(l.bkts[i].sealed.Dot(hv))
-	}
-	return float64(l.bkts[i].acc.DotAcc(hv))
-}
+// Frozen reports whether Freeze has been called (the library serves
+// searches). Frozen libraries still accept Add, Remove, and Compact.
+func (l *Library) Frozen() bool { return l.snap.Load() != nil }
 
 // BucketWindows returns the member windows of bucket i (shared slice; do
-// not mutate).
-func (l *Library) BucketWindows(i int) []WindowRef { return l.bkts[i].windows }
+// not mutate). Windows of removed references are included; check
+// Ref(wr.Ref).Seq != nil for liveness.
+func (l *Library) BucketWindows(i int) []WindowRef {
+	if sn := l.snap.Load(); sn != nil {
+		return sn.windows(i)
+	}
+	return l.active.windows(i)
+}
 
 // BucketVector returns the sealed hypervector of bucket i (shared; do
 // not mutate). It panics if the library is not frozen — the sealed view
 // only exists after Freeze.
 func (l *Library) BucketVector(i int) *hdc.HV {
-	if !l.frozen {
+	sn := l.snap.Load()
+	if sn == nil {
 		panic("core: BucketVector before Freeze")
 	}
-	return l.bkts[i].sealed
+	return sn.vector(i)
 }
 
-// MemoryFootprint returns the library's hypervector storage in bytes:
-// sealed buckets cost D/8 bytes each, raw-counter buckets D·4 bytes.
+// MemoryFootprint returns the library's resident search-store size in
+// bytes: the packed probe arenas (sealed mode: D/8 bytes per bucket),
+// any retained raw counters (unsealed mode: D·4 bytes per bucket), and
+// the window metadata (8 bytes per memorized window).
 func (l *Library) MemoryFootprint() int64 {
-	per := int64(l.params.Dim) * 4
-	if l.params.Sealed {
-		per = int64(l.params.Dim) / 8
+	if sn := l.snap.Load(); sn != nil {
+		return sn.footprintBytes(l.params.Dim)
 	}
-	return per * int64(len(l.bkts))
+	return l.active.footprintBytes(l.params.Dim)
 }

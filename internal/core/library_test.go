@@ -43,7 +43,7 @@ func TestNewLibraryDefaults(t *testing.T) {
 	}
 }
 
-func TestAddRejectsShortAndFrozen(t *testing.T) {
+func TestAddRejectsShort(t *testing.T) {
 	lib := mustLibrary(t, Params{Dim: 1024, Window: 32, Seed: 2})
 	if err := lib.Add(genome.Record{ID: "short", Seq: genome.Random(10, rng.New(1))}); err == nil {
 		t.Fatal("short reference accepted")
@@ -52,8 +52,73 @@ func TestAddRejectsShortAndFrozen(t *testing.T) {
 		t.Fatal(err)
 	}
 	lib.Freeze()
-	if err := lib.Add(genome.Record{ID: "late", Seq: genome.Random(100, rng.New(3))}); err == nil {
-		t.Fatal("Add after Freeze accepted")
+	if err := lib.Add(genome.Record{ID: "late", Seq: genome.Random(10, rng.New(3))}); err == nil {
+		t.Fatal("short reference accepted after Freeze")
+	}
+}
+
+func TestAddAfterFreeze(t *testing.T) {
+	lib := mustLibrary(t, Params{Dim: 2048, Window: 24, Sealed: true, Approx: true, MutTolerance: 2, Seed: 2})
+	first := genome.Random(200, rng.New(20))
+	if err := lib.Add(genome.Record{ID: "first", Seq: first}); err != nil {
+		t.Fatal(err)
+	}
+	lib.Freeze()
+	late := genome.Random(200, rng.New(21))
+	if err := lib.Add(genome.Record{ID: "late", Seq: late}); err != nil {
+		t.Fatalf("Add after Freeze rejected: %v", err)
+	}
+	if lib.NumRefs() != 2 {
+		t.Fatalf("NumRefs = %d, want 2", lib.NumRefs())
+	}
+	// The late reference is immediately searchable, and the first one
+	// still is.
+	for i, seq := range []*genome.Sequence{first, late} {
+		matches, _, err := lib.Lookup(seq.Slice(40, 64))
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, m := range matches {
+			if m.Ref == i && m.Off == 40 {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("ref %d window not found after live ingest: %+v", i, matches)
+		}
+	}
+}
+
+func TestAutoSealThreshold(t *testing.T) {
+	lib := mustLibrary(t, Params{Dim: 1024, Window: 16, Capacity: 8, Sealed: true, Seed: 22})
+	if err := lib.Add(genome.Record{ID: "r0", Seq: genome.Random(100, rng.New(23))}); err != nil {
+		t.Fatal(err)
+	}
+	lib.Freeze()
+	lib.SetSealThreshold(2)
+	src := rng.New(24)
+	for i := 0; i < 4; i++ {
+		if err := lib.Add(genome.Record{ID: "r", Seq: genome.Random(100, src)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 100-base refs at window 16 yield 85 windows = 11 buckets each, far
+	// past the threshold of 2, so every post-freeze Add seals the active
+	// segment: snapshot = 5 sealed segments (no active view left open).
+	if got := lib.Counters().SegmentSeals; got != 4 {
+		t.Fatalf("SegmentSeals = %d, want 4", got)
+	}
+	if got := lib.NumSegments(); got != 5 {
+		t.Fatalf("NumSegments = %d, want 5", got)
+	}
+	infos := lib.Segments()
+	total := 0
+	for _, si := range infos {
+		total += si.Windows
+	}
+	if total != 5*85 {
+		t.Fatalf("segment windows total %d, want %d", total, 5*85)
 	}
 }
 
@@ -117,8 +182,9 @@ func TestFreezeIdempotent(t *testing.T) {
 }
 
 func TestMemoryFootprint(t *testing.T) {
-	sealedLib := mustLibrary(t, Params{Dim: 1024, Window: 16, Capacity: 8, Sealed: true, Seed: 9})
-	rawLib := mustLibrary(t, Params{Dim: 1024, Window: 16, Capacity: 8, Seed: 9})
+	const dim = 1024
+	sealedLib := mustLibrary(t, Params{Dim: dim, Window: 16, Capacity: 8, Sealed: true, Seed: 9})
+	rawLib := mustLibrary(t, Params{Dim: dim, Window: 16, Capacity: 8, Seed: 9})
 	seq := genome.Random(100, rng.New(10))
 	if err := sealedLib.Add(genome.Record{ID: "r", Seq: seq}); err != nil {
 		t.Fatal(err)
@@ -126,8 +192,20 @@ func TestMemoryFootprint(t *testing.T) {
 	if err := rawLib.Add(genome.Record{ID: "r", Seq: seq}); err != nil {
 		t.Fatal(err)
 	}
-	if s, r := sealedLib.MemoryFootprint(), rawLib.MemoryFootprint(); r != 32*s {
-		t.Fatalf("raw footprint %d should be 32× sealed %d", r, s)
+	sealedLib.Freeze()
+	rawLib.Freeze()
+	// Frozen footprints count everything resident on the search path:
+	// the packed probe arena (D/8 bytes per bucket), the window metadata
+	// (8 bytes per WindowRef), and — unsealed mode only — the retained
+	// raw counters (D·4 bytes per bucket).
+	nB, nW := int64(sealedLib.NumBuckets()), int64(sealedLib.NumWindows())
+	wantSealed := nB*dim/8 + nW*8
+	if got := sealedLib.MemoryFootprint(); got != wantSealed {
+		t.Fatalf("sealed footprint %d, want arena+metadata %d", got, wantSealed)
+	}
+	wantRaw := wantSealed + nB*dim*4
+	if got := rawLib.MemoryFootprint(); got != wantRaw {
+		t.Fatalf("raw footprint %d, want arena+metadata+counters %d", got, wantRaw)
 	}
 }
 

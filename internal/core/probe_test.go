@@ -14,13 +14,15 @@ import (
 // match candidate-for-candidate.
 func seedScalarProbe(l *Library, hv *hdc.HV) []Candidate {
 	tau := l.Threshold()
+	sn := l.snap.Load()
 	var out []Candidate
-	for i := range l.bkts {
+	for i := 0; i < sn.numBuckets(); i++ {
 		var score float64
 		if l.params.Sealed {
-			score = float64(l.bkts[i].sealed.Dot(hv))
+			score = float64(sn.vector(i).Dot(hv))
 		} else {
-			score = float64(l.bkts[i].acc.DotAcc(hv))
+			seg, li := sn.locate(i)
+			score = float64(seg.counters(li).DotAcc(hv))
 		}
 		if score >= tau {
 			out = append(out, Candidate{Bucket: i, Score: score, Excess: score - tau})

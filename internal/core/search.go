@@ -41,22 +41,35 @@ func (s *Stats) add(o Stats) {
 }
 
 // Candidate is an unverified bucket hit: the HDC similarity stage's raw
-// output, before sequence-level refinement.
+// output, before sequence-level refinement. Bucket is a global index
+// across the snapshot's segments.
 type Candidate struct {
 	Bucket int
 	Score  float64
 	Excess float64 // score minus the model threshold
 }
 
-// Threshold returns the operating decision threshold: the freeze-time
-// calibrated threshold for approximate libraries, or the a-priori model
+// Threshold returns the operating decision threshold: the calibrated
+// threshold for frozen approximate libraries, or the a-priori model
 // threshold for exact libraries (where the model is itself exact).
 func (l *Library) Threshold() float64 {
-	if l.frozen && l.params.Approx {
-		return l.cal.Tau
+	if sn := l.snap.Load(); sn != nil {
+		return l.thresholdFor(sn)
 	}
 	return l.Model().DecisionThreshold(
-		l.params.Alpha, l.params.Beta, maxInt(len(l.bkts), 1), l.params.MutTolerance)
+		l.params.Alpha, l.params.Beta, maxInt(l.NumBuckets(), 1), l.params.MutTolerance)
+}
+
+// thresholdFor returns the decision threshold in force for one snapshot.
+// Probes compute the threshold from the snapshot they scan — not from
+// the library's latest one — so a probe racing a mutation stays
+// internally consistent.
+func (l *Library) thresholdFor(sn *snapshot) float64 {
+	if l.params.Approx {
+		return sn.cal.Tau
+	}
+	return l.modelWith(sn.maxOccupancy()).DecisionThreshold(
+		l.params.Alpha, l.params.Beta, maxInt(sn.numBuckets(), 1), l.params.MutTolerance)
 }
 
 // probeBlock is the query-block width of the blocked probe paths: up
@@ -73,7 +86,7 @@ type diagKey struct {
 }
 
 // probeShardMin is the minimum number of buckets each worker must have
-// before the probe scan fans out across goroutines; below
+// before a segment's probe scan fans out across goroutines; below
 // 2·probeShardMin buckets the scan stays serial (goroutine dispatch
 // would cost more than the scan). A variable so tests can force the
 // sharded path on small libraries.
@@ -84,24 +97,27 @@ var probeShardMin = 4096
 // stage — exactly the computation the PIM architecture executes in
 // memory. The library must be frozen.
 //
-// Sealed libraries scan the flat arena with the fused XNOR-popcount
-// kernel, converting the threshold τ into a maximum Hamming distance
-// once per probe and abandoning each row as soon as that bound is
-// exceeded; large libraries shard the scan across a bounded worker
-// pool. Both transformations are exact: the candidates (order, scores,
-// excesses) are identical to a serial full scan. Stats count the full
-// scan — BucketProbes is the work the PIM hardware would do, not the
-// words the software kernel happened to touch.
+// The scan visits segments in order; within each segment, sealed
+// libraries stream the flat arena with the fused XNOR-popcount kernel,
+// converting the threshold τ into a maximum Hamming distance once per
+// probe and abandoning each row as soon as that bound is exceeded, and
+// large segments shard the scan across a bounded worker pool. All of it
+// is exact: the candidates (order, scores, excesses) are identical to a
+// serial full scan, and independent of how the buckets are cut into
+// segments. Stats count the full scan — BucketProbes is the work the
+// PIM hardware would do, not the words the software kernel happened to
+// touch.
 func (l *Library) Probe(hv *hdc.HV, stats *Stats) ([]Candidate, error) {
-	if !l.frozen {
+	sn := l.snap.Load()
+	if sn == nil {
 		return nil, fmt.Errorf("core: Probe before Freeze")
 	}
 	if hv.Dim() != l.params.Dim {
 		return nil, fmt.Errorf("core: query dimension %d != library %d", hv.Dim(), l.params.Dim)
 	}
-	out := l.probeInto(make([]Candidate, 0, candidateHint), hv)
+	out := l.probeInto(sn, make([]Candidate, 0, candidateHint), hv)
 	if stats != nil {
-		stats.BucketProbes += len(l.bkts)
+		stats.BucketProbes += sn.numBuckets()
 		stats.CandidateBuckets += len(out)
 	}
 	if len(out) == 0 {
@@ -111,11 +127,11 @@ func (l *Library) Probe(hv *hdc.HV, stats *Stats) ([]Candidate, error) {
 }
 
 // probeInto appends every bucket whose score reaches the threshold to
-// dst and returns it. Callers must have validated frozenness and the
-// query dimension.
-func (l *Library) probeInto(dst []Candidate, hv *hdc.HV) []Candidate {
-	l.ctr.bucketProbes.Add(int64(len(l.bkts)))
-	tau := l.Threshold()
+// dst and returns it, scanning the snapshot's segments in order.
+// Callers must have validated frozenness and the query dimension.
+func (l *Library) probeInto(sn *snapshot, dst []Candidate, hv *hdc.HV) []Candidate {
+	l.ctr.bucketProbes.Add(int64(sn.numBuckets()))
+	tau := l.thresholdFor(sn)
 	// τ → Hamming bound: an integer dot passes score ≥ τ iff
 	// dot ≥ ⌈τ⌉, and dot = D − 2·hamming, so a sealed row passes iff
 	// hamming ≤ ⌊(D − ⌈τ⌉)/2⌋. A row whose partial distance already
@@ -123,16 +139,25 @@ func (l *Library) probeInto(dst []Candidate, hv *hdc.HV) []Candidate {
 	// is a floor division — Go's / truncates toward zero, which for a
 	// negative numerator (τ > D) would admit distance 0.
 	maxHam := (l.params.Dim - int(math.Ceil(tau))) >> 1
-	n := len(l.bkts)
+	for k, seg := range sn.segs {
+		dst = l.probeSeg(seg, sn.offs[k], dst, hv, tau, maxHam)
+	}
+	return dst
+}
+
+// probeSeg scans one segment, sharding across a bounded worker pool
+// when the segment is large enough. Contiguous bucket ranges, one per
+// worker, are merged in shard order, so the result is byte-identical to
+// a serial scan of the segment.
+func (l *Library) probeSeg(seg *segment, gOff int, dst []Candidate, hv *hdc.HV, tau float64, maxHam int) []Candidate {
+	n := seg.numBuckets()
 	workers := runtime.GOMAXPROCS(0)
 	if w := n / probeShardMin; workers > w {
 		workers = w
 	}
 	if workers <= 1 {
-		return l.probeRange(dst, hv, tau, maxHam, 0, n)
+		return seg.probeRange(dst, hv, tau, maxHam, 0, n, gOff, &l.params, &l.ctr)
 	}
-	// Sharded scan: contiguous bucket ranges, one per worker, merged in
-	// shard order so the result is byte-identical to the serial scan.
 	per := (n + workers - 1) / workers
 	parts := make([][]Candidate, workers)
 	var wg sync.WaitGroup
@@ -145,7 +170,7 @@ func (l *Library) probeInto(dst []Candidate, hv *hdc.HV) []Candidate {
 		wg.Add(1)
 		go func(s, lo, hi int) {
 			defer wg.Done()
-			parts[s] = l.probeRange(nil, hv, tau, maxHam, lo, hi)
+			parts[s] = seg.probeRange(nil, hv, tau, maxHam, lo, hi, gOff, &l.params, &l.ctr)
 		}(s, lo, hi)
 	}
 	wg.Wait()
@@ -164,7 +189,8 @@ func (l *Library) probeInto(dst []Candidate, hv *hdc.HV) []Candidate {
 // nil on a miss) — and stats count the same modeled work: every query
 // scans every bucket, whatever the software kernel skipped.
 func (l *Library) ProbeMulti(hvs []*hdc.HV, stats *Stats) ([][]Candidate, error) {
-	if !l.frozen {
+	sn := l.snap.Load()
+	if sn == nil {
 		return nil, fmt.Errorf("core: ProbeMulti before Freeze")
 	}
 	for _, hv := range hvs {
@@ -182,7 +208,7 @@ func (l *Library) ProbeMulti(hvs []*hdc.HV, stats *Stats) ([][]Candidate, error)
 		for j := range dsts {
 			dsts[j] = make([]Candidate, 0, candidateHint)
 		}
-		l.probeBlockInto(dsts, hvs[base:hi], sc)
+		l.probeBlockInto(sn, dsts, hvs[base:hi], sc)
 		for j := range dsts {
 			total += len(dsts[j])
 			if len(dsts[j]) == 0 {
@@ -191,7 +217,7 @@ func (l *Library) ProbeMulti(hvs []*hdc.HV, stats *Stats) ([][]Candidate, error)
 		}
 	}
 	if stats != nil {
-		stats.BucketProbes += len(hvs) * len(l.bkts)
+		stats.BucketProbes += len(hvs) * sn.numBuckets()
 		stats.CandidateBuckets += total
 	}
 	return out, nil
@@ -201,25 +227,34 @@ func (l *Library) ProbeMulti(hvs []*hdc.HV, stats *Stats) ([][]Candidate, error)
 // block of at most probeBlock queries, appending to whatever each dst
 // already holds. Candidate content and order are identical to calling
 // probeInto once per query; the only difference is that each sealed
-// arena row is read once per block instead of once per query. The
-// bucket shards and their ordered merge mirror probeInto exactly, so
-// the tiling is [query block × bucket shard]. Callers must have
-// validated frozenness and query dimensions; sc supplies the kernel
-// scratch (word views, bounds, distances).
-func (l *Library) probeBlockInto(dsts [][]Candidate, hvs []*hdc.HV, sc *blockScratch) {
+// arena row is read once per block instead of once per query. Within
+// each segment the bucket shards and their ordered merge mirror
+// probeSeg exactly, so the tiling is [query block × bucket shard].
+// Callers must have validated frozenness and query dimensions; sc
+// supplies the kernel scratch (word views, bounds, distances).
+func (l *Library) probeBlockInto(sn *snapshot, dsts [][]Candidate, hvs []*hdc.HV, sc *blockScratch) {
 	nq := len(hvs)
-	n := len(l.bkts)
-	l.ctr.bucketProbes.Add(int64(nq) * int64(n))
+	l.ctr.bucketProbes.Add(int64(nq) * int64(sn.numBuckets()))
 	l.ctr.blockedProbes.Add(1)
 	l.ctr.blockedWindows.Add(int64(nq))
-	tau := l.Threshold()
+	tau := l.thresholdFor(sn)
 	maxHam := (l.params.Dim - int(math.Ceil(tau))) >> 1
+	for k, seg := range sn.segs {
+		l.probeBlockSeg(seg, sn.offs[k], dsts, hvs, sc, tau, maxHam)
+	}
+}
+
+// probeBlockSeg scans one segment against a whole query block, sharding
+// like probeSeg when the segment is large enough.
+func (l *Library) probeBlockSeg(seg *segment, gOff int, dsts [][]Candidate, hvs []*hdc.HV, sc *blockScratch, tau float64, maxHam int) {
+	nq := len(hvs)
+	n := seg.numBuckets()
 	workers := runtime.GOMAXPROCS(0)
 	if w := n / probeShardMin; workers > w {
 		workers = w
 	}
 	if workers <= 1 {
-		l.probeBlockRange(dsts, hvs, sc.qs[:0], tau, maxHam, 0, n, sc.bounds, sc.dist)
+		seg.probeBlockRange(dsts, hvs, sc.qs[:0], tau, maxHam, 0, n, gOff, sc.bounds, sc.dist, &l.params, &l.ctr)
 		return
 	}
 	per := (n + workers - 1) / workers
@@ -235,7 +270,7 @@ func (l *Library) probeBlockInto(dsts [][]Candidate, hvs []*hdc.HV, sc *blockScr
 		go func(s, lo, hi int) {
 			defer wg.Done()
 			part := make([][]Candidate, nq)
-			l.probeBlockRange(part, hvs, nil, tau, maxHam, lo, hi, make([]int, nq), make([]int, nq))
+			seg.probeBlockRange(part, hvs, nil, tau, maxHam, lo, hi, gOff, make([]int, nq), make([]int, nq), &l.params, &l.ctr)
 			parts[s] = part
 		}(s, lo, hi)
 	}
@@ -247,105 +282,21 @@ func (l *Library) probeBlockInto(dsts [][]Candidate, hvs []*hdc.HV, sc *blockScr
 	}
 }
 
-// probeBlockRange scans buckets [lo, hi) against a whole query block,
-// appending each query's candidates to dsts. Sealed libraries run the
-// fused multi-query XNOR-popcount kernel — one pass over each arena
-// row serves the block, with per-query early abandonment via the
-// kernel's live mask; raw-count libraries — and single-query blocks,
-// which the lighter sequential kernel serves faster than the fused
-// pass — fall back to the per-query scan.
-func (l *Library) probeBlockRange(dsts [][]Candidate, hvs []*hdc.HV, qs [][]uint64, tau float64, maxHam, lo, hi int, bounds, dist []int) {
-	if l.params.Sealed && l.arena != nil && len(hvs) > 1 {
-		d := l.params.Dim
-		rw := l.rowWords
-		qs = qs[:0]
-		for j, hv := range hvs {
-			w := hv.Words()
-			if len(w) != rw {
-				panic(fmt.Sprintf("core: query words %d != row words %d", len(w), rw))
-			}
-			qs = append(qs, w)
-			bounds[j] = maxHam
-		}
-		arena := l.arena
-		abandoned := int64(0)
-		// One scanner per range hoists validation, the live-mask seed,
-		// and the fused kernel's query pointer block out of the row loop.
-		var ms bitvec.MultiScanner
-		ms.Init(qs, bounds[:len(qs)], rw)
-		for i := lo; i < hi; i++ {
-			row := arena[i*rw : i*rw+rw : i*rw+rw]
-			mask := ms.ScanRow(row, dist)
-			for j := range qs {
-				if mask&(1<<uint(j)) != 0 {
-					score := float64(d - 2*dist[j])
-					dsts[j] = append(dsts[j], Candidate{Bucket: i, Score: score, Excess: score - tau})
-				} else {
-					abandoned++
-				}
-			}
-		}
-		if abandoned > 0 {
-			// One atomic publish per range, counting abandoned
-			// (row, query) pairs — the same total Q sequential bounded
-			// scans would report.
-			l.ctr.earlyAbandons.Add(abandoned)
-		}
-		return
-	}
-	for j, hv := range hvs {
-		dsts[j] = l.probeRange(dsts[j], hv, tau, maxHam, lo, hi)
-	}
-}
-
-// probeRange scans buckets [lo, hi), appending candidates to dst.
-// Sealed libraries run the early-abandoning fused XNOR-popcount kernel
-// over consecutive arena rows (AVX2 on amd64); raw-count libraries
-// keep the exact counter dot product.
-func (l *Library) probeRange(dst []Candidate, hv *hdc.HV, tau float64, maxHam, lo, hi int) []Candidate {
-	if l.params.Sealed && l.arena != nil {
-		q := hv.Words()
-		d := l.params.Dim
-		rw := l.rowWords
-		if len(q) != rw {
-			panic(fmt.Sprintf("core: query words %d != row words %d", len(q), rw))
-		}
-		arena := l.arena
-		abandoned := int64(0)
-		for i := lo; i < hi; i++ {
-			row := arena[i*rw : i*rw+rw : i*rw+rw]
-			if h, ok := bitvec.HammingBounded(row, q, maxHam); ok {
-				score := float64(d - 2*h)
-				dst = append(dst, Candidate{Bucket: i, Score: score, Excess: score - tau})
-			} else {
-				abandoned++
-			}
-		}
-		if abandoned > 0 {
-			// One atomic publish per range keeps the row loop
-			// synchronization-free.
-			l.ctr.earlyAbandons.Add(abandoned)
-		}
-		return dst
-	}
-	for i := lo; i < hi; i++ {
-		if score := l.score(i, hv); score >= tau {
-			dst = append(dst, Candidate{Bucket: i, Score: score, Excess: score - tau})
-		}
-	}
-	return dst
-}
-
 // verify refines candidates into matches by direct comparison of the
 // query window against each member window of each candidate bucket,
-// accepting distance ≤ tol. Matches are appended to out, which is
-// returned (append-style, so Lookup accumulates across alignments
-// without an intermediate slice).
-func (l *Library) verify(out []Match, q *genome.Sequence, qOff int, cands []Candidate, tol int, stats *Stats) []Match {
+// accepting distance ≤ tol. Windows whose reference has been removed
+// (tombstones) are skipped — their contribution to the bucket vector
+// lingers until Compact, but they can never match. Matches are appended
+// to out, which is returned (append-style, so Lookup accumulates across
+// alignments without an intermediate slice).
+func (l *Library) verify(sn *snapshot, out []Match, q *genome.Sequence, qOff int, cands []Candidate, tol int, stats *Stats) []Match {
 	w := l.params.Window
 	for _, c := range cands {
-		for _, wr := range l.bkts[c.Bucket].windows {
-			ref := l.refs[wr.Ref].Seq
+		for _, wr := range sn.windows(c.Bucket) {
+			ref := sn.refs[wr.Ref].Seq
+			if ref == nil {
+				continue // tombstoned
+			}
 			dist := 0
 			for i := 0; i < w; i++ {
 				if ref.At(int(wr.Off)+i) != q.At(qOff+i) {
@@ -384,7 +335,8 @@ func (l *Library) Lookup(pattern *genome.Sequence) ([]Match, Stats, error) {
 	if pattern == nil || pattern.Len() < w {
 		return nil, stats, fmt.Errorf("core: pattern shorter than window %d", w)
 	}
-	if !l.frozen {
+	sn := l.snap.Load()
+	if sn == nil {
 		return nil, stats, fmt.Errorf("core: Lookup before Freeze")
 	}
 	tol := 0
@@ -402,10 +354,10 @@ func (l *Library) Lookup(pattern *genome.Sequence) ([]Match, Stats, error) {
 			l.enc.EncodeWindowExactInto(sc.hv, pattern, a)
 		}
 		stats.Alignments++
-		sc.cands = l.probeInto(sc.cands[:0], sc.hv)
-		stats.BucketProbes += len(l.bkts)
+		sc.cands = l.probeInto(sn, sc.cands[:0], sc.hv)
+		stats.BucketProbes += sn.numBuckets()
 		stats.CandidateBuckets += len(sc.cands)
-		matches = l.verify(matches, pattern, a, sc.cands, tol, &stats)
+		matches = l.verify(sn, matches, pattern, a, sc.cands, tol, &stats)
 	}
 	if len(matches) > 1 {
 		sort.Slice(matches, func(i, j int) bool {
@@ -448,7 +400,8 @@ func (l *Library) LookupLong(query *genome.Sequence, minFrac float64) ([]RefMatc
 	if query == nil || query.Len() < w {
 		return nil, stats, fmt.Errorf("core: query shorter than window %d", w)
 	}
-	if !l.frozen {
+	sn := l.snap.Load()
+	if sn == nil {
 		return nil, stats, fmt.Errorf("core: Lookup before Freeze")
 	}
 	tol := 0
@@ -459,7 +412,7 @@ func (l *Library) LookupLong(query *genome.Sequence, minFrac float64) ([]RefMatc
 	defer l.putBlockScratch(sc)
 	clear(sc.votes)
 	nWindows := 0
-	nBkts := len(l.bkts)
+	nBkts := sn.numBuckets()
 	var offs [probeBlock]int
 	for base := 0; base+w <= query.Len(); {
 		// Encode the next block of non-overlapping windows straight from
@@ -480,12 +433,12 @@ func (l *Library) LookupLong(query *genome.Sequence, minFrac float64) ([]RefMatc
 		for j := range dsts {
 			dsts[j] = dsts[j][:0]
 		}
-		l.probeBlockInto(dsts, sc.hvs[:nq], sc)
+		l.probeBlockInto(sn, dsts, sc.hvs[:nq], sc)
 		stats.Alignments += nq
 		stats.BucketProbes += nq * nBkts
 		for j := 0; j < nq; j++ {
 			stats.CandidateBuckets += len(dsts[j])
-			sc.matches = l.verify(sc.matches[:0], query, offs[j], dsts[j], tol, &stats)
+			sc.matches = l.verify(sn, sc.matches[:0], query, offs[j], dsts[j], tol, &stats)
 			nWindows++
 			clear(sc.seen) // one vote per diagonal per query window
 			for _, m := range sc.matches {

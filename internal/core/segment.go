@@ -1,0 +1,410 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/genome"
+	"repro/internal/hdc"
+)
+
+// This file and snapshot.go are the only places allowed to touch the
+// raw segment storage (the bkts slice and the packed arena) — everything
+// else goes through the accessor methods below, so a segment published
+// in a snapshot is provably never written again. The biohdlint
+// snapshotsafety analyzer enforces the boundary.
+
+// bucket is one library hypervector plus the windows superposed in it.
+// Sealed libraries drop a bucket's counters as soon as it closes (the
+// binary view is all search needs — 32× less memory); unsealed libraries
+// keep the counters, which DotAcc scoring reads directly.
+type bucket struct {
+	acc     *hdc.Acc    // raw counters; nil once sealed-and-dropped
+	sealed  *hdc.HV     // binarized view; nil until sealed
+	windows []WindowRef // members, in insertion order
+}
+
+// segment is one immutable sealed slice of the library: a run of closed
+// buckets, their window metadata, and a flat probe arena holding every
+// bucket's sealed hypervector back-to-back. Once a segment is published
+// in a snapshot nothing in it is ever mutated again — Remove tracks
+// tombstones in fresh header copies (withTombs) that share the storage,
+// and Compact replaces the whole segment.
+type segment struct {
+	bkts     []bucket
+	arena    []uint64 // nBuckets × rowWords sealed words, contiguous
+	rowWords int
+	total    int // member windows, including tombstoned ones
+	tombs    int // member windows whose reference has been removed
+}
+
+// newSegment seals a bucket slice into a segment: every sealed vector is
+// packed into one contiguous arena and the bucket's sealed view is
+// repointed to alias its row, so vector(i), score, and WriteTo all read
+// the same storage the probe kernel streams. The bucket structs are
+// owned by the segment after this call.
+func newSegment(bkts []bucket, dim int) *segment {
+	s := &segment{bkts: bkts, rowWords: dim / 64}
+	s.arena = make([]uint64, len(bkts)*s.rowWords)
+	for i := range s.bkts {
+		row := s.arenaRow(i)
+		copy(row, s.bkts[i].sealed.Words())
+		s.bkts[i].sealed = hdc.HVFromArenaRow(row, dim)
+		s.total += len(s.bkts[i].windows)
+	}
+	return s
+}
+
+// arenaRow returns bucket i's packed words inside the arena. The full
+// slice expression caps the row so an overrunning kernel cannot creep
+// into the next bucket.
+func (s *segment) arenaRow(i int) []uint64 {
+	lo := i * s.rowWords
+	hi := lo + s.rowWords
+	return s.arena[lo:hi:hi]
+}
+
+func (s *segment) numBuckets() int { return len(s.bkts) }
+
+// windows returns the member windows of local bucket i (shared slice;
+// callers must not mutate).
+func (s *segment) windows(i int) []WindowRef { return s.bkts[i].windows }
+
+// vector returns the sealed hypervector of local bucket i (aliases the
+// arena row; callers must not mutate).
+func (s *segment) vector(i int) *hdc.HV { return s.bkts[i].sealed }
+
+// counters returns the raw counter accumulator of local bucket i, or nil
+// for sealed-mode segments (counters are dropped at close).
+func (s *segment) counters(i int) *hdc.Acc { return s.bkts[i].acc }
+
+// maxOccupancy returns the largest bucket occupancy in the segment,
+// counting tombstoned windows too — they are still superposed in the
+// vectors, so they still contribute noise.
+func (s *segment) maxOccupancy() int {
+	c := 0
+	for i := range s.bkts {
+		if n := len(s.bkts[i].windows); n > c {
+			c = n
+		}
+	}
+	return c
+}
+
+// tombRatio is the fraction of the segment's windows that are
+// tombstoned; Compact rewrites a segment once this crosses the trigger.
+func (s *segment) tombRatio() float64 {
+	if s.total == 0 {
+		return 0
+	}
+	return float64(s.tombs) / float64(s.total)
+}
+
+// countTombs counts member windows whose reference is removed under the
+// given reference table.
+func (s *segment) countTombs(refs []genome.Record) int {
+	n := 0
+	for i := range s.bkts {
+		for _, wr := range s.bkts[i].windows {
+			if refs[wr.Ref].Seq == nil {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// countRefWindows counts member windows contributed by reference refIdx.
+func (s *segment) countRefWindows(refIdx int) int {
+	n := 0
+	for i := range s.bkts {
+		for _, wr := range s.bkts[i].windows {
+			if int(wr.Ref) == refIdx {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// withTombs returns a segment header with the given tombstone count that
+// shares all storage with s. Remove publishes these instead of writing
+// to the (immutable, concurrently read) original.
+func (s *segment) withTombs(tombs int) *segment {
+	ns := *s
+	ns.tombs = tombs
+	return &ns
+}
+
+// liveWindows appends the segment's non-tombstoned windows, in bucket
+// then insertion order, to dst. Compact re-encodes exactly this list.
+func (s *segment) liveWindows(dst []WindowRef, refs []genome.Record) []WindowRef {
+	for i := range s.bkts {
+		for _, wr := range s.bkts[i].windows {
+			if refs[wr.Ref].Seq != nil {
+				dst = append(dst, wr)
+			}
+		}
+	}
+	return dst
+}
+
+// footprintBytes returns the segment's resident hypervector storage:
+// the packed arena, the window metadata, and any retained raw counters
+// (unsealed mode keeps D int32 counters per bucket).
+func (s *segment) footprintBytes(dim int) int64 {
+	bytes := int64(len(s.arena)) * 8
+	for i := range s.bkts {
+		bytes += int64(len(s.bkts[i].windows)) * 8
+		if s.bkts[i].acc != nil {
+			bytes += int64(dim) * 4
+		}
+	}
+	return bytes
+}
+
+// score returns the similarity score of query hv against local bucket i
+// under the library's storage mode. Sealed scores read the flat arena;
+// raw-count mode keeps the exact counter dot product.
+func (s *segment) score(i int, hv *hdc.HV, p *Params) float64 {
+	if p.Sealed {
+		return float64(bitvec.DotWords(s.arenaRow(i), hv.Words(), p.Dim))
+	}
+	return float64(s.bkts[i].acc.DotAcc(hv))
+}
+
+// probeRange scans local buckets [lo, hi), appending candidates to dst
+// with global bucket indices (local index + gOff). Sealed segments run
+// the early-abandoning fused XNOR-popcount kernel over consecutive
+// arena rows (AVX2 on amd64); raw-count segments keep the exact counter
+// dot product.
+func (s *segment) probeRange(dst []Candidate, hv *hdc.HV, tau float64, maxHam, lo, hi, gOff int, p *Params, ctr *libCounters) []Candidate {
+	if p.Sealed {
+		q := hv.Words()
+		rw := s.rowWords
+		if len(q) != rw {
+			panic(fmt.Sprintf("core: query words %d != row words %d", len(q), rw))
+		}
+		arena := s.arena
+		abandoned := int64(0)
+		for i := lo; i < hi; i++ {
+			row := arena[i*rw : i*rw+rw : i*rw+rw]
+			if h, ok := bitvec.HammingBounded(row, q, maxHam); ok {
+				score := float64(p.Dim - 2*h)
+				dst = append(dst, Candidate{Bucket: gOff + i, Score: score, Excess: score - tau})
+			} else {
+				abandoned++
+			}
+		}
+		if abandoned > 0 {
+			// One atomic publish per range keeps the row loop
+			// synchronization-free.
+			ctr.earlyAbandons.Add(abandoned)
+		}
+		return dst
+	}
+	for i := lo; i < hi; i++ {
+		if score := s.score(i, hv, p); score >= tau {
+			dst = append(dst, Candidate{Bucket: gOff + i, Score: score, Excess: score - tau})
+		}
+	}
+	return dst
+}
+
+// probeBlockRange scans local buckets [lo, hi) against a whole query
+// block, appending each query's candidates (with global bucket indices)
+// to dsts. Sealed segments run the fused multi-query XNOR-popcount
+// kernel — one pass over each arena row serves the block, with
+// per-query early abandonment via the kernel's live mask; raw-count
+// segments — and single-query blocks, which the lighter sequential
+// kernel serves faster than the fused pass — fall back to the per-query
+// scan.
+func (s *segment) probeBlockRange(dsts [][]Candidate, hvs []*hdc.HV, qs [][]uint64, tau float64, maxHam, lo, hi, gOff int, bounds, dist []int, p *Params, ctr *libCounters) {
+	if p.Sealed && len(hvs) > 1 {
+		d := p.Dim
+		rw := s.rowWords
+		qs = qs[:0]
+		for j, hv := range hvs {
+			w := hv.Words()
+			if len(w) != rw {
+				panic(fmt.Sprintf("core: query words %d != row words %d", len(w), rw))
+			}
+			qs = append(qs, w)
+			bounds[j] = maxHam
+		}
+		arena := s.arena
+		abandoned := int64(0)
+		// One scanner per range hoists validation, the live-mask seed,
+		// and the fused kernel's query pointer block out of the row loop.
+		var ms bitvec.MultiScanner
+		ms.Init(qs, bounds[:len(qs)], rw)
+		for i := lo; i < hi; i++ {
+			row := arena[i*rw : i*rw+rw : i*rw+rw]
+			mask := ms.ScanRow(row, dist)
+			for j := range qs {
+				if mask&(1<<uint(j)) != 0 {
+					score := float64(d - 2*dist[j])
+					dsts[j] = append(dsts[j], Candidate{Bucket: gOff + i, Score: score, Excess: score - tau})
+				} else {
+					abandoned++
+				}
+			}
+		}
+		if abandoned > 0 {
+			// One atomic publish per range, counting abandoned
+			// (row, query) pairs — the same total Q sequential bounded
+			// scans would report.
+			ctr.earlyAbandons.Add(abandoned)
+		}
+		return
+	}
+	for j, hv := range hvs {
+		dsts[j] = s.probeRange(dsts[j], hv, tau, maxHam, lo, hi, gOff, p, ctr)
+	}
+}
+
+// builder is the mutable active segment: the tail of the library that
+// is still accepting windows. It is only ever touched under the
+// library's mutation lock; readers see it through the isolated copy
+// that view publishes into each snapshot.
+type builder struct {
+	bkts []bucket
+	nWin int
+}
+
+// insert memorizes one encoded window, opening a new bucket (and closing
+// the previous one) whenever the open bucket reaches capacity.
+func (b *builder) insert(ref WindowRef, hv *hdc.HV, p *Params) {
+	if n := len(b.bkts); n == 0 || len(b.bkts[n-1].windows) >= p.Capacity {
+		if n > 0 {
+			b.sealBucket(n-1, p)
+		}
+		b.bkts = append(b.bkts, bucket{acc: hdc.NewAcc(p.Dim)})
+	}
+	bk := &b.bkts[len(b.bkts)-1]
+	bk.acc.Add(hv)
+	bk.windows = append(bk.windows, ref)
+	b.nWin++
+}
+
+// sealBucket binarizes bucket i and, for sealed libraries, releases its
+// counters. Closed buckets are immutable from here on, which is what
+// lets view share them with published snapshots.
+func (b *builder) sealBucket(i int, p *Params) {
+	bk := &b.bkts[i]
+	if bk.acc == nil {
+		return
+	}
+	bk.sealed = bk.acc.Seal(p.Seed ^ 0x5ea1)
+	if p.Sealed {
+		bk.acc = nil
+	}
+}
+
+func (b *builder) numBuckets() int { return len(b.bkts) }
+func (b *builder) numWindows() int { return b.nWin }
+
+// windows returns the member windows of builder bucket i (shared slice;
+// callers must not mutate).
+func (b *builder) windows(i int) []WindowRef { return b.bkts[i].windows }
+
+// maxOccupancy returns the largest bucket occupancy in the builder.
+func (b *builder) maxOccupancy() int {
+	c := 0
+	for i := range b.bkts {
+		if n := len(b.bkts[i].windows); n > c {
+			c = n
+		}
+	}
+	return c
+}
+
+// countTombs counts builder windows whose reference is removed.
+func (b *builder) countTombs(refs []genome.Record) int {
+	n := 0
+	for i := range b.bkts {
+		for _, wr := range b.bkts[i].windows {
+			if refs[wr.Ref].Seq == nil {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// liveWindows appends the builder's non-tombstoned windows to dst.
+func (b *builder) liveWindows(dst []WindowRef, refs []genome.Record) []WindowRef {
+	for i := range b.bkts {
+		for _, wr := range b.bkts[i].windows {
+			if refs[wr.Ref].Seq != nil {
+				dst = append(dst, wr)
+			}
+		}
+	}
+	return dst
+}
+
+// footprintBytes returns the builder's resident hypervector storage.
+func (b *builder) footprintBytes(dim int) int64 {
+	var bytes int64
+	for i := range b.bkts {
+		bytes += int64(len(b.bkts[i].windows)) * 8
+		if b.bkts[i].acc != nil {
+			bytes += int64(dim) * 4
+		}
+		if b.bkts[i].sealed != nil {
+			bytes += int64(dim) / 8
+		}
+	}
+	return bytes
+}
+
+// seal closes every bucket and packs the builder into an immutable
+// segment, or returns nil if the builder is empty. The builder must be
+// discarded (or reset by the caller) afterwards — its buckets are owned
+// by the segment now.
+func (b *builder) seal(p *Params, refs []genome.Record) *segment {
+	if len(b.bkts) == 0 {
+		return nil
+	}
+	for i := range b.bkts {
+		b.sealBucket(i, p)
+	}
+	seg := newSegment(b.bkts, p.Dim)
+	seg.tombs = seg.countTombs(refs)
+	b.bkts = nil
+	b.nWin = 0
+	return seg
+}
+
+// view publishes a read-only copy of the builder as a segment, or nil if
+// the builder is empty. Closed buckets are immutable and shared with the
+// copy outright; the open bucket — the only one future inserts mutate —
+// is isolated: its window slice is capped at the current length and its
+// vector is freshly sealed (unsealed mode also copies the counters, so
+// DotAcc scoring never races a concurrent Add). The arena is fresh per
+// view, so repointing the copies' sealed views never touches builder
+// state.
+func (b *builder) view(p *Params, refs []genome.Record) *segment {
+	if len(b.bkts) == 0 {
+		return nil
+	}
+	bkts := make([]bucket, len(b.bkts))
+	copy(bkts, b.bkts)
+	last := len(bkts) - 1
+	if open := &bkts[last]; open.acc != nil && open.sealed == nil {
+		open.windows = open.windows[:len(open.windows):len(open.windows)]
+		src := b.bkts[last].acc
+		if p.Sealed {
+			open.acc = nil
+			open.sealed = src.Seal(p.Seed ^ 0x5ea1)
+		} else {
+			acc := hdc.AccFromCounts(append([]int32(nil), src.Counts()...), src.N())
+			open.acc = acc
+			open.sealed = acc.Seal(p.Seed ^ 0x5ea1)
+		}
+	}
+	seg := newSegment(bkts, p.Dim)
+	seg.tombs = seg.countTombs(refs)
+	return seg
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"repro/internal/genome"
+	"repro/internal/hdc"
+)
+
+// snapshot is one immutable, atomically published view of a frozen
+// library: the sealed segments (plus an isolated view of the active
+// builder), the reference table, and the calibration in force. Readers
+// load the current snapshot once per operation and never take a lock;
+// mutations assemble a fresh snapshot off-line and swap the pointer.
+//
+// Global bucket indices — the ones Candidate.Bucket and the public
+// Bucket* accessors use — run across segments in order: segment k's
+// local bucket i is global bucket offs[k]+i.
+type snapshot struct {
+	segs []*segment
+	offs []int           // offs[k] = global index of segs[k]'s first bucket
+	refs []genome.Record // length-capped; removed refs have Seq == nil
+	cal  Calibration
+
+	nBkts int
+	nWin  int // live (non-tombstoned) windows
+	total int // all windows, including tombstoned
+	tombs int
+}
+
+func newSnapshot(segs []*segment, refs []genome.Record, cal Calibration) *snapshot {
+	sn := &snapshot{segs: segs, refs: refs, cal: cal, offs: make([]int, len(segs))}
+	for k, seg := range segs {
+		sn.offs[k] = sn.nBkts
+		sn.nBkts += seg.numBuckets()
+		sn.total += seg.total
+		sn.tombs += seg.tombs
+	}
+	sn.nWin = sn.total - sn.tombs
+	return sn
+}
+
+func (sn *snapshot) numBuckets() int  { return sn.nBkts }
+func (sn *snapshot) numSegments() int { return len(sn.segs) }
+
+// locate resolves a global bucket index to its segment and local index.
+func (sn *snapshot) locate(g int) (*segment, int) {
+	// Linear walk: snapshots hold a handful of segments, so this beats a
+	// binary search for every realistic segment count.
+	for k, seg := range sn.segs {
+		if g < sn.offs[k]+seg.numBuckets() {
+			return seg, g - sn.offs[k]
+		}
+	}
+	panic("core: bucket index out of range")
+}
+
+// windows returns the member windows of global bucket g (shared slice;
+// callers must not mutate). Tombstoned windows are included — verify
+// filters them against the snapshot's reference table.
+func (sn *snapshot) windows(g int) []WindowRef {
+	seg, i := sn.locate(g)
+	return seg.windows(i)
+}
+
+// vector returns the sealed hypervector of global bucket g.
+func (sn *snapshot) vector(g int) *hdc.HV {
+	seg, i := sn.locate(g)
+	return seg.vector(i)
+}
+
+// score scores query hv against global bucket g.
+func (sn *snapshot) score(g int, hv *hdc.HV, p *Params) float64 {
+	seg, i := sn.locate(g)
+	return seg.score(i, hv, p)
+}
+
+// maxOccupancy returns the largest bucket occupancy across segments.
+func (sn *snapshot) maxOccupancy() int {
+	c := 0
+	for _, seg := range sn.segs {
+		if n := seg.maxOccupancy(); n > c {
+			c = n
+		}
+	}
+	return c
+}
+
+// tombRatio is the tombstoned fraction of all memorized windows.
+func (sn *snapshot) tombRatio() float64 {
+	if sn.total == 0 {
+		return 0
+	}
+	return float64(sn.tombs) / float64(sn.total)
+}
+
+// footprintBytes sums the segments' resident hypervector storage.
+func (sn *snapshot) footprintBytes(dim int) int64 {
+	var bytes int64
+	for _, seg := range sn.segs {
+		bytes += seg.footprintBytes(dim)
+	}
+	return bytes
+}

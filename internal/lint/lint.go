@@ -13,6 +13,9 @@
 //	             do not capture loop variables by reference
 //	dimsafety    bitvec/hdc binary kernels guard operand lengths before
 //	             touching raw storage
+//	snapshotsafety  internal/core touches raw segment storage only in
+//	             segment.go and snapshot.go, so published snapshots are
+//	             provably immutable
 //
 // A diagnostic can be suppressed with a comment on the offending line
 // or the line directly above it:
@@ -103,6 +106,7 @@ func All() []Analyzer {
 		Errcheck{},
 		Concurrency{},
 		DimSafety{},
+		SnapshotSafety{},
 	}
 }
 

@@ -131,6 +131,23 @@ func TestDimSafety(t *testing.T) {
 	}
 }
 
+func TestSnapshotSafety(t *testing.T) {
+	diags := fixtureDiags(t)
+	requireFinding(t, diags, "snapshotsafety", "library.go", "storage .bkts")
+	requireFinding(t, diags, "snapshotsafety", "library.go", "storage .arena")
+	// RawBuckets and RawArena are the only findings: the accessor-using
+	// functions pass, and Suppressed's access is suppressed with a reason.
+	if got := findingsIn(diags, "snapshotsafety", "library.go"); len(got) != 2 {
+		t.Errorf("library.go: want 2 snapshotsafety findings "+
+			"(BucketCount, FirstRow, and Suppressed must pass), got %d:\n%s",
+			len(got), formatDiags(got))
+	}
+	// The storage owner itself is exempt wholesale.
+	if got := findingsIn(diags, "snapshotsafety", "segment.go"); len(got) != 0 {
+		t.Errorf("segment.go must be exempt, got:\n%s", formatDiags(got))
+	}
+}
+
 func TestDiagnosticsSortedAndFormatted(t *testing.T) {
 	diags := fixtureDiags(t)
 	if len(diags) == 0 {

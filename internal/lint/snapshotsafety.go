@@ -1,0 +1,68 @@
+package lint
+
+import (
+	"go/ast"
+	"path/filepath"
+	"strings"
+)
+
+// SnapshotSafety guards internal/core's snapshot-isolation invariant:
+// a segment published in a snapshot is immutable, and the proof rests
+// on every touch of the raw segment storage — the bkts slice and the
+// packed probe arena — living in segment.go (the storage owner) or
+// snapshot.go (the read-side view). Any other file reaching for those
+// fields bypasses the accessor boundary, and a write through such a
+// path would corrupt data that lock-free readers are scanning.
+//
+// The check is syntactic — it flags any selector of a field named bkts
+// or arena in the package — because the field names are unique to the
+// segment types within internal/core, and a syntactic rule keeps
+// working when type information is incomplete.
+type SnapshotSafety struct{}
+
+// Name implements Analyzer.
+func (SnapshotSafety) Name() string { return "snapshotsafety" }
+
+// Doc implements Analyzer.
+func (SnapshotSafety) Doc() string {
+	return "internal/core may touch raw segment storage (bkts, arena) only in segment.go and snapshot.go"
+}
+
+// snapshotStorageFields are the raw-storage fields of the segment types.
+var snapshotStorageFields = map[string]bool{"bkts": true, "arena": true}
+
+// snapshotStorageFiles are the files allowed to touch them.
+var snapshotStorageFiles = map[string]bool{"segment.go": true, "snapshot.go": true}
+
+// Run implements Analyzer.
+func (SnapshotSafety) Run(pkg *Package) []Diagnostic {
+	if !strings.HasSuffix(pkg.Path, "internal/core") {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		name := filepath.Base(pkg.Fset.Position(f.Pos()).Filename)
+		if snapshotStorageFiles[name] {
+			continue
+		}
+		walkFuncs(f, func(n ast.Node, fs *funcStack) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || !snapshotStorageFields[sel.Sel.Name] {
+				return true
+			}
+			where := "package-level declaration"
+			if d := fs.topDecl(); d != nil {
+				where = d.Name.Name
+			}
+			diags = append(diags, Diagnostic{
+				Pos:  pkg.Fset.Position(sel.Sel.Pos()),
+				Rule: "snapshotsafety",
+				Message: where + " touches raw segment storage ." + sel.Sel.Name +
+					" outside segment.go/snapshot.go " +
+					"(go through the segment accessors so published snapshots stay immutable)",
+			})
+			return true
+		})
+	}
+	return diags
+}

@@ -1,0 +1,19 @@
+// Package core mimics the real library's segment storage so the
+// snapshotsafety fixture can exercise the accessor boundary. This file
+// plays the role of the storage owner: raw field access here is legal.
+package core
+
+type bucket struct {
+	windows []int
+}
+
+type segment struct {
+	bkts  []bucket
+	arena []uint64
+}
+
+// numBuckets is an accessor — the sanctioned way to reach the storage.
+func (s *segment) numBuckets() int { return len(s.bkts) }
+
+// arenaRow is the sanctioned way to reach the packed words.
+func (s *segment) arenaRow(i int) []uint64 { return s.arena[i : i+1 : i+1] }

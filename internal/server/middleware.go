@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"net/http"
+	"strings"
 	"time"
 
 	"repro/internal/metrics"
@@ -30,9 +31,16 @@ var knownPaths = map[string]bool{
 	"/v1/search":   true,
 	"/v1/classify": true,
 	"/v1/batch":    true,
+	"/v1/refs":     true,
+	"/v1/compact":  true,
 }
 
 func normalizePath(p string) string {
+	if strings.HasPrefix(p, "/v1/refs/") {
+		// DELETE /v1/refs/{id}: collapse the id so reference names
+		// cannot mint unbounded series.
+		return "/v1/refs"
+	}
 	if knownPaths[p] {
 		return p
 	}

@@ -1,7 +1,9 @@
 // Package server exposes a frozen BioHD library as an HTTP JSON API —
-// the service form of the genome search platform. All endpoints are
-// stateless; a frozen library is immutable, so requests are served
-// concurrently without locking.
+// the service form of the genome search platform. Search endpoints read
+// an atomically published library snapshot and never lock; the mutation
+// endpoints (ingest, remove, compact) serialize inside the core and
+// publish each change as a fresh snapshot, so search traffic keeps
+// flowing while the library changes underneath it.
 //
 // Endpoints:
 //
@@ -11,6 +13,9 @@
 //	POST /v1/search   one pattern → verified matches
 //	POST /v1/classify one long read → best-supported reference
 //	POST /v1/batch    many patterns → per-pattern matches
+//	POST /v1/refs     ingest one reference into the live segment
+//	DELETE /v1/refs/{id}  tombstone a reference out of the library
+//	POST /v1/compact  rewrite segments past a tombstone ratio
 //
 // Request lifecycle: the handler chain applies a per-request deadline
 // (Config.RequestTimeout) and records per-endpoint request counts and
@@ -97,6 +102,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/search", s.handleSearch)
 	mux.HandleFunc("POST /v1/classify", s.handleClassify)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("POST /v1/refs", s.handleAddRef)
+	mux.HandleFunc("DELETE /v1/refs/{id}", s.handleRemoveRef)
+	mux.HandleFunc("POST /v1/compact", s.handleCompact)
 	return s.withObservability(s.withDeadline(mux))
 }
 
@@ -148,6 +156,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		"# TYPE biohd_core_blocked_probes_total counter\nbiohd_core_blocked_probes_total %d\n", c.BlockedProbes)
 	fmt.Fprintf(&buf, "# HELP biohd_core_blocked_windows_total Query windows served by blocked scans; divided by blocked probes this is the realized block occupancy.\n"+
 		"# TYPE biohd_core_blocked_windows_total counter\nbiohd_core_blocked_windows_total %d\n", c.BlockedWindows)
+	fmt.Fprintf(&buf, "# HELP biohd_core_segment_seals_total Active segments sealed into immutable segments by live ingest.\n"+
+		"# TYPE biohd_core_segment_seals_total counter\nbiohd_core_segment_seals_total %d\n", c.SegmentSeals)
+	fmt.Fprintf(&buf, "# HELP biohd_core_compactions_total Segments rewritten by compaction to drop tombstoned windows.\n"+
+		"# TYPE biohd_core_compactions_total counter\nbiohd_core_compactions_total %d\n", c.Compactions)
+	fmt.Fprintf(&buf, "# HELP biohd_library_segments Segments in the library's current snapshot.\n"+
+		"# TYPE biohd_library_segments gauge\nbiohd_library_segments %d\n", s.lib.NumSegments())
+	fmt.Fprintf(&buf, "# HELP biohd_library_tombstone_ratio Fraction of memorized windows whose reference has been removed.\n"+
+		"# TYPE biohd_library_tombstone_ratio gauge\nbiohd_library_tombstone_ratio %g\n", s.lib.TombstoneRatio())
+	fmt.Fprintf(&buf, "# HELP biohd_library_memory_bytes Resident bytes of the library's hypervector storage.\n"+
+		"# TYPE biohd_library_memory_bytes gauge\nbiohd_library_memory_bytes %d\n", s.lib.MemoryFootprint())
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
 	//lint:ignore errcheck a failed response write means the client is gone
@@ -167,6 +185,8 @@ type StatsResponse struct {
 	Tolerance  int     `json:"tolerance"`
 	Threshold  float64 `json:"threshold"`
 	MemBytes   int64   `json:"memoryBytes"`
+	Segments   int     `json:"segments"`
+	Tombstones float64 `json:"tombstoneRatio"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -183,6 +203,8 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Tolerance:  p.MutTolerance,
 		Threshold:  s.lib.Threshold(),
 		MemBytes:   s.lib.MemoryFootprint(),
+		Segments:   s.lib.NumSegments(),
+		Tombstones: s.lib.TombstoneRatio(),
 	})
 }
 

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Service smoke test: build the CLI, serve a generated library on an
-# ephemeral port, exercise /healthz, /v1/search, and /metrics with curl,
-# then SIGTERM the server and assert it drains to a clean exit.
+# ephemeral port, exercise /healthz, /v1/search, the mutation lifecycle
+# (ingest, remove, compact), and /metrics with curl, then SIGTERM the
+# server and assert it drains to a clean exit.
 #
 # Run via `make smoke` (CI runs it too). Needs only bash, curl, awk.
 set -euo pipefail
@@ -63,14 +64,43 @@ search=$(curl -sf -X POST -H 'Content-Type: application/json' \
     -d "{\"pattern\":\"$pattern\"}" "$base/v1/search")
 echo "$search" | grep -q '"matches":\[{' || { echo "FATAL: no match in: $search"; exit 1; }
 
+echo "== ingest /v1/refs"
+plasmid="ACGTTGCAACGGTTAACCGGATCCGAGCTCGATATCAAGCTTATCGATACCGTCGACCTCGAGG"
+[ ${#plasmid} -eq 64 ] || { echo "FATAL: bad plasmid literal"; exit 1; }
+ingest=$(curl -sf -X POST -H 'Content-Type: application/json' \
+    -d "{\"id\":\"plasmid\",\"sequence\":\"$plasmid\"}" "$base/v1/refs")
+echo "$ingest" | grep -q '"id":"plasmid"' || { echo "FATAL: ingest failed: $ingest"; exit 1; }
+
+# The ingested reference is immediately searchable.
+psearch=$(curl -sf -X POST -H 'Content-Type: application/json' \
+    -d "{\"pattern\":\"${plasmid:0:32}\"}" "$base/v1/search")
+echo "$psearch" | grep -q '"ref":"plasmid"' || { echo "FATAL: ingested ref not searchable: $psearch"; exit 1; }
+
+echo "== remove /v1/refs/plasmid"
+removed=$(curl -sf -X DELETE "$base/v1/refs/plasmid")
+echo "$removed" | grep -q '"id":"plasmid"' || { echo "FATAL: remove failed: $removed"; exit 1; }
+psearch=$(curl -sf -X POST -H 'Content-Type: application/json' \
+    -d "{\"pattern\":\"${plasmid:0:32}\"}" "$base/v1/search")
+echo "$psearch" | grep -q '"ref":"plasmid"' && { echo "FATAL: removed ref still searchable: $psearch"; exit 1; }
+
+echo "== /v1/compact"
+compacted=$(curl -sf -X POST "$base/v1/compact")
+echo "$compacted" | grep -q '"tombstoneRatio":0' || { echo "FATAL: compact left tombstones: $compacted"; exit 1; }
+
 echo "== /metrics"
 metrics=$(curl -sf "$base/metrics")
 for want in \
-    'biohd_http_requests_total{path="/v1/search",status="2xx"} 1' \
+    'biohd_http_requests_total{path="/v1/search",status="2xx"} 3' \
+    'biohd_http_requests_total{path="/v1/refs",status="2xx"} 2' \
+    'biohd_http_requests_total{path="/v1/compact",status="2xx"} 1' \
     'biohd_http_request_seconds_bucket' \
     'biohd_core_bucket_probes_total' \
     'biohd_core_blocked_probes_total' \
-    'biohd_core_blocked_windows_total'; do
+    'biohd_core_blocked_windows_total' \
+    'biohd_library_segments' \
+    'biohd_library_tombstone_ratio 0' \
+    'biohd_core_segment_seals_total' \
+    'biohd_core_compactions_total'; do
     echo "$metrics" | grep -qF "$want" || { echo "FATAL: /metrics missing: $want"; exit 1; }
 done
 
