@@ -6,7 +6,7 @@ GO       ?= go
 FUZZTIME ?= 30s
 PKGS      = ./...
 
-.PHONY: all build test race vet lint fuzz bench benchsmoke smoke check clean
+.PHONY: all build test race vet lint lint-json lint-baseline fuzz bench benchsmoke smoke check clean
 
 all: build
 
@@ -27,8 +27,26 @@ vet:
 	$(GO) vet $(PKGS)
 
 ## lint: run the repo-specific static analyzers (see internal/lint/README.md)
+## twice — once for the default build, once under the purego tag so the
+## portable kernel fallbacks are held to the same hot-path rules as the
+## assembly dispatch stubs they replace
 lint:
 	$(GO) run ./cmd/biohdlint $(PKGS)
+	$(GO) run ./cmd/biohdlint -tags purego $(PKGS)
+
+## lint-json: the lint gate with a machine-readable artifact (CI uploads
+## it so findings are diffable across runs)
+lint-json:
+	$(GO) run ./cmd/biohdlint -json $(PKGS) > biohdlint.json; \
+	status=$$?; cat biohdlint.json; exit $$status
+
+## lint-baseline: freeze the current findings into lint-baseline.json —
+## the adopt-then-ratchet workflow for landing a new analyzer before its
+## debt is paid down. Run biohdlint with -baseline lint-baseline.json to
+## subtract it; re-run this target as findings are fixed so the file
+## only ever shrinks.
+lint-baseline:
+	$(GO) run ./cmd/biohdlint -write-baseline lint-baseline.json $(PKGS)
 
 ## bench: run the probe A/B benchmarks and refresh the checked-in
 ## records — BENCH_probe.json (arena kernel vs seed scalar scan),

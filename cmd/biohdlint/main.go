@@ -13,9 +13,18 @@
 // The argument is accepted for familiarity with go tooling; the linter
 // always analyzes the whole module enclosing the given directory
 // (default: the current directory).
+//
+// -json switches the report to a machine-readable JSON array (one
+// object per finding, repo-relative paths) for CI artifacts. -tags
+// analyzes the module under additional build tags (e.g. -tags purego
+// checks the portable kernel fallbacks). -baseline subtracts a recorded
+// finding set so a new rule can be adopted before its debt is paid
+// down, and -write-baseline records the current findings as that set;
+// see internal/lint/baseline.go for the ratchet workflow.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -35,6 +44,10 @@ func run(args []string, out, errOut io.Writer) int {
 	fs.SetOutput(errOut)
 	rules := fs.String("rules", "", "comma-separated rule subset to run (default: all)")
 	list := fs.Bool("list", false, "list the available rules and exit")
+	jsonOut := fs.Bool("json", false, "report findings as a JSON array")
+	tags := fs.String("tags", "", "comma-separated build tags to analyze under (e.g. purego)")
+	baselinePath := fs.String("baseline", "", "baseline file of tolerated findings to subtract")
+	writeBaseline := fs.String("write-baseline", "", "record the current findings to this baseline file and exit")
 	fs.Usage = func() {
 		fmt.Fprintln(errOut, "usage: biohdlint [flags] [./...]")
 		fs.PrintDefaults()
@@ -44,7 +57,7 @@ func run(args []string, out, errOut io.Writer) int {
 	}
 	if *list {
 		for _, a := range lint.All() {
-			fmt.Fprintf(out, "%-12s %s\n", a.Name(), a.Doc())
+			fmt.Fprintf(out, "%-14s %s\n", a.Name(), a.Doc())
 		}
 		return 0
 	}
@@ -65,7 +78,12 @@ func run(args []string, out, errOut io.Writer) int {
 		fmt.Fprintln(errOut, "biohdlint:", err)
 		return 2
 	}
-	pkgs, err := lint.Load(dir)
+	root, _, err := lint.FindModuleRoot(dir)
+	if err != nil {
+		fmt.Fprintln(errOut, "biohdlint:", err)
+		return 2
+	}
+	pkgs, err := lint.LoadWithTags(dir, splitTags(*tags))
 	if err != nil {
 		fmt.Fprintln(errOut, "biohdlint:", err)
 		return 2
@@ -77,8 +95,37 @@ func run(args []string, out, errOut io.Writer) int {
 		}
 	}
 	diags := lint.Run(pkgs, analyzers)
-	for _, d := range diags {
-		fmt.Fprintln(out, d)
+
+	if *writeBaseline != "" {
+		if err := lint.WriteBaseline(*writeBaseline, root, diags); err != nil {
+			fmt.Fprintln(errOut, "biohdlint:", err)
+			return 2
+		}
+		fmt.Fprintf(errOut, "biohdlint: wrote %d finding(s) to %s\n", len(diags), *writeBaseline)
+		return 0
+	}
+	if *baselinePath != "" {
+		base, err := lint.LoadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(errOut, "biohdlint:", err)
+			return 2
+		}
+		var absorbed int
+		diags, absorbed = base.Filter(root, diags)
+		if absorbed > 0 {
+			fmt.Fprintf(errOut, "biohdlint: baseline absorbed %d finding(s)\n", absorbed)
+		}
+	}
+
+	if *jsonOut {
+		if err := writeJSON(out, root, diags); err != nil {
+			fmt.Fprintln(errOut, "biohdlint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(out, d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(errOut, "biohdlint: %d finding(s) in %d package(s)\n",
@@ -86,6 +133,44 @@ func run(args []string, out, errOut io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// jsonFinding is the machine-readable finding shape: the text format's
+// fields plus the line number, with a repo-relative path.
+type jsonFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
+// writeJSON emits the findings as an indented JSON array ([] when
+// clean, so the artifact is always valid JSON).
+func writeJSON(out io.Writer, root string, diags []lint.Diagnostic) error {
+	findings := make([]jsonFinding, 0, len(diags))
+	for _, d := range diags {
+		e := lint.RelEntry(root, d)
+		findings = append(findings, jsonFinding{
+			File: e.File, Line: d.Pos.Line, Rule: d.Rule, Message: d.Message,
+		})
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(findings)
+}
+
+// splitTags parses the -tags flag.
+func splitTags(spec string) []string {
+	if spec == "" {
+		return nil
+	}
+	var tags []string
+	for _, t := range strings.Split(spec, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			tags = append(tags, t)
+		}
+	}
+	return tags
 }
 
 // selectAnalyzers resolves the -rules flag against the registry.

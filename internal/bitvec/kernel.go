@@ -41,6 +41,8 @@ const boundedStride = 8 * kernelBlock
 // HammingWords returns the Hamming distance between two equal-length
 // packed word slices — the fused XNOR-popcount kernel without a bound.
 // It panics on length mismatch.
+//
+//biohd:hotpath
 func HammingWords(a, b []uint64) int {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("bitvec: word-slice length mismatch %d vs %d", len(a), len(b)))
@@ -82,6 +84,8 @@ func hammingScalar(a, b []uint64) int {
 // exceeded. A negative bound never passes (distances are ≥ 0).
 //
 // It panics on length mismatch.
+//
+//biohd:hotpath
 func HammingBounded(a, b []uint64, bound int) (int, bool) {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("bitvec: word-slice length mismatch %d vs %d", len(a), len(b)))
@@ -134,6 +138,8 @@ func Kernel() string {
 // DotWords returns the bipolar dot product of two n-bit vectors given
 // as equal-length packed word slices: n − 2·HammingWords(a, b). n must
 // be the bit length shared by both operands (n ≤ 64·len(a)).
+//
+//biohd:hotpath
 func DotWords(a, b []uint64, n int) int {
 	return n - 2*HammingWords(a, b)
 }

@@ -74,6 +74,8 @@ func checkMultiOperands(row []uint64, qs [][]uint64, bounds, dist []int) {
 // in the block (up to MaxMultiQueries), streaming row once. It panics
 // if any query's word length differs from the row's or dist is shorter
 // than the block.
+//
+//biohd:hotpath
 func HammingMulti(row []uint64, qs [][]uint64, dist []int) {
 	var bounds [MaxMultiQueries]int
 	if len(qs) > MaxMultiQueries {
@@ -97,6 +99,8 @@ func HammingMulti(row []uint64, qs [][]uint64, dist []int) {
 // The scan reads row once, chunk by chunk; queries leave the live mask
 // as their bounds are exceeded, and the scan stops early once the mask
 // empties. It panics on length mismatch or an oversized block.
+//
+//biohd:hotpath
 func HammingMultiBounded(row []uint64, qs [][]uint64, bounds, dist []int) uint32 {
 	checkMultiOperands(row, qs, bounds, dist)
 	nq := len(qs)
@@ -174,6 +178,8 @@ type MultiScanner struct {
 // It panics exactly where HammingMultiBounded would: an oversized
 // block, short bounds, or a query whose word length differs from the
 // row's.
+//
+//biohd:hotpath
 func (s *MultiScanner) Init(qs [][]uint64, bounds []int, rowWords int) {
 	if len(qs) > MaxMultiQueries {
 		panic(fmt.Sprintf("bitvec: query block %d exceeds MaxMultiQueries %d", len(qs), MaxMultiQueries))
@@ -217,6 +223,8 @@ func (s *MultiScanner) Init(qs [][]uint64, bounds []int, rowWords int) {
 // including witness-only dist values for abandoned queries). It panics
 // if the row's word length differs from Init's rowWords or dist is
 // shorter than the query block.
+//
+//biohd:hotpath
 func (s *MultiScanner) ScanRow(row []uint64, dist []int) uint32 {
 	nq := len(s.qs)
 	if len(row) != s.words || len(dist) < nq {

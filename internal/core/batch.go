@@ -3,7 +3,6 @@ package core
 import (
 	"context"
 	"fmt"
-	"sort"
 	"sync"
 
 	"repro/internal/genome"
@@ -114,6 +113,8 @@ feed:
 // and probes them as a single query block. Verification order within a
 // pattern is alignment-major, exactly as in Lookup, so each result's
 // Matches, Stats, and Err are identical to an individual Lookup call.
+//
+//biohd:hotpath
 func (l *Library) lookupBlock(sn *snapshot, patterns []*genome.Sequence, results []BatchResult, sc *blockScratch) {
 	w := l.params.Window
 	tol := 0
@@ -124,7 +125,9 @@ func (l *Library) lookupBlock(sn *snapshot, patterns []*genome.Sequence, results
 	maxAlign := 0
 	for i, p := range patterns {
 		if p == nil || p.Len() < w {
-			results[i] = BatchResult{Err: fmt.Errorf("core: pattern shorter than window %d", w)}
+			// errShort is precomputed at construction: formatting it here
+			// would allocate on every invalid pattern of every batch.
+			results[i] = BatchResult{Err: l.errShort}
 			continue
 		}
 		aligns[i] = minInt(l.params.Stride, p.Len()-w+1)
@@ -166,14 +169,7 @@ func (l *Library) lookupBlock(sn *snapshot, patterns []*genome.Sequence, results
 		}
 	}
 	for i := range results {
-		if m := results[i].Matches; len(m) > 1 {
-			sort.Slice(m, func(x, y int) bool {
-				if m[x].Ref != m[y].Ref {
-					return m[x].Ref < m[y].Ref
-				}
-				return m[x].Off < m[y].Off
-			})
-		}
+		sortMatches(results[i].Matches)
 	}
 }
 

@@ -415,7 +415,9 @@ func ReadLibrary(r io.Reader) (*Library, error) {
 	// frozen iff it holds buckets. Publish the loaded snapshot with the
 	// stored calibration — loading must not re-derive it.
 	if version >= 2 || len(lib.segs) > 0 {
+		lib.mu.Lock()
 		lib.publishLocked(false)
+		lib.mu.Unlock()
 	}
 	return lib, nil
 }

@@ -139,6 +139,10 @@ type Library struct {
 	// abandons, batch cancellations, seals, compactions) for the /metrics
 	// endpoint; see Counters.
 	ctr libCounters
+
+	// errShort is the invalid-pattern error, precomputed so the batch
+	// path reports it without formatting on a hot path.
+	errShort error
 }
 
 // lookupScratch is the reusable per-query state of the lookup paths.
@@ -155,6 +159,10 @@ type lookupScratch struct {
 // churn without holding meaningful memory.
 const candidateHint = 16
 
+// getScratch returns pooled per-query lookup state, constructing it on
+// a pool miss.
+//
+//biohd:coldstart pool-miss construction; steady state reuses pooled scratch
 func (l *Library) getScratch() *lookupScratch {
 	if s, ok := l.scratch.Get().(*lookupScratch); ok {
 		return s
@@ -193,6 +201,10 @@ type blockScratch struct {
 	best    map[int]diagKey  // per-call winning diagonal per reference
 }
 
+// getBlockScratch returns the pooled cross-query scratch plane,
+// constructing it on a pool miss.
+//
+//biohd:coldstart pool-miss construction; steady state reuses pooled scratch
 func (l *Library) getBlockScratch() *blockScratch {
 	if s, ok := l.blockPool.Get().(*blockScratch); ok {
 		return s
@@ -248,6 +260,7 @@ func NewLibrary(params Params) (*Library, error) {
 		enc:           enc,
 		active:        &builder{},
 		sealThreshold: defaultSealThreshold,
+		errShort:      fmt.Errorf("core: pattern shorter than window %d", params.Window),
 	}, nil
 }
 

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"math"
 	"runtime"
-	"sort"
 	"sync"
 
 	"repro/internal/bitvec"
@@ -107,6 +106,8 @@ var probeShardMin = 4096
 // segments. Stats count the full scan — BucketProbes is the work the
 // PIM hardware would do, not the words the software kernel happened to
 // touch.
+//
+//biohd:hotpath
 func (l *Library) Probe(hv *hdc.HV, stats *Stats) ([]Candidate, error) {
 	sn := l.snap.Load()
 	if sn == nil {
@@ -115,6 +116,7 @@ func (l *Library) Probe(hv *hdc.HV, stats *Stats) ([]Candidate, error) {
 	if hv.Dim() != l.params.Dim {
 		return nil, fmt.Errorf("core: query dimension %d != library %d", hv.Dim(), l.params.Dim)
 	}
+	//lint:ignore hotpath the result slice is caller-owned; the zero-alloc path is probeInto with pooled scratch
 	out := l.probeInto(sn, make([]Candidate, 0, candidateHint), hv)
 	if stats != nil {
 		stats.BucketProbes += sn.numBuckets()
@@ -159,6 +161,7 @@ func (l *Library) probeSeg(seg *segment, gOff int, dst []Candidate, hv *hdc.HV, 
 		return seg.probeRange(dst, hv, tau, maxHam, 0, n, gOff, &l.params, &l.ctr)
 	}
 	per := (n + workers - 1) / workers
+	//lint:ignore hotpath shard dispatch runs only on segments of ≥2·probeShardMin buckets; the allocation amortizes over the scan
 	parts := make([][]Candidate, workers)
 	var wg sync.WaitGroup
 	for s := 0; s < workers; s++ {
@@ -168,6 +171,7 @@ func (l *Library) probeSeg(seg *segment, gOff int, dst []Candidate, hv *hdc.HV, 
 			break
 		}
 		wg.Add(1)
+		//lint:ignore hotpath worker closure of the sharded scan; amortized like the dispatch slice above
 		go func(s, lo, hi int) {
 			defer wg.Done()
 			parts[s] = seg.probeRange(nil, hv, tau, maxHam, lo, hi, gOff, &l.params, &l.ctr)
@@ -188,6 +192,8 @@ func (l *Library) probeSeg(seg *segment, gOff int, dst []Candidate, hv *hdc.HV, 
 // Probe(hvs[i], ...) returns (same candidates, order, scores, excesses,
 // nil on a miss) — and stats count the same modeled work: every query
 // scans every bucket, whatever the software kernel skipped.
+//
+//biohd:hotpath
 func (l *Library) ProbeMulti(hvs []*hdc.HV, stats *Stats) ([][]Candidate, error) {
 	sn := l.snap.Load()
 	if sn == nil {
@@ -198,22 +204,19 @@ func (l *Library) ProbeMulti(hvs []*hdc.HV, stats *Stats) ([][]Candidate, error)
 			return nil, fmt.Errorf("core: query dimension %d != library %d", hv.Dim(), l.params.Dim)
 		}
 	}
+	//lint:ignore hotpath the result spine is caller-owned; per-query slices materialize only on hits
 	out := make([][]Candidate, len(hvs))
 	sc := l.getBlockScratch()
 	defer l.putBlockScratch(sc)
 	total := 0
 	for base := 0; base < len(hvs); base += probeBlock {
 		hi := minInt(base+probeBlock, len(hvs))
+		// Each dst starts nil: probeBlockRange appends, so queries that
+		// miss every bucket never allocate a candidate slice at all.
 		dsts := out[base:hi]
-		for j := range dsts {
-			dsts[j] = make([]Candidate, 0, candidateHint)
-		}
 		l.probeBlockInto(sn, dsts, hvs[base:hi], sc)
 		for j := range dsts {
 			total += len(dsts[j])
-			if len(dsts[j]) == 0 {
-				dsts[j] = nil
-			}
 		}
 	}
 	if stats != nil {
@@ -258,6 +261,7 @@ func (l *Library) probeBlockSeg(seg *segment, gOff int, dsts [][]Candidate, hvs 
 		return
 	}
 	per := (n + workers - 1) / workers
+	//lint:ignore hotpath shard dispatch runs only on segments of ≥2·probeShardMin buckets; the allocation amortizes over the scan
 	parts := make([][][]Candidate, workers)
 	var wg sync.WaitGroup
 	for s := 0; s < workers; s++ {
@@ -267,9 +271,12 @@ func (l *Library) probeBlockSeg(seg *segment, gOff int, dsts [][]Candidate, hvs 
 			break
 		}
 		wg.Add(1)
+		//lint:ignore hotpath worker closure of the sharded scan; amortized like the dispatch slice above
 		go func(s, lo, hi int) {
 			defer wg.Done()
+			//lint:ignore hotpath per-worker result and bound/distance scratch, amortized over ≥probeShardMin buckets
 			part := make([][]Candidate, nq)
+			//lint:ignore hotpath per-worker result and bound/distance scratch, amortized over ≥probeShardMin buckets
 			seg.probeBlockRange(part, hvs, nil, tau, maxHam, lo, hi, gOff, make([]int, nq), make([]int, nq), &l.params, &l.ctr)
 			parts[s] = part
 		}(s, lo, hi)
@@ -329,6 +336,8 @@ func (l *Library) verify(sn *snapshot, out []Match, q *genome.Sequence, qOff int
 //
 // Exact libraries accept only exact occurrences; approximate libraries
 // accept occurrences within MutTolerance substitutions.
+//
+//biohd:hotpath
 func (l *Library) Lookup(pattern *genome.Sequence) ([]Match, Stats, error) {
 	var stats Stats
 	w := l.params.Window
@@ -359,15 +368,25 @@ func (l *Library) Lookup(pattern *genome.Sequence) ([]Match, Stats, error) {
 		stats.CandidateBuckets += len(sc.cands)
 		matches = l.verify(sn, matches, pattern, a, sc.cands, tol, &stats)
 	}
-	if len(matches) > 1 {
-		sort.Slice(matches, func(i, j int) bool {
-			if matches[i].Ref != matches[j].Ref {
-				return matches[i].Ref < matches[j].Ref
-			}
-			return matches[i].Off < matches[j].Off
-		})
-	}
+	sortMatches(matches)
 	return matches, stats, nil
+}
+
+// sortMatches orders matches by (Ref, Off) — the order Lookup
+// documents — with an insertion sort: match lists are small (verified
+// hits of one pattern), and unlike sort.Slice the sort allocates
+// nothing, keeping the lookup paths statically allocation-free.
+func sortMatches(matches []Match) {
+	for i := 1; i < len(matches); i++ {
+		m := matches[i]
+		j := i - 1
+		for j >= 0 && (matches[j].Ref > m.Ref ||
+			(matches[j].Ref == m.Ref && matches[j].Off > m.Off)) {
+			matches[j+1] = matches[j]
+			j--
+		}
+		matches[j+1] = m
+	}
 }
 
 // Contains reports whether the pattern occurs in the references (within
@@ -394,6 +413,8 @@ type RefMatch struct {
 // minus query offset agree). References are returned in decreasing vote
 // order, filtered to vote fraction ≥ minFrac. Matches, votes, and
 // stats are identical to looking each window up individually.
+//
+//biohd:hotpath
 func (l *Library) LookupLong(query *genome.Sequence, minFrac float64) ([]RefMatch, Stats, error) {
 	var stats Stats
 	w := l.params.Window
@@ -456,6 +477,7 @@ func (l *Library) LookupLong(query *genome.Sequence, minFrac float64) ([]RefMatc
 	votes := sc.votes
 	clear(sc.best)
 	best := sc.best
+	//lint:ignore hotpath diagonal-vote aggregation is the per-call epilogue; the result is order-independent by the tie-break below
 	for d, v := range votes {
 		cur, ok := best[d.ref]
 		switch {
@@ -466,6 +488,7 @@ func (l *Library) LookupLong(query *genome.Sequence, minFrac float64) ([]RefMatc
 		}
 	}
 	var out []RefMatch
+	//lint:ignore hotpath per-call epilogue over the winning diagonals; the final sort fixes the order
 	for ref, d := range best {
 		v := votes[d]
 		frac := float64(v) / float64(nWindows)
@@ -475,13 +498,24 @@ func (l *Library) LookupLong(query *genome.Sequence, minFrac float64) ([]RefMatc
 			})
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Votes != out[j].Votes {
-			return out[i].Votes > out[j].Votes
-		}
-		return out[i].Ref < out[j].Ref
-	})
+	sortRefMatches(out)
 	return out, stats, nil
+}
+
+// sortRefMatches orders ranked references by decreasing Votes, ties by
+// increasing Ref — allocation-free like sortMatches; the list is at
+// most one entry per matched reference.
+func sortRefMatches(out []RefMatch) {
+	for i := 1; i < len(out); i++ {
+		m := out[i]
+		j := i - 1
+		for j >= 0 && (out[j].Votes < m.Votes ||
+			(out[j].Votes == m.Votes && out[j].Ref > m.Ref)) {
+			out[j+1] = out[j]
+			j--
+		}
+		out[j+1] = m
+	}
 }
 
 // ErrNoSupport is returned (wrapped) by Classify when the query is

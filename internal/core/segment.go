@@ -178,6 +178,8 @@ func (s *segment) score(i int, hv *hdc.HV, p *Params) float64 {
 // the early-abandoning fused XNOR-popcount kernel over consecutive
 // arena rows (AVX2 on amd64); raw-count segments keep the exact counter
 // dot product.
+//
+//biohd:hotpath
 func (s *segment) probeRange(dst []Candidate, hv *hdc.HV, tau float64, maxHam, lo, hi, gOff int, p *Params, ctr *libCounters) []Candidate {
 	if p.Sealed {
 		q := hv.Words()
@@ -219,6 +221,8 @@ func (s *segment) probeRange(dst []Candidate, hv *hdc.HV, tau float64, maxHam, l
 // segments — and single-query blocks, which the lighter sequential
 // kernel serves faster than the fused pass — fall back to the per-query
 // scan.
+//
+//biohd:hotpath
 func (s *segment) probeBlockRange(dsts [][]Candidate, hvs []*hdc.HV, qs [][]uint64, tau float64, maxHam, lo, hi, gOff int, bounds, dist []int, p *Params, ctr *libCounters) {
 	if p.Sealed && len(hvs) > 1 {
 		d := p.Dim

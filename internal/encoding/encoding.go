@@ -158,6 +158,7 @@ func (e *Encoder) EncodeWindowExact(seq *genome.Sequence, start int) *hdc.HV {
 // of seq starting at start into dst, reusing dst's storage — the
 // allocation-free variant for query hot paths. It panics if the window
 // overruns the sequence or dst has the wrong dimension.
+//biohd:hotpath
 func (e *Encoder) EncodeWindowExactInto(dst *hdc.HV, seq *genome.Sequence, start int) {
 	e.checkWindow(seq, start)
 	e.checkDim(dst)
@@ -179,6 +180,7 @@ func (e *Encoder) EncodeWindowApprox(seq *genome.Sequence, start int) *hdc.HV {
 // contents are discarded) — the allocation-free variant for query hot
 // paths. It panics if the window overruns the sequence or dst/acc have
 // the wrong dimension.
+//biohd:hotpath
 func (e *Encoder) EncodeWindowApproxInto(dst *hdc.HV, acc *hdc.Acc, seq *genome.Sequence, start int) {
 	e.checkWindow(seq, start)
 	e.checkDim(dst)
@@ -340,6 +342,7 @@ func (e *Encoder) SealLogical(acc *hdc.Acc, off int) *hdc.HV {
 
 // SealLogicalInto is SealLogical writing into dst instead of
 // allocating. It panics if dst has the wrong dimension.
+//biohd:hotpath
 func (e *Encoder) SealLogicalInto(dst *hdc.HV, acc *hdc.Acc, off int) {
 	d := e.cfg.Dim
 	e.checkDim(dst)

@@ -1,0 +1,120 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// A Baseline is the adopt-then-ratchet mechanism: a recorded set of
+// known findings that Filter subtracts from a run, so a new analyzer
+// can land with its existing debt frozen while any NEW finding still
+// fails the build. Entries are line-agnostic — a finding is identified
+// by (repo-relative file, rule, message), so unrelated edits that shift
+// line numbers do not invalidate the baseline — and counted as a
+// multiset: two identical findings in one file need two entries, and
+// fixing one of them is ratchet progress the next -write-baseline
+// captures.
+type Baseline struct {
+	counts map[BaselineEntry]int
+}
+
+// BaselineEntry identifies one tolerated finding.
+type BaselineEntry struct {
+	// File is the repo-relative slash path of the finding's file.
+	File string `json:"file"`
+	// Rule is the analyzer name.
+	Rule string `json:"rule"`
+	// Message is the full finding message.
+	Message string `json:"message"`
+}
+
+// RelEntry converts a diagnostic to its baseline identity, with the
+// filename made root-relative (slash-separated). Files outside root
+// keep their absolute path. It is also the path normalization used by
+// the JSON report, so baseline entries and -json artifacts agree.
+func RelEntry(root string, d Diagnostic) BaselineEntry {
+	file := d.Pos.Filename
+	if rel, err := filepath.Rel(root, file); err == nil && filepath.IsLocal(rel) {
+		file = rel
+	}
+	return BaselineEntry{File: filepath.ToSlash(file), Rule: d.Rule, Message: d.Message}
+}
+
+// LoadBaseline reads a baseline file. A missing file is an empty
+// baseline — the ratchet's end state — not an error.
+func LoadBaseline(path string) (*Baseline, error) {
+	b := &Baseline{counts: map[BaselineEntry]int{}}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return b, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var entries []BaselineEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("lint: parsing baseline %s: %w", path, err)
+	}
+	for _, e := range entries {
+		b.counts[e]++
+	}
+	return b, nil
+}
+
+// Len returns the number of tolerated findings.
+func (b *Baseline) Len() int {
+	n := 0
+	for _, c := range b.counts {
+		n += c
+	}
+	return n
+}
+
+// Filter splits diags into the findings not covered by the baseline
+// (kept, in input order) and the number it absorbed. Each entry absorbs
+// at most its recorded count.
+func (b *Baseline) Filter(root string, diags []Diagnostic) (kept []Diagnostic, absorbed int) {
+	remaining := make(map[BaselineEntry]int, len(b.counts))
+	for e, c := range b.counts {
+		remaining[e] = c
+	}
+	for _, d := range diags {
+		e := RelEntry(root, d)
+		if remaining[e] > 0 {
+			remaining[e]--
+			absorbed++
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept, absorbed
+}
+
+// WriteBaseline records diags as the new baseline at path: one entry
+// per finding (duplicates included), sorted for stable diffs. An empty
+// run writes an empty list, so "ratchet finished" is an explicit,
+// reviewable state.
+func WriteBaseline(path, root string, diags []Diagnostic) error {
+	entries := make([]BaselineEntry, 0, len(diags))
+	for _, d := range diags {
+		entries = append(entries, RelEntry(root, d))
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Message < b.Message
+	})
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,100 @@
+package lint
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func baselineDiags(root string) []Diagnostic {
+	mk := func(file string, line int, rule, msg string) Diagnostic {
+		return Diagnostic{
+			Pos:  token.Position{Filename: filepath.Join(root, file), Line: line},
+			Rule: rule, Message: msg,
+		}
+	}
+	return []Diagnostic{
+		mk("a/a.go", 10, "hotpath", "make: make allocates"),
+		mk("a/a.go", 40, "hotpath", "make: make allocates"), // duplicate message, distinct line
+		mk("b/b.go", 7, "snapshotatomic", "copies a value containing sync/atomic state"),
+	}
+}
+
+// TestBaselineRoundTrip writes a baseline, reloads it, and checks it
+// absorbs exactly the recorded findings — line-agnostically and as a
+// multiset.
+func TestBaselineRoundTrip(t *testing.T) {
+	root := t.TempDir()
+	path := filepath.Join(root, "baseline.json")
+	diags := baselineDiags(root)
+
+	if err := WriteBaseline(path, root, diags); err != nil {
+		t.Fatalf("WriteBaseline: %v", err)
+	}
+	b, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatalf("LoadBaseline: %v", err)
+	}
+	if b.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", b.Len())
+	}
+
+	// The exact findings are fully absorbed even if every line moved.
+	moved := baselineDiags(root)
+	for i := range moved {
+		moved[i].Pos.Line += 100
+	}
+	kept, absorbed := b.Filter(root, moved)
+	if len(kept) != 0 || absorbed != 3 {
+		t.Fatalf("Filter(moved) = kept %d, absorbed %d; want 0, 3", len(kept), absorbed)
+	}
+
+	// A third identical duplicate exceeds the multiset count and a new
+	// finding is never absorbed: both must be kept.
+	extra := append(baselineDiags(root),
+		Diagnostic{Pos: token.Position{Filename: filepath.Join(root, "a/a.go"), Line: 50},
+			Rule: "hotpath", Message: "make: make allocates"},
+		Diagnostic{Pos: token.Position{Filename: filepath.Join(root, "c/c.go"), Line: 3},
+			Rule: "purity", Message: "new finding"},
+	)
+	kept, absorbed = b.Filter(root, extra)
+	if absorbed != 3 || len(kept) != 2 {
+		t.Fatalf("Filter(extra) = kept %d, absorbed %d; want 2, 3", len(kept), absorbed)
+	}
+}
+
+// TestBaselineMissingFile treats an absent baseline as empty — the
+// ratchet's end state — rather than an error.
+func TestBaselineMissingFile(t *testing.T) {
+	b, err := LoadBaseline(filepath.Join(t.TempDir(), "nope.json"))
+	if err != nil {
+		t.Fatalf("LoadBaseline(missing): %v", err)
+	}
+	if b.Len() != 0 {
+		t.Fatalf("missing baseline Len = %d, want 0", b.Len())
+	}
+	diags := baselineDiags(t.TempDir())
+	kept, absorbed := b.Filter("/", diags)
+	if len(kept) != len(diags) || absorbed != 0 {
+		t.Fatalf("empty baseline must keep everything, kept %d absorbed %d", len(kept), absorbed)
+	}
+}
+
+// TestBaselineRelPaths checks entries are repo-relative slash paths, so
+// the file is stable across checkouts.
+func TestBaselineRelPaths(t *testing.T) {
+	root := t.TempDir()
+	path := filepath.Join(root, "bl.json")
+	if err := WriteBaseline(path, root, baselineDiags(root)); err != nil {
+		t.Fatalf("WriteBaseline: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if got := string(data); !strings.Contains(got, `"a/a.go"`) || strings.Contains(got, root) {
+		t.Fatalf("baseline must use repo-relative slash paths, got:\n%s", got)
+	}
+}

@@ -141,7 +141,9 @@ var sortCallees = map[string]bool{
 
 // sortedAfter reports whether the variable bound to id is passed to a
 // recognized sort call later in the same function — the collect-then-
-// sort idiom.
+// sort idiom. Besides the stdlib entry points, an in-package helper
+// whose name starts with "sort" counts (the hotpath rule pushes hot
+// code from sort.Slice closures to allocation-free sortXxx helpers).
 func sortedAfter(pkg *Package, fn *ast.FuncDecl, id *ast.Ident, after token.Pos) bool {
 	obj := pkg.ObjectOf(id)
 	if obj == nil {
@@ -156,7 +158,7 @@ func sortedAfter(pkg *Package, fn *ast.FuncDecl, id *ast.Ident, after token.Pos)
 		if !ok || call.Pos() < after || len(call.Args) == 0 {
 			return true
 		}
-		if !sortCallees[calleeName(pkg, call)] {
+		if !sortCallees[calleeName(pkg, call)] && !isLocalSortHelper(call) {
 			return true
 		}
 		if arg, ok := call.Args[0].(*ast.Ident); ok && pkg.ObjectOf(arg) == obj {
@@ -165,6 +167,13 @@ func sortedAfter(pkg *Package, fn *ast.FuncDecl, id *ast.Ident, after token.Pos)
 		return !found
 	})
 	return found
+}
+
+// isLocalSortHelper reports whether call invokes an in-package sortXxx
+// helper function.
+func isLocalSortHelper(call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && strings.HasPrefix(id.Name, "sort")
 }
 
 // isAppendCall reports whether e is a call to the append builtin.

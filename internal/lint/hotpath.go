@@ -1,0 +1,388 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Hotpath proves allocation-freedom for the steady-state probe path.
+// Functions annotated //biohd:hotpath root a walk over the static call
+// graph; every function reachable from a root is scanned for allocation
+// sites, and each site is reported with the call chain that reaches it.
+// The dynamic alloc tests (TestLookupAllocs etc.) pin a handful of
+// paths; this rule pins all of them, including paths no test drives.
+//
+// The walk stops at functions annotated //biohd:coldstart <reason> —
+// reviewed cold-start boundaries such as pool-miss construction, where
+// allocation is the point. A coldstart annotation that is not reachable
+// from any root is stale and reported, as is a malformed directive.
+//
+// Allocation kinds reported (each names the kind so suppressions and
+// baselines stay precise):
+//
+//	make       make() of any kind
+//	new        new()
+//	append     append that is not the self-assign form x = append(x, …)
+//	           (self-append into a pre-sized buffer is the amortized
+//	           zero-alloc idiom; anything else grows a fresh backing)
+//	composite  &T{…}, or a slice/map literal (value struct literals
+//	           stay on the stack and are fine)
+//	closure    a func literal capturing enclosing locals
+//	iface      explicit conversion to an interface type (boxing)
+//	fmt        any call into package fmt
+//	string     string concatenation or string↔[]byte/[]rune conversion
+//	deferloop  defer inside a loop (one deferred record per iteration)
+//	mapiter    ranging over a map (hash-iteration work + random order)
+//
+// Error guards are exempt: a site inside an if-block whose last
+// statement panics or returns a non-nil error is validation, not
+// steady state.
+type Hotpath struct{}
+
+// Name implements Analyzer.
+func (Hotpath) Name() string { return "hotpath" }
+
+// Doc implements Analyzer.
+func (Hotpath) Doc() string {
+	return "functions reachable from //biohd:hotpath roots must not allocate"
+}
+
+// RunProgram implements WholeProgramAnalyzer.
+func (Hotpath) RunProgram(prog *Program) []Diagnostic {
+	g := prog.Graph()
+	var diags []Diagnostic
+	var roots []*FuncNode
+	cold := map[*FuncNode]token.Pos{}
+	for _, n := range g.Nodes() {
+		for _, a := range n.Anns {
+			switch a.Verb {
+			case "hotpath":
+				roots = append(roots, n)
+			case "coldstart":
+				if a.Arg == "" {
+					diags = append(diags, posDiag(n.Pkg, a.Pos, "hotpath",
+						"//biohd:coldstart needs a reason: //biohd:coldstart <reason>"))
+					continue
+				}
+				cold[n] = a.Pos
+			default:
+				diags = append(diags, posDiag(n.Pkg, a.Pos, "hotpath",
+					"unknown directive //biohd:"+a.Verb+" (want hotpath or coldstart)"))
+			}
+		}
+	}
+	isCold := func(n *FuncNode) bool { _, ok := cold[n]; return ok }
+	pred := g.Reachable(roots, isCold)
+	for _, n := range g.Nodes() {
+		pos, ok := cold[n]
+		if !ok {
+			continue
+		}
+		if _, reached := pred[n]; !reached {
+			diags = append(diags, posDiag(n.Pkg, pos, "hotpath",
+				"stale //biohd:coldstart: "+n.Fn.Name()+
+					" is not reachable from any //biohd:hotpath root; delete the annotation"))
+		}
+	}
+	for _, n := range g.Nodes() {
+		if _, reached := pred[n]; !reached || isCold(n) || n.Decl.Body == nil {
+			continue
+		}
+		s := &hotScan{
+			pkg:        n.Pkg,
+			chain:      Chain(pred, n),
+			selfAppend: map[*ast.CallExpr]bool{},
+			handledLit: map[*ast.CompositeLit]bool{},
+		}
+		s.scan(n.Decl.Body)
+		diags = append(diags, s.diags...)
+	}
+	return diags
+}
+
+func posDiag(pkg *Package, pos token.Pos, rule, msg string) Diagnostic {
+	return Diagnostic{Pos: pkg.Fset.Position(pos), Rule: rule, Message: msg}
+}
+
+// posRange is a half-open source interval used to mark cold blocks and
+// loop bodies.
+type posRange struct{ lo, hi token.Pos }
+
+func contains(rs []posRange, p token.Pos) bool {
+	for _, r := range rs {
+		if r.lo <= p && p < r.hi {
+			return true
+		}
+	}
+	return false
+}
+
+// hotScan finds allocation sites in one reachable function body.
+type hotScan struct {
+	pkg        *Package
+	chain      string
+	selfAppend map[*ast.CallExpr]bool
+	handledLit map[*ast.CompositeLit]bool
+	coldRanges []posRange
+	loopRanges []posRange
+	litRanges  []posRange
+	diags      []Diagnostic
+}
+
+// deferInLoop reports whether a defer at pos runs once per iteration of
+// an enclosing loop: the innermost enclosing loop-or-funclit construct
+// must be a loop (a func literal in between makes the defer per-call of
+// that literal, not per-iteration).
+func (s *hotScan) deferInLoop(pos token.Pos) bool {
+	var innermost posRange
+	isLoop := false
+	consider := func(r posRange, loop bool) {
+		if r.lo <= pos && pos < r.hi && r.lo >= innermost.lo {
+			innermost, isLoop = r, loop
+		}
+	}
+	for _, r := range s.loopRanges {
+		consider(r, true)
+	}
+	for _, r := range s.litRanges {
+		consider(r, false)
+	}
+	return isLoop
+}
+
+func (s *hotScan) report(pos token.Pos, kind, detail string) {
+	if contains(s.coldRanges, pos) {
+		return
+	}
+	s.diags = append(s.diags, Diagnostic{
+		Pos:     s.pkg.Fset.Position(pos),
+		Rule:    "hotpath",
+		Message: kind + ": " + detail + " (hot path: " + s.chain + ")",
+	})
+}
+
+func (s *hotScan) scan(body *ast.BlockStmt) {
+	// Pass 1: index cold error-guard blocks and loop bodies so pass 2
+	// can classify any position by containment.
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.IfStmt:
+			if s.isColdBlock(st.Body) {
+				s.coldRanges = append(s.coldRanges, posRange{st.Body.Pos(), st.Body.End()})
+			}
+			if eb, ok := st.Else.(*ast.BlockStmt); ok && s.isColdBlock(eb) {
+				s.coldRanges = append(s.coldRanges, posRange{eb.Pos(), eb.End()})
+			}
+		case *ast.ForStmt:
+			s.loopRanges = append(s.loopRanges, posRange{st.Body.Pos(), st.Body.End()})
+		case *ast.RangeStmt:
+			s.loopRanges = append(s.loopRanges, posRange{st.Body.Pos(), st.Body.End()})
+		case *ast.FuncLit:
+			s.litRanges = append(s.litRanges, posRange{st.Body.Pos(), st.Body.End()})
+		}
+		return true
+	})
+	// Pass 2: allocation sites. Pre-order traversal guarantees parents
+	// (assignments, &-of-literal) are seen before the children they
+	// contextualize.
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			s.markSelfAppends(x)
+			if x.Tok == token.ADD_ASSIGN && len(x.Lhs) == 1 && s.isString(x.Lhs[0]) {
+				s.report(x.TokPos, "string", "string += concatenation allocates")
+			}
+		case *ast.CallExpr:
+			s.checkCall(x)
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if lit, ok := ast.Unparen(x.X).(*ast.CompositeLit); ok {
+					s.handledLit[lit] = true
+					s.report(x.Pos(), "composite", "&composite-literal escapes to the heap")
+				}
+			}
+		case *ast.CompositeLit:
+			if s.handledLit[x] {
+				return true
+			}
+			switch s.typeOf(x).(type) {
+			case *types.Slice:
+				s.report(x.Pos(), "composite", "slice literal allocates its backing array")
+			case *types.Map:
+				s.report(x.Pos(), "composite", "map literal allocates")
+			}
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD && s.isString(x) && !s.isConst(x) {
+				s.report(x.OpPos, "string", "string concatenation allocates")
+			}
+		case *ast.FuncLit:
+			if s.captures(x) {
+				s.report(x.Pos(), "closure", "func literal captures enclosing locals (closure allocation)")
+			}
+		case *ast.DeferStmt:
+			if s.deferInLoop(x.Pos()) {
+				s.report(x.Pos(), "deferloop", "defer inside a loop allocates a record per iteration")
+			}
+		case *ast.RangeStmt:
+			if _, ok := s.typeOf(x.X).(*types.Map); ok {
+				s.report(x.Range, "mapiter", "map iteration on a hot path (hash-order walk)")
+			}
+		}
+		return true
+	})
+}
+
+// checkCall classifies builtin allocations, allocating conversions, and
+// calls into package fmt.
+func (s *hotScan) checkCall(call *ast.CallExpr) {
+	// Conversion T(x)?
+	if tv, ok := s.pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+		s.checkConversion(call)
+		return
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := s.pkg.ObjectOf(id).(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				s.report(call.Pos(), "make", "make allocates")
+			case "new":
+				s.report(call.Pos(), "new", "new allocates")
+			case "append":
+				if !s.selfAppend[call] {
+					s.report(call.Pos(), "append",
+						"append outside the self-assign form x = append(x, …) grows a fresh backing array")
+				}
+			}
+			return
+		}
+	}
+	if name := calleeName(s.pkg, call); len(name) > 4 && name[:4] == "fmt." {
+		s.report(call.Pos(), "fmt", "call into package fmt allocates (formatting state and boxed arguments)")
+	}
+}
+
+func (s *hotScan) checkConversion(call *ast.CallExpr) {
+	if len(call.Args) != 1 {
+		return
+	}
+	dst := s.typeOf(call)
+	src := s.typeOf(call.Args[0])
+	if dst == nil || src == nil {
+		return
+	}
+	if _, ok := dst.Underlying().(*types.Interface); ok {
+		if _, isIface := src.Underlying().(*types.Interface); !isIface {
+			s.report(call.Pos(), "iface", "conversion to interface type boxes the value")
+		}
+		return
+	}
+	if (isStringType(dst) && isByteOrRuneSlice(src)) || (isByteOrRuneSlice(dst) && isStringType(src)) {
+		s.report(call.Pos(), "string", "string↔slice conversion copies the contents")
+	}
+}
+
+// markSelfAppends records append calls in the amortized self-assign
+// form x = append(x, …), which the append kind exempts.
+func (s *hotScan) markSelfAppends(st *ast.AssignStmt) {
+	if len(st.Lhs) != len(st.Rhs) {
+		return
+	}
+	for i, rhs := range st.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			continue
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || id.Name != "append" {
+			continue
+		}
+		if types.ExprString(st.Lhs[i]) == types.ExprString(call.Args[0]) {
+			s.selfAppend[call] = true
+		}
+	}
+}
+
+// captures reports whether lit references a variable declared outside
+// the literal but inside some enclosing function — i.e. the literal is
+// a closure over locals and must be heap-allocated. References to
+// package-level declarations do not count (their closures are static).
+func (s *hotScan) captures(lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || found {
+			return !found
+		}
+		v, ok := s.pkg.ObjectOf(id).(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if v.Parent() != nil && v.Parent().Parent() == types.Universe {
+			return true // package-level variable
+		}
+		if p := v.Pos(); p != token.NoPos && (p < lit.Pos() || p > lit.End()) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isColdBlock reports whether the block is an error guard: its last
+// statement panics or returns a non-nil error.
+func (s *hotScan) isColdBlock(b *ast.BlockStmt) bool {
+	if b == nil || len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ExprStmt:
+		call, ok := last.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		return ok && id.Name == "panic"
+	case *ast.ReturnStmt:
+		for _, r := range last.Results {
+			if id, ok := ast.Unparen(r).(*ast.Ident); ok && id.Name == "nil" {
+				continue
+			}
+			if isErrorType(s.typeOf(r)) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (s *hotScan) typeOf(e ast.Expr) types.Type { return s.pkg.TypeOf(e) }
+
+func (s *hotScan) isString(e ast.Expr) bool { return isStringType(s.typeOf(e)) }
+
+func (s *hotScan) isConst(e ast.Expr) bool {
+	tv, ok := s.pkg.Info.Types[e]
+	return ok && tv.Value != nil
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+		b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}

@@ -1,0 +1,55 @@
+package lint
+
+import "testing"
+
+// TestHotpathFindings pins every allocation kind the rule reports, each
+// reached through a different call-graph edge or site shape, with the
+// root→site chain rendered into the message.
+func TestHotpathFindings(t *testing.T) {
+	diags := fixtureDiags(t)
+
+	// Direct call chain: Probe → fill.
+	requireFinding(t, diags, "hotpath", "hot.go", "make: make allocates (hot path: Probe → fill)")
+	// Method call chain: Probe → grow.
+	requireFinding(t, diags, "hotpath", "hot.go", "append outside the self-assign form")
+	// Interface dispatch: ScoreAll → Fancy.Score.
+	requireFinding(t, diags, "hotpath", "hot.go", "fmt: call into package fmt allocates")
+	// Function-value dispatch: Dispatch → leaky.
+	requireFinding(t, diags, "hotpath", "hot.go", "composite: &composite-literal escapes to the heap (hot path: Dispatch → leaky)")
+	// Site shapes in root bodies.
+	requireFinding(t, diags, "hotpath", "hot.go", "string += concatenation")
+	requireFinding(t, diags, "hotpath", "hot.go", "mapiter: map iteration on a hot path")
+	requireFinding(t, diags, "hotpath", "hot.go", "deferloop: defer inside a loop")
+	requireFinding(t, diags, "hotpath", "hot.go", "iface: conversion to interface type boxes")
+	requireFinding(t, diags, "hotpath", "hot.go", "new: new allocates")
+	requireFinding(t, diags, "hotpath", "hot.go", "closure: func literal captures enclosing locals")
+}
+
+// TestHotpathAnnotationGrammar pins the directive errors: a reasonless
+// coldstart, an unknown verb, and a coldstart no root reaches.
+func TestHotpathAnnotationGrammar(t *testing.T) {
+	diags := fixtureDiags(t)
+	requireFinding(t, diags, "hotpath", "hot.go", "//biohd:coldstart needs a reason")
+	requireFinding(t, diags, "hotpath", "hot.go", "unknown directive //biohd:frozen")
+	requireFinding(t, diags, "hotpath", "hot.go", "stale //biohd:coldstart: StaleCold is not reachable")
+}
+
+// TestHotpathExemptions asserts the silent cases stay silent by pinning
+// the exact finding count: SelfAppend (amortized append), Probe's
+// error-guard make, the annotated coldstart boundary, the unreachable
+// allocator, the value struct literal, and Quiet's live suppression
+// must contribute nothing beyond the 13 pinned positives.
+func TestHotpathExemptions(t *testing.T) {
+	diags := fixtureDiags(t)
+	got := findingsIn(diags, "hotpath", "hot.go")
+	if len(got) != 13 {
+		t.Errorf("hot.go: want 13 hotpath findings (10 kinds + 3 grammar errors), got %d:\n%s",
+			len(got), formatDiags(got))
+	}
+	// The live suppression in Quiet is used; only Stale's is stale.
+	requireFinding(t, diags, "suppress", "hot.go", "stale suppression: no [hotpath] finding")
+	if got := findingsIn(diags, "suppress", "hot.go"); len(got) != 1 {
+		t.Errorf("hot.go: want exactly 1 stale-suppression finding, got %d:\n%s",
+			len(got), formatDiags(got))
+	}
+}

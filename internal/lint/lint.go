@@ -17,12 +17,25 @@
 //	             segment.go and snapshot.go, so published snapshots are
 //	             provably immutable
 //
+// On top of the per-package rules, a static call graph over the whole
+// module (see callgraph.go) powers two whole-program analyzers:
+//
+//	hotpath      functions annotated //biohd:hotpath must not reach an
+//	             allocation site — the steady-state probe path is
+//	             provably allocation-free, not just alloc-tested
+//	snapshotatomic  snapshot atomic.Pointer fields are published only
+//	             under the owner's mutex, readers never write snapshot
+//	             state, and atomic values are never copied or mixed
+//	             with plain access
+//
 // A diagnostic can be suppressed with a comment on the offending line
 // or the line directly above it:
 //
 //	//lint:ignore <rule> <reason>
 //
-// The reason is mandatory; a suppression without one is itself reported.
+// The reason is mandatory; a suppression without one is itself
+// reported, and so is a stale suppression — one that no longer matches
+// any finding of an analyzer that ran.
 package lint
 
 import (
@@ -88,14 +101,45 @@ func (p *Package) ObjectOf(id *ast.Ident) types.Object {
 	return nil
 }
 
-// An Analyzer inspects one package and reports diagnostics.
+// An Analyzer is one named rule. Concrete analyzers implement either
+// PackageAnalyzer (independent per-package checks) or
+// WholeProgramAnalyzer (checks needing the cross-package call graph).
 type Analyzer interface {
 	// Name is the rule identifier used in output and suppressions.
 	Name() string
 	// Doc is a one-line description of what the rule enforces.
 	Doc() string
+}
+
+// A PackageAnalyzer inspects one package at a time.
+type PackageAnalyzer interface {
+	Analyzer
 	// Run analyzes pkg and returns its findings.
 	Run(pkg *Package) []Diagnostic
+}
+
+// A WholeProgramAnalyzer inspects the loaded program as a unit, with
+// the call graph available.
+type WholeProgramAnalyzer interface {
+	Analyzer
+	// RunProgram analyzes the whole program and returns its findings.
+	RunProgram(prog *Program) []Diagnostic
+}
+
+// Program is the loaded module presented to whole-program analyzers.
+type Program struct {
+	// Pkgs are the loaded packages in path order.
+	Pkgs []*Package
+
+	graph *CallGraph
+}
+
+// Graph returns the program's call graph, resolving it on first use.
+func (p *Program) Graph() *CallGraph {
+	if p.graph == nil {
+		p.graph = NewCallGraph(p.Pkgs)
+	}
+	return p.graph
 }
 
 // All returns the full analyzer set in reporting order.
@@ -107,24 +151,60 @@ func All() []Analyzer {
 		Concurrency{},
 		DimSafety{},
 		SnapshotSafety{},
+		Hotpath{},
+		SnapshotAtomic{},
 	}
 }
 
-// Run applies every analyzer to every package, filters suppressed
+// Run applies every analyzer — package analyzers to every package,
+// whole-program analyzers to the program once — filters suppressed
 // findings, and returns the survivors sorted by position. Malformed
 // suppressions (no rule, or no reason) are reported under the
-// "suppress" pseudo-rule.
+// "suppress" pseudo-rule, and so are stale suppressions: ones naming a
+// rule that ran but matching none of its findings.
 func Run(pkgs []*Package, analyzers []Analyzer) []Diagnostic {
+	sup := suppressions{}
 	var out []Diagnostic
 	for _, pkg := range pkgs {
-		sup, bad := collectSuppressions(pkg)
+		bad := collectSuppressions(pkg, sup)
 		out = append(out, bad...)
-		for _, a := range analyzers {
-			for _, d := range a.Run(pkg) {
-				if !sup.matches(d) {
-					out = append(out, d)
-				}
+	}
+	var raw []Diagnostic
+	for _, a := range analyzers {
+		if pa, ok := a.(PackageAnalyzer); ok {
+			for _, pkg := range pkgs {
+				raw = append(raw, pa.Run(pkg)...)
 			}
+		}
+	}
+	prog := &Program{Pkgs: pkgs}
+	for _, a := range analyzers {
+		if wa, ok := a.(WholeProgramAnalyzer); ok {
+			raw = append(raw, wa.RunProgram(prog)...)
+		}
+	}
+	used := map[suppressionKey]bool{}
+	for _, d := range raw {
+		if k, ok := sup.match(d); ok {
+			used[k] = true
+			continue
+		}
+		out = append(out, d)
+	}
+	// A suppression for a rule that ran but matched nothing is dead
+	// weight that silently masks future findings at that line.
+	ran := map[string]bool{}
+	for _, a := range analyzers {
+		ran[a.Name()] = true
+	}
+	for k := range sup {
+		if ran[k.rule] && !used[k] {
+			out = append(out, Diagnostic{
+				Pos:  token.Position{Filename: k.file, Line: k.line},
+				Rule: "suppress",
+				Message: "stale suppression: no [" + k.rule + "] finding on this " +
+					"or the next line; delete it",
+			})
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -152,22 +232,23 @@ type suppressionKey struct {
 
 type suppressions map[suppressionKey]bool
 
-// matches reports whether d is covered by a suppression on its own line
-// or the line directly above it.
-func (s suppressions) matches(d Diagnostic) bool {
+// match returns the suppression key covering d — on its own line or the
+// line directly above it — and whether one exists.
+func (s suppressions) match(d Diagnostic) (suppressionKey, bool) {
 	for _, line := range [2]int{d.Pos.Line, d.Pos.Line - 1} {
-		if s[suppressionKey{d.Pos.Filename, line, d.Rule}] {
-			return true
+		k := suppressionKey{d.Pos.Filename, line, d.Rule}
+		if s[k] {
+			return k, true
 		}
 	}
-	return false
+	return suppressionKey{}, false
 }
 
 // collectSuppressions scans every comment in the package for
-// "//lint:ignore rule reason" markers. Markers missing the rule or the
-// reason are returned as diagnostics instead of being honored.
-func collectSuppressions(pkg *Package) (suppressions, []Diagnostic) {
-	sup := suppressions{}
+// "//lint:ignore rule reason" markers, adding them to sup. Markers
+// missing the rule or the reason are returned as diagnostics instead of
+// being honored.
+func collectSuppressions(pkg *Package, sup suppressions) []Diagnostic {
 	var bad []Diagnostic
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
@@ -192,7 +273,51 @@ func collectSuppressions(pkg *Package) (suppressions, []Diagnostic) {
 			}
 		}
 	}
-	return sup, bad
+	return bad
+}
+
+// --- //biohd: annotations ---
+
+// annPrefix introduces a biohd directive comment on a declaration.
+const annPrefix = "//biohd:"
+
+// Annotation is one //biohd:<verb> [args] directive parsed from a
+// function's doc comment. The hotpath analyzer defines the verbs:
+//
+//	//biohd:hotpath            the function roots a hot-path walk
+//	//biohd:coldstart <reason> the walk stops here (reviewed cold-start
+//	                           boundary: pool-miss construction, result
+//	                           assembly); the reason is mandatory
+type Annotation struct {
+	// Verb is the word after "//biohd:".
+	Verb string
+	// Arg is the rest of the line, trimmed (the reason for coldstart).
+	Arg string
+	// Pos locates the directive comment.
+	Pos token.Pos
+}
+
+// parseAnnotations extracts //biohd: directives from a doc comment.
+// Directive comments are exact-prefix (no space after //), matching
+// go:build convention.
+func parseAnnotations(doc *ast.CommentGroup) []Annotation {
+	if doc == nil {
+		return nil
+	}
+	var anns []Annotation
+	for _, c := range doc.List {
+		rest, ok := strings.CutPrefix(c.Text, annPrefix)
+		if !ok {
+			continue
+		}
+		verb, arg, _ := strings.Cut(rest, " ")
+		anns = append(anns, Annotation{
+			Verb: strings.TrimSpace(verb),
+			Arg:  strings.TrimSpace(arg),
+			Pos:  c.Pos(),
+		})
+	}
+	return anns
 }
 
 // --- shared AST helpers used by several analyzers ---

@@ -58,10 +58,21 @@ func modulePathFrom(data []byte) string {
 // type errors is still returned (with TypeErr set) so syntactic rules
 // can run; only unreadable directories abort the load.
 func Load(root string) ([]*Package, error) {
+	return LoadWithTags(root, nil)
+}
+
+// LoadWithTags is Load with additional build tags in force, so the
+// module can be analyzed as an alternative build sees it — e.g. tags
+// ["purego"] selects the portable kernel fallbacks instead of the
+// assembly dispatch stubs. File selection (//go:build lines and
+// filename suffixes) honors the tags; everything else matches Load.
+func LoadWithTags(root string, tags []string) ([]*Package, error) {
 	root, modPath, err := FindModuleRoot(root)
 	if err != nil {
 		return nil, err
 	}
+	bctx := build.Default
+	bctx.BuildTags = append(append([]string{}, bctx.BuildTags...), tags...)
 	fset := token.NewFileSet()
 	dirs, err := packageDirs(root)
 	if err != nil {
@@ -75,7 +86,7 @@ func Load(root string) ([]*Package, error) {
 	raws := map[string]*rawPkg{} // keyed by import path
 	var order []string
 	for _, dir := range dirs {
-		files, perr := parseDir(fset, dir)
+		files, perr := parseDir(&bctx, fset, dir)
 		if len(files) == 0 {
 			continue
 		}
@@ -247,14 +258,14 @@ func isSourceFile(name string) bool {
 		!strings.HasPrefix(name, ".") && !strings.HasPrefix(name, "_")
 }
 
-// parseDir parses the non-test .go files of one directory that apply
-// to the host platform. Build constraints (//go:build lines and
+// parseDir parses the non-test .go files of one directory that the
+// build context selects. Build constraints (//go:build lines and
 // filename suffixes like _amd64.go) are honored via go/build, so
 // platform-alternative files declaring the same names — e.g. an
 // assembly dispatch stub and its portable fallback — do not collide
 // during type checking. The returned error is the first parse error;
 // files that parse are still returned.
-func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+func parseDir(bctx *build.Context, fset *token.FileSet, dir string) ([]*ast.File, error) {
 	ents, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
@@ -266,7 +277,7 @@ func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
 		if e.IsDir() || !isSourceFile(e.Name()) {
 			continue
 		}
-		if ok, err := build.Default.MatchFile(dir, e.Name()); err != nil || !ok {
+		if ok, err := bctx.MatchFile(dir, e.Name()); err != nil || !ok {
 			continue
 		}
 		names = append(names, e.Name())

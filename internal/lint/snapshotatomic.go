@@ -1,0 +1,449 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// SnapshotAtomic proves the snapshot-publication discipline that the
+// reader/writer split in internal/core depends on. A struct that pairs
+// an atomic snapshot pointer (atomic.Pointer[T] or atomic.Value) with a
+// sync.Mutex/RWMutex declares, by that shape, the BioHD publication
+// protocol: writers mutate under the mutex and publish with Store,
+// readers Load the pointer lock-free and treat everything reachable
+// from it as immutable. The rule checks four ways the protocol breaks:
+//
+//	publish  Store/Swap/CompareAndSwap on a governed field must happen
+//	         in a function that locks the owning mutex, or in a helper
+//	         whose name ends in "Locked" and whose every caller (proved
+//	         over the call graph) holds the lock
+//	reader   a function that Loads a governed field must not write
+//	         through the loaded value
+//	copy     values containing sync/atomic state (or mutexes) must not
+//	         be copied — a copy forks the atomic's identity
+//	mixed    a field accessed through the sync/atomic functions
+//	         (atomic.AddInt64(&x.f, …)) must not also be read or
+//	         written with plain loads and stores
+//
+// Structs whose only synchronization is typed atomics (no mutex — e.g.
+// a counters block of atomic.Int64s) are not governed: they have no
+// writer-side critical section to protect.
+type SnapshotAtomic struct{}
+
+// Name implements Analyzer.
+func (SnapshotAtomic) Name() string { return "snapshotatomic" }
+
+// Doc implements Analyzer.
+func (SnapshotAtomic) Doc() string {
+	return "snapshot atomic.Pointers are published only under the owner's mutex, readers never write through them, and atomics are neither copied nor mixed with plain access"
+}
+
+// RunProgram implements WholeProgramAnalyzer.
+func (SnapshotAtomic) RunProgram(prog *Program) []Diagnostic {
+	g := prog.Graph()
+	a := &atomicCheck{
+		g:       g,
+		mutexOf: map[*types.Var]*types.Var{},
+		locks:   map[*FuncNode]map[*types.Var]bool{},
+	}
+	a.collectGoverned(prog.Pkgs)
+	for _, n := range g.Nodes() {
+		if n.Decl.Body == nil {
+			continue
+		}
+		a.checkPublishes(n)
+		a.checkReaderWrites(n)
+		a.checkCopies(n)
+	}
+	a.checkMixedAccess(prog.Pkgs)
+	return a.diags
+}
+
+type atomicCheck struct {
+	g *CallGraph
+	// mutexOf maps a governed atomic field to the mutex field of the
+	// struct that owns both.
+	mutexOf map[*types.Var]*types.Var
+	// locks memoizes, per function, which mutex fields its body locks.
+	locks map[*FuncNode]map[*types.Var]bool
+	diags []Diagnostic
+}
+
+// collectGoverned indexes every struct pairing an atomic snapshot field
+// with a mutex.
+func (a *atomicCheck) collectGoverned(pkgs []*Package) {
+	for _, pkg := range pkgs {
+		if !pkg.IsTypeOK() {
+			continue
+		}
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok {
+				continue
+			}
+			st, ok := tn.Type().Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			var mu *types.Var
+			var atomics []*types.Var
+			for i := 0; i < st.NumFields(); i++ {
+				f := st.Field(i)
+				if namedIn(f.Type(), "sync", "Mutex", "RWMutex") {
+					mu = f
+				}
+				if namedIn(f.Type(), "sync/atomic", "Pointer", "Value") {
+					atomics = append(atomics, f)
+				}
+			}
+			if mu == nil {
+				continue
+			}
+			for _, f := range atomics {
+				a.mutexOf[f] = mu
+			}
+		}
+	}
+}
+
+// namedIn reports whether t is a named type from pkgPath with one of
+// the given names (generic instances included).
+func namedIn(t types.Type, pkgPath string, names ...string) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != pkgPath {
+		return false
+	}
+	for _, name := range names {
+		if obj.Name() == name {
+			return true
+		}
+	}
+	return false
+}
+
+// fieldVarOf resolves a selector expression to the struct field it
+// names, or nil.
+func fieldVarOf(pkg *Package, e ast.Expr) *types.Var {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	if s, ok := pkg.Info.Selections[sel]; ok {
+		if v, ok := s.Obj().(*types.Var); ok && v.IsField() {
+			return v
+		}
+	}
+	return nil
+}
+
+// funcLocks returns the set of mutex fields n's body Locks (write
+// locks; RLock does not license publication).
+func (a *atomicCheck) funcLocks(n *FuncNode) map[*types.Var]bool {
+	if got, ok := a.locks[n]; ok {
+		return got
+	}
+	set := map[*types.Var]bool{}
+	a.locks[n] = set
+	if n.Decl.Body == nil {
+		return set
+	}
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Lock" {
+			return true
+		}
+		if f := fieldVarOf(n.Pkg, sel.X); f != nil {
+			set[f] = true
+		}
+		return true
+	})
+	return set
+}
+
+// publishMethods are the atomic.Pointer/Value methods that publish.
+var publishMethods = map[string]bool{"Store": true, "Swap": true, "CompareAndSwap": true}
+
+// checkPublishes flags Store/Swap/CompareAndSwap on governed fields
+// outside the lock discipline.
+func (a *atomicCheck) checkPublishes(n *FuncNode) {
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !publishMethods[sel.Sel.Name] {
+			return true
+		}
+		field := fieldVarOf(n.Pkg, sel.X)
+		mu, governed := a.mutexOf[field]
+		if !governed {
+			return true
+		}
+		if a.funcLocks(n)[mu] {
+			return true
+		}
+		if strings.HasSuffix(n.Fn.Name(), "Locked") {
+			if bad := a.unlockedCaller(n, mu, map[*FuncNode]bool{}); bad != nil {
+				a.diags = append(a.diags, posDiag(n.Pkg, call.Pos(), "snapshotatomic",
+					"snapshot field "+field.Name()+" published from *Locked helper, but caller "+
+						bad.Fn.Name()+" does not hold "+mu.Name()))
+			}
+			return true
+		}
+		a.diags = append(a.diags, posDiag(n.Pkg, call.Pos(), "snapshotatomic",
+			"snapshot field "+field.Name()+" published without holding "+mu.Name()+
+				" (lock it, or publish from a *Locked helper whose callers hold it)"))
+		return true
+	})
+}
+
+// unlockedCaller walks the reverse call graph from a *Locked helper and
+// returns a caller that neither locks mu nor delegates to another
+// *Locked function — the witness that the suffix contract is broken.
+// Cycles are treated as satisfied (the lock is acquired outside the
+// cycle or not at all, and the entry point is checked separately).
+func (a *atomicCheck) unlockedCaller(n *FuncNode, mu *types.Var, seen map[*FuncNode]bool) *FuncNode {
+	if seen[n] {
+		return nil
+	}
+	seen[n] = true
+	for _, caller := range a.g.Callers(n.Fn) {
+		if a.funcLocks(caller)[mu] {
+			continue
+		}
+		if strings.HasSuffix(caller.Fn.Name(), "Locked") {
+			if bad := a.unlockedCaller(caller, mu, seen); bad != nil {
+				return bad
+			}
+			continue
+		}
+		return caller
+	}
+	return nil
+}
+
+// checkReaderWrites flags functions that Load a governed snapshot field
+// and then assign through the loaded value.
+func (a *atomicCheck) checkReaderWrites(n *FuncNode) {
+	// Pass 1: locals bound to a governed Load result.
+	snapVars := map[types.Object]bool{}
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		st, ok := node.(*ast.AssignStmt)
+		if !ok || len(st.Lhs) != len(st.Rhs) {
+			return true
+		}
+		for i, rhs := range st.Rhs {
+			if !a.isGovernedLoad(n.Pkg, rhs) {
+				continue
+			}
+			if id, ok := st.Lhs[i].(*ast.Ident); ok {
+				if obj := n.Pkg.ObjectOf(id); obj != nil {
+					snapVars[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	// Pass 2: writes through a snapshot-rooted expression.
+	reportWrite := func(lhs ast.Expr, pos token.Pos) {
+		if _, bare := ast.Unparen(lhs).(*ast.Ident); bare {
+			return // rebinding the local is fine; writing through it is not
+		}
+		root := rootExpr(lhs)
+		if id, ok := root.(*ast.Ident); ok {
+			if obj := n.Pkg.ObjectOf(id); obj != nil && snapVars[obj] {
+				a.diags = append(a.diags, posDiag(n.Pkg, pos, "snapshotatomic",
+					"write through a loaded snapshot ("+id.Name+"): readers must treat snapshot state as immutable"))
+			}
+			return
+		}
+		if call, ok := root.(*ast.CallExpr); ok && a.isGovernedLoad(n.Pkg, call) {
+			a.diags = append(a.diags, posDiag(n.Pkg, pos, "snapshotatomic",
+				"write through a loaded snapshot: readers must treat snapshot state as immutable"))
+		}
+	}
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		switch st := node.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				reportWrite(lhs, st.TokPos)
+			}
+		case *ast.IncDecStmt:
+			reportWrite(st.X, st.TokPos)
+		}
+		return true
+	})
+}
+
+// isGovernedLoad reports whether e is field.Load() on a governed field.
+func (a *atomicCheck) isGovernedLoad(pkg *Package, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Load" {
+		return false
+	}
+	f := fieldVarOf(pkg, sel.X)
+	_, governed := a.mutexOf[f]
+	return governed
+}
+
+// rootExpr unwraps selector/index/deref chains to the base expression.
+func rootExpr(e ast.Expr) ast.Expr {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return e
+		}
+	}
+}
+
+// checkCopies flags assignments that copy a value containing atomics
+// or mutexes.
+func (a *atomicCheck) checkCopies(n *FuncNode) {
+	check := func(e ast.Expr) {
+		switch ast.Unparen(e).(type) {
+		case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+		default:
+			return // calls and fresh literals produce new values, not copies
+		}
+		if containsSyncState(n.Pkg.TypeOf(e), map[types.Type]bool{}) {
+			a.diags = append(a.diags, posDiag(n.Pkg, e.Pos(), "snapshotatomic",
+				"copies a value containing sync/atomic state (a copy forks the atomic's identity)"))
+		}
+	}
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		switch st := node.(type) {
+		case *ast.AssignStmt:
+			for _, rhs := range st.Rhs {
+				check(rhs)
+			}
+		case *ast.ValueSpec:
+			for _, v := range st.Values {
+				check(v)
+			}
+		}
+		return true
+	})
+}
+
+// containsSyncState reports whether a value of type t embeds
+// sync/atomic types or mutexes (pointers to them do not count — a
+// pointer copy shares, a value copy forks).
+func containsSyncState(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	if namedIn(t, "sync/atomic", "Pointer", "Value", "Bool", "Int32", "Int64", "Uint32", "Uint64", "Uintptr") {
+		return true
+	}
+	if namedIn(t, "sync", "Mutex", "RWMutex", "WaitGroup", "Once", "Cond") {
+		return true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsSyncState(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsSyncState(u.Elem(), seen)
+	}
+	return false
+}
+
+// checkMixedAccess flags fields that are touched both through the
+// sync/atomic package functions and with plain loads/stores.
+func (a *atomicCheck) checkMixedAccess(pkgs []*Package) {
+	// Pass 1: fields used as atomic.XxxT(&x.f, …) operands, and the
+	// selector nodes sanctioned by appearing in that position.
+	atomicUsed := map[*types.Var]bool{}
+	sanctioned := map[*ast.SelectorExpr]bool{}
+	forEachAtomicOperand(pkgs, func(pkg *Package, sel *ast.SelectorExpr, f *types.Var) {
+		atomicUsed[f] = true
+		sanctioned[sel] = true
+	})
+	if len(atomicUsed) == 0 {
+		return
+	}
+	// Pass 2: plain accesses of those fields.
+	for _, pkg := range pkgs {
+		if !pkg.IsTypeOK() {
+			continue
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(node ast.Node) bool {
+				sel, ok := node.(*ast.SelectorExpr)
+				if !ok || sanctioned[sel] {
+					return true
+				}
+				fv := fieldVarOf(pkg, sel)
+				if fv == nil || !atomicUsed[fv] {
+					return true
+				}
+				a.diags = append(a.diags, posDiag(pkg, sel.Sel.Pos(), "snapshotatomic",
+					"field "+fv.Name()+" is accessed atomically elsewhere but plainly here (every access must go through sync/atomic)"))
+				return true
+			})
+		}
+	}
+}
+
+// forEachAtomicOperand visits every &x.f operand of a call into package
+// sync/atomic.
+func forEachAtomicOperand(pkgs []*Package, visit func(*Package, *ast.SelectorExpr, *types.Var)) {
+	for _, pkg := range pkgs {
+		if !pkg.IsTypeOK() {
+			continue
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(node ast.Node) bool {
+				call, ok := node.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if !strings.HasPrefix(calleeName(pkg, call), "sync/atomic.") {
+					return true
+				}
+				for _, arg := range call.Args {
+					un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+					if !ok || un.Op != token.AND {
+						continue
+					}
+					sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					if fv := fieldVarOf(pkg, sel); fv != nil {
+						visit(pkg, sel, fv)
+					}
+				}
+				return true
+			})
+		}
+	}
+}

@@ -1,0 +1,33 @@
+package lint
+
+import "testing"
+
+// TestSnapshotAtomicFindings pins the four finding kinds on the
+// governed Box: unlocked publish, contract-breaking *Locked caller,
+// reader write through a loaded snapshot, atomic-bearing copy, and the
+// mixed plain/atomic field access.
+func TestSnapshotAtomicFindings(t *testing.T) {
+	diags := fixtureDiags(t)
+	requireFinding(t, diags, "snapshotatomic", "pub.go",
+		"snapshot field cur published without holding mu")
+	requireFinding(t, diags, "snapshotatomic", "pub.go",
+		"published from *Locked helper, but caller Leak does not hold mu")
+	requireFinding(t, diags, "snapshotatomic", "pub.go",
+		"write through a loaded snapshot (s)")
+	requireFinding(t, diags, "snapshotatomic", "pub.go",
+		"copies a value containing sync/atomic state")
+	requireFinding(t, diags, "snapshotatomic", "pub.go",
+		"field hits is accessed atomically elsewhere but plainly here")
+}
+
+// TestSnapshotAtomicExemptions asserts the silent cases stay silent:
+// GoodPublish (lock held), Exchange (*Locked contract kept), GoodReader
+// (read-only), and the ungoverned free struct must contribute nothing
+// beyond the 5 pinned positives.
+func TestSnapshotAtomicExemptions(t *testing.T) {
+	diags := fixtureDiags(t)
+	if got := findingsIn(diags, "snapshotatomic", "pub.go"); len(got) != 5 {
+		t.Errorf("pub.go: want 5 snapshotatomic findings, got %d:\n%s",
+			len(got), formatDiags(got))
+	}
+}

@@ -1,0 +1,197 @@
+// Package hot is the hotpath fixture: annotated roots below exercise
+// every call-graph edge kind (direct, method, interface dispatch,
+// function value) and every allocation kind the rule reports, plus the
+// annotation-grammar errors and the exemptions that must stay silent.
+package hot
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Candidate mirrors a result record; value literals of it are cheap.
+type Candidate struct{ Ref, Off int }
+
+var errNeg = errors.New("hot: negative size")
+
+// --- direct and method call chains ---
+
+type cache struct{ buf []int }
+
+// Probe roots the main chain. Its own body must stay clean: the make
+// below sits in an error guard, which is exempt.
+//
+//biohd:hotpath
+func Probe(c *cache, n int) ([]int, error) {
+	if n < 0 {
+		scratch := make([]byte, 0, 16) // exempt: error-guard block
+		_ = scratch
+		return nil, errNeg
+	}
+	c.grow(fill(n))
+	return c.buf, nil
+}
+
+// fill allocates through a direct call edge: chain Probe → fill.
+func fill(n int) []int {
+	out := make([]int, n) // want hotpath make
+	return out
+}
+
+// grow allocates through a method call edge: chain Probe → grow. The
+// append's destination is not its first argument, so it is not the
+// amortized self-assign form.
+func (c *cache) grow(xs []int) {
+	c.buf = append(xs, 1) // want hotpath append
+}
+
+// --- interface dispatch ---
+
+// Scorer is dispatched on the hot path; the walk fans out to every
+// implementation in the program.
+type Scorer interface{ Score(x int) int }
+
+// Fancy formats on every call.
+type Fancy struct{}
+
+func (Fancy) Score(x int) int {
+	return len(fmt.Sprint(x)) // want hotpath fmt, via ScoreAll's dispatch
+}
+
+// Plain is the allocation-free implementation; it must stay silent.
+type Plain struct{}
+
+func (Plain) Score(x int) int { return x }
+
+//biohd:hotpath
+func ScoreAll(s Scorer, xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += s.Score(x)
+	}
+	return t
+}
+
+// --- function-value (indirect) dispatch ---
+
+// handlers takes leaky's address, putting it in the indirect-call
+// universe for Dispatch's call through a function-typed variable.
+var handlers = []func(int) *Candidate{leaky}
+
+//biohd:hotpath
+func Dispatch(i, x int) *Candidate {
+	h := handlers[i]
+	return h(x)
+}
+
+func leaky(x int) *Candidate {
+	return &Candidate{Ref: x} // want hotpath composite, via Dispatch's h(x)
+}
+
+// --- remaining allocation kinds, one root each ---
+
+//biohd:hotpath
+func Render(parts []string, m map[int]int) string {
+	s := ""
+	for _, p := range parts {
+		s += p // want hotpath string
+	}
+	n := 0
+	for k := range m { // want hotpath mapiter
+		n += k
+	}
+	_ = n
+	return s
+}
+
+//biohd:hotpath
+func Retain(xs []int) {
+	for _, x := range xs {
+		defer done(x) // want hotpath deferloop
+	}
+}
+
+func done(int) {}
+
+//biohd:hotpath
+func Box(f Fancy) Scorer {
+	return Scorer(f) // want hotpath iface
+}
+
+//biohd:hotpath
+func Fresh() *Candidate {
+	c := Candidate{Ref: 1} // value literal: stack, silent
+	_ = c
+	return new(Candidate) // want hotpath new
+}
+
+//biohd:hotpath
+func Walk(xs []int) int {
+	t := 0
+	each(xs, func(x int) { t += x }) // want hotpath closure (captures t)
+	return t
+}
+
+func each(xs []int, f func(int)) {
+	for _, x := range xs {
+		f(x)
+	}
+}
+
+// --- exemptions that must stay silent ---
+
+// SelfAppend is the amortized self-assign idiom the append kind exempts.
+//
+//biohd:hotpath
+func SelfAppend(buf []int, x int) []int {
+	buf = append(buf, x)
+	return buf
+}
+
+// Warm reaches a reviewed cold-start boundary; init's allocation is
+// behind the //biohd:coldstart annotation and must not be reported.
+//
+//biohd:hotpath
+func Warm(c *cache) {
+	if c.buf == nil {
+		c.init()
+	}
+	use(c.buf)
+}
+
+//biohd:coldstart pool-miss construction; steady state reuses buf
+func (c *cache) init() {
+	c.buf = make([]int, 0, 64)
+}
+
+func use([]int) {}
+
+// Unreachable allocates freely: no root reaches it, so it is silent.
+func Unreachable() []int { return make([]int, 1) }
+
+// Quiet's finding is suppressed with a reason; the suppression is used,
+// so the stale check must not fire on it.
+//
+//biohd:hotpath
+func Quiet() *Candidate {
+	//lint:ignore hotpath fixture exercises a live suppression
+	return new(Candidate)
+}
+
+// Stale is unreachable, so this suppression suppresses nothing and the
+// stale check must report it.
+func Stale() []int {
+	//lint:ignore hotpath nothing reaches Stale, so this is dead weight
+	return make([]int, 4)
+}
+
+// --- annotation-grammar errors ---
+
+//biohd:coldstart
+func MissingReason() {} // want hotpath "needs a reason"
+
+//biohd:frozen
+func UnknownVerb() {} // want hotpath "unknown directive"
+
+//biohd:coldstart nothing roots this, so the annotation is stale
+func StaleCold() {} // want hotpath "stale //biohd:coldstart"

@@ -1,0 +1,91 @@
+// Package pub is the snapshotatomic fixture: Box pairs a snapshot
+// pointer with its owner mutex, making it governed; the functions below
+// exercise each finding kind and the publication forms that must stay
+// silent.
+package pub
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type state struct{ n int }
+
+// Box is governed: the atomic snapshot pointer and the mutex that owns
+// its writes live in the same struct.
+type Box struct {
+	mu   sync.Mutex
+	cur  atomic.Pointer[state]
+	hits int64
+}
+
+// BadPublish stores without the lock.
+func (b *Box) BadPublish(s *state) {
+	b.cur.Store(s) // want snapshotatomic "published without holding mu"
+}
+
+// GoodPublish holds the owner mutex across the store: silent.
+func (b *Box) GoodPublish(s *state) {
+	b.mu.Lock()
+	b.cur.Store(s)
+	b.mu.Unlock()
+}
+
+// publishLocked follows the *Locked contract: every caller must hold
+// mu. Leak below breaks the contract, so the store is reported.
+func (b *Box) publishLocked(s *state) {
+	b.cur.Store(s) // want snapshotatomic "caller .*Leak does not hold mu"
+}
+
+// Exchange holds the lock around the helper: a contract-keeping caller.
+func (b *Box) Exchange(s *state) {
+	b.mu.Lock()
+	b.publishLocked(s)
+	b.mu.Unlock()
+}
+
+// Leak calls the *Locked helper without the lock.
+func (b *Box) Leak(s *state) {
+	b.publishLocked(s)
+}
+
+// BadReader mutates state it loaded from the snapshot pointer.
+func (b *Box) BadReader() int {
+	s := b.cur.Load()
+	s.n = 9 // want snapshotatomic "write through a loaded snapshot"
+	return s.n
+}
+
+// GoodReader only reads through the snapshot: silent.
+func (b *Box) GoodReader() int {
+	s := b.cur.Load()
+	return s.n
+}
+
+// Clone copies the whole Box, forking the atomic's identity.
+func (b *Box) Clone() *Box {
+	c := *b // want snapshotatomic "copies a value containing sync/atomic state"
+	return &c
+}
+
+// Hit establishes that hits is an atomic field...
+func (b *Box) Hit() {
+	atomic.AddInt64(&b.hits, 1)
+}
+
+// Peek ...which this plain read then violates.
+func (b *Box) Peek() int64 {
+	return b.hits // want snapshotatomic "accessed atomically elsewhere but plainly here"
+}
+
+// free has no owner mutex, so it is not governed: its bare store is the
+// caller's business, not this rule's.
+type free struct {
+	cur atomic.Pointer[state]
+}
+
+func (f *free) set(s *state) {
+	f.cur.Store(s)
+}
+
+var _ = (&free{}).set
