@@ -52,13 +52,16 @@ lint-baseline:
 ## records — BENCH_probe.json (arena kernel vs seed scalar scan),
 ## BENCH_multiprobe.json (query-blocked scan vs sequential probes at
 ## Q ∈ {1,4,8}, single-threaded so the win measured is the blocking
-## itself, not parallelism), and BENCH_segments.json (segmented-library
+## itself, not parallelism), BENCH_segments.json (segmented-library
 ## scan vs a monolithic build of the same references at S ∈ {1,4,16};
-## the S=1 overhead is the cost of the snapshot indirection itself)
+## the S=1 overhead is the cost of the snapshot indirection itself),
+## and BENCH_coalesce.json (closed-loop served throughput and latency,
+## direct path vs cross-request coalescing, at 1..256 concurrent clients)
 bench:
 	$(GO) run ./cmd/benchprobe -out BENCH_probe.json
 	GOMAXPROCS=1 $(GO) run ./cmd/benchprobe -queries-per-block 8 -out BENCH_multiprobe.json
 	GOMAXPROCS=1 $(GO) run ./cmd/benchprobe -segments 1,4,16 -reps 9 -out BENCH_segments.json
+	$(GO) run ./cmd/benchcoalesce -out BENCH_coalesce.json
 
 ## benchsmoke: compile and run every micro-benchmark once — catches
 ## benchmarks that no longer build or crash, without measuring anything.
@@ -68,6 +71,8 @@ bench:
 benchsmoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./internal/bitvec ./internal/hdc ./internal/encoding ./internal/core .
 	$(GO) test -tags purego -run='^$$' -bench=. -benchtime=1x ./internal/bitvec
+	$(GO) run ./cmd/benchcoalesce -buckets 64 -reps 1 -dur 20ms -conc 1,4 -out /dev/null
+	$(GO) run -tags purego ./cmd/benchcoalesce -buckets 64 -reps 1 -dur 20ms -conc 4 -out /dev/null
 
 ## fuzz: run each fuzz target for FUZZTIME (default 30s)
 fuzz:

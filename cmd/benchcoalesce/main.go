@@ -1,0 +1,287 @@
+// Command benchcoalesce measures what cross-request query coalescing
+// does to served throughput and latency: a closed-loop A/B harness
+// runs C concurrent single-query clients against the same frozen
+// library, once through the direct Library.Lookup path and once
+// through the coalesce.Coalescer admission layer, and records QPS,
+// p50/p99 latency, and realized block occupancy per concurrency
+// level. `make bench` runs it to refresh BENCH_coalesce.json, the
+// checked-in record that batch formation across independent requests
+// — not kernel speed — sets the service throughput ceiling.
+//
+// Closed loop means each client issues its next query the moment the
+// previous one returns, so offered load tracks capacity on both
+// sides; the comparison is blocks-versus-timeslicing at equal client
+// counts. Sides run interleaved per repetition and the report keys
+// off medians, for the same shared-machine reasons as benchprobe.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/bitvec"
+	"repro/internal/coalesce"
+	"repro/internal/core"
+	"repro/internal/genome"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+)
+
+// Benchmark geometry: matches benchprobe so the two records describe
+// the same library shape.
+const (
+	dim      = 8192
+	window   = 32
+	capacity = 16
+	queries  = 64
+)
+
+type sideStats struct {
+	QPS   float64 `json:"qps"`
+	P50us float64 `json:"p50_us"`
+	P99us float64 `json:"p99_us"`
+}
+
+type levelResult struct {
+	Concurrency   int       `json:"concurrency"`
+	Direct        sideStats `json:"direct"`
+	Coalesced     sideStats `json:"coalesced"`
+	Speedup       float64   `json:"throughput_speedup"`
+	MeanOccupancy float64   `json:"mean_block_occupancy"`
+	Blocks        int64     `json:"blocks_dispatched"`
+}
+
+type report struct {
+	Benchmark  string        `json:"benchmark"`
+	Dim        int           `json:"dim"`
+	Window     int           `json:"window"`
+	Capacity   int           `json:"capacity"`
+	Buckets    int           `json:"buckets"`
+	GoVersion  string        `json:"go_version"`
+	GOARCH     string        `json:"goarch"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	SIMD       bool          `json:"simd_kernel"`
+	Kernel     string        `json:"kernel"`
+	BatchSize  int           `json:"batch_size"`
+	FlushTick  string        `json:"flush_tick"`
+	Duration   string        `json:"duration_per_rep"`
+	Reps       int           `json:"reps"`
+	Levels     []levelResult `json:"levels"`
+}
+
+func main() {
+	buckets := flag.Int("buckets", 1024, "library size in buckets")
+	reps := flag.Int("reps", 3, "interleaved repetitions per side and concurrency level")
+	dur := flag.Duration("dur", 400*time.Millisecond, "measurement window per repetition")
+	conc := flag.String("conc", "1,4,16,64,256", "comma-separated concurrency sweep")
+	approx := flag.Bool("approx", false, "use the approximate encoder (encode-bound at D=8192; see buildLibrary)")
+	out := flag.String("out", "BENCH_coalesce.json", "output path, or - for stdout")
+	flag.Parse()
+
+	levels, err := parseLevels(*conc)
+	if err != nil {
+		fatal(err)
+	}
+	lib, pats, err := buildLibrary(*buckets, *approx)
+	if err != nil {
+		fatal(err)
+	}
+	rep := report{
+		Benchmark:  "coalesce_closed_loop",
+		Dim:        dim,
+		Window:     window,
+		Capacity:   capacity,
+		Buckets:    *buckets,
+		GoVersion:  runtime.Version(),
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		SIMD:       bitvec.AccelAvailable(),
+		Kernel:     bitvec.Kernel(),
+		BatchSize:  coalesce.DefaultBatchSize,
+		FlushTick:  coalesce.DefaultFlushTick.String(),
+		Duration:   dur.String(),
+		Reps:       *reps,
+	}
+	for _, c := range levels {
+		fmt.Fprintf(os.Stderr, "concurrency %d: ", c)
+		var direct, coal []measurement
+		var blocks int64
+		var occ float64
+		for r := 0; r < *reps; r++ {
+			direct = append(direct, runClients(lib, nil, c, *dur, pats))
+			co, err := coalesce.New(lib, coalesce.Config{}, metrics.NewRegistry())
+			if err != nil {
+				fatal(err)
+			}
+			coal = append(coal, runClients(lib, co, c, *dur, pats))
+			b, m := co.Occupancy()
+			j, d, _ := co.Admissions()
+			co.Close()
+			blocks += b
+			occ += m
+			fmt.Fprintf(os.Stderr, ". [queued %d direct %d]", j, d)
+		}
+		lr := levelResult{
+			Concurrency:   c,
+			Direct:        median(direct),
+			Coalesced:     median(coal),
+			Blocks:        blocks / int64(*reps),
+			MeanOccupancy: occ / float64(*reps),
+		}
+		if lr.Direct.QPS > 0 {
+			lr.Speedup = lr.Coalesced.QPS / lr.Direct.QPS
+		}
+		rep.Levels = append(rep.Levels, lr)
+		fmt.Fprintf(os.Stderr, " direct %.0f qps, coalesced %.0f qps (%.2fx, occupancy %.2f)\n",
+			lr.Direct.QPS, lr.Coalesced.QPS, lr.Speedup, lr.MeanOccupancy)
+	}
+	if err := write(*out, rep); err != nil {
+		fatal(err)
+	}
+}
+
+// measurement is one repetition of one side at one concurrency level.
+type measurement struct {
+	qps  float64
+	lats []time.Duration // pooled across clients, sorted by quantile()
+}
+
+// runClients drives c closed-loop clients for roughly dur. A nil
+// coalescer selects the direct path. Each client walks the shared
+// pattern pool from its own offset so both sides issue the same query
+// mix.
+func runClients(lib *core.Library, co *coalesce.Coalescer, c int, dur time.Duration, pats []*genome.Sequence) measurement {
+	var wg sync.WaitGroup
+	lats := make([][]time.Duration, c)
+	ctx := context.Background()
+	deadline := time.Now().Add(dur)
+	for w := 0; w < c; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; time.Now().Before(deadline); i++ {
+				p := pats[i%len(pats)]
+				t0 := time.Now()
+				var err error
+				if co != nil {
+					_, _, err = co.Lookup(ctx, p)
+				} else {
+					_, _, err = lib.Lookup(p)
+				}
+				if err != nil {
+					fatal(err)
+				}
+				lats[w] = append(lats[w], time.Since(t0))
+			}
+		}(w)
+	}
+	wg.Wait()
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	return measurement{qps: float64(len(all)) / dur.Seconds(), lats: all}
+}
+
+// median folds repetitions into one sideStats: median QPS across
+// reps, and quantiles over the pooled latency samples.
+func median(ms []measurement) sideStats {
+	qps := make([]float64, len(ms))
+	var all []time.Duration
+	for i, m := range ms {
+		qps[i] = m.qps
+		all = append(all, m.lats...)
+	}
+	sort.Float64s(qps)
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	return sideStats{
+		QPS:   qps[len(qps)/2],
+		P50us: quantile(all, 0.50),
+		P99us: quantile(all, 0.99),
+	}
+}
+
+// quantile reads the q-quantile of sorted latencies in microseconds.
+func quantile(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return float64(sorted[i]) / float64(time.Microsecond)
+}
+
+// buildLibrary builds the benchmark library (benchprobe's bucket
+// geometry) and a 3:1 absent:present query-pattern pool. The default
+// is the exact encoder: at D=8192 the approximate encoder costs
+// ~360µs per window — several times the arena scan — so an approx
+// library is encode-bound and per-request encoding, which coalescing
+// cannot amortize, hides the blocking win this harness isolates.
+func buildLibrary(buckets int, approx bool) (*core.Library, []*genome.Sequence, error) {
+	p := core.Params{Dim: dim, Window: window, Stride: 1, Capacity: capacity,
+		Approx: approx, Sealed: true, Seed: 42}
+	if approx {
+		p.MutTolerance = 2
+	}
+	lib, err := core.NewLibrary(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	src := rng.New(4242)
+	ref := genome.Random(buckets*capacity+window-1, src)
+	if err := lib.Add(genome.Record{ID: "bench", Seq: ref}); err != nil {
+		return nil, nil, err
+	}
+	lib.Freeze()
+	if lib.NumBuckets() != buckets {
+		return nil, nil, fmt.Errorf("built %d buckets, want %d", lib.NumBuckets(), buckets)
+	}
+	var pats []*genome.Sequence
+	for i := 0; i < queries; i++ {
+		if i%4 == 0 {
+			off := src.Intn(ref.Len() - window)
+			pats = append(pats, ref.Slice(off, off+window))
+		} else {
+			pats = append(pats, genome.Random(window, src))
+		}
+	}
+	return lib, pats, nil
+}
+
+func parseLevels(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad concurrency level %q", f)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func write(path string, rep report) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchcoalesce:", err)
+	os.Exit(1)
+}

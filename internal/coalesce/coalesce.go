@@ -1,0 +1,491 @@
+// Package coalesce is the admission layer between the HTTP handlers
+// and core.Library: it packs pending single-query probes from
+// concurrent requests into query blocks of up to core.BlockWidth, so
+// independent clients share the arena streaming passes that
+// ProbeMulti amortizes. A bounded submission queue feeds a drain loop
+// that assembles blocks; worker goroutines execute them through
+// Library.LookupBlock and deliver each waiter its own result.
+//
+// The drain loop flushes a block when it is full, when a worker is
+// idle (an idle server keeps the uncoalesced p50 — there is nothing
+// to gain by waiting), or when the flush tick expires on a partial
+// block that has been absorbing fill while every worker was busy.
+// Under load the queue backs up exactly when workers are the
+// bottleneck, so blocks fatten toward full width precisely when the
+// amortization pays. A lone request — nothing else in flight, nothing
+// queued — skips the queue entirely and runs on its own goroutine:
+// solo traffic has no one to share a block with, so it keeps the
+// direct path's latency to the cost of one atomic.
+//
+// A query whose context dies while queued vacates its slot — at pack
+// time or at dispatch time — without stalling the rest of the block.
+// When the queue is saturated or the coalescer is closed, submission
+// fails and callers fall back to the direct path, preserving bounded
+// memory and graceful degradation.
+package coalesce
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/genome"
+	"repro/internal/metrics"
+)
+
+// Defaults for Config fields left zero.
+const (
+	DefaultBatchSize  = core.BlockWidth
+	DefaultFlushTick  = 200 * time.Microsecond
+	DefaultQueueDepth = 1024
+)
+
+// Config holds the coalescing knobs, following the batchsize /
+// buffersize / flushtick shape of gofast's batching transport. The
+// zero value of each field selects its default; explicit negatives
+// (or BatchSize 1, which makes blocks pointless) disable coalescing —
+// callers check Enabled before constructing a Coalescer.
+type Config struct {
+	// BatchSize is the maximum queries packed into one block, clamped
+	// to [2, core.BlockWidth]. 0 selects core.BlockWidth; 1 or a
+	// negative disables coalescing.
+	BatchSize int
+	// FlushTick bounds how long a partial block keeps absorbing fill
+	// while every worker is busy before it is committed as-is. 0
+	// selects 200µs; negative disables coalescing.
+	FlushTick time.Duration
+	// QueueDepth bounds the submission queue; beyond it, submissions
+	// fall back to the direct path. 0 selects 1024.
+	QueueDepth int
+	// Workers is the number of block executors. 0 selects GOMAXPROCS.
+	Workers int
+}
+
+// Enabled reports whether this configuration asks for coalescing at
+// all: an explicit negative knob or a batch size of 1 selects the
+// direct path instead.
+func (c Config) Enabled() bool {
+	return c.BatchSize >= 0 && c.BatchSize != 1 && c.FlushTick >= 0 && c.QueueDepth >= 0
+}
+
+// withDefaults resolves zero fields and clamps BatchSize to the probe
+// kernel's block width.
+func (c Config) withDefaults() Config {
+	if c.BatchSize == 0 || c.BatchSize > core.BlockWidth {
+		c.BatchSize = DefaultBatchSize
+	}
+	if c.FlushTick == 0 {
+		c.FlushTick = DefaultFlushTick
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = DefaultQueueDepth
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// job is one queued lookup: the result is written to *out, then wg is
+// released — the WaitGroup gives the waiter its happens-before edge,
+// and lets a caller await several submissions with one wait.
+type job struct {
+	pat *genome.Sequence
+	ctx context.Context
+	enq time.Time
+	out *core.BatchResult
+	wg  *sync.WaitGroup
+}
+
+// block is one drain-assembled query block, pooled across dispatches.
+type block struct {
+	jobs []job
+}
+
+// workerScratch is a worker's reusable dispatch state: the pattern
+// block handed to LookupBlock, the result spine, and the job index of
+// each live slot (dead-context slots vacate before dispatch).
+type workerScratch struct {
+	pats    [core.BlockWidth]*genome.Sequence
+	results [core.BlockWidth]core.BatchResult
+	idx     [core.BlockWidth]int
+}
+
+// Coalescer packs concurrent single-query lookups into probe blocks.
+type Coalescer struct {
+	lib *core.Library
+	cfg Config
+
+	q        chan job      // bounded submission queue
+	dispatch chan *block   // unbuffered handoff to workers
+	stop     chan struct{} // closed by Close; drain sweeps and exits
+	wg       sync.WaitGroup
+
+	mu     sync.Mutex // guards closed against in-flight submissions
+	closed bool
+
+	// inflight counts lookups between admission and delivery; a lone
+	// request (inflight 1, empty queue) has nothing to pack with and
+	// takes the direct path, keeping the idle-server p50.
+	inflight atomic.Int64
+
+	blkPool sync.Pool
+
+	// exec runs one assembled block; tests substitute a gated executor
+	// to pin drain-loop timing deterministically.
+	exec func(patterns []*genome.Sequence, results []core.BatchResult) error
+
+	jobs      *metrics.Counter
+	direct    *metrics.Counter
+	vacated   *metrics.Counter
+	occupancy *metrics.Histogram
+	depth     *metrics.Gauge
+	wait      *metrics.Histogram
+}
+
+// New starts a coalescer over a frozen library. The registry receives
+// the coalescing series (block occupancy, queue depth, wait time,
+// admission counters); pass a dedicated registry per server.
+func New(lib *core.Library, cfg Config, reg *metrics.Registry) (*Coalescer, error) {
+	if !cfg.Enabled() {
+		return nil, fmt.Errorf("coalesce: config disables coalescing; use the direct path")
+	}
+	if lib == nil || !lib.Frozen() {
+		return nil, fmt.Errorf("coalesce: library must be frozen")
+	}
+	cfg = cfg.withDefaults()
+	c := &Coalescer{
+		lib:      lib,
+		cfg:      cfg,
+		q:        make(chan job, cfg.QueueDepth),
+		dispatch: make(chan *block),
+		stop:     make(chan struct{}),
+
+		jobs: reg.Counter("biohd_coalesce_jobs_total",
+			"Lookups admitted to the coalescing queue."),
+		direct: reg.Counter("biohd_coalesce_direct_total",
+			"Lookups served on the direct path (solo traffic, queue saturated, or coalescer closed)."),
+		vacated: reg.Counter("biohd_coalesce_vacated_total",
+			"Queued lookups whose context died before dispatch; their slots were vacated."),
+		occupancy: reg.Histogram("biohd_coalesce_block_occupancy",
+			"Realized queries per dispatched probe block.",
+			metrics.LinearBuckets(1, 1, core.BlockWidth)),
+		depth: reg.Gauge("biohd_coalesce_queue_depth",
+			"Submission queue depth sampled at each block commit."),
+		wait: reg.Histogram("biohd_coalesce_wait_seconds",
+			"Time from submission to block dispatch.",
+			[]float64{
+				25e-6, 50e-6, 100e-6, 250e-6, 500e-6,
+				1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3, 100e-3,
+			}),
+	}
+	c.blkPool.New = func() any {
+		return &block{jobs: make([]job, 0, cfg.BatchSize)}
+	}
+	c.exec = lib.LookupBlock
+	c.wg.Add(1)
+	ready := make(chan struct{})
+	go c.run(ready)
+	<-ready // the queue is live once the drain loop is running
+	return c, nil
+}
+
+// run owns the coalescer's goroutines: it starts the workers, runs
+// the drain loop until Close, then joins the workers. Close joins run
+// itself through c.wg.
+func (c *Coalescer) run(ready chan<- struct{}) {
+	defer c.wg.Done()
+	var workers sync.WaitGroup
+	workers.Add(c.cfg.Workers)
+	for i := 0; i < c.cfg.Workers; i++ {
+		go func() {
+			defer workers.Done()
+			c.worker()
+		}()
+	}
+	close(ready)
+	c.drain()
+	workers.Wait()
+}
+
+// Close stops admission, flushes every queued job, and waits for the
+// drain loop and workers to exit. Lookups arriving after Close run
+// directly, so a server can keep answering while shutting down.
+func (c *Coalescer) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.mu.Unlock()
+	close(c.stop)
+	c.wg.Wait()
+}
+
+// Occupancy reports how many blocks have been dispatched so far and
+// their mean realized width — the benchmark harness's view of how
+// well concurrent traffic is packing.
+func (c *Coalescer) Occupancy() (blocks int64, mean float64) {
+	n := c.occupancy.Count()
+	if n == 0 {
+		return 0, 0
+	}
+	return n, c.occupancy.Sum() / float64(n)
+}
+
+// Admissions reports cumulative admission counts — queued jobs,
+// direct-path lookups, and vacated slots — for harnesses that want
+// the split without scraping the registry.
+func (c *Coalescer) Admissions() (jobs, direct, vacated int64) {
+	return c.jobs.Value(), c.direct.Value(), c.vacated.Value()
+}
+
+// Lookup submits one pattern and blocks until its result — or its
+// context's error — is delivered. A lone request — nothing else in
+// flight, nothing queued — has no traffic to pack with, so it runs
+// directly on the calling goroutine and skips the queue round-trip;
+// the same direct degradation applies when the queue is saturated or
+// the coalescer is closed, preserving bounded memory.
+func (c *Coalescer) Lookup(ctx context.Context, pattern *genome.Sequence) ([]core.Match, core.Stats, error) {
+	defer c.inflight.Add(-1)
+	if c.inflight.Add(1) == 1 && len(c.q) == 0 {
+		c.direct.Inc()
+		return c.lib.Lookup(pattern)
+	}
+	var r core.BatchResult
+	var wg sync.WaitGroup
+	if !c.submit(ctx, pattern, &r, &wg) {
+		return c.lib.Lookup(pattern)
+	}
+	wg.Wait()
+	return r.Matches, r.Stats, r.Err
+}
+
+// LookupEach submits every pattern and fills results[i] with pattern
+// i's outcome, returning once all are delivered. Patterns the queue
+// cannot admit run directly in submission order. len(results) must be
+// at least len(patterns).
+func (c *Coalescer) LookupEach(ctx context.Context, patterns []*genome.Sequence, results []core.BatchResult) {
+	c.inflight.Add(int64(len(patterns)))
+	defer c.inflight.Add(int64(-len(patterns)))
+	var wg sync.WaitGroup
+	for i, p := range patterns {
+		if !c.submit(ctx, p, &results[i], &wg) {
+			m, st, err := c.lib.Lookup(p)
+			results[i] = core.BatchResult{Matches: m, Stats: st, Err: err}
+		}
+	}
+	wg.Wait()
+}
+
+// submit enqueues one job; false means the caller must run the lookup
+// itself (queue saturated or coalescer closed).
+func (c *Coalescer) submit(ctx context.Context, pat *genome.Sequence, out *core.BatchResult, wg *sync.WaitGroup) bool {
+	wg.Add(1)
+	j := job{pat: pat, ctx: ctx, enq: time.Now(), out: out, wg: wg}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		wg.Done()
+		c.direct.Inc()
+		return false
+	}
+	select {
+	case c.q <- j:
+		c.mu.Unlock()
+		c.jobs.Inc()
+		return true
+	default:
+		c.mu.Unlock()
+		wg.Done()
+		c.direct.Inc()
+		return false
+	}
+}
+
+// getBlock returns an empty pooled block.
+//
+//biohd:coldstart pool-miss construction; steady state reuses pooled blocks
+func (c *Coalescer) getBlock() *block {
+	b := c.blkPool.Get().(*block)
+	b.jobs = b.jobs[:0]
+	return b
+}
+
+// drain is the block-packing loop: it opens a block on the first
+// queued job, absorbs pending fill, and commits on block-full, idle
+// worker, or flush tick. One goroutine owns it, so block assembly
+// needs no locking.
+//
+//biohd:hotpath
+func (c *Coalescer) drain() {
+	tick := time.NewTimer(c.cfg.FlushTick)
+	if !tick.Stop() {
+		<-tick.C
+	}
+	for {
+		select {
+		case j := <-c.q:
+			if !c.admit(&j) {
+				continue
+			}
+			b := c.getBlock()
+			b.jobs = append(b.jobs, j)
+			c.fill(b, tick)
+		case <-c.stop:
+			c.sweep()
+			close(c.dispatch)
+			return
+		}
+	}
+}
+
+// fill tops up an open block and commits it. Queued jobs are absorbed
+// before any handoff — a thin block is never dispatched while fill
+// waits in the queue. A partial block goes to a worker the moment one
+// is free (nothing further to gain by waiting: with the queue empty,
+// fill can only arrive at the uncoalesced rate); if every worker is
+// busy it keeps absorbing new arrivals until the flush tick commits
+// it as-is.
+func (c *Coalescer) fill(b *block, tick *time.Timer) {
+	if !tick.Stop() {
+		select {
+		case <-tick.C:
+		default:
+		}
+	}
+	tick.Reset(c.cfg.FlushTick)
+	for {
+		for len(b.jobs) < c.cfg.BatchSize {
+			select {
+			case j := <-c.q:
+				if c.admit(&j) {
+					b.jobs = append(b.jobs, j)
+				}
+				continue
+			default:
+			}
+			break
+		}
+		if len(b.jobs) == c.cfg.BatchSize {
+			c.commit(b)
+			return
+		}
+		n := len(b.jobs) // the worker owns b after a successful handoff
+		select {
+		case c.dispatch <- b: // a worker is idle: flush thin, stay latency-lean
+			c.record(n)
+			return
+		case j := <-c.q:
+			if c.admit(&j) {
+				b.jobs = append(b.jobs, j)
+			}
+		case <-tick.C:
+			c.commit(b)
+			return
+		}
+	}
+}
+
+// commit records the block's realized occupancy and hands it to the
+// next free worker.
+func (c *Coalescer) commit(b *block) {
+	c.record(len(b.jobs))
+	c.dispatch <- b
+}
+
+// record observes a committed block's occupancy and samples the queue
+// depth.
+func (c *Coalescer) record(n int) {
+	c.occupancy.Observe(float64(n))
+	c.depth.Set(int64(len(c.q)))
+}
+
+// admit vacates a job whose context died while queued: the waiter gets
+// the context error and the block slot stays free for a live query.
+func (c *Coalescer) admit(j *job) bool {
+	if err := j.ctx.Err(); err != nil {
+		*j.out = core.BatchResult{Err: err}
+		j.wg.Done()
+		c.vacated.Inc()
+		return false
+	}
+	return true
+}
+
+// sweep runs after Close: every job still queued is packed and
+// dispatched (workers are still draining), so no waiter is stranded.
+func (c *Coalescer) sweep() {
+	b := c.getBlock()
+	for {
+		select {
+		case j := <-c.q:
+			if !c.admit(&j) {
+				continue
+			}
+			b.jobs = append(b.jobs, j)
+			if len(b.jobs) == c.cfg.BatchSize {
+				c.commit(b)
+				b = c.getBlock()
+			}
+		default:
+			if len(b.jobs) > 0 {
+				c.commit(b)
+			} else {
+				c.blkPool.Put(b)
+			}
+			return
+		}
+	}
+}
+
+// worker executes dispatched blocks until the drain loop closes the
+// channel.
+func (c *Coalescer) worker() {
+	var sc workerScratch
+	for b := range c.dispatch {
+		c.runBlock(b, &sc)
+	}
+}
+
+// runBlock vacates dead-context slots, runs the live ones through the
+// query-blocked lookup, and delivers every waiter its result.
+//
+//biohd:hotpath
+func (c *Coalescer) runBlock(b *block, sc *workerScratch) {
+	n := 0
+	for i := range b.jobs {
+		j := &b.jobs[i]
+		c.wait.Observe(time.Since(j.enq).Seconds())
+		// Re-check the context at dispatch: it may have died between
+		// packing and a worker freeing up.
+		if !c.admit(j) {
+			continue
+		}
+		sc.pats[n] = j.pat
+		sc.idx[n] = i
+		n++
+	}
+	if n > 0 {
+		if err := c.exec(sc.pats[:n], sc.results[:n]); err != nil {
+			for k := 0; k < n; k++ {
+				sc.results[k] = core.BatchResult{Err: err}
+			}
+		}
+	}
+	for k := 0; k < n; k++ {
+		j := &b.jobs[sc.idx[k]]
+		*j.out = sc.results[k]
+		// Delivered matches belong to the waiter now; drop the scratch
+		// reference so the spine does not pin them past this block.
+		sc.results[k] = core.BatchResult{}
+		j.wg.Done()
+	}
+	b.jobs = b.jobs[:0]
+	c.blkPool.Put(b)
+}

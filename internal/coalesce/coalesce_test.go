@@ -1,0 +1,420 @@
+package coalesce
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/genome"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+)
+
+// buildLib builds a small frozen sealed library.
+func buildLib(tb testing.TB, seed uint64) (*core.Library, []*genome.Sequence) {
+	tb.Helper()
+	lib, err := core.NewLibrary(core.Params{Dim: 2048, Window: 24, Sealed: true, Seed: seed})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	src := rng.New(seed ^ 0xbeef)
+	var refs []*genome.Sequence
+	for i := 0; i < 4; i++ {
+		ref := genome.Random(600, src)
+		refs = append(refs, ref)
+		if err := lib.Add(genome.Record{ID: fmt.Sprintf("ref%d", i), Seq: ref}); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	lib.Freeze()
+	return lib, refs
+}
+
+// queries builds a hit/miss pattern mix.
+func queries(refs []*genome.Sequence, n int, seed uint64) []*genome.Sequence {
+	src := rng.New(seed)
+	w := 24
+	out := make([]*genome.Sequence, 0, n)
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			ref := refs[i%len(refs)]
+			off := src.Intn(ref.Len() - w)
+			out = append(out, ref.Slice(off, off+w))
+		} else {
+			out = append(out, genome.Random(w, src))
+		}
+	}
+	return out
+}
+
+func newCoalescer(tb testing.TB, lib *core.Library, cfg Config) (*Coalescer, *metrics.Registry) {
+	tb.Helper()
+	reg := metrics.NewRegistry()
+	c, err := New(lib, cfg, reg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(c.Close)
+	return c, reg
+}
+
+// gate serializes a substituted block executor: each dispatched block
+// announces itself on entered and waits for one release.
+type gate struct {
+	entered chan struct{}
+	release chan struct{}
+}
+
+func newGate() *gate {
+	return &gate{entered: make(chan struct{}, 64), release: make(chan struct{})}
+}
+
+// gatedExec wires a gate in front of the real block executor. Set
+// between New and the first submission; the channel handoff to the
+// workers orders the write.
+func gatedExec(c *Coalescer, lib *core.Library, g *gate) {
+	c.exec = func(pats []*genome.Sequence, results []core.BatchResult) error {
+		g.entered <- struct{}{}
+		<-g.release
+		return lib.LookupBlock(pats, results)
+	}
+}
+
+// queuedLookup submits through the queue unconditionally, bypassing
+// Lookup's solo fast path, so tests can pin drain-loop behavior on a
+// single in-flight request.
+func queuedLookup(c *Coalescer, ctx context.Context, pat *genome.Sequence) ([]core.Match, core.Stats, error) {
+	c.inflight.Add(1)
+	defer c.inflight.Add(-1)
+	var r core.BatchResult
+	var wg sync.WaitGroup
+	if !c.submit(ctx, pat, &r, &wg) {
+		return c.lib.Lookup(pat)
+	}
+	wg.Wait()
+	return r.Matches, r.Stats, r.Err
+}
+
+func waitFor(tb testing.TB, what string, cond func() bool) {
+	tb.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			tb.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// TestLookupEquivalence: coalesced results are identical — matches,
+// stats, and errors — to direct Lookup calls for the same patterns,
+// under enough concurrency that blocks actually pack.
+func TestLookupEquivalence(t *testing.T) {
+	lib, refs := buildLib(t, 41)
+	pats := queries(refs, 64, 42)
+	pats = append(pats, nil, genome.Random(5, rng.New(1))) // invalid: nil and too-short
+	c, _ := newCoalescer(t, lib, Config{})
+
+	type want struct {
+		matches []core.Match
+		stats   core.Stats
+		errStr  string
+	}
+	wants := make([]want, len(pats))
+	for i, p := range pats {
+		m, st, err := lib.Lookup(p)
+		wants[i] = want{matches: m, stats: st}
+		if err != nil {
+			wants[i].errStr = err.Error()
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, len(pats))
+	got := make([]want, len(pats))
+	for i := range pats {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m, st, err := c.Lookup(context.Background(), pats[i])
+			got[i] = want{matches: m, stats: st}
+			errs[i] = err
+		}(i)
+	}
+	wg.Wait()
+	for i := range pats {
+		if errs[i] != nil {
+			got[i].errStr = errs[i].Error()
+		}
+		if got[i].errStr != wants[i].errStr {
+			t.Errorf("pattern %d: err %q, want %q", i, got[i].errStr, wants[i].errStr)
+		}
+		if !reflect.DeepEqual(got[i].matches, wants[i].matches) {
+			t.Errorf("pattern %d: matches differ\n got %v\nwant %v", i, got[i].matches, wants[i].matches)
+		}
+		if got[i].stats != wants[i].stats {
+			t.Errorf("pattern %d: stats %+v, want %+v", i, got[i].stats, wants[i].stats)
+		}
+	}
+}
+
+// TestLookupEachEquivalence: the multi-submit path delivers per-slot
+// results identical to direct lookups.
+func TestLookupEachEquivalence(t *testing.T) {
+	lib, refs := buildLib(t, 43)
+	pats := queries(refs, 11, 44)
+	c, _ := newCoalescer(t, lib, Config{})
+	results := make([]core.BatchResult, len(pats))
+	c.LookupEach(context.Background(), pats, results)
+	for i, p := range pats {
+		m, st, err := lib.Lookup(p)
+		if !reflect.DeepEqual(results[i].Matches, m) || results[i].Stats != st || !errors.Is(results[i].Err, err) {
+			t.Errorf("pattern %d: coalesced result differs from direct lookup", i)
+		}
+	}
+}
+
+// TestPreCanceledVacatesAtPack: a job whose context is already dead
+// when the drain loop packs it vacates without dispatching any block.
+func TestPreCanceledVacatesAtPack(t *testing.T) {
+	lib, refs := buildLib(t, 45)
+	c, _ := newCoalescer(t, lib, Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := queuedLookup(c, ctx, queries(refs, 1, 46)[0])
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	waitFor(t, "vacated counter", func() bool { return c.vacated.Value() == 1 })
+	if n := c.occupancy.Count(); n != 0 {
+		t.Errorf("occupancy observations = %d, want 0 (no block should dispatch)", n)
+	}
+}
+
+// TestCancelWhileQueuedVacatesAtDispatch: a job packed into a block
+// whose context dies before a worker frees up is vacated by the
+// dispatch-time re-check, without stalling the block.
+func TestCancelWhileQueuedVacatesAtDispatch(t *testing.T) {
+	lib, refs := buildLib(t, 47)
+	g := newGate()
+	c, _ := newCoalescer(t, lib, Config{Workers: 1, FlushTick: time.Hour})
+	gatedExec(c, lib, g)
+	pats := queries(refs, 2, 48)
+
+	// First lookup occupies the only worker inside the gate.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); queuedLookup(c, context.Background(), pats[0]) }()
+	<-g.entered
+
+	// Second lookup packs into a block that cannot dispatch; cancel it
+	// while it waits.
+	ctx, cancel := context.WithCancel(context.Background())
+	var err2 error
+	wg.Add(1)
+	go func() { defer wg.Done(); _, _, err2 = queuedLookup(c, ctx, pats[1]) }()
+	waitFor(t, "second job admitted", func() bool { return c.jobs.Value() == 2 })
+	cancel()
+
+	g.release <- struct{}{} // run the first block; worker frees, second block dispatches
+	wg.Wait()
+	if !errors.Is(err2, context.Canceled) {
+		t.Fatalf("queued lookup err = %v, want context.Canceled", err2)
+	}
+	if c.vacated.Value() != 1 {
+		t.Errorf("vacated = %d, want 1", c.vacated.Value())
+	}
+}
+
+// TestTickFlushesPartialBlock: with every worker busy, a partial block
+// stops absorbing fill when the flush tick fires and commits as-is.
+func TestTickFlushesPartialBlock(t *testing.T) {
+	lib, refs := buildLib(t, 49)
+	g := newGate()
+	c, _ := newCoalescer(t, lib, Config{Workers: 1, BatchSize: 4, FlushTick: 10 * time.Millisecond})
+	gatedExec(c, lib, g)
+	pats := queries(refs, 3, 50)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); queuedLookup(c, context.Background(), pats[0]) }()
+	<-g.entered // worker now busy; occupancy has one width-1 observation
+
+	// The gated lookup holds an inflight slot, so these take the queue
+	// path even if they arrive one at a time.
+	for _, p := range pats[1:] {
+		p := p
+		wg.Add(1)
+		go func() { defer wg.Done(); c.Lookup(context.Background(), p) }()
+	}
+	// The two queued jobs pack into one partial block (batch size 4);
+	// the tick must commit it even though no worker is free yet —
+	// occupancy is recorded at commit, before the handoff.
+	waitFor(t, "tick-committed partial block", func() bool {
+		return c.occupancy.Count() == 2 && c.occupancy.Sum() == 3 // widths 1 + 2
+	})
+	g.release <- struct{}{}
+	g.release <- struct{}{}
+	wg.Wait()
+}
+
+// TestSaturationFallsBackDirect: once the worker, the open block, and
+// the bounded queue are all full, further submissions run on the
+// caller's goroutine instead of queueing unboundedly.
+func TestSaturationFallsBackDirect(t *testing.T) {
+	lib, refs := buildLib(t, 51)
+	g := newGate()
+	c, _ := newCoalescer(t, lib, Config{Workers: 1, BatchSize: 2, QueueDepth: 1, FlushTick: time.Hour})
+	gatedExec(c, lib, g)
+	pats := queries(refs, 8, 52)
+
+	var wg sync.WaitGroup
+	for _, p := range pats {
+		p := p
+		wg.Add(1)
+		go func() { defer wg.Done(); queuedLookup(c, context.Background(), p) }()
+	}
+	// Capacity while the gate holds: ≤ 2 in the worker's block + ≤ 2
+	// in the committed block + 1 queued = at most 5 admitted, so at
+	// least 3 of the 8 run direct on their own goroutines.
+	waitFor(t, "all submissions resolved", func() bool {
+		return c.jobs.Value()+c.direct.Value() == int64(len(pats))
+	})
+	if d := c.direct.Value(); d < 3 {
+		t.Errorf("direct fallbacks = %d, want ≥ 3", d)
+	}
+	close(g.release) // open the gate for the admitted blocks
+	wg.Wait()
+}
+
+// TestSoloLookupRunsDirect: a lone request with nothing in flight and
+// nothing queued bypasses the queue entirely — no job admitted, no
+// block dispatched — and still returns the direct-path result.
+func TestSoloLookupRunsDirect(t *testing.T) {
+	lib, refs := buildLib(t, 59)
+	c, _ := newCoalescer(t, lib, Config{})
+	p := queries(refs, 1, 60)[0]
+	m, st, err := c.Lookup(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm, dst, _ := lib.Lookup(p)
+	if !reflect.DeepEqual(m, dm) || st != dst {
+		t.Error("solo lookup differs from direct path")
+	}
+	if c.direct.Value() != 1 || c.jobs.Value() != 0 {
+		t.Errorf("solo lookup: direct = %d, jobs = %d; want 1, 0", c.direct.Value(), c.jobs.Value())
+	}
+	if c.occupancy.Count() != 0 {
+		t.Errorf("solo lookup dispatched %d blocks, want 0", c.occupancy.Count())
+	}
+	if c.inflight.Load() != 0 {
+		t.Errorf("inflight = %d after delivery, want 0", c.inflight.Load())
+	}
+}
+
+// TestCloseFallsBackDirect: after Close, lookups still answer via the
+// direct path, and Close is idempotent.
+func TestCloseFallsBackDirect(t *testing.T) {
+	lib, refs := buildLib(t, 53)
+	c, _ := newCoalescer(t, lib, Config{})
+	c.Close()
+	c.Close()
+	p := queries(refs, 1, 54)[0]
+	m, _, err := c.Lookup(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm, _, _ := lib.Lookup(p)
+	if !reflect.DeepEqual(m, dm) {
+		t.Error("post-Close lookup differs from direct path")
+	}
+	if c.direct.Value() != 1 {
+		t.Errorf("direct = %d, want 1", c.direct.Value())
+	}
+}
+
+// TestChurnUnderCoalescedTraffic exercises the coalescer against live
+// snapshot churn — concurrent ingest, removal, and compaction — and is
+// most valuable under -race.
+func TestChurnUnderCoalescedTraffic(t *testing.T) {
+	lib, refs := buildLib(t, 55)
+	lib.SetSealThreshold(1)
+	c, _ := newCoalescer(t, lib, Config{})
+	pats := queries(refs, 16, 56)
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				p := pats[(i+w)%len(pats)]
+				if _, _, err := c.Lookup(context.Background(), p); err != nil {
+					t.Errorf("lookup under churn: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	src := rng.New(57)
+	for i := 0; i < 30; i++ {
+		ref := genome.Random(300, src)
+		if err := lib.Add(genome.Record{ID: fmt.Sprintf("churn%d", i), Seq: ref}); err != nil {
+			t.Error(err)
+			break
+		}
+		if i%3 == 2 {
+			if err := lib.Remove(lib.NumRefs() - 1); err != nil {
+				t.Error(err)
+				break
+			}
+		}
+		if i%10 == 9 {
+			if _, err := lib.Compact(0); err != nil {
+				t.Error(err)
+				break
+			}
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+}
+
+// TestConfigKnobs pins the enable/disable and defaulting semantics.
+func TestConfigKnobs(t *testing.T) {
+	cases := []struct {
+		cfg     Config
+		enabled bool
+	}{
+		{Config{}, true},
+		{Config{BatchSize: 1}, false},
+		{Config{BatchSize: -1}, false},
+		{Config{FlushTick: -1}, false},
+		{Config{QueueDepth: -1}, false},
+		{Config{BatchSize: 4, FlushTick: time.Millisecond}, true},
+	}
+	for i, tc := range cases {
+		if got := tc.cfg.Enabled(); got != tc.enabled {
+			t.Errorf("case %d: Enabled() = %v, want %v", i, got, tc.enabled)
+		}
+	}
+	d := Config{}.withDefaults()
+	if d.BatchSize != core.BlockWidth || d.FlushTick != DefaultFlushTick || d.QueueDepth != DefaultQueueDepth || d.Workers < 1 {
+		t.Errorf("withDefaults = %+v", d)
+	}
+	if c := (Config{BatchSize: 100}).withDefaults(); c.BatchSize != core.BlockWidth {
+		t.Errorf("oversized BatchSize clamps to %d, got %d", core.BlockWidth, c.BatchSize)
+	}
+	lib, _ := buildLib(t, 58)
+	if _, err := New(lib, Config{BatchSize: 1}, metrics.NewRegistry()); err == nil {
+		t.Error("New with disabled config should error")
+	}
+}

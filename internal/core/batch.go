@@ -107,6 +107,42 @@ feed:
 	return results, agg, err
 }
 
+// LookupBlock runs the Lookup pipeline for one caller-assembled block
+// of at most BlockWidth patterns, sharing each arena streaming pass
+// across the block. results must be at least as long as patterns; the
+// first len(patterns) slots are overwritten with each pattern's
+// outcome, per-pattern identical (matches, stats, error) to an
+// individual Lookup call. The library must be frozen. This is the
+// block executor of the cross-request coalescing layer, which packs
+// queued single-query probes from concurrent requests into one block.
+//
+//biohd:hotpath
+func (l *Library) LookupBlock(patterns []*genome.Sequence, results []BatchResult) error {
+	if len(patterns) == 0 {
+		return nil
+	}
+	if len(patterns) > probeBlock {
+		return fmt.Errorf("core: LookupBlock of %d patterns exceeds BlockWidth %d", len(patterns), probeBlock)
+	}
+	if len(results) < len(patterns) {
+		return fmt.Errorf("core: LookupBlock results slice shorter than patterns")
+	}
+	sn := l.snap.Load()
+	if sn == nil {
+		return fmt.Errorf("core: LookupBlock before Freeze")
+	}
+	results = results[:len(patterns)]
+	for i := range results {
+		// lookupBlock appends into r.Matches; reused result slots must
+		// arrive zeroed or stale matches would leak between blocks.
+		results[i] = BatchResult{}
+	}
+	sc := l.getBlockScratch()
+	l.lookupBlock(sn, patterns, results, sc)
+	l.putBlockScratch(sc)
+	return nil
+}
+
 // lookupBlock runs the Lookup pipeline for one block of at most
 // probeBlock patterns, sharing probe passes across the block: wave a
 // encodes the a-th alignment of every pattern that still offers one

@@ -31,6 +31,11 @@ type Stats struct {
 	BaseComparisons  int // nucleotide comparisons spent in verification
 }
 
+// Add accumulates another query's work into s — callers that combine
+// independently produced results (the coalescing layer, benchmark
+// harnesses) aggregate exactly as the multi-lookup paths do.
+func (s *Stats) Add(o Stats) { s.add(o) }
+
 func (s *Stats) add(o Stats) {
 	s.Alignments += o.Alignments
 	s.BucketProbes += o.BucketProbes
@@ -71,10 +76,16 @@ func (l *Library) thresholdFor(sn *snapshot) float64 {
 		l.params.Alpha, l.params.Beta, maxInt(sn.numBuckets(), 1), l.params.MutTolerance)
 }
 
-// probeBlock is the query-block width of the blocked probe paths: up
+// BlockWidth is the query-block width of the blocked probe paths: up
 // to this many query windows share one streaming pass over the arena,
-// so each row's memory traffic is amortized across the block.
-const probeBlock = bitvec.MaxMultiQueries
+// so each row's memory traffic is amortized across the block. Callers
+// that assemble their own blocks (LookupBlock, the coalescing layer)
+// size them against this constant.
+const BlockWidth = bitvec.MaxMultiQueries
+
+// probeBlock is the internal alias the probe paths were written
+// against; it is the same width.
+const probeBlock = BlockWidth
 
 // diagKey identifies one alignment diagonal: matches of a reference
 // whose reference offset minus query offset agree all support the same
@@ -471,12 +482,17 @@ func (l *Library) LookupLong(query *genome.Sequence, minFrac float64) ([]RefMatc
 			}
 		}
 	}
-	// Pick the winning diagonal per reference. Equal-vote ties are
-	// broken by the smaller diagonal so the reported Offset does not
-	// depend on map iteration order.
-	votes := sc.votes
 	clear(sc.best)
-	best := sc.best
+	out := rankVotes(sc.votes, sc.best, nWindows, minFrac)
+	return out, stats, nil
+}
+
+// rankVotes turns accumulated diagonal votes into the ranked RefMatch
+// list: the winning diagonal per reference, filtered to vote fraction
+// ≥ minFrac, ordered by sortRefMatches. Equal-vote ties are broken by
+// the smaller diagonal so the reported Offset does not depend on map
+// iteration order. best must arrive empty; it is caller-owned scratch.
+func rankVotes(votes map[diagKey]int, best map[int]diagKey, nWindows int, minFrac float64) []RefMatch {
 	//lint:ignore hotpath diagonal-vote aggregation is the per-call epilogue; the result is order-independent by the tie-break below
 	for d, v := range votes {
 		cur, ok := best[d.ref]
@@ -499,7 +515,30 @@ func (l *Library) LookupLong(query *genome.Sequence, minFrac float64) ([]RefMatc
 		}
 	}
 	sortRefMatches(out)
-	return out, stats, nil
+	return out
+}
+
+// RankWindows runs LookupLong's diagonal-voting epilogue over window
+// match lists produced elsewhere: wins[i] holds the matches of the
+// query window starting at absolute query offset offs[i] (as returned
+// by Lookup on the window sub-slice, so QueryOff is window-relative).
+// Votes, tie-breaks, filtering, and ordering are identical to
+// LookupLong over the same windows — callers that fan window lookups
+// out (e.g. through the coalescing layer) rank them equivalently.
+func RankWindows(wins [][]Match, offs []int, minFrac float64) []RefMatch {
+	votes := make(map[diagKey]int)
+	seen := make(map[diagKey]bool)
+	for i, ms := range wins {
+		clear(seen) // one vote per diagonal per query window
+		for _, m := range ms {
+			d := diagKey{ref: m.Ref, diff: m.Off - (offs[i] + m.QueryOff)}
+			if !seen[d] {
+				seen[d] = true
+				votes[d]++
+			}
+		}
+	}
+	return rankVotes(votes, make(map[int]diagKey), len(wins), minFrac)
 }
 
 // sortRefMatches orders ranked references by decreasing Votes, ties by

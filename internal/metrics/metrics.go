@@ -109,6 +109,17 @@ var DefBuckets = []float64{
 	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5,
 }
 
+// LinearBuckets builds count evenly spaced histogram bounds starting
+// at start — e.g. LinearBuckets(1, 1, 8) for a block-occupancy
+// histogram whose realized width is an integer in [1, 8].
+func LinearBuckets(start, width float64, count int) []float64 {
+	bounds := make([]float64, count)
+	for i := range bounds {
+		bounds[i] = start + float64(i)*width
+	}
+	return bounds
+}
+
 // metricKind discriminates family types for rendering.
 type metricKind int
 

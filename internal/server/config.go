@@ -3,6 +3,8 @@ package server
 import (
 	"net/http"
 	"time"
+
+	"repro/internal/coalesce"
 )
 
 // Config shapes the request lifecycle of the HTTP service. The zero
@@ -34,6 +36,13 @@ type Config struct {
 	// handler starts, which stops an in-flight batch via
 	// LookupBatchContext (default 30s).
 	RequestTimeout time.Duration
+	// Coalesce holds the cross-request query coalescing knobs (see
+	// package coalesce): single-query lookups from concurrent requests
+	// are packed into shared probe blocks. The zero value enables
+	// coalescing with the package defaults; setting BatchSize to 1 or
+	// any knob negative disables it, keeping the direct per-request
+	// path.
+	Coalesce coalesce.Config
 }
 
 // DefaultConfig returns the default lifecycle configuration.

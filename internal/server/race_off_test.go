@@ -1,0 +1,7 @@
+//go:build !race
+
+package server
+
+// raceEnabled reports whether this test binary runs under the race
+// detector; see race_on_test.go.
+const raceEnabled = false

@@ -37,6 +37,7 @@ import (
 	"net/http"
 	"strings"
 
+	"repro/internal/coalesce"
 	"repro/internal/core"
 	"repro/internal/genome"
 	"repro/internal/metrics"
@@ -52,7 +53,8 @@ type Server struct {
 	cfg      Config
 	reg      *metrics.Registry
 	inflight *metrics.Gauge
-	logger   *log.Logger // nil: no per-request logging
+	coal     *coalesce.Coalescer // nil: coalescing disabled, direct path
+	logger   *log.Logger         // nil: no per-request logging
 }
 
 // Option customizes a Server.
@@ -81,7 +83,24 @@ func New(lib *core.Library, opts ...Option) (*Server, error) {
 	}
 	s.cfg = s.cfg.withDefaults()
 	s.inflight = s.reg.Gauge(metricInFlight, helpInFlight)
+	if s.cfg.Coalesce.Enabled() {
+		c, err := coalesce.New(lib, s.cfg.Coalesce, s.reg)
+		if err != nil {
+			return nil, err
+		}
+		s.coal = c
+	}
 	return s, nil
+}
+
+// Close releases the server's background machinery — the coalescing
+// drain loop and its workers. In-flight coalesced lookups complete;
+// later lookups run on the direct path, so Close is safe to call
+// while the HTTP server drains. Idempotent.
+func (s *Server) Close() {
+	if s.coal != nil {
+		s.coal.Close()
+	}
 }
 
 // Registry exposes the server's metrics registry, e.g. for registering
@@ -254,7 +273,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	resp := SearchResponse{Matches: []MatchJSON{}}
 	switch req.Strands {
 	case "", "forward":
-		matches, stats, err := s.lib.Lookup(pat)
+		matches, stats, err := s.lookup(r.Context(), pat)
 		if err != nil {
 			writeError(w, http.StatusUnprocessableEntity, "%v", err)
 			return
@@ -266,7 +285,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			})
 		}
 	case "both":
-		matches, stats, err := s.lib.LookupBothStrands(pat)
+		matches, stats, err := s.lookupBothStrands(r.Context(), pat)
 		if err != nil {
 			writeError(w, http.StatusUnprocessableEntity, "%v", err)
 			return
@@ -319,7 +338,7 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	if minFrac <= 0 {
 		minFrac = 0.5
 	}
-	best, _, err := s.lib.Classify(read, minFrac)
+	best, err := s.classify(r.Context(), read, minFrac)
 	switch {
 	case errors.Is(err, core.ErrNoSupport):
 		// Valid read, no reference reaches the support threshold.
@@ -417,7 +436,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		idx = append(idx, i)
 	}
 	if len(seqs) > 0 {
-		results, agg, err := s.lib.LookupBatchContext(r.Context(), seqs, clampWorkers(req.Workers))
+		results, agg, err := s.lookupBatch(r.Context(), seqs, clampWorkers(req.Workers))
 		if err != nil && !isContextErr(err) {
 			writeError(w, http.StatusUnprocessableEntity, "%v", err)
 			return

@@ -31,6 +31,7 @@ func testServer(t *testing.T) (*httptest.Server, *genome.Sequence) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(s.Close)
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 	return ts, ref

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Service smoke test: build the CLI, serve a generated library on an
 # ephemeral port, exercise /healthz, /v1/search, the mutation lifecycle
-# (ingest, remove, compact), and /metrics with curl, then SIGTERM the
-# server and assert it drains to a clean exit.
+# (ingest, remove, compact), a burst of concurrent searches through the
+# coalescing layer, and /metrics with curl, then SIGTERM the server and
+# assert it drains to a clean exit.
 #
 # Run via `make smoke` (CI runs it too). Needs only bash, curl, awk.
 set -euo pipefail
@@ -87,10 +88,23 @@ echo "== /v1/compact"
 compacted=$(curl -sf -X POST "$base/v1/compact")
 echo "$compacted" | grep -q '"tombstoneRatio":0' || { echo "FATAL: compact left tombstones: $compacted"; exit 1; }
 
+echo "== concurrent searches (coalescing)"
+pids=()
+for i in $(seq 1 8); do
+    curl -sf -X POST -H 'Content-Type: application/json' \
+        -d "{\"pattern\":\"$pattern\"}" "$base/v1/search" >"$workdir/conc.$i" &
+    pids+=("$!")
+done
+for p in "${pids[@]}"; do wait "$p"; done
+for i in $(seq 1 8); do
+    grep -q '"matches":\[{' "$workdir/conc.$i" \
+        || { echo "FATAL: concurrent search $i failed: $(cat "$workdir/conc.$i")"; exit 1; }
+done
+
 echo "== /metrics"
 metrics=$(curl -sf "$base/metrics")
 for want in \
-    'biohd_http_requests_total{path="/v1/search",status="2xx"} 3' \
+    'biohd_http_requests_total{path="/v1/search",status="2xx"} 11' \
     'biohd_http_requests_total{path="/v1/refs",status="2xx"} 2' \
     'biohd_http_requests_total{path="/v1/compact",status="2xx"} 1' \
     'biohd_http_request_seconds_bucket' \
@@ -100,7 +114,9 @@ for want in \
     'biohd_library_segments' \
     'biohd_library_tombstone_ratio 0' \
     'biohd_core_segment_seals_total' \
-    'biohd_core_compactions_total'; do
+    'biohd_core_compactions_total' \
+    'biohd_coalesce_block_occupancy' \
+    'biohd_coalesce_queue_depth'; do
     echo "$metrics" | grep -qF "$want" || { echo "FATAL: /metrics missing: $want"; exit 1; }
 done
 
