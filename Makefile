@@ -55,13 +55,17 @@ lint-baseline:
 ## itself, not parallelism), BENCH_segments.json (segmented-library
 ## scan vs a monolithic build of the same references at S ∈ {1,4,16};
 ## the S=1 overhead is the cost of the snapshot indirection itself),
-## and BENCH_coalesce.json (closed-loop served throughput and latency,
-## direct path vs cross-request coalescing, at 1..256 concurrent clients)
+## BENCH_coalesce.json (closed-loop served throughput and latency,
+## direct path vs cross-request coalescing, at 1..256 concurrent
+## clients), and BENCH_mmap.json (mmap-backed probe vs heap-loaded at
+## S ∈ {1,4,16}; page-cache warm, so the overhead is the cost of
+## scanning file-backed pages)
 bench:
 	$(GO) run ./cmd/benchprobe -out BENCH_probe.json
 	GOMAXPROCS=1 $(GO) run ./cmd/benchprobe -queries-per-block 8 -out BENCH_multiprobe.json
 	GOMAXPROCS=1 $(GO) run ./cmd/benchprobe -segments 1,4,16 -reps 9 -out BENCH_segments.json
 	$(GO) run ./cmd/benchcoalesce -out BENCH_coalesce.json
+	GOMAXPROCS=1 $(GO) run ./cmd/benchprobe -mmap 1,4,16 -reps 9 -out BENCH_mmap.json
 
 ## benchsmoke: compile and run every micro-benchmark once — catches
 ## benchmarks that no longer build or crash, without measuring anything.

@@ -23,6 +23,14 @@
 // snapshot indirection itself and must stay in the noise; `make
 // bench` runs this mode to refresh BENCH_segments.json.
 //
+// With -mmap "1,4,16" the command instead measures what the
+// mmap-backed storage tier costs the probe: per segment count S, one
+// S-segment library is serialized in the v3 mappable format and opened
+// twice — heap-loaded and arena-mapped — and the same query mix probes
+// both. Page-cache-warm (the file was just written), so the ratio is
+// the cost of scanning file-backed pages rather than first-fault
+// latency; `make bench` runs this mode to refresh BENCH_mmap.json.
+//
 // Both sides run interleaved via testing.Benchmark, several
 // repetitions each, and the report keys off medians: on a shared
 // machine a single benchmark invocation can swing by tens of percent,
@@ -90,8 +98,14 @@ func main() {
 		"A/B-test the query-blocked scan at up to this block width instead of the seed comparison")
 	segs := flag.String("segments", "",
 		"comma-separated segment counts (e.g. 1,4,16): A/B-test the segmented scan against a monolithic build instead of the seed comparison")
+	mmapLevels := flag.String("mmap", "",
+		"comma-separated segment counts (e.g. 1,4,16): A/B-test the mmap-backed probe against the heap-loaded one instead of the seed comparison")
 	flag.Parse()
 
+	if *mmapLevels != "" {
+		runMmap(*buckets, *mmapLevels, *reps, *out)
+		return
+	}
 	if *segs != "" {
 		runSegments(*buckets, *segs, *reps, *out)
 		return
@@ -367,6 +381,170 @@ func runSegments(buckets int, levels string, reps int, out string) {
 		fmt.Fprintf(os.Stderr, "S=%d median: segmented %.0f ns/op, monolithic %.0f ns/op, overhead %+.1f%%\n",
 			s, lvl.SegmentedNsPerOp, lvl.MonolithicNsPerOp, 100*lvl.Overhead)
 		rep.Levels = append(rep.Levels, lvl)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchprobe:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if out == "-" {
+		if _, err := os.Stdout.Write(data); err != nil {
+			fmt.Fprintln(os.Stderr, "benchprobe:", err)
+			os.Exit(1)
+		}
+	} else if err := os.WriteFile(out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchprobe:", err)
+		os.Exit(1)
+	}
+}
+
+// mmapPair is one repetition of the mapped-vs-heap probe A/B.
+type mmapPair struct {
+	MappedNsPerOp float64 `json:"mapped_ns_per_op"`
+	HeapNsPerOp   float64 `json:"heap_ns_per_op"`
+}
+
+// mmapLevel is one segment count's result. Overhead is the fractional
+// slowdown of the mapped scan over the heap one (0.02 = 2% slower);
+// with the page cache warm both sides stream the same bytes, so the
+// gap is the price of file-backed pages (and must stay small for the
+// mapped tier to be the default for big cold libraries).
+type mmapLevel struct {
+	Segments      int        `json:"segments"`
+	FileBytes     int64      `json:"file_bytes"`
+	Reps          []mmapPair `json:"reps"`
+	MappedNsPerOp float64    `json:"median_mapped_ns_per_op"`
+	HeapNsPerOp   float64    `json:"median_heap_ns_per_op"`
+	Overhead      float64    `json:"overhead"`
+}
+
+type mmapReport struct {
+	Benchmark  string      `json:"benchmark"`
+	Dim        int         `json:"dim"`
+	Window     int         `json:"window"`
+	Capacity   int         `json:"capacity"`
+	Buckets    int         `json:"buckets"`
+	Queries    int         `json:"queries"`
+	GoVersion  string      `json:"go_version"`
+	GOARCH     string      `json:"goarch"`
+	GOMAXPROCS int         `json:"gomaxprocs"`
+	SIMD       bool        `json:"simd_kernel"`
+	Kernel     string      `json:"kernel"`
+	Levels     []mmapLevel `json:"levels"`
+}
+
+// runMmap A/B-tests the mmap-backed storage tier. Per level S, one
+// S-segment library is saved in the v3 mappable format, then opened
+// heap-loaded and arena-mapped; both answer the same probe mix. The
+// mapped side is warmed with one pass first so the comparison measures
+// steady-state scanning, not first-touch page faults.
+func runMmap(buckets int, levels string, reps int, out string) {
+	rep := mmapReport{
+		Benchmark: "mmap", Dim: dim, Window: window, Capacity: capacity,
+		Buckets: buckets, Queries: queries,
+		GoVersion: runtime.Version(), GOARCH: runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0), SIMD: bitvec.AccelAvailable(),
+		Kernel: bitvec.Kernel(),
+	}
+	dir, err := os.MkdirTemp("", "benchprobe-mmap")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchprobe:", err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(dir)
+	for _, field := range strings.Split(levels, ",") {
+		s, err := strconv.Atoi(strings.TrimSpace(field))
+		if err != nil || s <= 0 {
+			fmt.Fprintf(os.Stderr, "benchprobe: bad segment count %q\n", field)
+			os.Exit(1)
+		}
+		_, segd, qs, err := buildSegmentedPair(buckets, s)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchprobe:", err)
+			os.Exit(1)
+		}
+		path := fmt.Sprintf("%s/lib-%d.v3", dir, s)
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchprobe:", err)
+			os.Exit(1)
+		}
+		if _, err := segd.WriteToV3(f); err != nil {
+			fmt.Fprintln(os.Stderr, "benchprobe:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "benchprobe:", err)
+			os.Exit(1)
+		}
+		fi, err := os.Stat(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchprobe:", err)
+			os.Exit(1)
+		}
+		heap, err := core.OpenLibraryFile(path, core.LoadHeap)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchprobe:", err)
+			os.Exit(1)
+		}
+		mapped, err := core.OpenLibraryFile(path, core.MapArena)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchprobe:", err)
+			os.Exit(1)
+		}
+		if !mapped.Mapped() {
+			fmt.Fprintln(os.Stderr, "benchprobe: platform cannot map; -mmap A/B is meaningless here")
+			os.Exit(1)
+		}
+		// Warm pass: fault every mapped arena page in before timing.
+		var warm core.Stats
+		for _, q := range qs {
+			if _, err := mapped.Probe(q, &warm); err != nil {
+				fmt.Fprintln(os.Stderr, "benchprobe:", err)
+				os.Exit(1)
+			}
+		}
+		lvl := mmapLevel{Segments: s, FileBytes: fi.Size()}
+		var mappedNs, heapNs []float64
+		for r := 0; r < reps; r++ {
+			mp := testing.Benchmark(func(b *testing.B) {
+				var stats core.Stats
+				for i := 0; i < b.N; i++ {
+					if _, err := mapped.Probe(qs[i%len(qs)], &stats); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			hp := testing.Benchmark(func(b *testing.B) {
+				var stats core.Stats
+				for i := 0; i < b.N; i++ {
+					if _, err := heap.Probe(qs[i%len(qs)], &stats); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			pair := mmapPair{
+				MappedNsPerOp: float64(mp.NsPerOp()),
+				HeapNsPerOp:   float64(hp.NsPerOp()),
+			}
+			lvl.Reps = append(lvl.Reps, pair)
+			mappedNs = append(mappedNs, pair.MappedNsPerOp)
+			heapNs = append(heapNs, pair.HeapNsPerOp)
+			fmt.Fprintf(os.Stderr, "S=%d rep %d/%d: mapped %.0f ns/op, heap %.0f ns/op\n",
+				s, r+1, reps, pair.MappedNsPerOp, pair.HeapNsPerOp)
+		}
+		lvl.MappedNsPerOp = median(mappedNs)
+		lvl.HeapNsPerOp = median(heapNs)
+		lvl.Overhead = lvl.MappedNsPerOp/lvl.HeapNsPerOp - 1
+		fmt.Fprintf(os.Stderr, "S=%d median: mapped %.0f ns/op, heap %.0f ns/op, overhead %+.1f%%\n",
+			s, lvl.MappedNsPerOp, lvl.HeapNsPerOp, 100*lvl.Overhead)
+		rep.Levels = append(rep.Levels, lvl)
+		if err := mapped.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "benchprobe:", err)
+			os.Exit(1)
+		}
+		_ = heap.Close()
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -38,6 +38,7 @@ func cmdServe(args []string, out io.Writer) error {
 	lf := addLibFlags(fs)
 	refFile := fs.String("ref", "", "reference FASTA")
 	libFile := fs.String("lib", "", "saved library file (alternative to -ref)")
+	mmapLib := fs.Bool("mmap", false, "map a v3 -lib file instead of loading it to the heap (falls back to heap when unsupported)")
 	addr := fs.String("addr", "127.0.0.1:8650", "listen address")
 	cfg := server.DefaultConfig()
 	fs.DurationVar(&cfg.ReadHeaderTimeout, "header-timeout", cfg.ReadHeaderTimeout, "request header read timeout")
@@ -58,9 +59,28 @@ func cmdServe(args []string, out io.Writer) error {
 	if *compactTrigger < 0 || *compactTrigger > 1 {
 		return fmt.Errorf("-compact-trigger %v must be in [0, 1]", *compactTrigger)
 	}
-	lib, err := loadOrBuild(*refFile, *libFile, lf)
+	var lib *core.Library
+	var err error
+	if *mmapLib {
+		if *libFile == "" {
+			return fmt.Errorf("-mmap requires -lib (a saved v3 library file)")
+		}
+		lib, err = core.OpenLibraryFile(*libFile, core.MapArena)
+	} else {
+		lib, err = loadOrBuild(*refFile, *libFile, lf)
+	}
 	if err != nil {
 		return err
+	}
+	// Close unmaps a mapped library after in-flight probes drain; for a
+	// heap library it is a cheap no-op.
+	defer lib.Close()
+	if *mmapLib {
+		mode := "mapped"
+		if !lib.Mapped() {
+			mode = "heap fallback (platform cannot map, or the file is not v3)"
+		}
+		fmt.Fprintf(out, "library load mode: %s\n", mode)
 	}
 	lib.SetSealThreshold(*sealThreshold)
 	lib.SetAutoCompact(*compactTrigger)
@@ -316,15 +336,11 @@ func cmdBuild(args []string, out io.Writer) error {
 		return err
 	}
 	if *output != "" {
-		f, err := os.Create(*output)
+		err := saveAtomic(*output, func(w io.Writer) error {
+			_, err := lib.WriteTo(w)
+			return err
+		})
 		if err != nil {
-			return err
-		}
-		if _, err := lib.WriteTo(f); err != nil {
-			_ = f.Close() // the write error is the one worth reporting
-			return err
-		}
-		if err := f.Close(); err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "saved library to %s\n", *output)
@@ -604,21 +620,13 @@ func cmdCompact(args []string, out io.Writer) error {
 	if dst == "" {
 		dst = *libFile
 	}
-	tmp := dst + ".tmp"
-	g, err := os.Create(tmp)
-	if err != nil {
-		return err
+	// Save in the format the input arrived in: a v3 library stays
+	// mappable after compaction, a v1/v2 stream stays a stream.
+	save := func(w io.Writer) error { _, err := lib.WriteTo(w); return err }
+	if ver, err := libFileVersion(*libFile); err == nil && ver >= 3 {
+		save = func(w io.Writer) error { _, err := lib.WriteToV3(w); return err }
 	}
-	if _, err := lib.WriteTo(g); err != nil {
-		_ = g.Close() // the write error is the one worth reporting
-		_ = os.Remove(tmp)
-		return err
-	}
-	if err := g.Close(); err != nil {
-		_ = os.Remove(tmp)
-		return err
-	}
-	if err := os.Rename(tmp, dst); err != nil {
+	if err := saveAtomic(dst, save); err != nil {
 		return err
 	}
 	fmt.Fprintf(out, "saved library to %s\n", dst)

@@ -10,6 +10,7 @@
 //	pim        simulate a search batch on the PIM architecture
 //	serve      expose a library over an HTTP JSON API
 //	compact    rewrite a saved library's tombstoned segments
+//	convert    rewrite a saved library into another format version
 //
 // Run "biohd <subcommand> -h" for flags.
 package main
@@ -50,6 +51,8 @@ func run(args []string, out io.Writer) error {
 		return cmdPIM(args[1:], out)
 	case "compact":
 		return cmdCompact(args[1:], out)
+	case "convert":
+		return cmdConvert(args[1:], out)
 	case "help", "-h", "--help":
 		usage(out)
 		return nil
@@ -73,5 +76,6 @@ subcommands:
   pim         simulate a search batch on the crossbar PIM architecture
   serve       expose a library over an HTTP JSON API
   compact     rewrite a saved library's tombstoned segments and save it back
+  convert     rewrite a saved library into another format version (v2 stream, v3 mappable)
 `)
 }

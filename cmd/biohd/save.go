@@ -1,0 +1,127 @@
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+)
+
+// saveAtomic writes a file via tmp-then-rename so dst is never observed
+// half-written, and syncs both the file and its parent directory so the
+// rename is durable: File.Sync before the rename guarantees the data
+// blocks reach disk before the new name can point at them (rename is
+// atomic in the namespace, but a crash between rename and writeback
+// would otherwise leave dst pointing at incomplete data), and the
+// directory fsync afterwards makes the rename itself survive a crash.
+// On any error path the temporary file is removed — an aborted save
+// leaves no droppings next to dst.
+func saveAtomic(dst string, write func(io.Writer) error) (err error) {
+	tmp := dst + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			_ = f.Close()     // double Close after success is harmless
+			_ = os.Remove(tmp) // no-op once the rename happened
+		}
+	}()
+	if err = write(f); err != nil {
+		return err
+	}
+	if err = f.Sync(); err != nil {
+		return err
+	}
+	if err = f.Close(); err != nil {
+		return err
+	}
+	if err = os.Rename(tmp, dst); err != nil {
+		return err
+	}
+	return syncDir(filepath.Dir(dst))
+}
+
+// syncDir fsyncs a directory, making a just-renamed entry durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// libFileVersion sniffs the format version of a saved library file
+// without loading it.
+func libFileVersion(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	var head [12]byte
+	if _, err := io.ReadFull(f, head[:]); err != nil {
+		return 0, fmt.Errorf("%s: not a BioHD library file", path)
+	}
+	if string(head[:8]) != "BIOHDLIB" {
+		return 0, fmt.Errorf("%s: not a BioHD library file", path)
+	}
+	return int(binary.LittleEndian.Uint32(head[8:12])), nil
+}
+
+// cmdConvert rewrites a saved library between format versions —
+// principally v1/v2 streams into the mappable v3 layout that
+// "serve -mmap" and OpenLibraryFile(…, MapArena) consume zero-copy.
+func cmdConvert(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("convert", flag.ContinueOnError)
+	libFile := fs.String("lib", "", "saved library file to convert (required)")
+	output := fs.String("o", "", "output file (required; may equal -lib to rewrite in place)")
+	format := fs.String("format", "v3", "output format: v3 (mappable) or v2 (stream)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *libFile == "" || *output == "" {
+		return fmt.Errorf("convert requires -lib and -o")
+	}
+	ver, err := libFileVersion(*libFile)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(*libFile)
+	if err != nil {
+		return err
+	}
+	lib, err := core.ReadLibrary(f)
+	_ = f.Close() // read-only; nothing to flush
+	if err != nil {
+		return err
+	}
+	var save func(io.Writer) error
+	switch *format {
+	case "v3":
+		save = func(w io.Writer) error { _, err := lib.WriteToV3(w); return err }
+	case "v2":
+		save = func(w io.Writer) error { _, err := lib.WriteTo(w); return err }
+	default:
+		return fmt.Errorf("-format %q must be v3 or v2", *format)
+	}
+	if err := saveAtomic(*output, save); err != nil {
+		return err
+	}
+	fi, err := os.Stat(*output)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "converted %s (v%d) -> %s (%s, %d bytes): %d refs, %d segments, %d buckets\n",
+		*libFile, ver, *output, *format, fi.Size(), lib.NumRefs(), lib.NumSegments(), lib.NumBuckets())
+	return nil
+}

@@ -1,0 +1,176 @@
+package main
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/genome"
+	"repro/internal/rng"
+)
+
+// buildSealedLib builds a sealed-mode library file (the v2 stream
+// format) and returns its path.
+func buildSealedLib(t *testing.T) string {
+	t.Helper()
+	refs := genRefs(t)
+	libPath := filepath.Join(t.TempDir(), "lib.bhd")
+	var sb strings.Builder
+	if err := run([]string{"build", "-ref", refs, "-o", libPath}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	return libPath
+}
+
+func TestSaveAtomicWritesAndSyncs(t *testing.T) {
+	dst := filepath.Join(t.TempDir(), "out.bin")
+	err := saveAtomic(dst, func(w io.Writer) error {
+		_, err := w.Write([]byte("payload"))
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(dst)
+	if err != nil || string(got) != "payload" {
+		t.Fatalf("dst content %q, err %v", got, err)
+	}
+	if _, err := os.Stat(dst + ".tmp"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("temporary file survived a successful save")
+	}
+}
+
+func TestSaveAtomicErrorLeavesNoTmp(t *testing.T) {
+	dir := t.TempDir()
+	dst := filepath.Join(dir, "out.bin")
+	if err := os.WriteFile(dst, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("writer failed")
+	err := saveAtomic(dst, func(w io.Writer) error {
+		//lint:ignore errcheck the injected failure is the point
+		w.Write([]byte("partial"))
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want the writer's error", err)
+	}
+	// The failed save must leave the old file intact and no droppings.
+	if got, _ := os.ReadFile(dst); string(got) != "old" {
+		t.Fatalf("dst clobbered: %q", got)
+	}
+	if _, err := os.Stat(dst + ".tmp"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("temporary file survived the error path")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("unexpected files after failed save: %v", entries)
+	}
+}
+
+func TestConvertV2ToV3AndSearch(t *testing.T) {
+	libPath := buildSealedLib(t)
+	v3Path := filepath.Join(t.TempDir(), "lib.v3")
+	var sb strings.Builder
+	if err := run([]string{"convert", "-lib", libPath, "-o", v3Path, "-format", "v3"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "converted") {
+		t.Fatalf("no conversion report: %q", sb.String())
+	}
+	ver, err := libFileVersion(v3Path)
+	if err != nil || ver != 3 {
+		t.Fatalf("converted file version %d, err %v", ver, err)
+	}
+	if _, err := os.Stat(v3Path + ".tmp"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("convert left its temporary file behind")
+	}
+	// The converted library must answer searches (via the stream loader).
+	var out strings.Builder
+	if err := run([]string{"search", "-lib", v3Path, "-pattern", strings.Repeat("ACGT", 8)}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "matches") {
+		t.Fatalf("search against converted library: %q", out.String())
+	}
+	// Round-trip back to a v2 stream.
+	v2Path := filepath.Join(t.TempDir(), "back.v2")
+	if err := run([]string{"convert", "-lib", v3Path, "-o", v2Path, "-format", "v2"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if ver, err := libFileVersion(v2Path); err != nil || ver != 2 {
+		t.Fatalf("round-tripped file version %d, err %v", ver, err)
+	}
+}
+
+func TestConvertRejectsUnsealed(t *testing.T) {
+	// The CLI always builds sealed libraries; an unsealed one (raw
+	// counters retained) can only arrive from the core API.
+	lib, err := core.NewLibrary(core.Params{Dim: 1024, Window: 16, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lib.Add(genome.Record{ID: "r", Seq: genome.Random(300, rng.New(8))}); err != nil {
+		t.Fatal(err)
+	}
+	lib.Freeze()
+	libPath := filepath.Join(t.TempDir(), "lib.bhd")
+	if err := saveAtomic(libPath, func(w io.Writer) error {
+		_, err := lib.WriteTo(w)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	v3Path := filepath.Join(t.TempDir(), "lib.v3")
+	if err := run([]string{"convert", "-lib", libPath, "-o", v3Path, "-format", "v3"}, &sb); err == nil {
+		t.Fatal("unsealed library converted to v3")
+	}
+	if _, err := os.Stat(v3Path + ".tmp"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("failed convert left its temporary file behind")
+	}
+	if _, err := os.Stat(v3Path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("failed convert created the output file")
+	}
+}
+
+func TestConvertFlagValidation(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"convert"}, &sb); err == nil {
+		t.Fatal("convert without flags accepted")
+	}
+	libPath := buildSealedLib(t)
+	if err := run([]string{"convert", "-lib", libPath, "-o", libPath + ".x", "-format", "v9"}, &sb); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}
+
+func TestCompactPreservesV3Format(t *testing.T) {
+	libPath := buildSealedLib(t)
+	v3Path := filepath.Join(t.TempDir(), "lib.v3")
+	var sb strings.Builder
+	if err := run([]string{"convert", "-lib", libPath, "-o", v3Path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	// Compacting a v3 library in place must keep it v3 (and mappable).
+	if err := run([]string{"compact", "-lib", v3Path, "-remove", "VAR-0000"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if ver, err := libFileVersion(v3Path); err != nil || ver != 3 {
+		t.Fatalf("compacted v3 file became version %d, err %v", ver, err)
+	}
+	// ... and a v2 library stays v2.
+	if err := run([]string{"compact", "-lib", libPath, "-remove", "VAR-0000"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if ver, err := libFileVersion(libPath); err != nil || ver != 2 {
+		t.Fatalf("compacted v2 file became version %d, err %v", ver, err)
+	}
+}

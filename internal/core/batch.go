@@ -47,6 +47,12 @@ func (l *Library) LookupBatchContext(ctx context.Context, patterns []*genome.Seq
 	if sn == nil {
 		return nil, Stats{}, fmt.Errorf("core: LookupBatch before Freeze")
 	}
+	// One read section brackets the whole batch — Close drains after
+	// every worker below has finished scanning.
+	if !l.beginRead() {
+		return nil, Stats{}, ErrClosed
+	}
+	defer l.endRead()
 	if workers <= 0 {
 		workers = 1
 	}
@@ -131,6 +137,10 @@ func (l *Library) LookupBlock(patterns []*genome.Sequence, results []BatchResult
 	if sn == nil {
 		return fmt.Errorf("core: LookupBlock before Freeze")
 	}
+	if !l.beginRead() {
+		return ErrClosed
+	}
+	defer l.endRead()
 	results = results[:len(patterns)]
 	for i := range results {
 		// lookupBlock appends into r.Matches; reused result slots must

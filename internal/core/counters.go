@@ -33,6 +33,15 @@ type Counters struct {
 	// Compactions counts segments rewritten by Compact (manual or
 	// auto-triggered), including active-segment rebuilds.
 	Compactions int64
+	// MappedScans counts arena range scans served from mmap-backed
+	// segments (file format v3 opened with MapArena); HeapScans counts
+	// the same for heap-resident segments. Together they show which
+	// storage tier the probe load is actually hitting.
+	MappedScans int64
+	// HeapScans counts arena range scans served from heap-resident
+	// segments (including the active segment's view, which is always
+	// heap-built).
+	HeapScans int64
 }
 
 // libCounters is the live atomic form embedded in Library. Writers
@@ -46,6 +55,8 @@ type libCounters struct {
 	blockedWindows     atomic.Int64
 	segmentSeals       atomic.Int64
 	compactions        atomic.Int64
+	mappedScans        atomic.Int64
+	heapScans          atomic.Int64
 }
 
 // Counters returns a snapshot of the library's cumulative operational
@@ -61,5 +72,7 @@ func (l *Library) Counters() Counters {
 		BlockedWindows:     l.ctr.blockedWindows.Load(),
 		SegmentSeals:       l.ctr.segmentSeals.Load(),
 		Compactions:        l.ctr.compactions.Load(),
+		MappedScans:        l.ctr.mappedScans.Load(),
+		HeapScans:          l.ctr.heapScans.Load(),
 	}
 }

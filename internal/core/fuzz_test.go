@@ -33,6 +33,19 @@ func FuzzReadLibrary(f *testing.F) {
 	mut := append([]byte(nil), valid...)
 	mut[20] ^= 0xff
 	f.Add(mut)
+	// The mappable v3 layout, plus structured corruptions of its
+	// sections: truncated header, truncated arenas, flipped meta byte.
+	var buf3 bytes.Buffer
+	if _, err := lib.WriteToV3(&buf3); err != nil {
+		f.Fatal(err)
+	}
+	valid3 := buf3.Bytes()
+	f.Add(valid3)
+	f.Add(valid3[:40])
+	f.Add(valid3[:len(valid3)-32])
+	mut3 := append([]byte(nil), valid3...)
+	mut3[v3HeaderSize+8] ^= 0xff
+	f.Add(mut3)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		lib, err := ReadLibrary(bytes.NewReader(data))

@@ -20,13 +20,19 @@ import (
 //	              sealed u8, payload (sealed words | counters + n) } } |
 //	crc32 (IEEE, over everything before it)
 //
-// Version 2 (current) writes one bucket block per segment and flags
-// removed references (their sequence is omitted). Version 1 — the
+// Version 2 writes one bucket block per segment and flags removed
+// references (their sequence is omitted). Version 1 — the
 // pre-segmented monolith — had no removed flag and one flat bucket
 // block; v1 files load as a single segment and answer queries
 // identically to the library that saved them. The active segment is
 // serialized like a sealed one: a loaded library starts with an empty
 // active segment and every saved bucket immutable.
+//
+// Version 3 (io_v3.go) is the mappable layout: the same metadata as a
+// stream, but every sealed segment's probe arena placed 64-byte-aligned
+// at a header-recorded offset with a per-segment CRC, so the file can
+// be mmapped and scanned zero-copy. ReadLibrary accepts all three;
+// WriteTo emits v2 and WriteToV3 emits v3.
 const (
 	libMagic   = "BIOHDLIB"
 	libVersion = 2
@@ -75,50 +81,27 @@ func (cw *crcWriter) words(ws []uint64) {
 	cw.write(buf)
 }
 
-// WriteTo serializes the library's current snapshot. Only frozen
-// libraries can be saved (a half-built library has no stable search
-// semantics). It returns the number of payload bytes written.
+// WriteTo serializes the library's current snapshot in the v2 stream
+// format. Only frozen libraries can be saved (a half-built library has
+// no stable search semantics). It returns the number of payload bytes
+// written.
 func (l *Library) WriteTo(w io.Writer) (int64, error) {
 	sn := l.snap.Load()
 	if sn == nil {
 		return 0, fmt.Errorf("core: cannot save an unfrozen library")
 	}
+	if !l.beginRead() {
+		return 0, ErrClosed
+	}
+	defer l.endRead()
 	bw := bufio.NewWriter(w)
 	cw := &crcWriter{w: bw}
 	cw.write([]byte(libMagic))
 	cw.u32(libVersion)
 
-	p := l.params
-	cw.u32(uint32(p.Dim))
-	cw.u32(uint32(p.Window))
-	cw.u32(uint32(p.Stride))
-	cw.u32(uint32(p.Capacity))
-	cw.u32(boolU32(p.Approx))
-	cw.u32(boolU32(p.Sealed))
-	cw.u32(uint32(p.MutTolerance))
-	cw.f64(p.Alpha)
-	cw.f64(p.Beta)
-	cw.u64(p.Seed)
-
-	cw.f64(sn.cal.NoiseMean)
-	cw.f64(sn.cal.NoiseStd)
-	cw.f64(sn.cal.SignalMean)
-	cw.f64(sn.cal.SignalStd)
-	cw.f64(sn.cal.Tau)
-	cw.u32(uint32(sn.cal.Samples))
-
-	cw.u32(uint32(len(sn.refs)))
-	for _, rec := range sn.refs {
-		cw.str(rec.ID)
-		cw.str(rec.Description)
-		if rec.Seq == nil {
-			cw.u32(1) // removed: tombstone keeps the slot, drops the bases
-			continue
-		}
-		cw.u32(0)
-		cw.u64(uint64(rec.Seq.Len()))
-		cw.words(rec.Seq.PackedWords())
-	}
+	writeParams(cw, &l.params)
+	writeCalibration(cw, &sn.cal)
+	writeRefs(cw, sn.refs)
 
 	cw.u32(uint32(len(sn.segs)))
 	for _, seg := range sn.segs {
@@ -160,6 +143,47 @@ func (l *Library) WriteTo(w io.Writer) (int64, error) {
 		return 0, fmt.Errorf("core: saving library: %w", err)
 	}
 	return 0, nil
+}
+
+// writeParams serializes the 10 parameter fields (shared by v2 and v3).
+func writeParams(cw *crcWriter, p *Params) {
+	cw.u32(uint32(p.Dim))
+	cw.u32(uint32(p.Window))
+	cw.u32(uint32(p.Stride))
+	cw.u32(uint32(p.Capacity))
+	cw.u32(boolU32(p.Approx))
+	cw.u32(boolU32(p.Sealed))
+	cw.u32(uint32(p.MutTolerance))
+	cw.f64(p.Alpha)
+	cw.f64(p.Beta)
+	cw.u64(p.Seed)
+}
+
+// writeCalibration serializes the calibration block (shared by v2 and v3).
+func writeCalibration(cw *crcWriter, cal *Calibration) {
+	cw.f64(cal.NoiseMean)
+	cw.f64(cal.NoiseStd)
+	cw.f64(cal.SignalMean)
+	cw.f64(cal.SignalStd)
+	cw.f64(cal.Tau)
+	cw.u32(uint32(cal.Samples))
+}
+
+// writeRefs serializes the reference table with removed-flags (the v2
+// encoding, shared by v3).
+func writeRefs(cw *crcWriter, refs []genome.Record) {
+	cw.u32(uint32(len(refs)))
+	for _, rec := range refs {
+		cw.str(rec.ID)
+		cw.str(rec.Description)
+		if rec.Seq == nil {
+			cw.u32(1) // removed: tombstone keeps the slot, drops the bases
+			continue
+		}
+		cw.u32(0)
+		cw.u64(uint64(rec.Seq.Len()))
+		cw.words(rec.Seq.PackedWords())
+	}
 }
 
 func boolU32(b bool) uint32 {
@@ -243,21 +267,50 @@ const (
 	maxCount    = 1 << 24
 )
 
-// ReadLibrary deserializes a library saved by WriteTo (version 2) or by
-// the pre-segmented code (version 1), verifying the checksum; the
-// result is frozen and ready to search. A v1 file loads as one segment
-// and a v2 file preserves its segment boundaries, so both probe through
-// the same kernels — and produce the same answers — as the library that
-// was saved.
+// ReadLibrary deserializes a library saved in any supported format —
+// the v2 stream (WriteTo), the pre-segmented v1 stream, or the
+// mappable v3 layout (WriteToV3, read here into the heap) — verifying
+// every checksum; the result is frozen and ready to search. All
+// versions probe through the same kernels — and produce the same
+// answers — as the library that was saved. Any bytes following the
+// format's final checksum are rejected: a truncated concatenation or a
+// corrupt length field must not load as a valid library.
 func ReadLibrary(r io.Reader) (*Library, error) {
-	cr := &crcReader{r: bufio.NewReader(r)}
-	if magic := cr.read(len(libMagic)); cr.err != nil || string(magic) != libMagic {
+	br := bufio.NewReader(r)
+	var head [12]byte
+	if _, err := io.ReadFull(br, head[:]); err != nil || string(head[:len(libMagic)]) != libMagic {
 		return nil, fmt.Errorf("core: not a BioHD library file")
 	}
-	version := cr.u32()
-	if cr.err == nil && version != 1 && version != libVersion {
+	switch version := binary.LittleEndian.Uint32(head[len(libMagic):]); version {
+	case 1, 2:
+		return readLibraryV12(br, head[:], int(version))
+	case libVersionMapped:
+		return readLibraryV3(br, head[:])
+	default:
 		return nil, fmt.Errorf("core: unsupported library version %d", version)
 	}
+}
+
+// expectEOF asserts the stream is exhausted — every format ends at its
+// final checksum, so a readable byte here means trailing garbage (or a
+// concatenated second file) that must not silently pass.
+func expectEOF(br *bufio.Reader) error {
+	switch _, err := br.ReadByte(); err {
+	case io.EOF:
+		return nil
+	case nil:
+		return fmt.Errorf("core: trailing data after library checksum")
+	default:
+		return fmt.Errorf("core: reading library: %w", err)
+	}
+}
+
+// readParamsChecked deserializes and validates the parameter block,
+// including plausibility caps: a forged header must not make the
+// constructor precompute gigabyte rotation tables before any checksum
+// is checked. The encoder's table is 4·(Window+1) hypervectors of Dim
+// bits.
+func readParamsChecked(cr *crcReader) (Params, error) {
 	var p Params
 	p.Dim = int(cr.u32())
 	p.Window = int(cr.u32())
@@ -270,29 +323,25 @@ func ReadLibrary(r io.Reader) (*Library, error) {
 	p.Beta = cr.f64()
 	p.Seed = cr.u64()
 	if cr.err != nil {
-		return nil, fmt.Errorf("core: reading library header: %w", cr.err)
+		return p, fmt.Errorf("core: reading library header: %w", cr.err)
 	}
 	if err := p.Validate(); err != nil {
-		return nil, fmt.Errorf("core: loaded parameters invalid: %w", err)
+		return p, fmt.Errorf("core: loaded parameters invalid: %w", err)
 	}
-	// Plausibility caps: a forged header must not make the constructor
-	// precompute gigabyte rotation tables before the checksum is checked.
-	// The encoder's table is 4·(Window+1) hypervectors of Dim bits.
 	if p.Dim > 1<<22 {
-		return nil, fmt.Errorf("core: implausible dimension %d", p.Dim)
+		return p, fmt.Errorf("core: implausible dimension %d", p.Dim)
 	}
 	if int64(p.Window+1)*int64(p.Dim) > 1<<29 {
-		return nil, fmt.Errorf("core: implausible window %d at dimension %d", p.Window, p.Dim)
+		return p, fmt.Errorf("core: implausible window %d at dimension %d", p.Window, p.Dim)
 	}
 	if p.Capacity > maxCount || p.Stride > p.Dim {
-		return nil, fmt.Errorf("core: implausible capacity %d / stride %d", p.Capacity, p.Stride)
+		return p, fmt.Errorf("core: implausible capacity %d / stride %d", p.Capacity, p.Stride)
 	}
-	lib, err := NewLibrary(p)
-	if err != nil {
-		return nil, err
-	}
-	lib.params = p // keep the stored capacity exactly
+	return p, nil
+}
 
+// readCalibration deserializes the calibration block.
+func readCalibration(cr *crcReader) Calibration {
 	var cal Calibration
 	cal.NoiseMean = cr.f64()
 	cal.NoiseStd = cr.f64()
@@ -300,17 +349,24 @@ func ReadLibrary(r io.Reader) (*Library, error) {
 	cal.SignalStd = cr.f64()
 	cal.Tau = cr.f64()
 	cal.Samples = int(cr.u32())
+	return cal
+}
 
+// readRefs deserializes the reference table. removedFlag selects the
+// v2+ encoding, where a flag marks tombstoned references whose
+// sequence is omitted.
+func readRefs(cr *crcReader, removedFlag bool) ([]genome.Record, error) {
 	nRefs := cr.u32()
 	if cr.err == nil && nRefs > maxCount {
 		return nil, fmt.Errorf("core: implausible reference count %d", nRefs)
 	}
+	var refs []genome.Record
 	for i := uint32(0); i < nRefs && cr.err == nil; i++ {
 		id := cr.str(maxStrLen)
 		desc := cr.str(maxStrLen)
-		if version >= 2 && cr.u32() == 1 {
+		if removedFlag && cr.u32() == 1 {
 			// Removed reference: the slot keeps its index, no sequence.
-			lib.refs = append(lib.refs, genome.Record{ID: id, Description: desc})
+			refs = append(refs, genome.Record{ID: id, Description: desc})
 			continue
 		}
 		n := cr.u64()
@@ -321,11 +377,34 @@ func ReadLibrary(r io.Reader) (*Library, error) {
 		if uint64(len(words))*32 < n {
 			return nil, fmt.Errorf("core: reference %q truncated", id)
 		}
-		lib.refs = append(lib.refs, genome.Record{
+		refs = append(refs, genome.Record{
 			ID: id, Description: desc,
 			Seq: genome.FromPackedWords(words, int(n)),
 		})
 	}
+	return refs, nil
+}
+
+// readLibraryV12 deserializes the v1/v2 stream formats. head is the
+// already-consumed magic+version prefix, folded into the running CRC.
+func readLibraryV12(br *bufio.Reader, head []byte, version int) (*Library, error) {
+	cr := &crcReader{r: br, crc: crc32.Update(0, crc32.IEEETable, head)}
+	p, err := readParamsChecked(cr)
+	if err != nil {
+		return nil, err
+	}
+	lib, err := NewLibrary(p)
+	if err != nil {
+		return nil, err
+	}
+	lib.params = p // keep the stored capacity exactly
+
+	cal := readCalibration(cr)
+	refs, err := readRefs(cr, version >= 2)
+	if err != nil {
+		return nil, err
+	}
+	lib.refs = refs
 
 	// v1 has one flat bucket block; v2 prefixes a segment count.
 	nSegs := uint32(1)
@@ -404,11 +483,14 @@ func ReadLibrary(r io.Reader) (*Library, error) {
 		return nil, fmt.Errorf("core: reading library: %w", cr.err)
 	}
 	var tail [4]byte
-	if _, err := io.ReadFull(cr.r, tail[:]); err != nil {
+	if _, err := io.ReadFull(br, tail[:]); err != nil {
 		return nil, fmt.Errorf("core: reading library checksum: %w", err)
 	}
 	if got := binary.LittleEndian.Uint32(tail[:]); got != cr.crc {
 		return nil, fmt.Errorf("core: library checksum mismatch (file %08x, computed %08x)", got, cr.crc)
+	}
+	if err := expectEOF(br); err != nil {
+		return nil, err
 	}
 	lib.cal = cal
 	// v2 files are only ever written by frozen libraries; a v1 file is

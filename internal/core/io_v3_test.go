@@ -1,0 +1,494 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/genome"
+	"repro/internal/mmapfile"
+	"repro/internal/rng"
+)
+
+// writeV3Bytes serializes a library in the v3 mappable format.
+func writeV3Bytes(t *testing.T, lib *Library) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	n, err := lib.WriteToV3(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteToV3 reported %d bytes, wrote %d", n, buf.Len())
+	}
+	return buf.Bytes()
+}
+
+// writeV3File writes a library's v3 serialization into a temp file.
+func writeV3File(t *testing.T, lib *Library) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "lib.v3")
+	if err := os.WriteFile(path, writeV3Bytes(t, lib), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// requireSameAnswers asserts two libraries return byte-identical bucket
+// vectors and identical lookup results for windows of ref.
+func requireSameAnswers(t *testing.T, want, got *Library, ref *genome.Sequence, offs []int) {
+	t.Helper()
+	if got.NumBuckets() != want.NumBuckets() || got.NumWindows() != want.NumWindows() {
+		t.Fatalf("shape changed: %d/%d vs %d/%d",
+			got.NumBuckets(), got.NumWindows(), want.NumBuckets(), want.NumWindows())
+	}
+	for i := 0; i < want.NumBuckets(); i++ {
+		if !want.BucketVector(i).Equal(got.BucketVector(i)) {
+			t.Fatalf("bucket %d vector differs", i)
+		}
+	}
+	w := want.Params().Window
+	for _, off := range offs {
+		pat := ref.Slice(off, off+w)
+		m1, s1, err1 := want.Lookup(pat)
+		m2, s2, err2 := got.Lookup(pat)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("off %d: lookup errors %v / %v", off, err1, err2)
+		}
+		if len(m1) != len(m2) || s1 != s2 {
+			t.Fatalf("off %d: answers diverge: %v/%v vs %v/%v", off, m1, s1, m2, s2)
+		}
+		for i := range m1 {
+			if m1[i] != m2[i] {
+				t.Fatalf("off %d match %d differs: %+v vs %+v", off, i, m1[i], m2[i])
+			}
+		}
+	}
+}
+
+func TestV3RoundTripStream(t *testing.T) {
+	lib, ref := buildExactLib(t, 2000, 151)
+	back, err := ReadLibrary(bytes.NewReader(writeV3Bytes(t, lib)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Mapped() {
+		t.Fatal("stream-loaded library claims to be mapped")
+	}
+	requireSameAnswers(t, lib, back, ref, []int{0, 777, 1500, 2000 - 32})
+}
+
+func TestV3RoundTripApproxKeepsCalibration(t *testing.T) {
+	lib := buildApproxLib(t, 1500, 152)
+	back, err := ReadLibrary(bytes.NewReader(writeV3Bytes(t, lib)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, ok1 := lib.Calibration()
+	c2, ok2 := back.Calibration()
+	if !ok1 || !ok2 || c1 != c2 {
+		t.Fatalf("calibration lost: %+v vs %+v", c1, c2)
+	}
+	if lib.Threshold() != back.Threshold() {
+		t.Fatal("operating thresholds differ")
+	}
+}
+
+func TestV3RejectsUnsealedAndUnfrozen(t *testing.T) {
+	var buf bytes.Buffer
+	unfrozen := mustLibrary(t, Params{Dim: 1024, Window: 16, Sealed: true, Seed: 153})
+	if _, err := unfrozen.WriteToV3(&buf); err == nil {
+		t.Fatal("unfrozen library saved as v3")
+	}
+	unsealed := mustLibrary(t, Params{Dim: 1024, Window: 16, Seed: 154})
+	if err := unsealed.Add(genome.Record{ID: "r", Seq: genome.Random(300, rng.New(155))}); err != nil {
+		t.Fatal(err)
+	}
+	unsealed.Freeze()
+	if _, err := unsealed.WriteToV3(&buf); err == nil {
+		t.Fatal("unsealed library saved as v3")
+	}
+}
+
+func TestV3MappedEqualsHeap(t *testing.T) {
+	lib, ref := buildExactLib(t, 2000, 156)
+	path := writeV3File(t, lib)
+	heap, err := OpenLibraryFile(path, LoadHeap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer heap.Close()
+	if heap.Mapped() {
+		t.Fatal("LoadHeap produced a mapped library")
+	}
+	mapped, err := OpenLibraryFile(path, MapArena)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mapped.Close()
+	if mmapfile.Supported() && mmapfile.HostLittleEndian() {
+		if !mapped.Mapped() {
+			t.Fatal("MapArena fell back to heap on a supported platform")
+		}
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mapped.MappedBytes() != fi.Size() {
+			t.Fatalf("MappedBytes %d, file is %d bytes", mapped.MappedBytes(), fi.Size())
+		}
+	}
+	requireSameAnswers(t, heap, mapped, ref, []int{0, 777, 1500, 2000 - 32})
+	// The per-tier scan counters must attribute the work to the right
+	// storage tier.
+	if c := heap.Counters(); c.MappedScans != 0 || c.HeapScans == 0 {
+		t.Fatalf("heap library counters: mapped=%d heap=%d", c.MappedScans, c.HeapScans)
+	}
+	if mapped.Mapped() {
+		if c := mapped.Counters(); c.MappedScans == 0 || c.HeapScans != 0 {
+			t.Fatalf("mapped library counters: mapped=%d heap=%d", c.MappedScans, c.HeapScans)
+		}
+	}
+}
+
+func TestV3OpenHeapFallbackOnV2(t *testing.T) {
+	lib, ref := buildExactLib(t, 1200, 157)
+	var buf bytes.Buffer
+	if _, err := lib.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "lib.v2")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	back, err := OpenLibraryFile(path, MapArena)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer back.Close()
+	if back.Mapped() {
+		t.Fatal("v2 stream opened as mapped")
+	}
+	requireSameAnswers(t, lib, back, ref, []int{0, 600})
+}
+
+// TestV3MappedUnderConcurrentMutation pins mapped ≡ heap while the
+// library changes underneath the readers: live ingest, Remove, and
+// Compact land as snapshot swaps on both libraries while goroutines
+// hammer lookups on the mapped one, and the final answers must match a
+// heap twin that took the same mutations.
+func TestV3MappedUnderConcurrentMutation(t *testing.T) {
+	lib, ref := buildExactLib(t, 1600, 158)
+	path := writeV3File(t, lib)
+	heap, err := OpenLibraryFile(path, LoadHeap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer heap.Close()
+	mapped, err := OpenLibraryFile(path, MapArena)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mapped.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	pat := ref.Slice(300, 332)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, _, err := mapped.Lookup(pat); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	// Same mutation sequence on both libraries, while lookups run.
+	extra := genome.Random(900, rng.New(159))
+	for _, l := range []*Library{mapped, heap} {
+		if err := l.Add(genome.Record{ID: "extra", Seq: extra}); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Remove(0); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := l.Compact(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	// The original reference is gone; the ingested one answers.
+	requireSameAnswers(t, heap, mapped, extra, []int{0, 444, 900 - 32})
+	if m, _, err := mapped.Lookup(pat); err != nil || len(m) != 0 {
+		t.Fatalf("removed reference still matches: %v (err %v)", m, err)
+	}
+}
+
+// TestV3CloseDrainsReaders pins the unmap lifecycle: Close blocks until
+// in-flight probes drain, later operations fail with ErrClosed, and
+// nothing faults on the unmapped pages.
+func TestV3CloseDrainsReaders(t *testing.T) {
+	lib, ref := buildExactLib(t, 1600, 160)
+	path := writeV3File(t, lib)
+	mapped, err := OpenLibraryFile(path, MapArena)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mapped.Mapped() {
+		t.Skip("platform cannot map; drain path not reachable")
+	}
+	pat := ref.Slice(500, 532)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if _, _, err := mapped.Lookup(pat); err != nil {
+					if err != ErrClosed {
+						t.Errorf("lookup during close: %v", err)
+					}
+					return
+				}
+			}
+		}()
+	}
+	if err := mapped.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if err := mapped.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, _, err := mapped.Lookup(pat); err != ErrClosed {
+		t.Fatalf("Lookup after Close: %v", err)
+	}
+	if err := mapped.Remove(0); err != ErrClosed {
+		t.Fatalf("Remove after Close: %v", err)
+	}
+	if v := mapped.BucketVector(0); v != nil {
+		t.Fatal("BucketVector after Close returned mapped storage")
+	}
+}
+
+// TestStaleBucketIndexAfterCompact replays probe candidates across a
+// Compact that shrank the library: the stale global indices must come
+// back empty from the public accessors, never panic.
+func TestStaleBucketIndexAfterCompact(t *testing.T) {
+	lib := mustLibrary(t, Params{Dim: 8192, Window: 32, Sealed: true, Seed: 161})
+	for i, n := range []int{900, 900} {
+		seq := genome.Random(n, rng.New(uint64(162+i)))
+		if err := lib.Add(genome.Record{ID: string(rune('a' + i)), Seq: seq}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lib.Freeze()
+	ref := lib.Ref(0).Seq
+	hv := lib.Encoder().EncodeWindowExact(ref, 100)
+	var stats Stats
+	cands, err := lib.Probe(hv, &stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) == 0 {
+		t.Fatal("probe found no candidates")
+	}
+	before := lib.NumBuckets()
+	if err := lib.Remove(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lib.Compact(0); err != nil {
+		t.Fatal(err)
+	}
+	if lib.NumBuckets() >= before {
+		t.Fatalf("compact did not shrink the library (%d -> %d buckets)", before, lib.NumBuckets())
+	}
+	// Replay every stale candidate plus the extremes; out-of-range must
+	// return zero values, in-range must answer normally.
+	idxs := []int{-1, before - 1, before, lib.NumBuckets(), 1 << 30}
+	for _, c := range cands {
+		idxs = append(idxs, c.Bucket)
+	}
+	for _, i := range idxs {
+		wins := lib.BucketWindows(i)
+		vec := lib.BucketVector(i)
+		if i < 0 || i >= lib.NumBuckets() {
+			if wins != nil || vec != nil {
+				t.Fatalf("stale index %d returned data", i)
+			}
+		} else if vec == nil {
+			t.Fatalf("live index %d returned nil vector", i)
+		}
+	}
+	// Unfrozen libraries bounds-check the active path too.
+	fresh := mustLibrary(t, Params{Dim: 1024, Window: 16, Seed: 164})
+	if err := fresh.Add(genome.Record{ID: "r", Seq: genome.Random(200, rng.New(165))}); err != nil {
+		t.Fatal(err)
+	}
+	if wins := fresh.BucketWindows(1 << 20); wins != nil {
+		t.Fatal("unfrozen out-of-range BucketWindows returned data")
+	}
+}
+
+func TestTrailingDataRejectedV2(t *testing.T) {
+	lib, _ := buildExactLib(t, 800, 166)
+	var buf bytes.Buffer
+	if _, err := lib.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := append(buf.Bytes(), 0x00)
+	if _, err := ReadLibrary(bytes.NewReader(data)); err == nil {
+		t.Fatal("v2 stream with trailing data accepted")
+	}
+}
+
+func TestTrailingDataRejectedV3(t *testing.T) {
+	lib, _ := buildExactLib(t, 800, 167)
+	data := append(writeV3Bytes(t, lib), 0x00)
+	if _, err := ReadLibrary(bytes.NewReader(data)); err == nil {
+		t.Fatal("v3 stream with trailing data accepted")
+	}
+	path := filepath.Join(t.TempDir(), "trail.v3")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenLibraryFile(path, MapArena); err == nil {
+		t.Fatal("mapped open accepted trailing data")
+	}
+}
+
+// TestV3CorruptionMatrix drives both v3 readers (stream and mapped)
+// through a matrix of corrupted files: every case must come back as an
+// error — never a panic, never a silently accepted library.
+func TestV3CorruptionMatrix(t *testing.T) {
+	lib, _ := buildExactLib(t, 1200, 168)
+	valid := writeV3Bytes(t, lib)
+	le := binary.LittleEndian
+	metaLen := le.Uint64(valid[24:32])
+	dirOff := le.Uint64(valid[32:40])
+	arenaOff := le.Uint64(valid[40:48])
+	segCount := le.Uint32(valid[12:16])
+
+	// rewriteHeaderCRC makes a header mutation self-consistent, so the
+	// corruption under test is reached instead of the CRC tripping first.
+	rewriteHeaderCRC := func(b []byte) {
+		le.PutUint32(b[56:60], crc32.ChecksumIEEE(b[:56]))
+	}
+	// rewriteDirCRC re-seals a mutated directory the same way.
+	rewriteDirCRC := func(b []byte) {
+		end := dirOff + uint64(segCount)*v3DirEntrySize
+		le.PutUint32(b[end:end+4], crc32.ChecksumIEEE(b[dirOff:end]))
+	}
+
+	cases := []struct {
+		name string
+		mut  func(b []byte) []byte
+	}{
+		{"truncated header", func(b []byte) []byte { return b[:40] }},
+		{"truncated mid-file", func(b []byte) []byte { return b[:len(b)*2/3] }},
+		{"truncated last byte", func(b []byte) []byte { return b[:len(b)-1] }},
+		{"bad magic", func(b []byte) []byte { b[0] ^= 0xff; return b }},
+		{"bad version", func(b []byte) []byte {
+			le.PutUint32(b[8:12], 99)
+			rewriteHeaderCRC(b)
+			return b
+		}},
+		{"header crc flip", func(b []byte) []byte { b[57] ^= 0x01; return b }},
+		{"reserved header bytes", func(b []byte) []byte { b[61] = 1; return b }},
+		{"oversized meta length", func(b []byte) []byte {
+			le.PutUint64(b[24:32], metaLen+1)
+			rewriteHeaderCRC(b)
+			return b
+		}},
+		{"segment count flip", func(b []byte) []byte {
+			le.PutUint32(b[12:16], segCount+1)
+			rewriteHeaderCRC(b)
+			return b
+		}},
+		{"flipped meta byte", func(b []byte) []byte { b[v3HeaderSize+2] ^= 0x10; return b }},
+		{"flipped directory byte", func(b []byte) []byte { b[dirOff+4] ^= 0x10; return b }},
+		{"misaligned arena offset", func(b []byte) []byte {
+			le.PutUint64(b[dirOff:dirOff+8], le.Uint64(b[dirOff:dirOff+8])+8)
+			rewriteDirCRC(b)
+			return b
+		}},
+		{"flipped arena byte", func(b []byte) []byte { b[arenaOff] ^= 0x40; return b }},
+		{"file size flip", func(b []byte) []byte {
+			le.PutUint64(b[48:56], le.Uint64(b[48:56])+64)
+			rewriteHeaderCRC(b)
+			return b
+		}},
+	}
+	if pad := dirOff - (v3HeaderSize + metaLen); pad > 0 {
+		cases = append(cases, struct {
+			name string
+			mut  func(b []byte) []byte
+		}{"nonzero padding byte", func(b []byte) []byte { b[v3HeaderSize+metaLen] = 0xAA; return b }})
+	}
+
+	dir := t.TempDir()
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			data := tc.mut(append([]byte(nil), valid...))
+			if _, err := ReadLibrary(bytes.NewReader(data)); err == nil {
+				t.Fatal("stream reader accepted corrupted v3 file")
+			}
+			path := filepath.Join(dir, "corrupt.v3")
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := OpenLibraryFile(path, MapArena); err == nil {
+				t.Fatal("mapped open accepted corrupted v3 file")
+			}
+		})
+	}
+}
+
+// TestV3CompactRetiresMappedSegments exercises the DONTNEED hint path:
+// compacting a mapped library rewrites tombstoned segments onto the
+// heap, after which probes must report heap scans and the answers stay
+// correct.
+func TestV3CompactRetiresMappedSegments(t *testing.T) {
+	lib, ref := buildExactLib(t, 1600, 169)
+	path := writeV3File(t, lib)
+	mapped, err := OpenLibraryFile(path, MapArena)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mapped.Close()
+	if !mapped.Mapped() {
+		t.Skip("platform cannot map")
+	}
+	if err := mapped.Add(genome.Record{ID: "x", Seq: genome.Random(700, rng.New(170))}); err != nil {
+		t.Fatal(err)
+	}
+	if err := mapped.Remove(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mapped.Compact(0); err != nil {
+		t.Fatal(err)
+	}
+	if m, _, err := mapped.Lookup(ref.Slice(200, 232)); err != nil || len(m) != 0 {
+		t.Fatalf("removed reference still matches after compact: %v (err %v)", m, err)
+	}
+	base := mapped.Counters().HeapScans
+	if _, _, err := mapped.Lookup(mapped.Ref(1).Seq.Slice(0, 32)); err != nil {
+		t.Fatal(err)
+	}
+	if mapped.Counters().HeapScans == base {
+		t.Fatal("post-compact probes still attributed to the mapped tier")
+	}
+}

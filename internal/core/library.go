@@ -1,14 +1,23 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/encoding"
 	"repro/internal/genome"
 	"repro/internal/hdc"
+	"repro/internal/mmapfile"
 )
+
+// ErrClosed is returned by operations on a library whose Close has
+// been called (only mmap-backed libraries reject reads after Close —
+// their arenas are unmapped — but mutations fail on any closed
+// library).
+var ErrClosed = errors.New("core: library is closed")
 
 // Params configures a BioHD reference library.
 type Params struct {
@@ -143,6 +152,100 @@ type Library struct {
 	// errShort is the invalid-pattern error, precomputed so the batch
 	// path reports it without formatting on a hot path.
 	errShort error
+
+	// mapped marks a library whose sealed arenas alias a read-only file
+	// mapping (OpenLibraryFile with MapArena). Immutable after
+	// construction, so the hot read paths branch on it without
+	// synchronization. Heap libraries skip the reader accounting below
+	// entirely — their storage never disappears, so reads cost nothing
+	// extra.
+	mapped bool
+	// mapping is the backing file mapping of a mapped library; guarded
+	// by mu (Close nils it after unmapping).
+	mapping *mmapfile.Mapping
+	// readers counts in-flight read operations of a mapped library;
+	// Close unmaps only after it drains to zero.
+	readers atomic.Int64
+	// closed is set by Close; mapped reads and all mutations fail once
+	// it is observed.
+	closed atomic.Bool
+}
+
+// beginRead opens a read section: every public operation that touches
+// segment arenas brackets itself with beginRead/endRead so Close can
+// drain in-flight readers before unmapping. Heap-backed libraries pay
+// a single predictable branch. A false return means the library is
+// closed and the arenas are (or are about to be) unmapped; the caller
+// must fail with ErrClosed without touching storage.
+//
+//biohd:hotpath
+func (l *Library) beginRead() bool {
+	if !l.mapped {
+		return true
+	}
+	l.readers.Add(1)
+	// Increment before the closed check: Close sets closed first, then
+	// waits for readers to drain, so either it observes our increment
+	// and waits for endRead, or we observe closed and back out.
+	if l.closed.Load() {
+		l.readers.Add(-1)
+		return false
+	}
+	return true
+}
+
+// endRead closes a read section opened by beginRead.
+//
+//biohd:hotpath
+func (l *Library) endRead() {
+	if l.mapped {
+		l.readers.Add(-1)
+	}
+}
+
+// Close shuts the library down. For a mapped library it waits for
+// in-flight reads to drain, then unmaps the backing file — after which
+// any retained arena alias (e.g. a BucketVector result) is invalid.
+// Heap libraries just stop accepting mutations and reads keep working;
+// either way Close is idempotent and further mutations return
+// ErrClosed.
+func (l *Library) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed.Swap(true) {
+		return nil
+	}
+	if l.mapping == nil {
+		return nil
+	}
+	// Drain: new readers observe closed and back out; existing ones
+	// finish their scan and decrement. Scans are short (no blocking
+	// operations inside a read section), so yielding is enough.
+	for l.readers.Load() != 0 {
+		runtime.Gosched()
+	}
+	err := l.mapping.Close()
+	l.mapping = nil
+	return err
+}
+
+// Mapped reports whether the library's sealed arenas alias a read-only
+// file mapping (zero-copy v3 load) rather than heap storage.
+func (l *Library) Mapped() bool { return l.mapped }
+
+// MappedBytes returns the size of the backing file mapping, or 0 for
+// heap-loaded (or closed) libraries. This is address space, not
+// resident memory — the kernel pages the hot subset in and out.
+func (l *Library) MappedBytes() int64 {
+	if !l.mapped {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.mapping == nil {
+		return 0
+	}
+	return int64(l.mapping.Len())
 }
 
 // lookupScratch is the reusable per-query state of the lookup paths.
@@ -407,6 +510,9 @@ func (l *Library) Add(rec genome.Record) error {
 }
 
 func (l *Library) addLocked(rec genome.Record) error {
+	if l.closed.Load() {
+		return ErrClosed
+	}
 	if rec.Seq == nil || rec.Seq.Len() < l.params.Window {
 		return fmt.Errorf("core: reference %q shorter than window %d", rec.ID, l.params.Window)
 	}
@@ -454,7 +560,7 @@ func (l *Library) maybeSealActiveLocked() {
 func (l *Library) Freeze() {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if l.snap.Load() != nil || l.active.numBuckets() == 0 {
+	if l.closed.Load() || l.snap.Load() != nil || l.active.numBuckets() == 0 {
 		return
 	}
 	if seg := l.active.seal(&l.params, l.refs); seg != nil {
@@ -490,23 +596,43 @@ func (l *Library) Frozen() bool { return l.snap.Load() != nil }
 
 // BucketWindows returns the member windows of bucket i (shared slice; do
 // not mutate). Windows of removed references are included; check
-// Ref(wr.Ref).Seq != nil for liveness.
+// Ref(wr.Ref).Seq != nil for liveness. An out-of-range index — e.g. a
+// Candidate.Bucket held across a Compact that shrank the library —
+// returns nil rather than panicking.
 func (l *Library) BucketWindows(i int) []WindowRef {
 	if sn := l.snap.Load(); sn != nil {
-		return sn.windows(i)
+		seg, li, ok := sn.locateOK(i)
+		if !ok {
+			return nil
+		}
+		return seg.windows(li)
+	}
+	if i < 0 || i >= l.active.numBuckets() {
+		return nil
 	}
 	return l.active.windows(i)
 }
 
 // BucketVector returns the sealed hypervector of bucket i (shared; do
-// not mutate). It panics if the library is not frozen — the sealed view
-// only exists after Freeze.
+// not mutate — and do not retain across Close on a mapped library, the
+// words alias the file mapping). It panics if the library is not
+// frozen — the sealed view only exists after Freeze — but an
+// out-of-range index, like a stale bucket index held across a Compact,
+// returns nil rather than panicking.
 func (l *Library) BucketVector(i int) *hdc.HV {
 	sn := l.snap.Load()
 	if sn == nil {
 		panic("core: BucketVector before Freeze")
 	}
-	return sn.vector(i)
+	if !l.beginRead() {
+		return nil
+	}
+	defer l.endRead()
+	seg, li, ok := sn.locateOK(i)
+	if !ok {
+		return nil
+	}
+	return seg.vector(li)
 }
 
 // MemoryFootprint returns the library's resident search-store size in

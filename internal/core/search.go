@@ -124,6 +124,10 @@ func (l *Library) Probe(hv *hdc.HV, stats *Stats) ([]Candidate, error) {
 	if sn == nil {
 		return nil, fmt.Errorf("core: Probe before Freeze")
 	}
+	if !l.beginRead() {
+		return nil, ErrClosed
+	}
+	defer l.endRead()
 	if hv.Dim() != l.params.Dim {
 		return nil, fmt.Errorf("core: query dimension %d != library %d", hv.Dim(), l.params.Dim)
 	}
@@ -210,6 +214,10 @@ func (l *Library) ProbeMulti(hvs []*hdc.HV, stats *Stats) ([][]Candidate, error)
 	if sn == nil {
 		return nil, fmt.Errorf("core: ProbeMulti before Freeze")
 	}
+	if !l.beginRead() {
+		return nil, ErrClosed
+	}
+	defer l.endRead()
 	for _, hv := range hvs {
 		if hv.Dim() != l.params.Dim {
 			return nil, fmt.Errorf("core: query dimension %d != library %d", hv.Dim(), l.params.Dim)
@@ -359,6 +367,10 @@ func (l *Library) Lookup(pattern *genome.Sequence) ([]Match, Stats, error) {
 	if sn == nil {
 		return nil, stats, fmt.Errorf("core: Lookup before Freeze")
 	}
+	if !l.beginRead() {
+		return nil, stats, ErrClosed
+	}
+	defer l.endRead()
 	tol := 0
 	if l.params.Approx {
 		tol = l.params.MutTolerance
@@ -436,6 +448,10 @@ func (l *Library) LookupLong(query *genome.Sequence, minFrac float64) ([]RefMatc
 	if sn == nil {
 		return nil, stats, fmt.Errorf("core: Lookup before Freeze")
 	}
+	if !l.beginRead() {
+		return nil, stats, ErrClosed
+	}
+	defer l.endRead()
 	tol := 0
 	if l.params.Approx {
 		tol = l.params.MutTolerance

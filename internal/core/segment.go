@@ -36,6 +36,17 @@ type segment struct {
 	rowWords int
 	total    int // member windows, including tombstoned ones
 	tombs    int // member windows whose reference has been removed
+
+	// mapped marks an arena that aliases a read-only file mapping
+	// (format v3 opened with MapArena) instead of heap storage; mapOff
+	// and mapLen locate the arena's byte range inside that mapping so
+	// the library lifecycle can madvise it (DONTNEED once compaction
+	// retires the segment). Mapped arenas must never be written — the
+	// pages fault on write — which the immutable-once-published
+	// discipline above already guarantees.
+	mapped bool
+	mapOff int
+	mapLen int
 }
 
 // newSegment seals a bucket slice into a segment: every sealed vector is
@@ -54,6 +65,42 @@ func newSegment(bkts []bucket, dim int) *segment {
 	}
 	return s
 }
+
+// segmentFromArena builds a segment around an existing packed arena —
+// the v3 load path, where the arena words either were decoded from the
+// file into the heap or alias a read-only mapping zero-copy. wins[i]
+// becomes bucket i's member windows and the bucket's sealed view is
+// pointed at its arena row in place; nothing is copied. len(arena)
+// must be len(wins)·dim/64 — the v3 reader validates this against the
+// segment directory before calling. Tombstone counts start at zero;
+// callers run countTombs against their reference table.
+func segmentFromArena(arena []uint64, wins [][]WindowRef, dim int, mapped bool) *segment {
+	s := &segment{
+		bkts:     make([]bucket, len(wins)),
+		arena:    arena,
+		rowWords: dim / 64,
+		mapped:   mapped,
+	}
+	for i := range s.bkts {
+		s.bkts[i].windows = wins[i]
+		// Safe on a read-only mapping: dim is a multiple of 64, so the
+		// HV constructor's tail-masking never writes the arena row.
+		s.bkts[i].sealed = hdc.HVFromArenaRow(s.arenaRow(i), dim)
+		s.total += len(wins[i])
+	}
+	return s
+}
+
+// setMapRange records the arena's byte range inside the library's file
+// mapping, for later madvise hints.
+func (s *segment) setMapRange(off, n int) {
+	s.mapOff, s.mapLen = off, n
+}
+
+// arenaWords exposes the full packed arena for serialization (shared;
+// callers must not mutate). The v3 writer streams this straight to the
+// file — rows are already contiguous in bucket order.
+func (s *segment) arenaWords() []uint64 { return s.arena }
 
 // arenaRow returns bucket i's packed words inside the arena. The full
 // slice expression caps the row so an overrunning kernel cannot creep
@@ -181,6 +228,13 @@ func (s *segment) score(i int, hv *hdc.HV, p *Params) float64 {
 //
 //biohd:hotpath
 func (s *segment) probeRange(dst []Candidate, hv *hdc.HV, tau float64, maxHam, lo, hi, gOff int, p *Params, ctr *libCounters) []Candidate {
+	// One storage-tier tally per range scan (not per row) — same
+	// publish cadence as the earlyAbandons counter below.
+	if s.mapped {
+		ctr.mappedScans.Add(1)
+	} else {
+		ctr.heapScans.Add(1)
+	}
 	if p.Sealed {
 		q := hv.Words()
 		rw := s.rowWords
@@ -225,6 +279,13 @@ func (s *segment) probeRange(dst []Candidate, hv *hdc.HV, tau float64, maxHam, l
 //biohd:hotpath
 func (s *segment) probeBlockRange(dsts [][]Candidate, hvs []*hdc.HV, qs [][]uint64, tau float64, maxHam, lo, hi, gOff int, bounds, dist []int, p *Params, ctr *libCounters) {
 	if p.Sealed && len(hvs) > 1 {
+		// One fused pass over the range serves the whole block: one
+		// storage-tier tally, mirroring probeRange.
+		if s.mapped {
+			ctr.mappedScans.Add(1)
+		} else {
+			ctr.heapScans.Add(1)
+		}
 		d := p.Dim
 		rw := s.rowWords
 		qs = qs[:0]

@@ -53,6 +53,20 @@ func (sn *snapshot) locate(g int) (*segment, int) {
 	panic("core: bucket index out of range")
 }
 
+// locateOK is locate for untrusted indices — the public Bucket*
+// accessors route through it so a stale global index (e.g. a
+// Candidate.Bucket held across a Compact that shrank the library)
+// reports !ok instead of panicking. Internal probe paths keep using
+// locate: their indices come from the snapshot being scanned, so an
+// out-of-range one is a bug worth crashing on.
+func (sn *snapshot) locateOK(g int) (*segment, int, bool) {
+	if g < 0 || g >= sn.nBkts {
+		return nil, 0, false
+	}
+	seg, i := sn.locate(g)
+	return seg, i, true
+}
+
 // windows returns the member windows of global bucket g (shared slice;
 // callers must not mutate). Tombstoned windows are included — verify
 // filters them against the snapshot's reference table.

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/genome"
 	"repro/internal/hdc"
+	"repro/internal/mmapfile"
 )
 
 // Remove deletes a reference from a frozen library by tombstoning it:
@@ -24,6 +25,9 @@ import (
 func (l *Library) Remove(refIdx int) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.closed.Load() {
+		return ErrClosed
+	}
 	if l.snap.Load() == nil {
 		return fmt.Errorf("core: Remove before Freeze")
 	}
@@ -68,6 +72,9 @@ func (l *Library) Remove(refIdx int) error {
 func (l *Library) Compact(minRatio float64) (int, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.closed.Load() {
+		return 0, ErrClosed
+	}
 	if l.snap.Load() == nil {
 		return 0, fmt.Errorf("core: Compact before Freeze")
 	}
@@ -77,6 +84,7 @@ func (l *Library) Compact(minRatio float64) (int, error) {
 func (l *Library) compactLocked(minRatio float64) int {
 	rewritten := 0
 	segs := l.segs[:0:0]
+	var retired []*segment // mapped segments replaced by this pass
 	for _, seg := range l.segs {
 		if seg.tombs == 0 || seg.tombRatio() < minRatio {
 			segs = append(segs, seg)
@@ -85,6 +93,9 @@ func (l *Library) compactLocked(minRatio float64) int {
 		rewritten++
 		if ns := l.rebuildSegment(seg); ns != nil {
 			segs = append(segs, ns)
+		}
+		if seg.mapped {
+			retired = append(retired, seg)
 		}
 	}
 	// The active builder compacts too: rebuild it in place (still
@@ -102,6 +113,16 @@ func (l *Library) compactLocked(minRatio float64) int {
 	l.segs = segs
 	l.ctr.compactions.Add(int64(rewritten))
 	l.publishLocked(true)
+	// The rewritten replacements live on the heap; tell the kernel the
+	// retired segments' file pages are cold. Advisory only, so readers
+	// still holding a pre-compaction snapshot just refault the pages
+	// from the file if they touch them.
+	if l.mapping != nil {
+		for _, seg := range retired {
+			//lint:ignore errcheck paging hints are best-effort
+			l.mapping.Advise(seg.mapOff, seg.mapLen, mmapfile.AdviseDontNeed)
+		}
+	}
 	return rewritten
 }
 

@@ -1,0 +1,68 @@
+//go:build linux && !purego
+
+package mmapfile
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+const supported = true
+
+func openMapping(path string) (*Mapping, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return &Mapping{}, nil
+	}
+	if size != int64(int(size)) {
+		return nil, fmt.Errorf("mmapfile: %s is %d bytes, too large to map", path, size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("mmapfile: mmap %s: %w", path, err)
+	}
+	return &Mapping{data: data}, nil
+}
+
+func unmap(data []byte) error {
+	return syscall.Munmap(data)
+}
+
+// advise rounds [off, off+n) outward to page boundaries before calling
+// madvise, which requires a page-aligned start address.
+func (m *Mapping) advise(off, n int, adv Advice) error {
+	page := syscall.Getpagesize()
+	start := off - off%page
+	end := off + n
+	if rem := end % page; rem != 0 {
+		end += page - rem
+	}
+	if end > len(m.data) {
+		end = len(m.data)
+	}
+	var flag int
+	switch adv {
+	case AdviseWillNeed:
+		flag = syscall.MADV_WILLNEED
+	case AdviseDontNeed:
+		flag = syscall.MADV_DONTNEED
+	case AdviseSequential:
+		flag = syscall.MADV_SEQUENTIAL
+	default:
+		flag = syscall.MADV_NORMAL
+	}
+	// Best-effort: an EINVAL from an exotic kernel config is not worth
+	// failing a probe over.
+	_ = syscall.Madvise(m.data[start:end], flag)
+	return nil
+}

@@ -1,0 +1,13 @@
+//go:build !linux || purego
+
+package mmapfile
+
+const supported = false
+
+func openMapping(path string) (*Mapping, error) {
+	return nil, ErrUnsupported
+}
+
+func unmap(data []byte) error { return nil }
+
+func (m *Mapping) advise(off, n int, adv Advice) error { return nil }

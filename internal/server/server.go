@@ -179,12 +179,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		"# TYPE biohd_core_segment_seals_total counter\nbiohd_core_segment_seals_total %d\n", c.SegmentSeals)
 	fmt.Fprintf(&buf, "# HELP biohd_core_compactions_total Segments rewritten by compaction to drop tombstoned windows.\n"+
 		"# TYPE biohd_core_compactions_total counter\nbiohd_core_compactions_total %d\n", c.Compactions)
+	fmt.Fprintf(&buf, "# HELP biohd_core_mapped_scans_total Arena range scans served from mmapped (file-backed) segments.\n"+
+		"# TYPE biohd_core_mapped_scans_total counter\nbiohd_core_mapped_scans_total %d\n", c.MappedScans)
+	fmt.Fprintf(&buf, "# HELP biohd_core_heap_scans_total Arena range scans served from heap-resident segments.\n"+
+		"# TYPE biohd_core_heap_scans_total counter\nbiohd_core_heap_scans_total %d\n", c.HeapScans)
 	fmt.Fprintf(&buf, "# HELP biohd_library_segments Segments in the library's current snapshot.\n"+
 		"# TYPE biohd_library_segments gauge\nbiohd_library_segments %d\n", s.lib.NumSegments())
 	fmt.Fprintf(&buf, "# HELP biohd_library_tombstone_ratio Fraction of memorized windows whose reference has been removed.\n"+
 		"# TYPE biohd_library_tombstone_ratio gauge\nbiohd_library_tombstone_ratio %g\n", s.lib.TombstoneRatio())
 	fmt.Fprintf(&buf, "# HELP biohd_library_memory_bytes Resident bytes of the library's hypervector storage.\n"+
 		"# TYPE biohd_library_memory_bytes gauge\nbiohd_library_memory_bytes %d\n", s.lib.MemoryFootprint())
+	fmt.Fprintf(&buf, "# HELP biohd_library_mapped_bytes Bytes of the library file mmapped into the process (0 for heap-loaded libraries).\n"+
+		"# TYPE biohd_library_mapped_bytes gauge\nbiohd_library_mapped_bytes %d\n", s.lib.MappedBytes())
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
 	//lint:ignore errcheck a failed response write means the client is gone
@@ -193,37 +199,39 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 
 // StatsResponse is the /v1/stats payload.
 type StatsResponse struct {
-	References int     `json:"references"`
-	Windows    int     `json:"windows"`
-	Buckets    int     `json:"buckets"`
-	Dim        int     `json:"dim"`
-	Window     int     `json:"window"`
-	Stride     int     `json:"stride"`
-	Capacity   int     `json:"capacity"`
-	Approx     bool    `json:"approx"`
-	Tolerance  int     `json:"tolerance"`
-	Threshold  float64 `json:"threshold"`
-	MemBytes   int64   `json:"memoryBytes"`
-	Segments   int     `json:"segments"`
-	Tombstones float64 `json:"tombstoneRatio"`
+	References  int     `json:"references"`
+	Windows     int     `json:"windows"`
+	Buckets     int     `json:"buckets"`
+	Dim         int     `json:"dim"`
+	Window      int     `json:"window"`
+	Stride      int     `json:"stride"`
+	Capacity    int     `json:"capacity"`
+	Approx      bool    `json:"approx"`
+	Tolerance   int     `json:"tolerance"`
+	Threshold   float64 `json:"threshold"`
+	MemBytes    int64   `json:"memoryBytes"`
+	MappedBytes int64   `json:"mappedBytes"`
+	Segments    int     `json:"segments"`
+	Tombstones  float64 `json:"tombstoneRatio"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	p := s.lib.Params()
 	writeJSON(w, http.StatusOK, StatsResponse{
-		References: s.lib.NumRefs(),
-		Windows:    s.lib.NumWindows(),
-		Buckets:    s.lib.NumBuckets(),
-		Dim:        p.Dim,
-		Window:     p.Window,
-		Stride:     p.Stride,
-		Capacity:   p.Capacity,
-		Approx:     p.Approx,
-		Tolerance:  p.MutTolerance,
-		Threshold:  s.lib.Threshold(),
-		MemBytes:   s.lib.MemoryFootprint(),
-		Segments:   s.lib.NumSegments(),
-		Tombstones: s.lib.TombstoneRatio(),
+		References:  s.lib.NumRefs(),
+		Windows:     s.lib.NumWindows(),
+		Buckets:     s.lib.NumBuckets(),
+		Dim:         p.Dim,
+		Window:      p.Window,
+		Stride:      p.Stride,
+		Capacity:    p.Capacity,
+		Approx:      p.Approx,
+		Tolerance:   p.MutTolerance,
+		Threshold:   s.lib.Threshold(),
+		MemBytes:    s.lib.MemoryFootprint(),
+		MappedBytes: s.lib.MappedBytes(),
+		Segments:    s.lib.NumSegments(),
+		Tombstones:  s.lib.TombstoneRatio(),
 	})
 }
 

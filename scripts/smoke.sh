@@ -3,7 +3,10 @@
 # ephemeral port, exercise /healthz, /v1/search, the mutation lifecycle
 # (ingest, remove, compact), a burst of concurrent searches through the
 # coalescing layer, and /metrics with curl, then SIGTERM the server and
-# assert it drains to a clean exit.
+# assert it drains to a clean exit. A second phase round-trips the
+# mmap-backed tier: build → convert to the v3 mappable format → serve
+# -mmap → search/ingest/remove/compact against the mapped library, and
+# assert the mapped-bytes gauge reports the mapping.
 #
 # Run via `make smoke` (CI runs it too). Needs only bash, curl, awk.
 set -euo pipefail
@@ -128,6 +131,75 @@ server_pid=""
 if [ "$rc" -ne 0 ]; then
     cat "$workdir/serve.log"
     echo "FATAL: server exited $rc after SIGTERM, want 0"
+    exit 1
+fi
+kill "$watchdog_pid" 2>/dev/null || true
+watchdog_pid=""
+
+echo "== convert to v3 (mappable)"
+"$workdir/biohd" build -ref "$workdir/refs.fa" -o "$workdir/lib.bhd" >/dev/null
+"$workdir/biohd" convert -lib "$workdir/lib.bhd" -o "$workdir/lib.v3"
+[ -e "$workdir/lib.v3.tmp" ] && { echo "FATAL: convert left lib.v3.tmp behind"; exit 1; }
+
+echo "== serve -mmap"
+"$workdir/biohd" serve -lib "$workdir/lib.v3" -mmap -addr 127.0.0.1:0 -quiet \
+    >"$workdir/serve-mmap.log" 2>&1 &
+server_pid=$!
+( sleep 60; kill -9 "$server_pid" 2>/dev/null ) &
+watchdog_pid=$!
+grep -q 'load mode: heap fallback' "$workdir/serve-mmap.log" 2>/dev/null && \
+    echo "   (platform cannot map; exercising the heap fallback)"
+
+base=""
+for _ in $(seq 1 100); do
+    base=$(awk '/^serving /{for (i=1; i<=NF; i++) if ($i ~ /^http:/) print $i}' \
+        "$workdir/serve-mmap.log" 2>/dev/null || true)
+    [ -n "$base" ] && break
+    kill -0 "$server_pid" 2>/dev/null || { cat "$workdir/serve-mmap.log"; echo "FATAL: mmap server died"; exit 1; }
+    sleep 0.1
+done
+[ -n "$base" ] || { cat "$workdir/serve-mmap.log"; echo "FATAL: no serving banner (mmap)"; exit 1; }
+echo "   $base"
+for _ in $(seq 1 50); do
+    curl -sf "$base/healthz" >/dev/null 2>&1 && break
+    sleep 0.1
+done
+
+echo "== mapped /v1/search"
+search=$(curl -sf -X POST -H 'Content-Type: application/json' \
+    -d "{\"pattern\":\"$pattern\"}" "$base/v1/search")
+echo "$search" | grep -q '"matches":\[{' || { echo "FATAL: no match from mapped library: $search"; exit 1; }
+
+echo "== mapped mutation lifecycle"
+ingest=$(curl -sf -X POST -H 'Content-Type: application/json' \
+    -d "{\"id\":\"plasmid\",\"sequence\":\"$plasmid\"}" "$base/v1/refs")
+echo "$ingest" | grep -q '"id":"plasmid"' || { echo "FATAL: mapped ingest failed: $ingest"; exit 1; }
+removed=$(curl -sf -X DELETE "$base/v1/refs/plasmid")
+echo "$removed" | grep -q '"id":"plasmid"' || { echo "FATAL: mapped remove failed: $removed"; exit 1; }
+compacted=$(curl -sf -X POST "$base/v1/compact")
+echo "$compacted" | grep -q '"tombstoneRatio":0' || { echo "FATAL: mapped compact left tombstones: $compacted"; exit 1; }
+
+echo "== mapped /metrics"
+metrics=$(curl -sf "$base/metrics")
+echo "$metrics" | grep -qF 'biohd_library_mapped_bytes' \
+    || { echo "FATAL: /metrics missing biohd_library_mapped_bytes"; exit 1; }
+echo "$metrics" | grep -qF 'biohd_core_mapped_scans_total' \
+    || { echo "FATAL: /metrics missing biohd_core_mapped_scans_total"; exit 1; }
+if grep -q 'load mode: mapped' "$workdir/serve-mmap.log"; then
+    mapped_bytes=$(echo "$metrics" | awk '/^biohd_library_mapped_bytes /{print $2}')
+    [ "${mapped_bytes:-0}" -gt 0 ] || { echo "FATAL: mapped library reports mapped_bytes=$mapped_bytes"; exit 1; }
+    mapped_scans=$(echo "$metrics" | awk '/^biohd_core_mapped_scans_total /{print $2}')
+    [ "${mapped_scans:-0}" -gt 0 ] || { echo "FATAL: no scans attributed to the mapped tier"; exit 1; }
+fi
+
+echo "== SIGTERM drain (mmap)"
+kill -TERM "$server_pid"
+rc=0
+wait "$server_pid" || rc=$?
+server_pid=""
+if [ "$rc" -ne 0 ]; then
+    cat "$workdir/serve-mmap.log"
+    echo "FATAL: mmap server exited $rc after SIGTERM, want 0"
     exit 1
 fi
 
