@@ -57,15 +57,18 @@ lint-baseline:
 ## the S=1 overhead is the cost of the snapshot indirection itself),
 ## BENCH_coalesce.json (closed-loop served throughput and latency,
 ## direct path vs cross-request coalescing, at 1..256 concurrent
-## clients), and BENCH_mmap.json (mmap-backed probe vs heap-loaded at
+## clients), BENCH_mmap.json (mmap-backed probe vs heap-loaded at
 ## S ∈ {1,4,16}; page-cache warm, so the overhead is the cost of
-## scanning file-backed pages)
+## scanning file-backed pages), and BENCH_wire.json (served QPS and
+## latency through real transports: binary wire protocol vs per-request
+## HTTP/1.1 vs HTTP with coalescing, at 1..256 concurrent clients)
 bench:
 	$(GO) run ./cmd/benchprobe -out BENCH_probe.json
 	GOMAXPROCS=1 $(GO) run ./cmd/benchprobe -queries-per-block 8 -out BENCH_multiprobe.json
 	GOMAXPROCS=1 $(GO) run ./cmd/benchprobe -segments 1,4,16 -reps 9 -out BENCH_segments.json
 	$(GO) run ./cmd/benchcoalesce -out BENCH_coalesce.json
 	GOMAXPROCS=1 $(GO) run ./cmd/benchprobe -mmap 1,4,16 -reps 9 -out BENCH_mmap.json
+	$(GO) run ./cmd/benchwire -out BENCH_wire.json
 
 ## benchsmoke: compile and run every micro-benchmark once — catches
 ## benchmarks that no longer build or crash, without measuring anything.
@@ -77,6 +80,7 @@ benchsmoke:
 	$(GO) test -tags purego -run='^$$' -bench=. -benchtime=1x ./internal/bitvec
 	$(GO) run ./cmd/benchcoalesce -buckets 64 -reps 1 -dur 20ms -conc 1,4 -out /dev/null
 	$(GO) run -tags purego ./cmd/benchcoalesce -buckets 64 -reps 1 -dur 20ms -conc 4 -out /dev/null
+	$(GO) run ./cmd/benchwire -buckets 64 -reps 1 -dur 20ms -conc 1,4 -out /dev/null
 
 ## fuzz: run each fuzz target for FUZZTIME (default 30s)
 fuzz:

@@ -1,0 +1,419 @@
+// Command benchwire measures what the binary wire protocol does to
+// served throughput and latency: a closed-loop A/B/C harness runs C
+// concurrent single-query clients against the same frozen library
+// behind three real transports on loopback —
+//
+//	http            HTTP/1.1 JSON, coalescing disabled (per-request probes)
+//	http_coalesced  HTTP/1.1 JSON through the coalescer
+//	wire            the pipelined binary protocol through the coalescer
+//
+// and records QPS, pooled p50/p99 latency, and the coalescer's
+// realized block occupancy per concurrency level. `make bench` runs
+// it to refresh BENCH_wire.json, the checked-in record that a
+// pipelined persistent transport both cuts per-request overhead and
+// feeds the coalescer densely enough to lift the service throughput
+// ceiling.
+//
+// Closed loop means each client issues its next query the moment the
+// previous one returns, so offered load tracks capacity on every
+// side. The HTTP client pool is sized to the concurrency level
+// (MaxIdleConnsPerHost = C) so the JSON sides never pay connection
+// churn; the comparison is protocol cost and pipelining, not socket
+// setup. Sides run interleaved per repetition with a fresh server
+// each time, and the report keys off medians, for the same
+// shared-machine reasons as benchprobe and benchcoalesce.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/bitvec"
+	"repro/internal/coalesce"
+	"repro/internal/core"
+	"repro/internal/genome"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+	"repro/internal/server"
+	"repro/internal/wire"
+)
+
+// Benchmark geometry: matches benchprobe and benchcoalesce so the
+// records describe the same library shape.
+const (
+	dim      = 8192
+	window   = 32
+	capacity = 16
+	queries  = 64
+)
+
+type sideStats struct {
+	QPS   float64 `json:"qps"`
+	P50us float64 `json:"p50_us"`
+	P99us float64 `json:"p99_us"`
+}
+
+type levelResult struct {
+	Concurrency        int       `json:"concurrency"`
+	HTTP               sideStats `json:"http"`
+	HTTPCoalesced      sideStats `json:"http_coalesced"`
+	Wire               sideStats `json:"wire"`
+	WireSpeedupVsHTTP  float64   `json:"wire_speedup_vs_http"`
+	WireOccupancy      float64   `json:"wire_mean_block_occupancy"`
+	HTTPCoalOccupancy  float64   `json:"http_coalesced_mean_block_occupancy"`
+	WireClientConns    int       `json:"wire_client_conns"`
+	WireP50RatioVsHTTP float64   `json:"wire_p50_ratio_vs_http"`
+}
+
+type report struct {
+	Benchmark  string        `json:"benchmark"`
+	Dim        int           `json:"dim"`
+	Window     int           `json:"window"`
+	Capacity   int           `json:"capacity"`
+	Buckets    int           `json:"buckets"`
+	GoVersion  string        `json:"go_version"`
+	GOARCH     string        `json:"goarch"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	SIMD       bool          `json:"simd_kernel"`
+	Kernel     string        `json:"kernel"`
+	Duration   string        `json:"duration_per_rep"`
+	Reps       int           `json:"reps"`
+	Levels     []levelResult `json:"levels"`
+}
+
+func main() {
+	buckets := flag.Int("buckets", 1024, "library size in buckets")
+	reps := flag.Int("reps", 3, "interleaved repetitions per side and concurrency level")
+	dur := flag.Duration("dur", 400*time.Millisecond, "measurement window per repetition")
+	conc := flag.String("conc", "1,16,64,256", "comma-separated concurrency sweep")
+	out := flag.String("out", "BENCH_wire.json", "output path, or - for stdout")
+	flag.Parse()
+
+	levels, err := parseLevels(*conc)
+	if err != nil {
+		fatal(err)
+	}
+	lib, pats, err := buildLibrary(*buckets)
+	if err != nil {
+		fatal(err)
+	}
+	rep := report{
+		Benchmark:  "wire_closed_loop",
+		Dim:        dim,
+		Window:     window,
+		Capacity:   capacity,
+		Buckets:    *buckets,
+		GoVersion:  runtime.Version(),
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		SIMD:       bitvec.AccelAvailable(),
+		Kernel:     bitvec.Kernel(),
+		Duration:   dur.String(),
+		Reps:       *reps,
+	}
+	for _, c := range levels {
+		fmt.Fprintf(os.Stderr, "concurrency %d: ", c)
+		var httpMs, coalMs, wireMs []measurement
+		var wireOcc, coalOcc float64
+		for r := 0; r < *reps; r++ {
+			m, _, err := runHTTPSide(lib, false, c, *dur, pats)
+			if err != nil {
+				fatal(err)
+			}
+			httpMs = append(httpMs, m)
+			m, occ, err := runHTTPSide(lib, true, c, *dur, pats)
+			if err != nil {
+				fatal(err)
+			}
+			coalMs = append(coalMs, m)
+			coalOcc += occ
+			m, occ, err = runWireSide(lib, c, *dur, pats)
+			if err != nil {
+				fatal(err)
+			}
+			wireMs = append(wireMs, m)
+			wireOcc += occ
+			fmt.Fprintf(os.Stderr, ".")
+		}
+		lr := levelResult{
+			Concurrency:       c,
+			HTTP:              median(httpMs),
+			HTTPCoalesced:     median(coalMs),
+			Wire:              median(wireMs),
+			WireOccupancy:     wireOcc / float64(*reps),
+			HTTPCoalOccupancy: coalOcc / float64(*reps),
+			WireClientConns:   wireConns(c),
+		}
+		if lr.HTTP.QPS > 0 {
+			lr.WireSpeedupVsHTTP = lr.Wire.QPS / lr.HTTP.QPS
+		}
+		if lr.HTTP.P50us > 0 {
+			lr.WireP50RatioVsHTTP = lr.Wire.P50us / lr.HTTP.P50us
+		}
+		rep.Levels = append(rep.Levels, lr)
+		fmt.Fprintf(os.Stderr,
+			" http %.0f qps, +coalesce %.0f qps, wire %.0f qps (%.2fx, occupancy %.2f)\n",
+			lr.HTTP.QPS, lr.HTTPCoalesced.QPS, lr.Wire.QPS,
+			lr.WireSpeedupVsHTTP, lr.WireOccupancy)
+	}
+	if err := write(*out, rep); err != nil {
+		fatal(err)
+	}
+}
+
+// measurement is one repetition of one side at one concurrency level.
+type measurement struct {
+	qps  float64
+	lats []time.Duration
+}
+
+// wireConns sizes the wire client pool: the protocol pipelines, so a
+// handful of connections carries any client count.
+func wireConns(c int) int {
+	n := c / 16
+	if n < 1 {
+		n = 1
+	}
+	if n > 8 {
+		n = 8
+	}
+	return n
+}
+
+// occupancyOf reads the coalescer's realized block occupancy off a
+// server's registry (the same series /metrics renders).
+func occupancyOf(s *server.Server) float64 {
+	h := s.Registry().Histogram("biohd_coalesce_block_occupancy",
+		"Realized queries per dispatched probe block.",
+		metrics.LinearBuckets(1, 1, core.BlockWidth))
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum() / float64(n)
+}
+
+// newServer builds a fresh server; coalesced false pins the direct
+// per-request path.
+func newServer(lib *core.Library, coalesced bool) (*server.Server, error) {
+	cfg := server.DefaultConfig()
+	if !coalesced {
+		cfg.Coalesce = coalesce.Config{BatchSize: 1}
+	}
+	return server.New(lib, server.WithConfig(cfg))
+}
+
+// runHTTPSide drives c closed-loop JSON clients against a fresh HTTP
+// server on loopback.
+func runHTTPSide(lib *core.Library, coalesced bool, c int, dur time.Duration, pats []string) (measurement, float64, error) {
+	s, err := newServer(lib, coalesced)
+	if err != nil {
+		return measurement{}, 0, err
+	}
+	defer s.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return measurement{}, 0, err
+	}
+	hs := s.HTTPServer(ln.Addr().String())
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	defer func() {
+		_ = hs.Close()
+		<-errc
+	}()
+	url := "http://" + ln.Addr().String() + "/v1/search"
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        2 * c,
+		MaxIdleConnsPerHost: c,
+	}}
+	defer client.CloseIdleConnections()
+	bodies := make([][]byte, len(pats))
+	for i, p := range pats {
+		b, err := json.Marshal(server.SearchRequest{Pattern: p})
+		if err != nil {
+			return measurement{}, 0, err
+		}
+		bodies[i] = b
+	}
+	m, err := runClients(c, dur, func(i int) error {
+		resp, err := client.Post(url, "application/json", bytes.NewReader(bodies[i%len(bodies)]))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("http status %d", resp.StatusCode)
+		}
+		var sr server.SearchResponse
+		return json.NewDecoder(resp.Body).Decode(&sr)
+	})
+	return m, occupancyOf(s), err
+}
+
+// runWireSide drives c closed-loop clients through the pipelined
+// binary protocol against a fresh wire server on loopback.
+func runWireSide(lib *core.Library, c int, dur time.Duration, pats []string) (measurement, float64, error) {
+	s, err := newServer(lib, true)
+	if err != nil {
+		return measurement{}, 0, err
+	}
+	defer s.Close()
+	ws := wire.NewServer(s.WireBackend(), s.Registry(), wire.ServerConfig{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return measurement{}, 0, err
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- ws.Serve(ln) }()
+	defer func() {
+		_ = ws.Close()
+		<-errc
+	}()
+	cl, err := wire.Dial(ln.Addr().String(), wire.ClientConfig{Conns: wireConns(c)})
+	if err != nil {
+		return measurement{}, 0, err
+	}
+	defer cl.Close()
+	ctx := context.Background()
+	m, err := runClients(c, dur, func(i int) error {
+		_, err := cl.Search(ctx, pats[i%len(pats)], false)
+		return err
+	})
+	return m, occupancyOf(s), err
+}
+
+// runClients drives c closed-loop clients for roughly dur. Each
+// client walks the shared pattern pool from its own offset so every
+// side issues the same query mix.
+func runClients(c int, dur time.Duration, do func(i int) error) (measurement, error) {
+	var wg sync.WaitGroup
+	lats := make([][]time.Duration, c)
+	errs := make([]error, c)
+	deadline := time.Now().Add(dur)
+	for w := 0; w < c; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; time.Now().Before(deadline); i++ {
+				t0 := time.Now()
+				if err := do(i); err != nil {
+					errs[w] = err
+					return
+				}
+				lats[w] = append(lats[w], time.Since(t0))
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return measurement{}, err
+		}
+	}
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	return measurement{qps: float64(len(all)) / dur.Seconds(), lats: all}, nil
+}
+
+// median folds repetitions into one sideStats: median QPS across
+// reps, and quantiles over the pooled latency samples.
+func median(ms []measurement) sideStats {
+	qps := make([]float64, len(ms))
+	var all []time.Duration
+	for i, m := range ms {
+		qps[i] = m.qps
+		all = append(all, m.lats...)
+	}
+	sort.Float64s(qps)
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	return sideStats{
+		QPS:   qps[len(qps)/2],
+		P50us: quantile(all, 0.50),
+		P99us: quantile(all, 0.99),
+	}
+}
+
+// quantile reads the q-quantile of sorted latencies in microseconds.
+func quantile(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return float64(sorted[i]) / float64(time.Microsecond)
+}
+
+// buildLibrary builds the benchmark library (benchprobe's bucket
+// geometry) and a 3:1 absent:present query-pattern pool, pre-rendered
+// as strings since every transport submits text.
+func buildLibrary(buckets int) (*core.Library, []string, error) {
+	p := core.Params{Dim: dim, Window: window, Stride: 1, Capacity: capacity,
+		Sealed: true, Seed: 42}
+	lib, err := core.NewLibrary(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	src := rng.New(4242)
+	ref := genome.Random(buckets*capacity+window-1, src)
+	if err := lib.Add(genome.Record{ID: "bench", Seq: ref}); err != nil {
+		return nil, nil, err
+	}
+	lib.Freeze()
+	if lib.NumBuckets() != buckets {
+		return nil, nil, fmt.Errorf("built %d buckets, want %d", lib.NumBuckets(), buckets)
+	}
+	var pats []string
+	for i := 0; i < queries; i++ {
+		if i%4 == 0 {
+			off := src.Intn(ref.Len() - window)
+			pats = append(pats, ref.Slice(off, off+window).String())
+		} else {
+			pats = append(pats, genome.Random(window, src).String())
+		}
+	}
+	return lib, pats, nil
+}
+
+func parseLevels(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad concurrency level %q", f)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func write(path string, rep report) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchwire:", err)
+	os.Exit(1)
+}

@@ -23,6 +23,7 @@ import (
 	"repro/internal/pim"
 	"repro/internal/rng"
 	"repro/internal/server"
+	"repro/internal/wire"
 	"repro/internal/workload"
 )
 
@@ -40,6 +41,8 @@ func cmdServe(args []string, out io.Writer) error {
 	libFile := fs.String("lib", "", "saved library file (alternative to -ref)")
 	mmapLib := fs.Bool("mmap", false, "map a v3 -lib file instead of loading it to the heap (falls back to heap when unsupported)")
 	addr := fs.String("addr", "127.0.0.1:8650", "listen address")
+	wireAddr := fs.String("wire-addr", "", "binary wire-protocol listen address (empty = HTTP only)")
+	wireMaxFrame := fs.Int("wire-max-frame", wire.DefaultMaxFrame, "max wire-protocol frame payload in bytes")
 	cfg := server.DefaultConfig()
 	fs.DurationVar(&cfg.ReadHeaderTimeout, "header-timeout", cfg.ReadHeaderTimeout, "request header read timeout")
 	fs.DurationVar(&cfg.ReadTimeout, "read-timeout", cfg.ReadTimeout, "full request read timeout")
@@ -109,17 +112,47 @@ func cmdServe(args []string, out io.Writer) error {
 		return err
 	}
 	hs := srv.HTTPServer(*addr)
+	// Optional binary wire-protocol listener beside the HTTP server:
+	// same backend, same registry, so answers and metrics are shared.
+	var ws *wire.Server
+	var wln net.Listener
+	if *wireAddr != "" {
+		ws = wire.NewServer(srv.WireBackend(), srv.Registry(), wire.ServerConfig{
+			MaxFrame:       *wireMaxFrame,
+			RequestTimeout: cfg.RequestTimeout,
+			IdleTimeout:    cfg.IdleTimeout,
+		})
+		wln, err = net.Listen("tcp", *wireAddr)
+		if err != nil {
+			_ = ln.Close()
+			return err
+		}
+	}
 	fmt.Fprintf(out, "serving %d references (%d buckets) on http://%s (drain %s)\n",
 		lib.NumRefs(), lib.NumBuckets(), ln.Addr(), *drain)
+	if ws != nil {
+		fmt.Fprintf(out, "wire protocol on %s\n", wln.Addr())
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	errc := make(chan error, 1)
+	servers := 1
+	errc := make(chan error, 2)
 	go func() { errc <- hs.Serve(ln) }()
+	if ws != nil {
+		servers = 2
+		go func() { errc <- ws.Serve(wln) }()
+	}
 	select {
 	case err := <-errc:
-		// The listener failed before any signal arrived.
-		return err
+		// A listener failed before any signal arrived; surface it and
+		// tear the sibling down.
+		_ = hs.Close()
+		if ws != nil {
+			_ = ws.Close()
+		}
+		drainServeErrs(errc, servers-1)
+		return filterClosed(err)
 	case <-ctx.Done():
 	}
 	stop() // a second signal now kills the process immediately
@@ -127,14 +160,39 @@ func cmdServe(args []string, out io.Writer) error {
 	sctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	shutdownErr := hs.Shutdown(sctx)
-	if serveErr := <-errc; serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) {
-		return serveErr
+	if ws != nil {
+		// The same drain deadline bounds both transports.
+		if werr := ws.Shutdown(sctx); shutdownErr == nil {
+			shutdownErr = werr
+		}
+	}
+	for i := 0; i < servers; i++ {
+		if serveErr := filterClosed(<-errc); serveErr != nil {
+			return serveErr
+		}
 	}
 	if shutdownErr != nil {
 		return fmt.Errorf("drain deadline exceeded: %w", shutdownErr)
 	}
 	fmt.Fprintln(out, "shutdown complete")
 	return nil
+}
+
+// filterClosed drops the sentinel "server closed" errors that mark a
+// clean shutdown on either transport.
+func filterClosed(err error) error {
+	if errors.Is(err, http.ErrServerClosed) || errors.Is(err, wire.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// drainServeErrs discards the remaining serve results after a
+// teardown already has its cause.
+func drainServeErrs(errc <-chan error, n int) {
+	for i := 0; i < n; i++ {
+		<-errc
+	}
 }
 
 // cmdGen generates synthetic datasets as FASTA on stdout or -o.

@@ -8,7 +8,8 @@
 //	classify   classify reads against FASTA references
 //	experiment regenerate a paper table/figure (or "all")
 //	pim        simulate a search batch on the PIM architecture
-//	serve      expose a library over an HTTP JSON API
+//	serve      expose a library over an HTTP JSON API (+ binary wire protocol)
+//	wire       query a serve -wire-addr listener over the binary protocol
 //	compact    rewrite a saved library's tombstoned segments
 //	convert    rewrite a saved library into another format version
 //
@@ -47,6 +48,8 @@ func run(args []string, out io.Writer) error {
 		return cmdExperiment(args[1:], out)
 	case "serve":
 		return cmdServe(args[1:], out)
+	case "wire":
+		return cmdWire(args[1:], out)
 	case "pim":
 		return cmdPIM(args[1:], out)
 	case "compact":
@@ -74,7 +77,8 @@ subcommands:
   classify    classify reads (FASTA) against references (FASTA)
   experiment  regenerate a paper table/figure by ID (T1..T3, F1..F10, all)
   pim         simulate a search batch on the crossbar PIM architecture
-  serve       expose a library over an HTTP JSON API
+  serve       expose a library over an HTTP JSON API (+ binary wire protocol via -wire-addr)
+  wire        query a serve -wire-addr listener over the binary wire protocol
   compact     rewrite a saved library's tombstoned segments and save it back
   convert     rewrite a saved library into another format version (v2 stream, v3 mappable)
 `)

@@ -248,6 +248,29 @@ func (l *Library) MappedBytes() int64 {
 	return int64(l.mapping.Len())
 }
 
+// ResidentBytes estimates the bytes of the library's search store
+// currently resident in RAM. For a mapped library it asks the kernel
+// (mincore over the whole mapping), which is what makes the low-mem
+// tier observable: mapped minus resident is the working-set savings.
+// Where mincore is unavailable it conservatively reports the full
+// mapping, and for heap-loaded libraries the heap footprint — heap
+// pages are not file-backed, so they are resident by construction.
+func (l *Library) ResidentBytes() int64 {
+	if !l.mapped {
+		return l.MemoryFootprint()
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.mapping == nil {
+		return 0
+	}
+	n, err := l.mapping.Resident(0, l.mapping.Len())
+	if err != nil {
+		return int64(l.mapping.Len())
+	}
+	return n
+}
+
 // lookupScratch is the reusable per-query state of the lookup paths.
 // Instances are pooled on the library; a frozen library is probed
 // concurrently (LookupBatch), so scratch must be per-call, not shared.

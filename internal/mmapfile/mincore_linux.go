@@ -1,0 +1,42 @@
+//go:build linux && !purego
+
+package mmapfile
+
+import (
+	"fmt"
+	"syscall"
+	"unsafe"
+)
+
+// resident counts the bytes of data[off:off+n] backed by resident
+// pages, using the mincore(2) page vector. The start address is
+// rounded down to a page boundary (mincore requires alignment); the
+// per-page byte credit is clipped to the requested range so the count
+// never exceeds n.
+func (m *Mapping) resident(off, n int) (int64, error) {
+	page := syscall.Getpagesize()
+	start := off - off%page
+	length := off + n - start
+	vec := make([]byte, (length+page-1)/page)
+	_, _, errno := syscall.Syscall(syscall.SYS_MINCORE,
+		uintptr(unsafe.Pointer(&m.data[start])), uintptr(length), uintptr(unsafe.Pointer(&vec[0])))
+	if errno != 0 {
+		return 0, fmt.Errorf("mmapfile: mincore: %w", errno)
+	}
+	var total int64
+	for i, v := range vec {
+		if v&1 == 0 {
+			continue
+		}
+		lo := start + i*page
+		hi := lo + page
+		if lo < off {
+			lo = off
+		}
+		if hi > off+n {
+			hi = off + n
+		}
+		total += int64(hi - lo)
+	}
+	return total, nil
+}

@@ -1,0 +1,9 @@
+//go:build !linux || purego
+
+package mmapfile
+
+// resident is unavailable without mincore(2); callers fall back to a
+// coarser gauge (typically the full mapped length).
+func (m *Mapping) resident(off, n int) (int64, error) {
+	return 0, ErrUnsupported
+}

@@ -80,6 +80,22 @@ func (m *Mapping) Advise(off, n int, adv Advice) error {
 	return m.advise(off, n, adv)
 }
 
+// Resident reports how many bytes of data[off:off+n] are currently
+// resident in physical memory, via mincore(2) where available. The
+// count is page-granular: a partially-counted page contributes only
+// the bytes that overlap the requested range. On platforms without
+// mincore (or under the purego tag) it returns ErrUnsupported, and
+// callers fall back to a coarser gauge.
+func (m *Mapping) Resident(off, n int) (int64, error) {
+	if off < 0 || n < 0 || off+n > len(m.data) {
+		return 0, fmt.Errorf("mmapfile: resident range [%d,%d) outside mapping of %d bytes", off, off+n, len(m.data))
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	return m.resident(off, n)
+}
+
 // Close unmaps the file. The caller must guarantee no goroutine still
 // reads the mapped bytes — aliases (Bytes, AsWords views) fault after
 // Close. Idempotent.

@@ -1,0 +1,66 @@
+package mmapfile
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestResident exercises the mincore-backed resident-page counter
+// over a real mapping: full-range and sub-range counts, the
+// zero-length fast path, and bounds validation.
+func TestResident(t *testing.T) {
+	page := os.Getpagesize()
+	path := filepath.Join(t.TempDir(), "data.bin")
+	data := bytes.Repeat([]byte{0xAB}, 3*page+123)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Open(path)
+	if errors.Is(err, ErrUnsupported) {
+		t.Skip("mmap unsupported on this platform/build")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	// Bounds checks fire regardless of mincore support.
+	if _, err := m.Resident(-1, 10); err == nil {
+		t.Fatal("negative offset accepted")
+	}
+	if _, err := m.Resident(0, m.Len()+1); err == nil {
+		t.Fatal("over-long range accepted")
+	}
+	if n, err := m.Resident(5, 0); err != nil || n != 0 {
+		t.Fatalf("zero-length range: %d, %v", n, err)
+	}
+
+	// Touch every byte so the pages are faulted in before counting.
+	var sum byte
+	for _, b := range m.Bytes() {
+		sum += b
+	}
+	_ = sum
+	n, err := m.Resident(0, m.Len())
+	if errors.Is(err, ErrUnsupported) {
+		t.Skip("mincore unavailable in this build")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n <= 0 || n > int64(m.Len()) {
+		t.Fatalf("full-range resident count %d outside (0, %d]", n, m.Len())
+	}
+
+	// A sub-range crossing page boundaries is clipped to the request.
+	sub, err := m.Resident(page-10, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub < 0 || sub > 20 {
+		t.Fatalf("sub-range resident count %d outside [0, 20]", sub)
+	}
+}

@@ -1,0 +1,186 @@
+package server
+
+// The shared request-execution layer: handler bodies factored out of
+// the HTTP layer so the binary wire protocol (internal/wire) and the
+// JSON API run the exact same code — same parsing, same routing
+// through the coalescer, same error taxonomy. Byte-identical answers
+// across the two transports fall out by construction; the
+// golden-equivalence tests in wire_test.go pin it.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/genome"
+)
+
+// apiError is a transport-neutral request failure: the HTTP handlers
+// render it as a JSON error body with the status code, the wire
+// backend as a FlagError response frame carrying the same code and
+// message.
+type apiError struct {
+	status int
+	msg    string
+}
+
+// parsePattern validates and decodes one pattern/read field.
+func parsePattern(text string) (*genome.Sequence, *apiError) {
+	if text == "" {
+		return nil, &apiError{http.StatusBadRequest, "pattern is required"}
+	}
+	seq, err := genome.FromString(strings.ToUpper(text))
+	if err != nil {
+		return nil, &apiError{http.StatusBadRequest, err.Error()}
+	}
+	return seq, nil
+}
+
+// execSearch runs one search request: parse, route through the
+// coalescer (or direct path), convert matches to the response shape.
+func (s *Server) execSearch(ctx context.Context, pattern, strands string) (SearchResponse, *apiError) {
+	resp := SearchResponse{Matches: []MatchJSON{}}
+	pat, aerr := parsePattern(pattern)
+	if aerr != nil {
+		return resp, aerr
+	}
+	switch strands {
+	case "", "forward":
+		matches, stats, err := s.lookup(ctx, pat)
+		if err != nil {
+			return resp, &apiError{http.StatusUnprocessableEntity, err.Error()}
+		}
+		resp.Probes = stats.BucketProbes
+		for _, m := range matches {
+			resp.Matches = append(resp.Matches, MatchJSON{
+				Ref: s.lib.Ref(m.Ref).ID, Offset: m.Off, Distance: m.Distance, Strand: "+",
+			})
+		}
+	case "both":
+		matches, stats, err := s.lookupBothStrands(ctx, pat)
+		if err != nil {
+			return resp, &apiError{http.StatusUnprocessableEntity, err.Error()}
+		}
+		resp.Probes = stats.BucketProbes
+		for _, m := range matches {
+			resp.Matches = append(resp.Matches, MatchJSON{
+				Ref: s.lib.Ref(m.Ref).ID, Offset: m.Off, Distance: m.Distance,
+				Strand: m.Strand.String(),
+			})
+		}
+	default:
+		return resp, &apiError{http.StatusBadRequest, `strands must be "forward" or "both"`}
+	}
+	return resp, nil
+}
+
+// execClassify runs one classify request.
+func (s *Server) execClassify(ctx context.Context, readText string, minFraction float64) (ClassifyResponse, *apiError) {
+	read, aerr := parsePattern(readText)
+	if aerr != nil {
+		return ClassifyResponse{}, aerr
+	}
+	if minFraction > 1 {
+		// A fraction above 1 can never be satisfied; classifying with it
+		// would silently return 404 for every read.
+		return ClassifyResponse{}, &apiError{http.StatusBadRequest,
+			fmt.Sprintf("minFraction %v must be in (0, 1]", minFraction)}
+	}
+	minFrac := minFraction
+	if minFrac <= 0 {
+		minFrac = 0.5
+	}
+	best, err := s.classify(ctx, read, minFrac)
+	switch {
+	case errors.Is(err, core.ErrNoSupport):
+		// Valid read, no reference reaches the support threshold.
+		return ClassifyResponse{}, &apiError{http.StatusNotFound, err.Error()}
+	case err != nil:
+		// Invalid input, e.g. a read shorter than the window.
+		return ClassifyResponse{}, &apiError{http.StatusUnprocessableEntity, err.Error()}
+	}
+	return ClassifyResponse{
+		Ref:      s.lib.Ref(best.Ref).ID,
+		Offset:   best.Offset,
+		Votes:    best.Votes,
+		Windows:  best.Windows,
+		Fraction: best.Fraction,
+	}, nil
+}
+
+// execBatch runs one batch request. Malformed patterns get per-item
+// errors without burning a worker slot; a canceled context yields the
+// partial results with the Canceled marker, matching the HTTP 200 +
+// "canceled" contract.
+func (s *Server) execBatch(ctx context.Context, patterns []string, workers int) (BatchResponse, *apiError) {
+	if len(patterns) == 0 {
+		return BatchResponse{}, &apiError{http.StatusBadRequest, "patterns are required"}
+	}
+	if len(patterns) > maxBatchPatterns {
+		return BatchResponse{}, &apiError{http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("batch of %d exceeds limit %d", len(patterns), maxBatchPatterns)}
+	}
+	// Parse up front and dispatch only the patterns that parsed: a
+	// malformed pattern gets its per-item error without entering the
+	// lookup pipeline at all. idx maps each dispatched sequence back
+	// to its request slot.
+	resp := BatchResponse{Results: make([]BatchItem, len(patterns))}
+	seqs := make([]*genome.Sequence, 0, len(patterns))
+	idx := make([]int, 0, len(patterns))
+	for i, p := range patterns {
+		resp.Results[i] = BatchItem{Matches: []MatchJSON{}}
+		seq, err := genome.FromString(strings.ToUpper(p))
+		if err != nil {
+			resp.Results[i].Error = err.Error()
+			continue
+		}
+		seqs = append(seqs, seq)
+		idx = append(idx, i)
+	}
+	if len(seqs) > 0 {
+		results, agg, err := s.lookupBatch(ctx, seqs, clampWorkers(workers))
+		if err != nil && !isContextErr(err) {
+			return BatchResponse{}, &apiError{http.StatusUnprocessableEntity, err.Error()}
+		}
+		resp.Canceled = err != nil
+		resp.Probes = agg.BucketProbes
+		for k, res := range results {
+			item := &resp.Results[idx[k]]
+			if res.Err != nil {
+				item.Error = res.Err.Error()
+				continue
+			}
+			for _, m := range res.Matches {
+				item.Matches = append(item.Matches, MatchJSON{
+					Ref: s.lib.Ref(m.Ref).ID, Offset: m.Off, Distance: m.Distance, Strand: "+",
+				})
+			}
+		}
+	}
+	return resp, nil
+}
+
+// execStats snapshots the library shape and storage gauges.
+func (s *Server) execStats() StatsResponse {
+	p := s.lib.Params()
+	return StatsResponse{
+		References:    s.lib.NumRefs(),
+		Windows:       s.lib.NumWindows(),
+		Buckets:       s.lib.NumBuckets(),
+		Dim:           p.Dim,
+		Window:        p.Window,
+		Stride:        p.Stride,
+		Capacity:      p.Capacity,
+		Approx:        p.Approx,
+		Tolerance:     p.MutTolerance,
+		Threshold:     s.lib.Threshold(),
+		MemBytes:      s.lib.MemoryFootprint(),
+		MappedBytes:   s.lib.MappedBytes(),
+		ResidentBytes: s.lib.ResidentBytes(),
+		Segments:      s.lib.NumSegments(),
+		Tombstones:    s.lib.TombstoneRatio(),
+	}
+}

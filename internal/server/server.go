@@ -35,11 +35,9 @@ import (
 	"fmt"
 	"log"
 	"net/http"
-	"strings"
 
 	"repro/internal/coalesce"
 	"repro/internal/core"
-	"repro/internal/genome"
 	"repro/internal/metrics"
 )
 
@@ -191,6 +189,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		"# TYPE biohd_library_memory_bytes gauge\nbiohd_library_memory_bytes %d\n", s.lib.MemoryFootprint())
 	fmt.Fprintf(&buf, "# HELP biohd_library_mapped_bytes Bytes of the library file mmapped into the process (0 for heap-loaded libraries).\n"+
 		"# TYPE biohd_library_mapped_bytes gauge\nbiohd_library_mapped_bytes %d\n", s.lib.MappedBytes())
+	fmt.Fprintf(&buf, "# HELP biohd_library_resident_bytes Bytes of the library's search store resident in RAM: mincore over the mapped arenas for the mmap tier, the heap footprint otherwise.\n"+
+		"# TYPE biohd_library_resident_bytes gauge\nbiohd_library_resident_bytes %d\n", s.lib.ResidentBytes())
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
 	//lint:ignore errcheck a failed response write means the client is gone
@@ -199,40 +199,25 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 
 // StatsResponse is the /v1/stats payload.
 type StatsResponse struct {
-	References  int     `json:"references"`
-	Windows     int     `json:"windows"`
-	Buckets     int     `json:"buckets"`
-	Dim         int     `json:"dim"`
-	Window      int     `json:"window"`
-	Stride      int     `json:"stride"`
-	Capacity    int     `json:"capacity"`
-	Approx      bool    `json:"approx"`
-	Tolerance   int     `json:"tolerance"`
-	Threshold   float64 `json:"threshold"`
-	MemBytes    int64   `json:"memoryBytes"`
-	MappedBytes int64   `json:"mappedBytes"`
-	Segments    int     `json:"segments"`
-	Tombstones  float64 `json:"tombstoneRatio"`
+	References    int     `json:"references"`
+	Windows       int     `json:"windows"`
+	Buckets       int     `json:"buckets"`
+	Dim           int     `json:"dim"`
+	Window        int     `json:"window"`
+	Stride        int     `json:"stride"`
+	Capacity      int     `json:"capacity"`
+	Approx        bool    `json:"approx"`
+	Tolerance     int     `json:"tolerance"`
+	Threshold     float64 `json:"threshold"`
+	MemBytes      int64   `json:"memoryBytes"`
+	MappedBytes   int64   `json:"mappedBytes"`
+	ResidentBytes int64   `json:"residentBytes"`
+	Segments      int     `json:"segments"`
+	Tombstones    float64 `json:"tombstoneRatio"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	p := s.lib.Params()
-	writeJSON(w, http.StatusOK, StatsResponse{
-		References:  s.lib.NumRefs(),
-		Windows:     s.lib.NumWindows(),
-		Buckets:     s.lib.NumBuckets(),
-		Dim:         p.Dim,
-		Window:      p.Window,
-		Stride:      p.Stride,
-		Capacity:    p.Capacity,
-		Approx:      p.Approx,
-		Tolerance:   p.MutTolerance,
-		Threshold:   s.lib.Threshold(),
-		MemBytes:    s.lib.MemoryFootprint(),
-		MappedBytes: s.lib.MappedBytes(),
-		Segments:    s.lib.NumSegments(),
-		Tombstones:  s.lib.TombstoneRatio(),
-	})
+	writeJSON(w, http.StatusOK, s.execStats())
 }
 
 // SearchRequest is the /v1/search payload.
@@ -256,57 +241,14 @@ type SearchResponse struct {
 	Probes  int         `json:"bucketProbes"`
 }
 
-func (s *Server) parsePattern(w http.ResponseWriter, text string) (*genome.Sequence, bool) {
-	if text == "" {
-		writeError(w, http.StatusBadRequest, "pattern is required")
-		return nil, false
-	}
-	seq, err := genome.FromString(strings.ToUpper(text))
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return nil, false
-	}
-	return seq, true
-}
-
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	var req SearchRequest
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	pat, ok := s.parsePattern(w, req.Pattern)
-	if !ok {
-		return
-	}
-	resp := SearchResponse{Matches: []MatchJSON{}}
-	switch req.Strands {
-	case "", "forward":
-		matches, stats, err := s.lookup(r.Context(), pat)
-		if err != nil {
-			writeError(w, http.StatusUnprocessableEntity, "%v", err)
-			return
-		}
-		resp.Probes = stats.BucketProbes
-		for _, m := range matches {
-			resp.Matches = append(resp.Matches, MatchJSON{
-				Ref: s.lib.Ref(m.Ref).ID, Offset: m.Off, Distance: m.Distance, Strand: "+",
-			})
-		}
-	case "both":
-		matches, stats, err := s.lookupBothStrands(r.Context(), pat)
-		if err != nil {
-			writeError(w, http.StatusUnprocessableEntity, "%v", err)
-			return
-		}
-		resp.Probes = stats.BucketProbes
-		for _, m := range matches {
-			resp.Matches = append(resp.Matches, MatchJSON{
-				Ref: s.lib.Ref(m.Ref).ID, Offset: m.Off, Distance: m.Distance,
-				Strand: m.Strand.String(),
-			})
-		}
-	default:
-		writeError(w, http.StatusBadRequest, "strands must be \"forward\" or \"both\"")
+	resp, aerr := s.execSearch(r.Context(), req.Pattern, req.Strands)
+	if aerr != nil {
+		writeError(w, aerr.status, "%s", aerr.msg)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -332,38 +274,12 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	read, ok := s.parsePattern(w, req.Read)
-	if !ok {
+	resp, aerr := s.execClassify(r.Context(), req.Read, req.MinFraction)
+	if aerr != nil {
+		writeError(w, aerr.status, "%s", aerr.msg)
 		return
 	}
-	if req.MinFraction > 1 {
-		// A fraction above 1 can never be satisfied; classifying with it
-		// would silently return 404 for every read.
-		writeError(w, http.StatusBadRequest, "minFraction %v must be in (0, 1]", req.MinFraction)
-		return
-	}
-	minFrac := req.MinFraction
-	if minFrac <= 0 {
-		minFrac = 0.5
-	}
-	best, err := s.classify(r.Context(), read, minFrac)
-	switch {
-	case errors.Is(err, core.ErrNoSupport):
-		// Valid read, no reference reaches the support threshold.
-		writeError(w, http.StatusNotFound, "%v", err)
-		return
-	case err != nil:
-		// Invalid input, e.g. a read shorter than the window.
-		writeError(w, http.StatusUnprocessableEntity, "%v", err)
-		return
-	}
-	writeJSON(w, http.StatusOK, ClassifyResponse{
-		Ref:      s.lib.Ref(best.Ref).ID,
-		Offset:   best.Offset,
-		Votes:    best.Votes,
-		Windows:  best.Windows,
-		Fraction: best.Fraction,
-	})
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // BatchRequest is the /v1/batch payload.
@@ -417,52 +333,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	if len(req.Patterns) == 0 {
-		writeError(w, http.StatusBadRequest, "patterns are required")
+	resp, aerr := s.execBatch(r.Context(), req.Patterns, req.Workers)
+	if aerr != nil {
+		writeError(w, aerr.status, "%s", aerr.msg)
 		return
-	}
-	if len(req.Patterns) > maxBatchPatterns {
-		writeError(w, http.StatusRequestEntityTooLarge,
-			"batch of %d exceeds limit %d", len(req.Patterns), maxBatchPatterns)
-		return
-	}
-	// Parse up front and dispatch only the patterns that parsed: a
-	// malformed pattern gets its per-item error without burning a
-	// worker slot or entering the lookup pipeline at all. idx maps
-	// each dispatched sequence back to its request slot.
-	resp := BatchResponse{Results: make([]BatchItem, len(req.Patterns))}
-	seqs := make([]*genome.Sequence, 0, len(req.Patterns))
-	idx := make([]int, 0, len(req.Patterns))
-	for i, p := range req.Patterns {
-		resp.Results[i] = BatchItem{Matches: []MatchJSON{}}
-		seq, err := genome.FromString(strings.ToUpper(p))
-		if err != nil {
-			resp.Results[i].Error = err.Error()
-			continue
-		}
-		seqs = append(seqs, seq)
-		idx = append(idx, i)
-	}
-	if len(seqs) > 0 {
-		results, agg, err := s.lookupBatch(r.Context(), seqs, clampWorkers(req.Workers))
-		if err != nil && !isContextErr(err) {
-			writeError(w, http.StatusUnprocessableEntity, "%v", err)
-			return
-		}
-		resp.Canceled = err != nil
-		resp.Probes = agg.BucketProbes
-		for k, res := range results {
-			item := &resp.Results[idx[k]]
-			if res.Err != nil {
-				item.Error = res.Err.Error()
-				continue
-			}
-			for _, m := range res.Matches {
-				item.Matches = append(item.Matches, MatchJSON{
-					Ref: s.lib.Ref(m.Ref).ID, Offset: m.Off, Distance: m.Distance, Strand: "+",
-				})
-			}
-		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

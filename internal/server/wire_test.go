@@ -1,0 +1,346 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/genome"
+	"repro/internal/rng"
+	"repro/internal/wire"
+)
+
+// wirePair builds one server and exposes it over BOTH transports:
+// the HTTP JSON API and the binary wire protocol, sharing the exec
+// layer and the metrics registry.
+func wirePair(t *testing.T) (*httptest.Server, *wire.Client, *genome.Sequence) {
+	t.Helper()
+	ref := genome.Random(3000, rng.New(91))
+	lib, err := core.NewLibrary(core.Params{Dim: 8192, Window: 32, Sealed: true, Seed: 92})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lib.Add(genome.Record{ID: "chr1", Seq: ref}); err != nil {
+		t.Fatal(err)
+	}
+	lib.Freeze()
+	s, err := New(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	ws := wire.NewServer(s.WireBackend(), s.Registry(), wire.ServerConfig{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := ws.Serve(ln); !errors.Is(err, wire.ErrServerClosed) {
+			t.Errorf("wire serve: %v", err)
+		}
+	}()
+	t.Cleanup(func() {
+		ws.Close()
+		<-done
+	})
+	cl, err := wire.Dial(ln.Addr().String(), wire.ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return ts, cl, ref
+}
+
+// httpBody POSTs (or GETs when body is nil) and returns status plus
+// the body with the encoder's trailing newline trimmed — the exact
+// bytes json.Marshal would have produced.
+func httpBody(t *testing.T, url string, body interface{}) (int, []byte) {
+	t.Helper()
+	var resp *http.Response
+	var err error
+	if body == nil {
+		resp, err = http.Get(url)
+	} else {
+		resp = postJSON(t, url, body)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, []byte(strings.TrimSuffix(string(data), "\n"))
+}
+
+func marshal(t *testing.T, v interface{}) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestWireGoldenEquivalence pins byte-identical answers across the
+// two transports for every request kind, including error taxonomy.
+func TestWireGoldenEquivalence(t *testing.T) {
+	ts, cl, ref := wirePair(t)
+	ctx := context.Background()
+
+	t.Run("search forward", func(t *testing.T) {
+		pat := ref.Slice(500, 532).String()
+		status, hb := httpBody(t, ts.URL+"/v1/search", SearchRequest{Pattern: pat})
+		if status != http.StatusOK {
+			t.Fatalf("http status %d", status)
+		}
+		wr, err := cl.Search(ctx, pat, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wb := marshal(t, wr); string(wb) != string(hb) {
+			t.Fatalf("transports differ:\nhttp %s\nwire %s", hb, wb)
+		}
+		if len(wr.Matches) == 0 {
+			t.Fatal("planted pattern not found")
+		}
+	})
+
+	t.Run("search both strands", func(t *testing.T) {
+		pat := ref.Slice(800, 832).ReverseComplement().String()
+		status, hb := httpBody(t, ts.URL+"/v1/search",
+			SearchRequest{Pattern: pat, Strands: "both"})
+		if status != http.StatusOK {
+			t.Fatalf("http status %d", status)
+		}
+		wr, err := cl.Search(ctx, pat, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wb := marshal(t, wr); string(wb) != string(hb) {
+			t.Fatalf("transports differ:\nhttp %s\nwire %s", hb, wb)
+		}
+	})
+
+	t.Run("search no matches", func(t *testing.T) {
+		pat := strings.Repeat("ACGT", 8) // almost surely absent
+		status, hb := httpBody(t, ts.URL+"/v1/search", SearchRequest{Pattern: pat})
+		if status != http.StatusOK {
+			t.Fatalf("http status %d", status)
+		}
+		wr, err := cl.Search(ctx, pat, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wb := marshal(t, wr); string(wb) != string(hb) {
+			t.Fatalf("transports differ:\nhttp %s\nwire %s", hb, wb)
+		}
+	})
+
+	t.Run("classify", func(t *testing.T) {
+		read := ref.Slice(1000, 1300).String()
+		status, hb := httpBody(t, ts.URL+"/v1/classify", ClassifyRequest{Read: read})
+		if status != http.StatusOK {
+			t.Fatalf("http status %d: %s", status, hb)
+		}
+		wr, err := cl.Classify(ctx, read, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wb := marshal(t, wr); string(wb) != string(hb) {
+			t.Fatalf("transports differ:\nhttp %s\nwire %s", hb, wb)
+		}
+	})
+
+	t.Run("batch with malformed item", func(t *testing.T) {
+		pats := []string{
+			ref.Slice(200, 232).String(),
+			"NOTDNA!",
+			ref.Slice(1200, 1232).String(),
+		}
+		status, hb := httpBody(t, ts.URL+"/v1/batch", BatchRequest{Patterns: pats})
+		if status != http.StatusOK {
+			t.Fatalf("http status %d", status)
+		}
+		wr, err := cl.Batch(ctx, pats, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wb := marshal(t, wr); string(wb) != string(hb) {
+			t.Fatalf("transports differ:\nhttp %s\nwire %s", hb, wb)
+		}
+		if wr.Results[1].Error == "" {
+			t.Fatal("malformed pattern produced no per-item error")
+		}
+	})
+
+	t.Run("stats", func(t *testing.T) {
+		status, hb := httpBody(t, ts.URL+"/v1/stats", nil)
+		if status != http.StatusOK {
+			t.Fatalf("http status %d", status)
+		}
+		wr, err := cl.Stats(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wb := marshal(t, wr); string(wb) != string(hb) {
+			t.Fatalf("transports differ:\nhttp %s\nwire %s", hb, wb)
+		}
+	})
+
+	t.Run("error taxonomy", func(t *testing.T) {
+		cases := []struct {
+			name string
+			body interface{}
+			do   func() error
+		}{
+			{"empty pattern", SearchRequest{}, func() error {
+				_, err := cl.Search(ctx, "", false)
+				return err
+			}},
+			{"bad base", SearchRequest{Pattern: "QQQQ"}, func() error {
+				_, err := cl.Search(ctx, "QQQQ", false)
+				return err
+			}},
+			{"short pattern", SearchRequest{Pattern: "ACGT"}, func() error {
+				_, err := cl.Search(ctx, "ACGT", false)
+				return err
+			}},
+			{"minFraction above 1", ClassifyRequest{Read: strings.Repeat("ACGT", 20), MinFraction: 1.5}, func() error {
+				_, err := cl.Classify(ctx, strings.Repeat("ACGT", 20), 1.5)
+				return err
+			}},
+		}
+		for _, tc := range cases {
+			t.Run(tc.name, func(t *testing.T) {
+				url := ts.URL + "/v1/search"
+				if _, ok := tc.body.(ClassifyRequest); ok {
+					url = ts.URL + "/v1/classify"
+				}
+				status, hb := httpBody(t, url, tc.body)
+				if status == http.StatusOK {
+					t.Fatalf("http accepted: %s", hb)
+				}
+				var eb errorBody
+				if err := json.Unmarshal(hb, &eb); err != nil {
+					t.Fatal(err)
+				}
+				err := tc.do()
+				var se *wire.StatusError
+				if !errors.As(err, &se) {
+					t.Fatalf("wire error not a StatusError: %v", err)
+				}
+				if se.Code != status || se.Msg != eb.Error {
+					t.Fatalf("taxonomy differs: http %d %q, wire %d %q",
+						status, eb.Error, se.Code, se.Msg)
+				}
+			})
+		}
+	})
+}
+
+// TestWireGoldenEquivalenceConcurrent repeats the byte-identical
+// check under 32-way concurrent pipelined wire traffic — exactly the
+// shape that fills the coalescer's probe blocks — against HTTP
+// answers captured up front. Run with -race in CI.
+func TestWireGoldenEquivalenceConcurrent(t *testing.T) {
+	ts, cl, ref := wirePair(t)
+	ctx := context.Background()
+
+	offs := []int{100, 400, 700, 1000, 1300, 1600, 1900, 2200}
+	pats := make([]string, len(offs))
+	want := make([][]byte, len(offs))
+	for i, off := range offs {
+		pats[i] = ref.Slice(off, off+32).String()
+		status, hb := httpBody(t, ts.URL+"/v1/search", SearchRequest{Pattern: pats[i]})
+		if status != http.StatusOK {
+			t.Fatalf("http status %d", status)
+		}
+		want[i] = hb
+	}
+
+	const workers = 32
+	const iters = 25
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				k := (w + i) % len(pats)
+				wr, err := cl.Search(ctx, pats[k], false)
+				if err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				if wb := marshal(t, wr); string(wb) != string(want[k]) {
+					t.Errorf("worker %d diverged on %q:\nhttp %s\nwire %s",
+						w, pats[k], want[k], wb)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestWireMetricsOnSharedRegistry asserts the wire series render on
+// the HTTP /metrics endpoint, alongside the resident-bytes gauge.
+func TestWireMetricsOnSharedRegistry(t *testing.T) {
+	ts, cl, ref := wirePair(t)
+	if _, err := cl.Search(context.Background(), ref.Slice(500, 532).String(), false); err != nil {
+		t.Fatal(err)
+	}
+	status, body := httpBody(t, ts.URL+"/metrics", nil)
+	if status != http.StatusOK {
+		t.Fatalf("metrics status %d", status)
+	}
+	text := string(body)
+	// The default client pool holds two connections: slot 0 dials
+	// eagerly, slot 1 on the first request.
+	for _, series := range []string{
+		"biohd_wire_connections 2",
+		`biohd_wire_frames_total{opcode="search"} 1`,
+		"biohd_wire_frame_seconds_count 1",
+		"biohd_wire_pipeline_depth_count 1",
+		"biohd_library_resident_bytes",
+	} {
+		if !strings.Contains(text, series) {
+			t.Errorf("metrics missing %q", series)
+		}
+	}
+}
+
+// TestStatsResidentBytes pins the residentBytes stats field: a heap
+// library reports its footprint.
+func TestStatsResidentBytes(t *testing.T) {
+	ts, _ := testServer(t)
+	status, body := httpBody(t, ts.URL+"/v1/stats", nil)
+	if status != http.StatusOK {
+		t.Fatalf("status %d", status)
+	}
+	var stats StatsResponse
+	if err := json.Unmarshal(body, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.ResidentBytes <= 0 {
+		t.Fatalf("residentBytes %d, want > 0 for a heap library", stats.ResidentBytes)
+	}
+	if stats.ResidentBytes != stats.MemBytes {
+		t.Fatalf("heap residentBytes %d != memoryBytes %d", stats.ResidentBytes, stats.MemBytes)
+	}
+}

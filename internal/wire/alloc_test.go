@@ -1,0 +1,66 @@
+package wire
+
+import "testing"
+
+// TestWireFrameAllocs pins the zero-alloc steady state of the framing
+// layer: with warmed buffers, one full request decode plus one full
+// response encode allocates nothing. This is the empirical twin of
+// the //biohd:hotpath lint proof on the protocol helpers and the
+// connection loops.
+func TestWireFrameAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are perturbed by the race detector")
+	}
+	reqFrame := encodeFrame(OpSearch, 0, 42, AppendSearchRequest(nil, []byte("ACGTACGTACGTACGT"), true))
+	result := SearchResult{
+		Matches: []Match{
+			{Ref: "chr1", Offset: 500, Distance: 1, Strand: "+"},
+			{Ref: "chr1", Offset: 1500, Distance: 0, Strand: "-"},
+		},
+		Probes: 3,
+	}
+	out := make([]byte, 0, 4096)
+	allocs := testing.AllocsPerRun(1000, func() {
+		h, err := ParseHeader(reqFrame[:HeaderSize])
+		if err != nil {
+			t.Fatal(err)
+		}
+		pattern, both, err := ParseSearchRequest(reqFrame[HeaderSize : HeaderSize+int(h.PayloadLen)])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pattern) == 0 || !both {
+			t.Fatal("decode corrupted")
+		}
+		frame, off := BeginFrame(out[:0])
+		frame = AppendSearchResult(frame, &result)
+		FinishFrame(frame, off, OpSearch, FlagResponse, h.RequestID)
+		if len(frame) <= HeaderSize {
+			t.Fatal("encode produced no payload")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state frame handling allocates: %v allocs/op", allocs)
+	}
+}
+
+// TestErrorFrameAllocs pins the error path's framing cost: encoding
+// an ERR payload from a pre-existing message is also allocation-free.
+func TestErrorFrameAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are perturbed by the race detector")
+	}
+	out := make([]byte, 0, 512)
+	msg := ErrDuplicateID.Error()
+	allocs := testing.AllocsPerRun(1000, func() {
+		frame, off := BeginFrame(out[:0])
+		frame = AppendErrorPayload(frame, 400, msg)
+		FinishFrame(frame, off, OpErr, FlagResponse|FlagError, 1)
+		if len(frame) <= HeaderSize {
+			t.Fatal("encode produced no payload")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("error frame encoding allocates: %v allocs/op", allocs)
+	}
+}

@@ -1,0 +1,851 @@
+// Package wire implements the BioHD binary wire protocol: a
+// length-prefixed little-endian frame format served over long-lived
+// TCP connections beside the HTTP API. It exists to strip the
+// per-query transport tax off small probes — request parsing, header
+// churn, and JSON encode/decode dominate the ~46µs arena scan over
+// HTTP/1.1 — and to keep every connection fully pipelined so
+// concurrent in-flight requests from even a single client fill
+// core.LookupBlock probe blocks through the coalescer.
+//
+// Frame grammar (all integers little-endian):
+//
+//	header (24 bytes):
+//	  [0:4)   magic      0x31444842 ("BHD1" on the wire)
+//	  [4]     version    1
+//	  [5]     opcode     SEARCH | CLASSIFY | BATCH | STATS | PING | CANCEL | ERR
+//	  [6:8)   flags      bit 0 response, bit 1 error
+//	  [8:16)  requestID  caller-chosen pipelining key
+//	  [16:20) payloadLen bytes of payload following the header
+//	  [20:24) headerCRC  CRC-32C (Castagnoli) of header bytes [0:20)
+//	payload (payloadLen bytes): opcode-specific, see Append*/Parse*.
+//
+// Requests and responses carry the same requestID; responses are
+// written in completion order, not submission order, which is what
+// makes pipelining useful. An application-level failure (a search
+// that would have been an HTTP 4xx/5xx) sets FlagError on a response
+// frame whose payload is {code u16, msgLen u32, msg} and leaves the
+// connection open. A protocol-level failure — bad magic, bad CRC,
+// oversized payload, duplicate in-flight requestID, a truncated or
+// over-long payload — is answered with an OpErr frame and the
+// connection closes; malformed input must error, never panic.
+//
+// The encode/decode layer is allocation-free in steady state: all
+// encoders are self-append (buf = Append*(buf, …)) into caller-owned
+// buffers, and parsers return subslices of the input frame. The
+// //biohd:hotpath annotations below root the lint proof of that.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"math"
+)
+
+const (
+	// Magic opens every frame; the four bytes read "BHD1" on the wire.
+	Magic uint32 = 0x31444842
+	// Version is the protocol revision this package speaks. A frame
+	// with any other version is a protocol error: the format has no
+	// negotiation, matching the one-binary deployments it serves.
+	Version = 1
+	// HeaderSize is the fixed frame-header length in bytes.
+	HeaderSize = 24
+	// DefaultMaxFrame caps one frame's payload when the caller does
+	// not choose a cap — the same bound the HTTP server puts on
+	// request bodies.
+	DefaultMaxFrame = 16 << 20
+)
+
+// Opcode selects the operation a frame carries.
+type Opcode uint8
+
+// Frame opcodes. OpErr only ever appears on a response: it reports a
+// protocol-level failure and the server closes the connection after
+// writing it.
+const (
+	OpSearch   Opcode = 1
+	OpClassify Opcode = 2
+	OpBatch    Opcode = 3
+	OpStats    Opcode = 4
+	OpPing     Opcode = 5
+	OpCancel   Opcode = 6
+	OpErr      Opcode = 7
+)
+
+// String names the opcode for metric labels and error messages.
+func (op Opcode) String() string {
+	switch op {
+	case OpSearch:
+		return "search"
+	case OpClassify:
+		return "classify"
+	case OpBatch:
+		return "batch"
+	case OpStats:
+		return "stats"
+	case OpPing:
+		return "ping"
+	case OpCancel:
+		return "cancel"
+	case OpErr:
+		return "err"
+	}
+	return "unknown"
+}
+
+// Header flag bits.
+const (
+	// FlagResponse marks a frame travelling server→client.
+	FlagResponse uint16 = 1 << 0
+	// FlagError marks a response whose payload is {code u16, msgLen
+	// u32, msg} instead of the opcode's result encoding.
+	FlagError uint16 = 1 << 1
+)
+
+// Protocol-level sentinel errors. Every malformed input maps to one
+// of these (possibly wrapped); none of the parsers ever panics.
+var (
+	ErrShortHeader  = errors.New("wire: short frame header")
+	ErrBadMagic     = errors.New("wire: bad frame magic")
+	ErrBadVersion   = errors.New("wire: unsupported protocol version")
+	ErrBadCRC       = errors.New("wire: frame header CRC mismatch")
+	ErrFrameTooBig  = errors.New("wire: frame payload exceeds the connection cap")
+	ErrShortPayload = errors.New("wire: truncated frame payload")
+	ErrTrailingData = errors.New("wire: frame payload has trailing bytes")
+	ErrBadOpcode    = errors.New("wire: unknown opcode")
+	ErrBadStrands   = errors.New("wire: search strands byte must be 0 (forward) or 1 (both)")
+	ErrBadFlags     = errors.New("wire: request frame carries response flags")
+	ErrDuplicateID  = errors.New("wire: duplicate in-flight requestID")
+)
+
+// crcTable is the Castagnoli polynomial used by the header checksum —
+// hardware-accelerated on amd64/arm64.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Header is the decoded fixed frame header. Magic, version, and CRC
+// are validated by ParseHeader and supplied by PutHeader, so they do
+// not appear here.
+type Header struct {
+	Opcode     Opcode
+	Flags      uint16
+	RequestID  uint64
+	PayloadLen uint32
+}
+
+// PutHeader encodes h into b[0:HeaderSize], computing the header CRC.
+// The caller guarantees len(b) ≥ HeaderSize.
+//
+//biohd:hotpath
+func PutHeader(b []byte, h Header) {
+	binary.LittleEndian.PutUint32(b[0:4], Magic)
+	b[4] = Version
+	b[5] = byte(h.Opcode)
+	binary.LittleEndian.PutUint16(b[6:8], h.Flags)
+	binary.LittleEndian.PutUint64(b[8:16], h.RequestID)
+	binary.LittleEndian.PutUint32(b[16:20], h.PayloadLen)
+	binary.LittleEndian.PutUint32(b[20:24], crc32.Checksum(b[0:20], crcTable))
+}
+
+// ParseHeader decodes and validates a frame header: length, magic,
+// version, and CRC. It does not bound PayloadLen — the connection
+// owns that cap (see ErrFrameTooBig).
+//
+//biohd:hotpath
+func ParseHeader(b []byte) (Header, error) {
+	var h Header
+	if len(b) < HeaderSize {
+		return h, ErrShortHeader
+	}
+	if binary.LittleEndian.Uint32(b[0:4]) != Magic {
+		return h, ErrBadMagic
+	}
+	if b[4] != Version {
+		return h, ErrBadVersion
+	}
+	if binary.LittleEndian.Uint32(b[20:24]) != crc32.Checksum(b[0:20], crcTable) {
+		return h, ErrBadCRC
+	}
+	h.Opcode = Opcode(b[5])
+	h.Flags = binary.LittleEndian.Uint16(b[6:8])
+	h.RequestID = binary.LittleEndian.Uint64(b[8:16])
+	h.PayloadLen = binary.LittleEndian.Uint32(b[16:20])
+	return h, nil
+}
+
+// BeginFrame reserves header space at the end of buf and returns the
+// extended buffer plus the header's offset. The caller appends the
+// payload with the Append* encoders and seals the frame with
+// FinishFrame.
+//
+//biohd:hotpath
+func BeginFrame(buf []byte) ([]byte, int) {
+	off := len(buf)
+	var zero [HeaderSize]byte
+	buf = append(buf, zero[:]...)
+	return buf, off
+}
+
+// FinishFrame writes the header for the frame whose payload occupies
+// buf[off+HeaderSize:], as laid down by BeginFrame plus the payload
+// encoders.
+//
+//biohd:hotpath
+func FinishFrame(buf []byte, off int, op Opcode, flags uint16, id uint64) {
+	PutHeader(buf[off:off+HeaderSize], Header{
+		Opcode:     op,
+		Flags:      flags,
+		RequestID:  id,
+		PayloadLen: uint32(len(buf) - off - HeaderSize),
+	})
+}
+
+// Fixed-width little-endian append/parse helpers. Appends are the
+// self-assign form into caller-owned buffers; parses advance an
+// offset and report truncation with ErrShortPayload.
+
+//biohd:hotpath
+func appendU8(buf []byte, v uint8) []byte {
+	buf = append(buf, v)
+	return buf
+}
+
+//biohd:hotpath
+func appendU16(buf []byte, v uint16) []byte {
+	buf = append(buf, byte(v), byte(v>>8))
+	return buf
+}
+
+//biohd:hotpath
+func appendU32(buf []byte, v uint32) []byte {
+	buf = append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	return buf
+}
+
+//biohd:hotpath
+func appendU64(buf []byte, v uint64) []byte {
+	buf = append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+	return buf
+}
+
+//biohd:hotpath
+func appendF64(buf []byte, v float64) []byte {
+	return appendU64(buf, math.Float64bits(v))
+}
+
+//biohd:hotpath
+func parseU8(p []byte, off int) (uint8, int, error) {
+	if off+1 > len(p) {
+		return 0, off, ErrShortPayload
+	}
+	return p[off], off + 1, nil
+}
+
+//biohd:hotpath
+func parseU16(p []byte, off int) (uint16, int, error) {
+	if off+2 > len(p) {
+		return 0, off, ErrShortPayload
+	}
+	return binary.LittleEndian.Uint16(p[off:]), off + 2, nil
+}
+
+//biohd:hotpath
+func parseU32(p []byte, off int) (uint32, int, error) {
+	if off+4 > len(p) {
+		return 0, off, ErrShortPayload
+	}
+	return binary.LittleEndian.Uint32(p[off:]), off + 4, nil
+}
+
+//biohd:hotpath
+func parseU64(p []byte, off int) (uint64, int, error) {
+	if off+8 > len(p) {
+		return 0, off, ErrShortPayload
+	}
+	return binary.LittleEndian.Uint64(p[off:]), off + 8, nil
+}
+
+//biohd:hotpath
+func parseF64(p []byte, off int) (float64, int, error) {
+	v, off, err := parseU64(p, off)
+	return math.Float64frombits(v), off, err
+}
+
+// parseBytes reads a u32 length prefix and returns that many bytes as
+// a subslice of p — no copy, so the result aliases the frame buffer
+// and must not outlive it.
+//
+//biohd:hotpath
+func parseBytes(p []byte, off int) ([]byte, int, error) {
+	n, off, err := parseU32(p, off)
+	if err != nil {
+		return nil, off, err
+	}
+	if uint32(len(p)-off) < n {
+		return nil, off, ErrShortPayload
+	}
+	return p[off : off+int(n)], off + int(n), nil
+}
+
+// SEARCH request payload: {strands u8 (0 forward, 1 both), patLen
+// u32, pattern}. The pattern is uppercase ACGT text, exactly the
+// bytes the HTTP API takes in its JSON "pattern" field.
+
+// AppendSearchRequest encodes a SEARCH request payload.
+//
+//biohd:hotpath
+func AppendSearchRequest(buf []byte, pattern []byte, both bool) []byte {
+	var b uint8
+	if both {
+		b = 1
+	}
+	buf = appendU8(buf, b)
+	buf = appendU32(buf, uint32(len(pattern)))
+	buf = append(buf, pattern...)
+	return buf
+}
+
+// ParseSearchRequest decodes a SEARCH request payload. The pattern
+// aliases p.
+//
+//biohd:hotpath
+func ParseSearchRequest(p []byte) (pattern []byte, both bool, err error) {
+	b, off, err := parseU8(p, 0)
+	if err != nil {
+		return nil, false, err
+	}
+	if b > 1 {
+		return nil, false, ErrBadStrands
+	}
+	pattern, off, err = parseBytes(p, off)
+	if err != nil {
+		return nil, false, err
+	}
+	if off != len(p) {
+		return nil, false, ErrTrailingData
+	}
+	return pattern, b == 1, nil
+}
+
+// CLASSIFY request payload: {minFraction f64, readLen u32, read}.
+
+// AppendClassifyRequest encodes a CLASSIFY request payload.
+//
+//biohd:hotpath
+func AppendClassifyRequest(buf []byte, read []byte, minFraction float64) []byte {
+	buf = appendF64(buf, minFraction)
+	buf = appendU32(buf, uint32(len(read)))
+	buf = append(buf, read...)
+	return buf
+}
+
+// ParseClassifyRequest decodes a CLASSIFY request payload. The read
+// aliases p.
+//
+//biohd:hotpath
+func ParseClassifyRequest(p []byte) (read []byte, minFraction float64, err error) {
+	minFraction, off, err := parseF64(p, 0)
+	if err != nil {
+		return nil, 0, err
+	}
+	read, off, err = parseBytes(p, off)
+	if err != nil {
+		return nil, 0, err
+	}
+	if off != len(p) {
+		return nil, 0, ErrTrailingData
+	}
+	return read, minFraction, nil
+}
+
+// BATCH request payload: {workers u32, count u32, count×(patLen u32,
+// pattern)}.
+
+// AppendBatchRequest encodes a BATCH request payload.
+func AppendBatchRequest(buf []byte, patterns []string, workers int) []byte {
+	buf = appendU32(buf, uint32(workers))
+	buf = appendU32(buf, uint32(len(patterns)))
+	for _, p := range patterns {
+		buf = appendU32(buf, uint32(len(p)))
+		buf = append(buf, p...)
+	}
+	return buf
+}
+
+// ParseBatchRequest decodes a BATCH request payload, appending each
+// pattern (a subslice of p) to dst. Unlike the single-query parsers
+// it allocates when dst needs to grow — batch payloads are inherently
+// O(count) — so it is not a hotpath root.
+func ParseBatchRequest(p []byte, dst [][]byte) (patterns [][]byte, workers int, err error) {
+	w, off, err := parseU32(p, 0)
+	if err != nil {
+		return nil, 0, err
+	}
+	count, off, err := parseU32(p, off)
+	if err != nil {
+		return nil, 0, err
+	}
+	// A count that cannot possibly fit the remaining payload (every
+	// pattern needs at least its length prefix) is malformed; checking
+	// here keeps a hostile count from sizing anything.
+	if uint64(count)*4 > uint64(len(p)-off) {
+		return nil, 0, ErrShortPayload
+	}
+	patterns = dst[:0]
+	for i := uint32(0); i < count; i++ {
+		var pat []byte
+		pat, off, err = parseBytes(p, off)
+		if err != nil {
+			return nil, 0, err
+		}
+		patterns = append(patterns, pat)
+	}
+	if off != len(p) {
+		return nil, 0, ErrTrailingData
+	}
+	return patterns, int(w), nil
+}
+
+// Result types. Field sets and JSON tags mirror the HTTP API's
+// response structs exactly — the golden-equivalence tests marshal
+// both and compare bytes, which is what pins the two transports to
+// identical answers.
+
+// Match is one verified match, the wire twin of the HTTP MatchJSON.
+type Match struct {
+	Ref      string `json:"ref"`
+	Offset   int    `json:"offset"`
+	Distance int    `json:"distance"`
+	Strand   string `json:"strand"`
+}
+
+// SearchResult is a SEARCH response, the wire twin of the HTTP
+// SearchResponse.
+type SearchResult struct {
+	Matches []Match `json:"matches"`
+	Probes  int     `json:"bucketProbes"`
+}
+
+// ClassifyResult is a CLASSIFY response, the wire twin of the HTTP
+// ClassifyResponse.
+type ClassifyResult struct {
+	Ref      string  `json:"ref"`
+	Offset   int     `json:"offset"`
+	Votes    int     `json:"votes"`
+	Windows  int     `json:"windows"`
+	Fraction float64 `json:"fraction"`
+}
+
+// BatchItem is one pattern's result in a BATCH response.
+type BatchItem struct {
+	Matches []Match `json:"matches"`
+	Error   string  `json:"error,omitempty"`
+}
+
+// BatchResult is a BATCH response, the wire twin of the HTTP
+// BatchResponse.
+type BatchResult struct {
+	Results  []BatchItem `json:"results"`
+	Probes   int         `json:"bucketProbes"`
+	Canceled bool        `json:"canceled,omitempty"`
+}
+
+// StatsResult is a STATS response, the wire twin of the HTTP
+// StatsResponse.
+type StatsResult struct {
+	References    int     `json:"references"`
+	Windows       int     `json:"windows"`
+	Buckets       int     `json:"buckets"`
+	Dim           int     `json:"dim"`
+	Window        int     `json:"window"`
+	Stride        int     `json:"stride"`
+	Capacity      int     `json:"capacity"`
+	Approx        bool    `json:"approx"`
+	Tolerance     int     `json:"tolerance"`
+	Threshold     float64 `json:"threshold"`
+	MemBytes      int64   `json:"memoryBytes"`
+	MappedBytes   int64   `json:"mappedBytes"`
+	ResidentBytes int64   `json:"residentBytes"`
+	Segments      int     `json:"segments"`
+	Tombstones    float64 `json:"tombstoneRatio"`
+}
+
+// StatusError is an application-level failure carried in a FlagError
+// response: the same status code and message the HTTP API would have
+// answered with. The connection stays open.
+type StatusError struct {
+	Code int
+	Msg  string
+}
+
+// Error implements error.
+func (e *StatusError) Error() string { return e.Msg }
+
+// Strand bytes on the wire.
+const (
+	strandForward = '+'
+	strandReverse = '-'
+)
+
+// appendMatch encodes one match: {refLen u32, ref, offset u64,
+// distance u32, strand u8}.
+//
+//biohd:hotpath
+func appendMatch(buf []byte, m *Match) []byte {
+	buf = appendU32(buf, uint32(len(m.Ref)))
+	buf = append(buf, m.Ref...)
+	buf = appendU64(buf, uint64(m.Offset))
+	buf = appendU32(buf, uint32(m.Distance))
+	s := uint8(strandForward)
+	if m.Strand == "-" {
+		s = strandReverse
+	}
+	buf = appendU8(buf, s)
+	return buf
+}
+
+// parseMatch decodes one match. The ref string is copied out of p so
+// results survive frame-buffer reuse; the per-match allocations make
+// the client-side parsers non-hotpath by design.
+func parseMatch(p []byte, off int) (Match, int, error) {
+	var m Match
+	ref, off, err := parseBytes(p, off)
+	if err != nil {
+		return m, off, err
+	}
+	o, off, err := parseU64(p, off)
+	if err != nil {
+		return m, off, err
+	}
+	d, off, err := parseU32(p, off)
+	if err != nil {
+		return m, off, err
+	}
+	s, off, err := parseU8(p, off)
+	if err != nil {
+		return m, off, err
+	}
+	m.Ref = string(ref)
+	m.Offset = int(o)
+	m.Distance = int(int32(d))
+	m.Strand = "+"
+	if s == strandReverse {
+		m.Strand = "-"
+	}
+	return m, off, nil
+}
+
+// AppendSearchResult encodes a SEARCH response payload: {probes u64,
+// nMatches u32, matches}.
+//
+//biohd:hotpath
+func AppendSearchResult(buf []byte, res *SearchResult) []byte {
+	buf = appendU64(buf, uint64(res.Probes))
+	buf = appendU32(buf, uint32(len(res.Matches)))
+	for i := range res.Matches {
+		buf = appendMatch(buf, &res.Matches[i])
+	}
+	return buf
+}
+
+// ParseSearchResult decodes a SEARCH response payload.
+func ParseSearchResult(p []byte) (SearchResult, error) {
+	var res SearchResult
+	probes, off, err := parseU64(p, 0)
+	if err != nil {
+		return res, err
+	}
+	n, off, err := parseU32(p, off)
+	if err != nil {
+		return res, err
+	}
+	res.Probes = int(probes)
+	res.Matches = make([]Match, 0, minCap(n, p, off))
+	for i := uint32(0); i < n; i++ {
+		var m Match
+		m, off, err = parseMatch(p, off)
+		if err != nil {
+			return res, err
+		}
+		res.Matches = append(res.Matches, m)
+	}
+	if off != len(p) {
+		return res, ErrTrailingData
+	}
+	return res, nil
+}
+
+// minCap bounds a declared element count by what the remaining
+// payload could possibly hold (every match needs ≥ 17 bytes), so a
+// hostile count cannot size a huge slice before parsing fails.
+func minCap(n uint32, p []byte, off int) int {
+	max := (len(p) - off) / 17
+	if int(n) < max {
+		return int(n)
+	}
+	return max
+}
+
+// AppendClassifyResult encodes a CLASSIFY response payload: {refLen
+// u32, ref, offset u64, votes u32, windows u32, fraction f64}.
+//
+//biohd:hotpath
+func AppendClassifyResult(buf []byte, res *ClassifyResult) []byte {
+	buf = appendU32(buf, uint32(len(res.Ref)))
+	buf = append(buf, res.Ref...)
+	buf = appendU64(buf, uint64(res.Offset))
+	buf = appendU32(buf, uint32(res.Votes))
+	buf = appendU32(buf, uint32(res.Windows))
+	buf = appendF64(buf, res.Fraction)
+	return buf
+}
+
+// ParseClassifyResult decodes a CLASSIFY response payload.
+func ParseClassifyResult(p []byte) (ClassifyResult, error) {
+	var res ClassifyResult
+	ref, off, err := parseBytes(p, 0)
+	if err != nil {
+		return res, err
+	}
+	o, off, err := parseU64(p, off)
+	if err != nil {
+		return res, err
+	}
+	votes, off, err := parseU32(p, off)
+	if err != nil {
+		return res, err
+	}
+	windows, off, err := parseU32(p, off)
+	if err != nil {
+		return res, err
+	}
+	frac, off, err := parseF64(p, off)
+	if err != nil {
+		return res, err
+	}
+	if off != len(p) {
+		return res, ErrTrailingData
+	}
+	res.Ref = string(ref)
+	res.Offset = int(o)
+	res.Votes = int(votes)
+	res.Windows = int(windows)
+	res.Fraction = frac
+	return res, nil
+}
+
+// AppendBatchResult encodes a BATCH response payload: {probes u64,
+// canceled u8, count u32, count×(errLen u32, err, nMatches u32,
+// matches)}.
+//
+//biohd:hotpath
+func AppendBatchResult(buf []byte, res *BatchResult) []byte {
+	buf = appendU64(buf, uint64(res.Probes))
+	var c uint8
+	if res.Canceled {
+		c = 1
+	}
+	buf = appendU8(buf, c)
+	buf = appendU32(buf, uint32(len(res.Results)))
+	for i := range res.Results {
+		item := &res.Results[i]
+		buf = appendU32(buf, uint32(len(item.Error)))
+		buf = append(buf, item.Error...)
+		buf = appendU32(buf, uint32(len(item.Matches)))
+		for j := range item.Matches {
+			buf = appendMatch(buf, &item.Matches[j])
+		}
+	}
+	return buf
+}
+
+// ParseBatchResult decodes a BATCH response payload.
+func ParseBatchResult(p []byte) (BatchResult, error) {
+	var res BatchResult
+	probes, off, err := parseU64(p, 0)
+	if err != nil {
+		return res, err
+	}
+	c, off, err := parseU8(p, off)
+	if err != nil {
+		return res, err
+	}
+	count, off, err := parseU32(p, off)
+	if err != nil {
+		return res, err
+	}
+	res.Probes = int(probes)
+	res.Canceled = c != 0
+	// Every item needs ≥ 8 bytes of length prefixes.
+	maxItems := (len(p) - off) / 8
+	if int(count) < maxItems {
+		maxItems = int(count)
+	}
+	res.Results = make([]BatchItem, 0, maxItems)
+	for i := uint32(0); i < count; i++ {
+		var item BatchItem
+		var msg []byte
+		msg, off, err = parseBytes(p, off)
+		if err != nil {
+			return res, err
+		}
+		item.Error = string(msg)
+		var n uint32
+		n, off, err = parseU32(p, off)
+		if err != nil {
+			return res, err
+		}
+		item.Matches = make([]Match, 0, minCap(n, p, off))
+		for j := uint32(0); j < n; j++ {
+			var m Match
+			m, off, err = parseMatch(p, off)
+			if err != nil {
+				return res, err
+			}
+			item.Matches = append(item.Matches, m)
+		}
+		res.Results = append(res.Results, item)
+	}
+	if off != len(p) {
+		return res, ErrTrailingData
+	}
+	return res, nil
+}
+
+// AppendStatsResult encodes a STATS response payload.
+//
+//biohd:hotpath
+func AppendStatsResult(buf []byte, res *StatsResult) []byte {
+	buf = appendU64(buf, uint64(res.References))
+	buf = appendU64(buf, uint64(res.Windows))
+	buf = appendU64(buf, uint64(res.Buckets))
+	buf = appendU32(buf, uint32(res.Dim))
+	buf = appendU32(buf, uint32(res.Window))
+	buf = appendU32(buf, uint32(res.Stride))
+	buf = appendU32(buf, uint32(res.Capacity))
+	var a uint8
+	if res.Approx {
+		a = 1
+	}
+	buf = appendU8(buf, a)
+	buf = appendU64(buf, uint64(res.Tolerance))
+	buf = appendF64(buf, res.Threshold)
+	buf = appendU64(buf, uint64(res.MemBytes))
+	buf = appendU64(buf, uint64(res.MappedBytes))
+	buf = appendU64(buf, uint64(res.ResidentBytes))
+	buf = appendU64(buf, uint64(res.Segments))
+	buf = appendF64(buf, res.Tombstones)
+	return buf
+}
+
+// ParseStatsResult decodes a STATS response payload.
+func ParseStatsResult(p []byte) (StatsResult, error) {
+	var res StatsResult
+	var err error
+	var off int
+	var u uint64
+	var w uint32
+	var b uint8
+	if u, off, err = parseU64(p, off); err != nil {
+		return res, err
+	}
+	res.References = int(u)
+	if u, off, err = parseU64(p, off); err != nil {
+		return res, err
+	}
+	res.Windows = int(u)
+	if u, off, err = parseU64(p, off); err != nil {
+		return res, err
+	}
+	res.Buckets = int(u)
+	if w, off, err = parseU32(p, off); err != nil {
+		return res, err
+	}
+	res.Dim = int(w)
+	if w, off, err = parseU32(p, off); err != nil {
+		return res, err
+	}
+	res.Window = int(w)
+	if w, off, err = parseU32(p, off); err != nil {
+		return res, err
+	}
+	res.Stride = int(w)
+	if w, off, err = parseU32(p, off); err != nil {
+		return res, err
+	}
+	res.Capacity = int(w)
+	if b, off, err = parseU8(p, off); err != nil {
+		return res, err
+	}
+	res.Approx = b != 0
+	if u, off, err = parseU64(p, off); err != nil {
+		return res, err
+	}
+	res.Tolerance = int(u)
+	if res.Threshold, off, err = parseF64(p, off); err != nil {
+		return res, err
+	}
+	if u, off, err = parseU64(p, off); err != nil {
+		return res, err
+	}
+	res.MemBytes = int64(u)
+	if u, off, err = parseU64(p, off); err != nil {
+		return res, err
+	}
+	res.MappedBytes = int64(u)
+	if u, off, err = parseU64(p, off); err != nil {
+		return res, err
+	}
+	res.ResidentBytes = int64(u)
+	if u, off, err = parseU64(p, off); err != nil {
+		return res, err
+	}
+	res.Segments = int(u)
+	if res.Tombstones, off, err = parseF64(p, off); err != nil {
+		return res, err
+	}
+	if off != len(p) {
+		return res, ErrTrailingData
+	}
+	return res, nil
+}
+
+// AppendErrorPayload encodes the FlagError / OpErr payload: {code
+// u16, msgLen u32, msg}.
+//
+//biohd:hotpath
+func AppendErrorPayload(buf []byte, code int, msg string) []byte {
+	buf = appendU16(buf, uint16(code))
+	buf = appendU32(buf, uint32(len(msg)))
+	buf = append(buf, msg...)
+	return buf
+}
+
+// ParseErrorPayload decodes a FlagError / OpErr payload into a
+// StatusError.
+func ParseErrorPayload(p []byte) (*StatusError, error) {
+	code, off, err := parseU16(p, 0)
+	if err != nil {
+		return nil, err
+	}
+	msg, off, err := parseBytes(p, off)
+	if err != nil {
+		return nil, err
+	}
+	if off != len(p) {
+		return nil, ErrTrailingData
+	}
+	return &StatusError{Code: int(code), Msg: string(msg)}, nil
+}
+
+// validRequestOp reports whether op may open a request frame.
+//
+//biohd:hotpath
+func validRequestOp(op Opcode) bool {
+	switch op {
+	case OpSearch, OpClassify, OpBatch, OpStats, OpPing, OpCancel:
+		return true
+	}
+	return false
+}

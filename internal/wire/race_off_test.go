@@ -1,0 +1,7 @@
+//go:build !race
+
+package wire
+
+// raceEnabled reports whether this test binary runs under the race
+// detector; see race_on_test.go.
+const raceEnabled = false

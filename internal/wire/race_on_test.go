@@ -1,0 +1,8 @@
+//go:build race
+
+package wire
+
+// raceEnabled reports that this test binary runs under the race
+// detector, whose instrumentation perturbs sync.Pool caching and
+// therefore allocation counts.
+const raceEnabled = true

@@ -1,0 +1,710 @@
+package wire
+
+// The wire server: one long-lived TCP listener beside the HTTP
+// server, every connection fully pipelined. Per connection:
+//
+//	readLoop  — one goroutine decoding frames: header, payload, and
+//	            per-request context/cancel registration keyed by
+//	            requestID. Decoded requests flow into a bounded work
+//	            channel (backpressure: a client with pipelineDepth
+//	            frames in flight blocks until responses drain).
+//	workers   — ConnWorkers goroutines executing requests against the
+//	            Backend concurrently. This is what feeds the
+//	            coalescer: many in-flight requests from ONE connection
+//	            become concurrent coalescer submissions and fill
+//	            core.LookupBlock probe blocks without needing many
+//	            clients.
+//	writeLoop — one goroutine serializing responses in completion
+//	            order, flushing whenever the queue runs dry.
+//
+// A CANCEL frame cancels the named request's context; the coalescer's
+// pack- and dispatch-time vacate then drops the query before it burns
+// arena bandwidth. Protocol errors answer with one ERR frame and
+// close the connection; application errors travel as FlagError
+// responses and leave it open.
+//
+// The steady-state frame path is allocation-free: header bytes live
+// in the connection, payload and response buffers are pooled, and the
+// encoders append in place. The //biohd:hotpath annotations on
+// readLoop and writeLoop root the lint proof.
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Backend executes decoded wire requests. Implementations must treat
+// the pattern/read/patterns slices as borrowed: they alias the frame
+// buffer and are reused after the call returns. internal/server's
+// WireBackend adapts the HTTP service's shared execution layer, which
+// is what guarantees byte-identical answers across transports.
+//
+// Application failures are reported as *StatusError carrying the same
+// code and message the HTTP API would answer with; any other error is
+// mapped to code 500.
+type Backend interface {
+	Search(ctx context.Context, pattern []byte, both bool) (SearchResult, error)
+	Classify(ctx context.Context, read []byte, minFraction float64) (ClassifyResult, error)
+	Batch(ctx context.Context, patterns [][]byte, workers int) (BatchResult, error)
+	Stats() StatsResult
+}
+
+// ErrServerClosed is returned by Serve after Shutdown or Close.
+var ErrServerClosed = errors.New("wire: server closed")
+
+// errConnClosing stops the writer after a protocol ERR frame.
+var errConnClosing = errors.New("wire: connection closing after protocol error")
+
+// pipelineDepth bounds the decoded-but-unanswered requests per
+// connection; beyond it the reader stops draining the socket and TCP
+// backpressure reaches the client.
+const pipelineDepth = 64
+
+// ServerConfig shapes the wire listener's connection lifecycle. Zero
+// fields take the defaults below; negative durations disable the
+// timeout.
+type ServerConfig struct {
+	// MaxFrame caps one frame's payload in bytes (default
+	// DefaultMaxFrame). Larger frames are a protocol error.
+	MaxFrame int
+	// ConnWorkers is the number of per-connection request executors —
+	// the connection's maximum useful pipelining (default 16, twice
+	// the probe-block width so blocks fill even mid-completion).
+	ConnWorkers int
+	// IdleTimeout closes a connection that sends no frame for this
+	// long (default 2m, matching the HTTP keep-alive idle timeout).
+	IdleTimeout time.Duration
+	// RequestTimeout bounds each request's context (default 30s,
+	// matching the HTTP per-request deadline).
+	RequestTimeout time.Duration
+	// KeepAlivePeriod configures TCP keepalive probes (default 30s).
+	KeepAlivePeriod time.Duration
+}
+
+func (c ServerConfig) withDefaults() ServerConfig {
+	if c.MaxFrame <= 0 {
+		c.MaxFrame = DefaultMaxFrame
+	}
+	if c.ConnWorkers <= 0 {
+		c.ConnWorkers = 16
+	}
+	c.IdleTimeout = resolveDur(c.IdleTimeout, 2*time.Minute)
+	c.RequestTimeout = resolveDur(c.RequestTimeout, 30*time.Second)
+	c.KeepAlivePeriod = resolveDur(c.KeepAlivePeriod, 30*time.Second)
+	return c
+}
+
+func resolveDur(v, def time.Duration) time.Duration {
+	if v == 0 {
+		return def
+	}
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// buffer is a pooled frame buffer, shared by payload reads and
+// response encodes.
+type buffer struct {
+	b []byte
+}
+
+// request is one decoded in-flight request.
+type request struct {
+	op      Opcode
+	id      uint64
+	payload *buffer
+	ctx     context.Context
+	cancel  context.CancelFunc
+}
+
+// response is one encoded frame awaiting the writer. close marks the
+// connection for teardown after this frame (protocol errors).
+type response struct {
+	buf   *buffer
+	close bool
+}
+
+// Server serves the wire protocol over TCP listeners.
+type Server struct {
+	backend Backend
+	cfg     ServerConfig
+	reg     *metrics.Registry
+
+	base     context.Context // parent of every request context
+	baseStop context.CancelFunc
+
+	connGauge  *metrics.Gauge
+	frames     [8]*metrics.Counter // request frames received, by opcode
+	protoCount *metrics.Counter
+	frameSecs  *metrics.Histogram
+	depth      *metrics.Histogram
+
+	bufPool  sync.Pool
+	reqPool  sync.Pool
+	respPool sync.Pool
+
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+	conns     map[*serverConn]struct{}
+	closed    bool
+
+	done   chan struct{}
+	connWg sync.WaitGroup
+}
+
+// Metric names exported on the shared registry (rendered by the HTTP
+// /metrics endpoint when the registries are shared).
+const (
+	metricConnections = "biohd_wire_connections"
+	metricFramesTotal = "biohd_wire_frames_total"
+	metricProtoErrors = "biohd_wire_protocol_errors_total"
+	metricFrameSecs   = "biohd_wire_frame_seconds"
+	metricDepth       = "biohd_wire_pipeline_depth"
+
+	helpConnections = "Wire-protocol connections currently open."
+	helpFramesTotal = "Wire-protocol request frames received, by opcode."
+	helpProtoErrors = "Wire-protocol violations answered with an ERR frame and a connection close."
+	helpFrameSecs   = "Wire-protocol request handling latency in seconds, decode to response enqueue."
+	helpDepth       = "In-flight requests on a connection, sampled at each request admission."
+)
+
+// depthBuckets bound the pipeline-depth histogram: powers of two up
+// to the per-connection pipeline cap.
+var depthBuckets = []float64{1, 2, 4, 8, 16, 32, 64}
+
+// NewServer creates a wire server executing requests on b. Metrics
+// register on reg; pass the HTTP server's registry so the wire series
+// render on the same /metrics endpoint (nil creates a private one).
+func NewServer(b Backend, reg *metrics.Registry, cfg ServerConfig) *Server {
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	s := &Server{
+		backend:   b,
+		cfg:       cfg.withDefaults(),
+		reg:       reg,
+		listeners: make(map[net.Listener]struct{}),
+		conns:     make(map[*serverConn]struct{}),
+		done:      make(chan struct{}),
+	}
+	s.base, s.baseStop = context.WithCancel(context.Background())
+	s.connGauge = reg.Gauge(metricConnections, helpConnections)
+	for _, op := range []Opcode{OpSearch, OpClassify, OpBatch, OpStats, OpPing, OpCancel} {
+		s.frames[op] = reg.Counter(metricFramesTotal, helpFramesTotal,
+			metrics.Label{Key: "opcode", Value: op.String()})
+	}
+	s.protoCount = reg.Counter(metricProtoErrors, helpProtoErrors)
+	s.frameSecs = reg.Histogram(metricFrameSecs, helpFrameSecs, metrics.DefBuckets)
+	s.depth = reg.Histogram(metricDepth, helpDepth, depthBuckets)
+	s.bufPool.New = func() interface{} { return &buffer{b: make([]byte, 0, 4096)} }
+	s.reqPool.New = func() interface{} { return new(request) }
+	s.respPool.New = func() interface{} { return new(response) }
+	return s
+}
+
+func (s *Server) getBuffer() *buffer {
+	b := s.bufPool.Get().(*buffer)
+	b.b = b.b[:0]
+	return b
+}
+
+func (s *Server) putBuffer(b *buffer) {
+	if b != nil {
+		s.bufPool.Put(b)
+	}
+}
+
+func (s *Server) getRequest() *request  { return s.reqPool.Get().(*request) }
+func (s *Server) putRequest(r *request) { s.reqPool.Put(r) }
+
+func (s *Server) getResponse() *response { return s.respPool.Get().(*response) }
+func (s *Server) putResponse(r *response) {
+	r.buf, r.close = nil, false
+	s.respPool.Put(r)
+}
+
+// grow resizes a pooled buffer to n bytes, reallocating only past the
+// buffer's high-water mark.
+//
+//biohd:coldstart pool-miss growth to the connection's high-water frame size; steady state reuses the backing array
+func grow(b []byte, n int) []byte {
+	if cap(b) < n {
+		return make([]byte, n)
+	}
+	return b[:n]
+}
+
+// Serve accepts connections on ln until Shutdown or Close. It returns
+// ErrServerClosed after a clean shutdown, once every connection
+// handler has exited.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		//lint:ignore errcheck the caller owns a listener we refuse to serve
+		ln.Close()
+		return ErrServerClosed
+	}
+	s.listeners[ln] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.listeners, ln)
+		s.mu.Unlock()
+	}()
+	defer s.connWg.Wait()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-s.done:
+				return ErrServerClosed
+			default:
+			}
+			return err
+		}
+		s.connWg.Add(1)
+		go func() {
+			defer s.connWg.Done()
+			s.handleConn(nc)
+		}()
+	}
+}
+
+// Shutdown stops accepting connections and drains: open connections
+// stop reading new frames, finish their in-flight requests, flush,
+// and close. If ctx expires first the remaining connections are
+// force-closed (their request contexts cancel, which vacates queued
+// coalescer submissions) and ctx's error is returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.beginShutdown()
+	done := make(chan struct{})
+	go func() {
+		s.connWg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.forceClose()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Close force-closes every listener and connection immediately.
+func (s *Server) Close() error {
+	s.beginShutdown()
+	s.forceClose()
+	s.connWg.Wait()
+	return nil
+}
+
+// beginShutdown closes the accept loops and nudges every connection's
+// reader off its blocking read. Idempotent.
+func (s *Server) beginShutdown() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	close(s.done)
+	for ln := range s.listeners {
+		//lint:ignore errcheck a listener failing to close cannot block shutdown
+		ln.Close()
+	}
+	for c := range s.conns {
+		c.closeRead()
+	}
+}
+
+// forceClose cancels every in-flight request context and severs the
+// connections.
+func (s *Server) forceClose() {
+	s.baseStop()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for c := range s.conns {
+		//lint:ignore errcheck force-close is best effort by definition
+		c.nc.Close()
+	}
+}
+
+func (s *Server) addConn(c *serverConn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[c] = struct{}{}
+	s.connGauge.Inc()
+	return true
+}
+
+func (s *Server) removeConn(c *serverConn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.conns[c]; ok {
+		delete(s.conns, c)
+		s.connGauge.Dec()
+	}
+}
+
+// serverConn is one accepted connection's state.
+type serverConn struct {
+	srv *Server
+	nc  net.Conn
+	br  *bufio.Reader
+	bw  *bufio.Writer
+
+	work chan *request
+	outc chan *response
+
+	mu       sync.Mutex
+	inflight map[uint64]context.CancelFunc
+
+	hdr [HeaderSize]byte
+}
+
+// handleConn runs one connection's lifecycle: socket options, the
+// reader/workers/writer goroutines, protocol-error reporting, and
+// teardown. Pool misses and goroutine starts here are the reviewed
+// connection-setup cost; the steady state loops they feed are the
+// hotpath roots.
+func (s *Server) handleConn(nc net.Conn) {
+	defer nc.Close()
+	if tc, ok := nc.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(true)
+		if s.cfg.KeepAlivePeriod > 0 {
+			_ = tc.SetKeepAlive(true)
+			_ = tc.SetKeepAlivePeriod(s.cfg.KeepAlivePeriod)
+		}
+	}
+	c := &serverConn{
+		srv:      s,
+		nc:       nc,
+		br:       bufio.NewReaderSize(nc, 64<<10),
+		bw:       bufio.NewWriterSize(nc, 64<<10),
+		work:     make(chan *request, pipelineDepth),
+		outc:     make(chan *response, pipelineDepth),
+		inflight: make(map[uint64]context.CancelFunc),
+	}
+	if !s.addConn(c) {
+		return
+	}
+	defer s.removeConn(c)
+	var writerWg, workerWg sync.WaitGroup
+	writerWg.Add(1)
+	go func() {
+		defer writerWg.Done()
+		//lint:ignore errcheck the writer's error only ever ends its own connection
+		c.writeLoop()
+	}()
+	for i := 0; i < s.cfg.ConnWorkers; i++ {
+		workerWg.Add(1)
+		go func() {
+			defer workerWg.Done()
+			c.workerLoop()
+		}()
+	}
+	rerr := c.readLoop()
+	close(c.work)
+	workerWg.Wait()
+	if isProtocolErr(rerr) {
+		s.protoCount.Inc()
+		c.enqueueErrFrame(0, rerr)
+	}
+	close(c.outc)
+	writerWg.Wait()
+	c.cancelAll()
+}
+
+// closeRead knocks the reader off its blocking read so the connection
+// starts draining; in-flight requests still complete.
+func (c *serverConn) closeRead() {
+	//lint:ignore errcheck a dead connection is already what we want here
+	c.nc.SetReadDeadline(time.Unix(0, 1))
+}
+
+// cancelAll cancels any request contexts still registered — after the
+// workers have drained this is normally empty, but a force-close can
+// leave entries behind.
+func (c *serverConn) cancelAll() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for id, cancel := range c.inflight {
+		cancel()
+		delete(c.inflight, id)
+	}
+}
+
+// protoSentinels are the violations that close a connection with an
+// ERR frame.
+var protoSentinels = []error{
+	ErrShortHeader, ErrBadMagic, ErrBadVersion, ErrBadCRC, ErrFrameTooBig,
+	ErrShortPayload, ErrTrailingData, ErrBadOpcode, ErrBadStrands,
+	ErrBadFlags, ErrDuplicateID,
+}
+
+func isProtocolErr(err error) bool {
+	for _, s := range protoSentinels {
+		if errors.Is(err, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// readLoop decodes request frames until the connection errors, a
+// protocol violation occurs, or shutdown nudges the read deadline.
+// It returns the terminal error; handleConn reports protocol
+// violations with an ERR frame.
+//
+//biohd:hotpath
+func (c *serverConn) readLoop() error {
+	for {
+		if c.srv.cfg.IdleTimeout > 0 {
+			if err := c.nc.SetReadDeadline(time.Now().Add(c.srv.cfg.IdleTimeout)); err != nil {
+				return err
+			}
+		}
+		if _, err := io.ReadFull(c.br, c.hdr[:]); err != nil {
+			return err
+		}
+		h, err := ParseHeader(c.hdr[:])
+		if err != nil {
+			return err
+		}
+		if h.Flags&(FlagResponse|FlagError) != 0 {
+			return ErrBadFlags
+		}
+		if !validRequestOp(h.Opcode) {
+			return ErrBadOpcode
+		}
+		if h.PayloadLen > uint32(c.srv.cfg.MaxFrame) {
+			return ErrFrameTooBig
+		}
+		c.srv.frames[h.Opcode].Inc()
+		buf := c.srv.getBuffer()
+		if h.PayloadLen > 0 {
+			buf.b = grow(buf.b, int(h.PayloadLen))
+			if _, err := io.ReadFull(c.br, buf.b); err != nil {
+				c.srv.putBuffer(buf)
+				return err
+			}
+		}
+		if h.Opcode == OpCancel {
+			c.cancelRequest(h.RequestID)
+			c.srv.putBuffer(buf)
+			continue
+		}
+		req := c.srv.getRequest()
+		req.op, req.id, req.payload = h.Opcode, h.RequestID, buf
+		if c.srv.cfg.RequestTimeout > 0 {
+			req.ctx, req.cancel = context.WithTimeout(c.srv.base, c.srv.cfg.RequestTimeout)
+		} else {
+			req.ctx, req.cancel = context.WithCancel(c.srv.base)
+		}
+		if !c.addInflight(h.RequestID, req.cancel) {
+			req.cancel()
+			c.srv.putBuffer(buf)
+			req.payload = nil
+			c.srv.putRequest(req)
+			return ErrDuplicateID
+		}
+		c.work <- req
+	}
+}
+
+// addInflight registers a request's cancel under its id, refusing
+// duplicates, and samples the pipeline depth.
+func (c *serverConn) addInflight(id uint64, cancel context.CancelFunc) bool {
+	c.mu.Lock()
+	if _, dup := c.inflight[id]; dup {
+		c.mu.Unlock()
+		return false
+	}
+	c.inflight[id] = cancel
+	n := len(c.inflight)
+	c.mu.Unlock()
+	c.srv.depth.Observe(float64(n))
+	return true
+}
+
+// cancelRequest fires the named request's context; the coalescer
+// vacates the query at pack or dispatch time. Unknown ids (already
+// completed, or never sent) are ignored.
+func (c *serverConn) cancelRequest(id uint64) {
+	c.mu.Lock()
+	cancel := c.inflight[id]
+	c.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
+// removeInflight drops a completed request's registration.
+func (c *serverConn) removeInflight(id uint64) {
+	c.mu.Lock()
+	delete(c.inflight, id)
+	c.mu.Unlock()
+}
+
+// workerLoop executes decoded requests until the work channel closes.
+// Not a hotpath root: execution reaches the Backend (pattern parsing,
+// coalescer submission, match conversion), which allocates per
+// request by design — the zero-alloc guarantee covers the framing
+// layer around it.
+func (c *serverConn) workerLoop() {
+	for req := range c.work {
+		c.serve(req)
+	}
+}
+
+// serve executes one request and enqueues its encoded response. A
+// malformed payload inside a well-formed frame is a protocol error:
+// the ERR frame carries the request's id and the connection tears
+// down.
+func (c *serverConn) serve(req *request) {
+	start := time.Now()
+	out := c.srv.getBuffer()
+	frame, off := BeginFrame(out.b)
+	op, flags := req.op, FlagResponse
+	var appErr, protoErr error
+	switch req.op {
+	case OpPing:
+		// Empty response payload.
+	case OpStats:
+		st := c.srv.backend.Stats()
+		frame = AppendStatsResult(frame, &st)
+	case OpSearch:
+		pattern, both, perr := ParseSearchRequest(req.payload.b)
+		if perr != nil {
+			protoErr = perr
+		} else if res, err := c.srv.backend.Search(req.ctx, pattern, both); err != nil {
+			appErr = err
+		} else {
+			frame = AppendSearchResult(frame, &res)
+		}
+	case OpClassify:
+		read, minFrac, perr := ParseClassifyRequest(req.payload.b)
+		if perr != nil {
+			protoErr = perr
+		} else if res, err := c.srv.backend.Classify(req.ctx, read, minFrac); err != nil {
+			appErr = err
+		} else {
+			frame = AppendClassifyResult(frame, &res)
+		}
+	case OpBatch:
+		pats, workers, perr := ParseBatchRequest(req.payload.b, nil)
+		if perr != nil {
+			protoErr = perr
+		} else if res, err := c.srv.backend.Batch(req.ctx, pats, workers); err != nil {
+			appErr = err
+		} else {
+			frame = AppendBatchResult(frame, &res)
+		}
+	}
+	switch {
+	case protoErr != nil:
+		frame = frame[:off+HeaderSize]
+		op = OpErr
+		flags |= FlagError
+		frame = AppendErrorPayload(frame, 400, protoErr.Error())
+		c.srv.protoCount.Inc()
+	case appErr != nil:
+		frame = frame[:off+HeaderSize]
+		flags |= FlagError
+		code, msg := errorCode(appErr)
+		frame = AppendErrorPayload(frame, code, msg)
+	}
+	FinishFrame(frame, off, op, flags, req.id)
+	out.b = frame
+	c.finish(req)
+	c.srv.frameSecs.Observe(time.Since(start).Seconds())
+	resp := c.srv.getResponse()
+	resp.buf = out
+	resp.close = protoErr != nil
+	c.outc <- resp
+	if protoErr != nil {
+		// Stop decoding further frames; the writer closes after the
+		// ERR frame and handleConn tears the connection down.
+		c.closeRead()
+	}
+}
+
+// errorCode maps a Backend error to the wire error payload: a
+// StatusError carries the HTTP-equivalent status; anything else is an
+// internal error.
+func errorCode(err error) (int, string) {
+	var se *StatusError
+	if errors.As(err, &se) {
+		return se.Code, se.Msg
+	}
+	return 500, err.Error()
+}
+
+// finish releases one served request: context, registration, payload
+// buffer, and the request struct itself.
+func (c *serverConn) finish(req *request) {
+	req.cancel()
+	c.removeInflight(req.id)
+	c.srv.putBuffer(req.payload)
+	req.payload, req.ctx, req.cancel = nil, nil, nil
+	c.srv.putRequest(req)
+}
+
+// enqueueErrFrame reports a reader-detected protocol violation. The
+// offending frame's requestID is not always decodable, so id 0 stands
+// in when attribution failed.
+func (c *serverConn) enqueueErrFrame(id uint64, err error) {
+	out := c.srv.getBuffer()
+	frame, off := BeginFrame(out.b)
+	frame = AppendErrorPayload(frame, 400, err.Error())
+	FinishFrame(frame, off, OpErr, FlagResponse|FlagError, id)
+	out.b = frame
+	resp := c.srv.getResponse()
+	resp.buf = out
+	resp.close = true
+	c.outc <- resp
+}
+
+// writeLoop drains encoded responses to the socket in completion
+// order, flushing whenever the queue runs dry, until the channel
+// closes. After a write error — or the frame that ends the
+// connection — it keeps draining so workers never block, recycling
+// buffers without writing.
+//
+//biohd:hotpath
+func (c *serverConn) writeLoop() error {
+	var werr error
+	for resp := range c.outc {
+		if werr == nil {
+			_, err := c.bw.Write(resp.buf.b)
+			if err == nil && (resp.close || len(c.outc) == 0) {
+				err = c.bw.Flush()
+			}
+			if err == nil && resp.close {
+				err = errConnClosing
+			}
+			werr = err
+		}
+		c.srv.putBuffer(resp.buf)
+		c.srv.putResponse(resp)
+	}
+	if werr != nil {
+		return werr
+	}
+	return c.bw.Flush()
+}

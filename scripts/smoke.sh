@@ -6,7 +6,10 @@
 # assert it drains to a clean exit. A second phase round-trips the
 # mmap-backed tier: build → convert to the v3 mappable format → serve
 # -mmap → search/ingest/remove/compact against the mapped library, and
-# assert the mapped-bytes gauge reports the mapping.
+# assert the mapped-bytes gauge reports the mapping. A third phase
+# serves with -wire-addr and drives the binary wire protocol through
+# the biohd wire client: pipelined searches, classify, stats, ping,
+# then asserts the biohd_wire_* metric series and a clean drain.
 #
 # Run via `make smoke` (CI runs it too). Needs only bash, curl, awk.
 set -euo pipefail
@@ -200,6 +203,80 @@ server_pid=""
 if [ "$rc" -ne 0 ]; then
     cat "$workdir/serve-mmap.log"
     echo "FATAL: mmap server exited $rc after SIGTERM, want 0"
+    exit 1
+fi
+kill "$watchdog_pid" 2>/dev/null || true
+watchdog_pid=""
+
+echo "== serve -wire-addr"
+"$workdir/biohd" serve -ref "$workdir/refs.fa" -addr 127.0.0.1:0 \
+    -wire-addr 127.0.0.1:0 -quiet >"$workdir/serve-wire.log" 2>&1 &
+server_pid=$!
+( sleep 60; kill -9 "$server_pid" 2>/dev/null ) &
+watchdog_pid=$!
+
+# Two banner lines: "serving ... on http://ADDR ..." then
+# "wire protocol on ADDR".
+base=""
+wire_addr=""
+for _ in $(seq 1 100); do
+    base=$(awk '/^serving /{for (i=1; i<=NF; i++) if ($i ~ /^http:/) print $i}' \
+        "$workdir/serve-wire.log" 2>/dev/null || true)
+    wire_addr=$(awk '/^wire protocol on /{print $4}' \
+        "$workdir/serve-wire.log" 2>/dev/null || true)
+    [ -n "$base" ] && [ -n "$wire_addr" ] && break
+    kill -0 "$server_pid" 2>/dev/null || { cat "$workdir/serve-wire.log"; echo "FATAL: wire server died"; exit 1; }
+    sleep 0.1
+done
+[ -n "$wire_addr" ] || { cat "$workdir/serve-wire.log"; echo "FATAL: no wire banner"; exit 1; }
+echo "   http $base, wire $wire_addr"
+for _ in $(seq 1 50); do
+    curl -sf "$base/healthz" >/dev/null 2>&1 && break
+    sleep 0.1
+done
+
+echo "== wire ping"
+"$workdir/biohd" wire -addr "$wire_addr" -ping | grep -q pong \
+    || { echo "FATAL: wire ping failed"; exit 1; }
+
+echo "== wire pipelined search"
+wsearch=$("$workdir/biohd" wire -addr "$wire_addr" -pattern "$pattern" -n 8)
+echo "$wsearch" | grep -q '8 pipelined responses identical' \
+    || { echo "FATAL: pipelined responses diverged: $wsearch"; exit 1; }
+echo "$wsearch" | grep -q '"matches":\[{' \
+    || { echo "FATAL: no match over wire: $wsearch"; exit 1; }
+
+echo "== wire classify"
+read_seq=$(awk '/^>/{n++; next} n==1{printf "%s", $0}' "$workdir/refs.fa" | cut -c201-500)
+wclassify=$("$workdir/biohd" wire -addr "$wire_addr" -classify "$read_seq")
+echo "$wclassify" | grep -q '"votes"' \
+    || { echo "FATAL: wire classify failed: $wclassify"; exit 1; }
+
+echo "== wire stats"
+wstats=$("$workdir/biohd" wire -addr "$wire_addr" -stats)
+echo "$wstats" | grep -q '"references":4' \
+    || { echo "FATAL: wire stats failed: $wstats"; exit 1; }
+
+echo "== wire /metrics"
+metrics=$(curl -sf "$base/metrics")
+for want in \
+    'biohd_wire_frames_total{opcode="search"}' \
+    'biohd_wire_frames_total{opcode="classify"}' \
+    'biohd_wire_frames_total{opcode="stats"}' \
+    'biohd_wire_frame_seconds_bucket' \
+    'biohd_wire_pipeline_depth_bucket' \
+    'biohd_wire_connections'; do
+    echo "$metrics" | grep -qF "$want" || { echo "FATAL: /metrics missing: $want"; exit 1; }
+done
+
+echo "== SIGTERM drain (wire)"
+kill -TERM "$server_pid"
+rc=0
+wait "$server_pid" || rc=$?
+server_pid=""
+if [ "$rc" -ne 0 ]; then
+    cat "$workdir/serve-wire.log"
+    echo "FATAL: wire server exited $rc after SIGTERM, want 0"
     exit 1
 fi
 
