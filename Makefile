@@ -61,7 +61,10 @@ lint-baseline:
 ## S ∈ {1,4,16}; page-cache warm, so the overhead is the cost of
 ## scanning file-backed pages), and BENCH_wire.json (served QPS and
 ## latency through real transports: binary wire protocol vs per-request
-## HTTP/1.1 vs HTTP with coalescing, at 1..256 concurrent clients)
+## HTTP/1.1 vs HTTP with coalescing, at 1..256 concurrent clients), and
+## BENCH_backend.json (HDC vs COBS bit-sliced backend on one shared
+## workload: precision/recall vs a naive exact scan, Lookup QPS, and
+## serialized v3 size)
 bench:
 	$(GO) run ./cmd/benchprobe -out BENCH_probe.json
 	GOMAXPROCS=1 $(GO) run ./cmd/benchprobe -queries-per-block 8 -out BENCH_multiprobe.json
@@ -69,6 +72,7 @@ bench:
 	$(GO) run ./cmd/benchcoalesce -out BENCH_coalesce.json
 	GOMAXPROCS=1 $(GO) run ./cmd/benchprobe -mmap 1,4,16 -reps 9 -out BENCH_mmap.json
 	$(GO) run ./cmd/benchwire -out BENCH_wire.json
+	$(GO) run ./cmd/benchbackend -out BENCH_backend.json
 
 ## benchsmoke: compile and run every micro-benchmark once — catches
 ## benchmarks that no longer build or crash, without measuring anything.
@@ -81,6 +85,7 @@ benchsmoke:
 	$(GO) run ./cmd/benchcoalesce -buckets 64 -reps 1 -dur 20ms -conc 1,4 -out /dev/null
 	$(GO) run -tags purego ./cmd/benchcoalesce -buckets 64 -reps 1 -dur 20ms -conc 4 -out /dev/null
 	$(GO) run ./cmd/benchwire -buckets 64 -reps 1 -dur 20ms -conc 1,4 -out /dev/null
+	$(GO) run ./cmd/benchbackend -refs 4 -reflen 500 -present 8 -absent 8 -reps 1 -out /dev/null
 
 ## fuzz: run each fuzz target for FUZZTIME (default 30s)
 fuzz:

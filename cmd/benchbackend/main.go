@@ -1,0 +1,283 @@
+// Command benchbackend A/B-tests the two index backends behind the
+// core.Index interface — the HDC bucketed-hypervector library and the
+// COBS-style bit-sliced signature index — on one shared synthetic
+// workload. Both sides index the same references and answer the same
+// query mix (half windows sampled from the references, half random
+// absents), and the report records per backend what the backends
+// actually trade against each other: answer quality versus a naive
+// exact scan (precision/recall over (ref, offset) pairs), Lookup
+// throughput, and serialized v3 size. `make bench` runs it to refresh
+// BENCH_backend.json, the checked-in record of the trade-off at the
+// suite's default geometry.
+//
+// Reading the numbers: both backends verify nothing above their probe
+// (HDC exact mode decodes bucket membership, COBS re-scans candidate
+// references), so recall is the headline fidelity number and precision
+// shows each side's false-positive discipline. QPS medians come from
+// interleaved testing.Benchmark repetitions, same as the other bench
+// commands, because single invocations swing on shared machines.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/cobs"
+	"repro/internal/core"
+	"repro/internal/genome"
+	"repro/internal/rng"
+)
+
+const (
+	window = 32
+	dim    = 8192
+)
+
+type backendReport struct {
+	Backend    string    `json:"backend"`
+	Precision  float64   `json:"precision"`
+	Recall     float64   `json:"recall"`
+	TruePos    int       `json:"true_positives"`
+	FalsePos   int       `json:"false_positives"`
+	FalseNeg   int       `json:"false_negatives"`
+	RepNsPerOp []float64 `json:"rep_ns_per_op"`
+	NsPerOp    float64   `json:"median_ns_per_op"`
+	QPS        float64   `json:"qps"`
+	IndexBytes int       `json:"index_bytes"`
+}
+
+type report struct {
+	Benchmark  string          `json:"benchmark"`
+	Refs       int             `json:"refs"`
+	RefLen     int             `json:"ref_len"`
+	Window     int             `json:"window"`
+	Dim        int             `json:"hdc_dim"`
+	Queries    int             `json:"queries"`
+	PresentQ   int             `json:"present_queries"`
+	AbsentQ    int             `json:"absent_queries"`
+	GoVersion  string          `json:"go_version"`
+	GOARCH     string          `json:"goarch"`
+	GOMAXPROCS int             `json:"gomaxprocs"`
+	SIMD       bool            `json:"simd_kernel"`
+	Kernel     string          `json:"kernel"`
+	Backends   []backendReport `json:"backends"`
+}
+
+func main() {
+	nRefs := flag.Int("refs", 24, "number of synthetic references")
+	refLen := flag.Int("reflen", 4000, "length of each reference")
+	nPresent := flag.Int("present", 48, "queries sampled from the references")
+	nAbsent := flag.Int("absent", 48, "random queries (almost surely absent)")
+	reps := flag.Int("reps", 5, "interleaved repetitions per backend")
+	out := flag.String("out", "BENCH_backend.json", "output path, or - for stdout")
+	flag.Parse()
+
+	if err := run(*nRefs, *refLen, *nPresent, *nAbsent, *reps, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchbackend:", err)
+		os.Exit(1)
+	}
+}
+
+func run(nRefs, refLen, nPresent, nAbsent, reps int, out string) error {
+	src := rng.New(0xbac4e4d)
+	refs := make([]*genome.Sequence, nRefs)
+	recs := make([]genome.Record, nRefs)
+	for i := range refs {
+		refs[i] = genome.Random(refLen, src)
+		recs[i] = genome.Record{ID: fmt.Sprintf("ref%03d", i), Seq: refs[i]}
+	}
+	queries := makeQueries(refs, nPresent, nAbsent, src)
+	truth := make([]map[[2]int]bool, len(queries))
+	for i, q := range queries {
+		truth[i] = naiveScan(refs, q)
+	}
+
+	hdcIdx, err := buildHDC(recs)
+	if err != nil {
+		return err
+	}
+	cobsIdx, err := buildCOBS(recs)
+	if err != nil {
+		return err
+	}
+
+	rep := report{
+		Benchmark: "backend_ab", Refs: nRefs, RefLen: refLen,
+		Window: window, Dim: dim,
+		Queries: len(queries), PresentQ: nPresent, AbsentQ: nAbsent,
+		GoVersion: runtime.Version(), GOARCH: runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0), SIMD: bitvec.AccelAvailable(),
+		Kernel: bitvec.Kernel(),
+	}
+	backends := []struct {
+		name string
+		idx  core.Index
+	}{
+		{core.BackendHDC, hdcIdx},
+		{"cobs", cobsIdx},
+	}
+	// Interleave the timing reps across backends so a slow minute on a
+	// shared machine cannot land on only one side.
+	results := make([]backendReport, len(backends))
+	for i, b := range backends {
+		br, err := measureAccuracy(b.idx, queries, truth)
+		if err != nil {
+			return fmt.Errorf("%s: %w", b.name, err)
+		}
+		br.Backend = b.name
+		var buf bytes.Buffer
+		if _, err := b.idx.WriteToV3(&buf); err != nil {
+			return fmt.Errorf("%s: serialize: %w", b.name, err)
+		}
+		br.IndexBytes = buf.Len()
+		results[i] = br
+	}
+	for r := 0; r < reps; r++ {
+		for i, b := range backends {
+			res := testing.Benchmark(func(tb *testing.B) {
+				for n := 0; n < tb.N; n++ {
+					if _, _, err := b.idx.Lookup(queries[n%len(queries)]); err != nil {
+						tb.Fatal(err)
+					}
+				}
+			})
+			ns := float64(res.NsPerOp())
+			results[i].RepNsPerOp = append(results[i].RepNsPerOp, ns)
+			fmt.Fprintf(os.Stderr, "rep %d/%d: %s %.0f ns/op\n", r+1, reps, b.name, ns)
+		}
+	}
+	for i := range results {
+		results[i].NsPerOp = median(results[i].RepNsPerOp)
+		results[i].QPS = round1(1e9 / results[i].NsPerOp)
+	}
+	rep.Backends = results
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	for _, b := range rep.Backends {
+		fmt.Fprintf(os.Stderr, "%s: precision %.4f recall %.4f, %.0f qps, %d bytes\n",
+			b.Backend, b.Precision, b.Recall, b.QPS, b.IndexBytes)
+	}
+	return nil
+}
+
+func buildHDC(recs []genome.Record) (core.Index, error) {
+	lib, err := core.NewLibrary(core.Params{Dim: dim, Window: window, Sealed: true, Seed: 0xb10d})
+	if err != nil {
+		return nil, err
+	}
+	for _, rec := range recs {
+		if err := lib.Add(rec); err != nil {
+			return nil, err
+		}
+	}
+	lib.Freeze()
+	return lib, nil
+}
+
+func buildCOBS(recs []genome.Record) (core.Index, error) {
+	x, err := cobs.New(cobs.Params{Window: window})
+	if err != nil {
+		return nil, err
+	}
+	for _, rec := range recs {
+		if err := x.Add(rec); err != nil {
+			return nil, err
+		}
+	}
+	x.Freeze()
+	return x, nil
+}
+
+// makeQueries samples nPresent windows uniformly from the references
+// and draws nAbsent random window-length sequences (absent from the
+// references with overwhelming probability at 4^32 possible windows).
+func makeQueries(refs []*genome.Sequence, nPresent, nAbsent int, src *rng.Source) []*genome.Sequence {
+	qs := make([]*genome.Sequence, 0, nPresent+nAbsent)
+	for i := 0; i < nPresent; i++ {
+		ref := refs[src.Intn(len(refs))]
+		off := src.Intn(ref.Len() - window + 1)
+		qs = append(qs, ref.Slice(off, off+window))
+	}
+	for i := 0; i < nAbsent; i++ {
+		qs = append(qs, genome.Random(window, src))
+	}
+	return qs
+}
+
+// naiveScan is the ground truth: the set of (ref, offset) pairs where
+// the query occurs exactly.
+func naiveScan(refs []*genome.Sequence, q *genome.Sequence) map[[2]int]bool {
+	hits := make(map[[2]int]bool)
+	for r, seq := range refs {
+		for off := 0; ; off++ {
+			off = seq.Index(q, off)
+			if off < 0 {
+				break
+			}
+			hits[[2]int{r, off}] = true
+		}
+	}
+	return hits
+}
+
+// measureAccuracy scores one backend's Lookup answers against the
+// ground truth over (ref, offset) pairs, pooled across all queries.
+func measureAccuracy(idx core.Index, queries []*genome.Sequence, truth []map[[2]int]bool) (backendReport, error) {
+	var br backendReport
+	for i, q := range queries {
+		matches, _, err := idx.Lookup(q)
+		if err != nil {
+			return br, err
+		}
+		got := make(map[[2]int]bool, len(matches))
+		for _, m := range matches {
+			got[[2]int{m.Ref, m.Off}] = true
+		}
+		for k := range got {
+			if truth[i][k] {
+				br.TruePos++
+			} else {
+				br.FalsePos++
+			}
+		}
+		for k := range truth[i] {
+			if !got[k] {
+				br.FalseNeg++
+			}
+		}
+	}
+	if br.TruePos+br.FalsePos > 0 {
+		br.Precision = round4(float64(br.TruePos) / float64(br.TruePos+br.FalsePos))
+	}
+	if br.TruePos+br.FalseNeg > 0 {
+		br.Recall = round4(float64(br.TruePos) / float64(br.TruePos+br.FalseNeg))
+	}
+	return br, nil
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return s[len(s)/2]
+}
+
+func round1(x float64) float64 { return float64(int(x*10+0.5)) / 10 }
+func round4(x float64) float64 { return float64(int(x*1e4+0.5)) / 1e4 }

@@ -483,16 +483,18 @@ func runMmap(buckets int, levels string, reps int, out string) {
 			fmt.Fprintln(os.Stderr, "benchprobe:", err)
 			os.Exit(1)
 		}
-		heap, err := core.OpenLibraryFile(path, core.LoadHeap)
+		heapIdx, err := core.OpenLibraryFile(path, core.LoadHeap)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchprobe:", err)
 			os.Exit(1)
 		}
-		mapped, err := core.OpenLibraryFile(path, core.MapArena)
+		heap := heapIdx.(*core.Library)
+		mappedIdx, err := core.OpenLibraryFile(path, core.MapArena)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchprobe:", err)
 			os.Exit(1)
 		}
+		mapped := mappedIdx.(*core.Library)
 		if !mapped.Mapped() {
 			fmt.Fprintln(os.Stderr, "benchprobe: platform cannot map; -mmap A/B is meaningless here")
 			os.Exit(1)

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/accel"
 	"repro/internal/coalesce"
+	"repro/internal/cobs"
 	"repro/internal/core"
 	"repro/internal/encoding"
 	"repro/internal/genome"
@@ -62,7 +63,7 @@ func cmdServe(args []string, out io.Writer) error {
 	if *compactTrigger < 0 || *compactTrigger > 1 {
 		return fmt.Errorf("-compact-trigger %v must be in [0, 1]", *compactTrigger)
 	}
-	var lib *core.Library
+	var lib core.Index
 	var err error
 	if *mmapLib {
 		if *libFile == "" {
@@ -276,6 +277,7 @@ type libFlags struct {
 	seed                               uint64
 	mask                               string
 	workers                            int
+	backend                            string
 }
 
 func addLibFlags(fs *flag.FlagSet) *libFlags {
@@ -289,6 +291,7 @@ func addLibFlags(fs *flag.FlagSet) *libFlags {
 	fs.Uint64Var(&lf.seed, "seed", 1, "item memory seed")
 	fs.StringVar(&lf.mask, "mask", "reject", "ambiguity-code policy for FASTA input: reject | substitute | skip")
 	fs.IntVar(&lf.workers, "workers", 1, "parallel encoding workers for library builds")
+	fs.StringVar(&lf.backend, "backend", core.BackendHDC, "index backend built from -ref: hdc (hyperdimensional) | cobs (bit-sliced signatures)")
 	return &lf
 }
 
@@ -313,26 +316,64 @@ func (lf *libFlags) params() core.Params {
 	}
 }
 
-// loadOrBuild returns a frozen library: loaded from libFile when given,
-// else built from the FASTA at refFile with the flags' mask policy and
+// loadOrBuild returns a frozen index: loaded from libFile when given
+// (whatever backend the file is tagged for), else built as an HDC
+// library from the FASTA at refFile with the flags' mask policy and
 // worker count.
-func loadOrBuild(refFile, libFile string, lf *libFlags) (*core.Library, error) {
+func loadOrBuild(refFile, libFile string, lf *libFlags) (core.Index, error) {
 	if libFile != "" {
 		f, err := os.Open(libFile)
 		if err != nil {
 			return nil, err
 		}
 		defer f.Close()
-		return core.ReadLibrary(f)
+		return core.ReadIndex(f)
 	}
 	if refFile == "" {
 		return nil, fmt.Errorf("either -ref (FASTA) or -lib (saved library) is required")
 	}
+	return buildIndexFromFASTA(refFile, lf)
+}
+
+// buildIndexFromFASTA builds a frozen index of the backend requested by
+// -backend from the FASTA at path.
+func buildIndexFromFASTA(path string, lf *libFlags) (core.Index, error) {
 	policy, err := lf.maskPolicy()
 	if err != nil {
 		return nil, err
 	}
-	return buildFromFASTA(refFile, lf.params(), policy, lf.workers)
+	switch lf.backend {
+	case "", core.BackendHDC:
+		return buildFromFASTA(path, lf.params(), policy, lf.workers)
+	case cobs.BackendName:
+		return buildCOBSFromFASTA(path, cobs.Params{Window: lf.window}, policy)
+	default:
+		return nil, fmt.Errorf("unknown backend %q (registered: %s)", lf.backend, strings.Join(core.RegisteredBackends(), ", "))
+	}
+}
+
+// buildCOBSFromFASTA builds a frozen bit-sliced signature index.
+func buildCOBSFromFASTA(path string, params cobs.Params, policy genome.MaskPolicy) (*cobs.Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	masked, err := genome.ReadFASTAWith(f, policy)
+	if err != nil {
+		return nil, err
+	}
+	x, err := cobs.New(params)
+	if err != nil {
+		return nil, err
+	}
+	for _, m := range masked {
+		if err := x.Add(m.Record); err != nil {
+			return nil, err
+		}
+	}
+	x.Freeze()
+	return x, nil
 }
 
 func buildFromFASTA(path string, params core.Params, policy genome.MaskPolicy, workers int) (*core.Library, error) {
@@ -385,13 +426,30 @@ func cmdBuild(args []string, out io.Writer) error {
 	if *refFile == "" {
 		return fmt.Errorf("build requires -ref")
 	}
-	policy, err := lf.maskPolicy()
+	idx, err := buildIndexFromFASTA(*refFile, lf)
 	if err != nil {
 		return err
 	}
-	lib, err := buildFromFASTA(*refFile, lf.params(), policy, lf.workers)
-	if err != nil {
-		return err
+	lib, isHDC := idx.(*core.Library)
+	if !isHDC {
+		// Non-HDC backends save in the tagged v3 container and report
+		// the shared shape numbers.
+		if *output != "" {
+			err := saveAtomic(*output, func(w io.Writer) error {
+				_, err := idx.WriteToV3(w)
+				return err
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "saved library to %s\n", *output)
+		}
+		info := idx.Describe()
+		fmt.Fprintf(out, "library: %d refs, %d windows, %d columns (%s backend)\n",
+			idx.NumRefs(), idx.NumWindows(), idx.NumBuckets(), info.Backend)
+		fmt.Fprintf(out, "geometry: window=%d stride=%d mode=exact\n", info.Window, info.Stride)
+		fmt.Fprintf(out, "storage: %.1f KiB of bit-sliced signatures\n", float64(idx.MemoryFootprint())/1024)
+		return nil
 	}
 	if *output != "" {
 		err := saveAtomic(*output, func(w io.Writer) error {
@@ -575,9 +633,13 @@ func cmdPIM(args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	lib, err := loadOrBuild(*refFile, *libFile, lf)
+	idx, err := loadOrBuild(*refFile, *libFile, lf)
 	if err != nil {
 		return err
+	}
+	lib, ok := idx.(*core.Library)
+	if !ok {
+		return fmt.Errorf("the PIM cost model applies to the hdc backend; this library is %s", idx.Describe().Backend)
 	}
 	chip := pim.DefaultChipConfig()
 	chip.ArrayRows, chip.ArrayCols, chip.NumArrays = *rows, *cols, *arrays
@@ -642,7 +704,7 @@ func cmdCompact(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	lib, err := core.ReadLibrary(f)
+	lib, err := core.ReadIndex(f)
 	_ = f.Close() // read-only; nothing to flush
 	if err != nil {
 		return err
@@ -679,10 +741,12 @@ func cmdCompact(args []string, out io.Writer) error {
 		dst = *libFile
 	}
 	// Save in the format the input arrived in: a v3 library stays
-	// mappable after compaction, a v1/v2 stream stays a stream.
-	save := func(w io.Writer) error { _, err := lib.WriteTo(w); return err }
-	if ver, err := libFileVersion(*libFile); err == nil && ver >= 3 {
-		save = func(w io.Writer) error { _, err := lib.WriteToV3(w); return err }
+	// mappable after compaction, a v1/v2 HDC stream stays a stream.
+	save := func(w io.Writer) error { _, err := lib.WriteToV3(w); return err }
+	if hdc, ok := lib.(*core.Library); ok {
+		if ver, err := libFileVersion(*libFile); err == nil && ver < 3 {
+			save = func(w io.Writer) error { _, err := hdc.WriteTo(w); return err }
+		}
 	}
 	if err := saveAtomic(dst, save); err != nil {
 		return err

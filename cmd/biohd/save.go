@@ -100,16 +100,21 @@ func cmdConvert(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	lib, err := core.ReadLibrary(f)
+	idx, err := core.ReadIndex(f)
 	_ = f.Close() // read-only; nothing to flush
 	if err != nil {
 		return err
 	}
+	lib, isHDC := idx.(*core.Library)
 	var save func(io.Writer) error
 	switch *format {
 	case "v3":
-		save = func(w io.Writer) error { _, err := lib.WriteToV3(w); return err }
+		save = func(w io.Writer) error { _, err := idx.WriteToV3(w); return err }
 	case "v2":
+		if !isHDC {
+			return fmt.Errorf("-format v2 is the HDC stream format; %s holds a %s library (use v3)",
+				*libFile, idx.Describe().Backend)
+		}
 		save = func(w io.Writer) error { _, err := lib.WriteTo(w); return err }
 	default:
 		return fmt.Errorf("-format %q must be v3 or v2", *format)
@@ -121,7 +126,7 @@ func cmdConvert(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "converted %s (v%d) -> %s (%s, %d bytes): %d refs, %d segments, %d buckets\n",
-		*libFile, ver, *output, *format, fi.Size(), lib.NumRefs(), lib.NumSegments(), lib.NumBuckets())
+	fmt.Fprintf(out, "converted %s (v%d, %s) -> %s (%s, %d bytes): %d refs, %d segments, %d buckets\n",
+		*libFile, ver, idx.Describe().Backend, *output, *format, fi.Size(), idx.NumRefs(), idx.NumSegments(), idx.NumBuckets())
 	return nil
 }

@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -8,6 +9,20 @@ import (
 	"repro/internal/genome"
 	"repro/internal/rng"
 )
+
+// ErrSizing marks rejected Bloom sizing parameters (non-positive
+// expected insertions, FPR outside (0,1), out-of-range w-mer length or
+// geometry). Callers branch on it with errors.Is; the wrapped message
+// names the offending parameter.
+var ErrSizing = errors.New("invalid Bloom sizing")
+
+// PositionSeed is the probe-position hash seed: a w-mer's positions are
+// successive SplitMix64 draws from state WindowHash(...)^PositionSeed,
+// each reduced modulo the filter length. The bit-sliced signature
+// backend (internal/cobs) derives positions with the same scheme, so a
+// KmerBloom row and a cobs column built from the same sequence set the
+// same bits.
+const PositionSeed uint64 = 0xb100f11e
 
 // KmerBloom is a Bloom filter over the w-mers of a reference set — the
 // classical sketch for approximate set membership, and the natural
@@ -27,13 +42,13 @@ type KmerBloom struct {
 // m = −n·ln(p)/ln²2 and k = (m/n)·ln2 formulas.
 func NewKmerBloom(w, expected int, fpr float64) (*KmerBloom, error) {
 	if w <= 0 || w > 1024 {
-		return nil, fmt.Errorf("baseline: w-mer length %d out of [1,1024]", w)
+		return nil, fmt.Errorf("baseline: w-mer length %d out of [1,1024]: %w", w, ErrSizing)
 	}
 	if expected <= 0 {
-		return nil, fmt.Errorf("baseline: expected insertions %d must be positive", expected)
+		return nil, fmt.Errorf("baseline: expected insertions %d must be positive: %w", expected, ErrSizing)
 	}
-	if fpr <= 0 || fpr >= 1 {
-		return nil, fmt.Errorf("baseline: target FPR %v out of (0,1)", fpr)
+	if fpr <= 0 || fpr >= 1 || math.IsNaN(fpr) {
+		return nil, fmt.Errorf("baseline: target FPR %v out of (0,1): %w", fpr, ErrSizing)
 	}
 	mBits := int(math.Ceil(-float64(expected) * math.Log(fpr) / (math.Ln2 * math.Ln2)))
 	mBits = (mBits + 63) / 64 * 64
@@ -50,25 +65,55 @@ func NewKmerBloom(w, expected int, fpr float64) (*KmerBloom, error) {
 	return &KmerBloom{bits: bitvec.New(mBits), w: w, hashes: k}, nil
 }
 
+// NewKmerBloomFixed creates a filter with explicit geometry — bits
+// filter bits (a positive multiple of 64) probed by hashes positions
+// per w-mer — rather than sizing from an expected load. The bit-sliced
+// signature backend uses it to give every reference an identically
+// shaped signature row.
+func NewKmerBloomFixed(w, bits, hashes int) (*KmerBloom, error) {
+	if w <= 0 || w > 1024 {
+		return nil, fmt.Errorf("baseline: w-mer length %d out of [1,1024]: %w", w, ErrSizing)
+	}
+	if bits <= 0 || bits%64 != 0 {
+		return nil, fmt.Errorf("baseline: filter length %d must be a positive multiple of 64: %w", bits, ErrSizing)
+	}
+	if hashes < 1 || hashes > 16 {
+		return nil, fmt.Errorf("baseline: hash count %d out of [1,16]: %w", hashes, ErrSizing)
+	}
+	return &KmerBloom{bits: bitvec.New(bits), w: w, hashes: hashes}, nil
+}
+
 // W returns the w-mer length.
 func (b *KmerBloom) W() int { return b.w }
+
+// BitLen returns the filter length in bits.
+func (b *KmerBloom) BitLen() int { return b.bits.Len() }
+
+// Hashes returns the probe positions derived per w-mer.
+func (b *KmerBloom) Hashes() int { return b.hashes }
+
+// SignatureWords exposes the filter's backing words (little-endian bit
+// order, read-only) — the signature row the bit-sliced backend
+// transposes.
+func (b *KmerBloom) SignatureWords() []uint64 { return b.bits.Words() }
 
 // NumInserted returns how many w-mers have been inserted.
 func (b *KmerBloom) NumInserted() int { return b.n }
 
 // positions derives the k probe positions for a w-mer value.
 func (b *KmerBloom) positions(v uint64, f func(pos int)) {
-	state := v ^ 0xb100f11e
+	state := v ^ PositionSeed
 	for i := 0; i < b.hashes; i++ {
 		h := rng.SplitMix64(&state)
 		f(int(h % uint64(b.bits.Len())))
 	}
 }
 
-// windowHash folds the w bases starting at off into a 64-bit mixing
+// WindowHash folds the w bases starting at off into a 64-bit mixing
 // hash (an FNV-style fold), supporting windows longer than the 31-base
-// packed-k-mer limit.
-func windowHash(seq *genome.Sequence, off, w int) uint64 {
+// packed-k-mer limit. Shared with the bit-sliced signature backend so
+// both sides of the Bloom scheme hash identically.
+func WindowHash(seq *genome.Sequence, off, w int) uint64 {
 	h := uint64(0xcbf29ce484222325)
 	for i := 0; i < w; i++ {
 		h ^= uint64(seq.At(off + i))
@@ -82,7 +127,7 @@ func windowHash(seq *genome.Sequence, off, w int) uint64 {
 func (b *KmerBloom) AddSequence(seq *genome.Sequence) int {
 	ops := 0
 	for i := 0; i+b.w <= seq.Len(); i++ {
-		b.positions(windowHash(seq, i, b.w), func(pos int) {
+		b.positions(WindowHash(seq, i, b.w), func(pos int) {
 			b.bits.Set(pos)
 			ops++
 		})
@@ -100,7 +145,7 @@ func (b *KmerBloom) Contains(pattern *genome.Sequence) (bool, int, error) {
 	}
 	ops := 0
 	present := true
-	b.positions(windowHash(pattern, 0, b.w), func(pos int) {
+	b.positions(WindowHash(pattern, 0, b.w), func(pos int) {
 		ops++
 		if !b.bits.Get(pos) {
 			present = false

@@ -1,6 +1,8 @@
 package baseline
 
 import (
+	"errors"
+	"math"
 	"testing"
 
 	"repro/internal/encoding"
@@ -15,10 +17,38 @@ func TestKmerBloomValidation(t *testing.T) {
 		"expected":  {16, 0, 0.01},
 		"fpr low":   {16, 100, 0.0},
 		"fpr high":  {16, 100, 1.0},
+		"fpr NaN":   {16, 100, math.NaN()},
 	} {
-		if _, err := NewKmerBloom(args[0].(int), args[1].(int), args[2].(float64)); err == nil {
-			t.Fatalf("%s: accepted", name)
+		if _, err := NewKmerBloom(args[0].(int), args[1].(int), args[2].(float64)); !errors.Is(err, ErrSizing) {
+			t.Fatalf("%s: got %v, want ErrSizing", name, err)
 		}
+	}
+}
+
+func TestKmerBloomFixedValidation(t *testing.T) {
+	for name, args := range map[string][3]int{
+		"w zero":          {0, 256, 2},
+		"w negative":      {-5, 256, 2},
+		"w too big":       {2000, 256, 2},
+		"bits zero":       {16, 0, 2},
+		"bits negative":   {16, -64, 2},
+		"bits unaligned":  {16, 100, 2},
+		"hashes zero":     {16, 256, 0},
+		"hashes over cap": {16, 256, 17},
+	} {
+		if _, err := NewKmerBloomFixed(args[0], args[1], args[2]); !errors.Is(err, ErrSizing) {
+			t.Fatalf("%s: got %v, want ErrSizing", name, err)
+		}
+	}
+	bf, err := NewKmerBloomFixed(16, 256, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bf.BitLen() != 256 || bf.Hashes() != 2 || bf.W() != 16 {
+		t.Fatalf("geometry drifted: bits=%d hashes=%d w=%d", bf.BitLen(), bf.Hashes(), bf.W())
+	}
+	if got := len(bf.SignatureWords()); got != 4 {
+		t.Fatalf("SignatureWords length %d, want 4", got)
 	}
 }
 

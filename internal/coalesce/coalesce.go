@@ -1,10 +1,10 @@
 // Package coalesce is the admission layer between the HTTP handlers
-// and core.Library: it packs pending single-query probes from
+// and the core.Index backend: it packs pending single-query probes from
 // concurrent requests into query blocks of up to core.BlockWidth, so
 // independent clients share the arena streaming passes that
 // ProbeMulti amortizes. A bounded submission queue feeds a drain loop
 // that assembles blocks; worker goroutines execute them through
-// Library.LookupBlock and deliver each waiter its own result.
+// Index.LookupBlock and deliver each waiter its own result.
 //
 // The drain loop flushes a block when it is full, when a worker is
 // idle (an idle server keeps the uncoalesced p50 — there is nothing
@@ -117,7 +117,7 @@ type workerScratch struct {
 
 // Coalescer packs concurrent single-query lookups into probe blocks.
 type Coalescer struct {
-	lib *core.Library
+	lib core.Index
 	cfg Config
 
 	q        chan job      // bounded submission queue
@@ -147,10 +147,11 @@ type Coalescer struct {
 	wait      *metrics.Histogram
 }
 
-// New starts a coalescer over a frozen library. The registry receives
+// New starts a coalescer over a frozen index (any backend). The
+// registry receives
 // the coalescing series (block occupancy, queue depth, wait time,
 // admission counters); pass a dedicated registry per server.
-func New(lib *core.Library, cfg Config, reg *metrics.Registry) (*Coalescer, error) {
+func New(lib core.Index, cfg Config, reg *metrics.Registry) (*Coalescer, error) {
 	if !cfg.Enabled() {
 		return nil, fmt.Errorf("coalesce: config disables coalescing; use the direct path")
 	}

@@ -1,0 +1,507 @@
+package cobs
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/genome"
+	"repro/internal/rng"
+)
+
+// testParams keeps signatures small enough that unit tests stay fast
+// while leaving the false-positive rate low for a handful of refs.
+var testParams = Params{Window: 16, RowBits: 4096, Hashes: 4}
+
+func mustIndex(t *testing.T, p Params) *Index {
+	t.Helper()
+	x, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return x
+}
+
+// buildIndex builds a frozen index over the given references.
+func buildIndex(t *testing.T, refs ...*genome.Sequence) *Index {
+	t.Helper()
+	x := mustIndex(t, testParams)
+	for i, seq := range refs {
+		if err := x.Add(genome.Record{ID: refID(i), Seq: seq}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	x.Freeze()
+	return x
+}
+
+func refID(i int) string {
+	return string([]byte{'r', byte('0' + i)})
+}
+
+// naiveScan is the ground truth: every exact occurrence of the
+// pattern's leading window across every live reference, in (Ref, Off)
+// order.
+func naiveScan(refs []*genome.Sequence, pattern *genome.Sequence, w int) []core.Match {
+	var out []core.Match
+	win := pattern.Slice(0, w)
+	for r, seq := range refs {
+		if seq == nil {
+			continue
+		}
+		for off := 0; ; off++ {
+			off = seq.Index(win, off)
+			if off < 0 {
+				break
+			}
+			out = append(out, core.Match{Ref: r, Off: off, QueryOff: 0, Distance: 0})
+		}
+	}
+	return out
+}
+
+func sameMatches(a, b []core.Match) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestLookupMatchesNaiveScan(t *testing.T) {
+	w := testParams.Window
+	refs := []*genome.Sequence{
+		genome.Random(3000, rng.New(1)),
+		genome.Random(500, rng.New(2)),
+		genome.Random(1200, rng.New(3)),
+	}
+	x := buildIndex(t, refs...)
+	// Present windows from every reference, plus random absent queries.
+	var queries []*genome.Sequence
+	for _, seq := range refs {
+		for _, off := range []int{0, 1, seq.Len() / 2, seq.Len() - w} {
+			queries = append(queries, seq.Slice(off, off+w))
+		}
+	}
+	for i := 0; i < 50; i++ {
+		queries = append(queries, genome.Random(w, rng.New(uint64(100+i))))
+	}
+	for qi, q := range queries {
+		got, _, err := x.Lookup(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := naiveScan(refs, q, w)
+		if !sameMatches(got, want) {
+			t.Fatalf("query %d: got %v want %v", qi, got, want)
+		}
+	}
+}
+
+func TestLookupRejectsShortAndUnfrozen(t *testing.T) {
+	x := mustIndex(t, testParams)
+	if err := x.Add(genome.Record{ID: "r", Seq: genome.Random(100, rng.New(1))}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := x.Lookup(genome.Random(32, rng.New(2))); err == nil {
+		t.Fatal("Lookup before Freeze succeeded")
+	}
+	x.Freeze()
+	if _, _, err := x.Lookup(genome.Random(testParams.Window-1, rng.New(3))); !errors.Is(err, x.errShort) {
+		t.Fatalf("short pattern: got %v", err)
+	}
+	if _, _, err := x.Lookup(nil); !errors.Is(err, x.errShort) {
+		t.Fatalf("nil pattern: got %v", err)
+	}
+	if err := x.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := x.Lookup(genome.Random(32, rng.New(4))); !errors.Is(err, core.ErrClosed) {
+		t.Fatalf("closed Lookup: got %v", err)
+	}
+	if err := x.Add(genome.Record{ID: "x", Seq: genome.Random(50, rng.New(5))}); !errors.Is(err, core.ErrClosed) {
+		t.Fatalf("closed Add: got %v", err)
+	}
+}
+
+func TestLookupBothStrands(t *testing.T) {
+	w := testParams.Window
+	ref := genome.Random(2000, rng.New(7))
+	x := buildIndex(t, ref)
+	pat := ref.Slice(400, 400+w).ReverseComplement()
+	sms, _, err := x.LookupBothStrands(pat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, sm := range sms {
+		if sm.Strand == core.Reverse && sm.Off == 400 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("reverse-strand occurrence at 400 missed: %v", sms)
+	}
+}
+
+func TestLookupLongAndClassify(t *testing.T) {
+	refs := []*genome.Sequence{
+		genome.Random(4000, rng.New(11)),
+		genome.Random(4000, rng.New(12)),
+	}
+	x := buildIndex(t, refs...)
+	query := refs[1].Slice(1000, 1000+200)
+	ranked, _, err := x.LookupLong(query, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked) == 0 || ranked[0].Ref != 1 {
+		t.Fatalf("LookupLong ranked %v, want ref 1 first", ranked)
+	}
+	best, _, err := x.Classify(query, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Ref != 1 {
+		t.Fatalf("Classify picked ref %d", best.Ref)
+	}
+	// A foreign read must yield ErrNoSupport.
+	if _, _, err := x.Classify(genome.Random(200, rng.New(99)), 0.5); !errors.Is(err, core.ErrNoSupport) {
+		t.Fatalf("foreign read: got %v", err)
+	}
+	// Both strands: the reverse-complemented read classifies to the
+	// same reference on the reverse strand.
+	got, strand, _, err := x.ClassifyBothStrands(query.ReverseComplement(), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Ref != 1 || strand != core.Reverse {
+		t.Fatalf("ClassifyBothStrands: ref %d strand %v", got.Ref, strand)
+	}
+}
+
+func TestRemoveTombstonesAndCompactReclaims(t *testing.T) {
+	w := testParams.Window
+	refs := []*genome.Sequence{
+		genome.Random(1000, rng.New(21)),
+		genome.Random(1000, rng.New(22)),
+	}
+	// Seal the columns into an immutable segment: removal from sealed
+	// storage is the tombstone path (a removal from the active builder
+	// just splices the column out).
+	x := mustIndex(t, testParams)
+	x.SetSealThreshold(2)
+	for i, seq := range refs {
+		if err := x.Add(genome.Record{ID: refID(i), Seq: seq}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	x.Freeze()
+	pat := refs[0].Slice(100, 100+w)
+	if ms, _, _ := x.Lookup(pat); len(ms) == 0 {
+		t.Fatal("pattern not found before Remove")
+	}
+	if err := x.Remove(0); err != nil {
+		t.Fatal(err)
+	}
+	if ms, _, _ := x.Lookup(pat); !sameMatches(ms, naiveScan([]*genome.Sequence{nil, refs[1]}, pat, w)) {
+		t.Fatalf("removed reference still matching: %v", ms)
+	}
+	if x.TombstoneRatio() <= 0 {
+		t.Fatal("TombstoneRatio stayed zero after Remove")
+	}
+	if x.Ref(0).Seq != nil {
+		t.Fatal("removed reference kept its sequence")
+	}
+	if err := x.Remove(0); err == nil {
+		t.Fatal("double Remove succeeded")
+	}
+	if err := x.Remove(5); err == nil {
+		t.Fatal("out-of-range Remove succeeded")
+	}
+	n, err := x.Compact(0)
+	if err != nil || n != 1 {
+		t.Fatalf("Compact = %d, %v", n, err)
+	}
+	if x.TombstoneRatio() != 0 {
+		t.Fatalf("TombstoneRatio %v after Compact", x.TombstoneRatio())
+	}
+	// The tombstoned column is physically gone from the rewritten
+	// segment (arena width shrinks only at 64-column boundaries, so the
+	// observable reclaim here is the column count).
+	if x.NumBuckets() != 1 {
+		t.Fatalf("NumBuckets = %d after Compact, want 1", x.NumBuckets())
+	}
+	if x.Counters().Compactions != 1 {
+		t.Fatalf("compactions counter = %d", x.Counters().Compactions)
+	}
+	// Surviving reference still answers correctly.
+	p2 := refs[1].Slice(50, 50+w)
+	if ms, _, _ := x.Lookup(p2); len(ms) == 0 {
+		t.Fatal("survivor lost after Compact")
+	}
+}
+
+func TestAutoCompactOnRemove(t *testing.T) {
+	x := mustIndex(t, testParams)
+	x.SetSealThreshold(2)
+	for i, seq := range []*genome.Sequence{genome.Random(800, rng.New(31)), genome.Random(800, rng.New(32))} {
+		if err := x.Add(genome.Record{ID: refID(i), Seq: seq}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	x.Freeze()
+	x.SetAutoCompact(0.01)
+	if err := x.Remove(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := x.Counters().Compactions; got < 1 {
+		t.Fatalf("auto-compact did not run (compactions=%d)", got)
+	}
+	if x.TombstoneRatio() != 0 {
+		t.Fatalf("tombstones survived auto-compact: %v", x.TombstoneRatio())
+	}
+}
+
+func TestLiveIngestAutoSeals(t *testing.T) {
+	w := testParams.Window
+	x := mustIndex(t, testParams)
+	x.SetSealThreshold(2)
+	x.Freeze()
+	var refs []*genome.Sequence
+	for i := 0; i < 5; i++ {
+		seq := genome.Random(300, rng.New(uint64(40+i)))
+		refs = append(refs, seq)
+		if err := x.Add(genome.Record{ID: refID(i), Seq: seq}); err != nil {
+			t.Fatal(err)
+		}
+		// Every reference so far is searchable immediately.
+		for r, s := range refs {
+			pat := s.Slice(10, 10+w)
+			ms, _, err := x.Lookup(pat)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hit := false
+			for _, m := range ms {
+				if m.Ref == r && m.Off == 10 {
+					hit = true
+				}
+			}
+			if !hit {
+				t.Fatalf("after adding %d refs, ref %d window missing", i+1, r)
+			}
+		}
+	}
+	if x.Counters().SegmentSeals < 2 {
+		t.Fatalf("seal threshold 2 never sealed: %+v", x.Counters())
+	}
+	if x.NumSegments() < 2 {
+		t.Fatalf("NumSegments = %d after auto-seals", x.NumSegments())
+	}
+	if x.NumRefs() != 5 || x.NumBuckets() != 5 {
+		t.Fatalf("refs=%d buckets=%d", x.NumRefs(), x.NumBuckets())
+	}
+	wantWins := 0
+	for _, s := range refs {
+		wantWins += s.Len() - w + 1
+	}
+	if x.NumWindows() != wantWins {
+		t.Fatalf("NumWindows = %d want %d", x.NumWindows(), wantWins)
+	}
+}
+
+func TestLookupBatchContext(t *testing.T) {
+	w := testParams.Window
+	ref := genome.Random(2000, rng.New(51))
+	x := buildIndex(t, ref)
+	var pats []*genome.Sequence
+	for i := 0; i < 40; i++ {
+		off := (i * 47) % (ref.Len() - w)
+		pats = append(pats, ref.Slice(off, off+w))
+	}
+	res, _, err := x.LookupBatchContext(context.Background(), pats, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		want, _, _ := x.Lookup(pats[i])
+		if !sameMatches(r.Matches, want) {
+			t.Fatalf("batch result %d diverges from Lookup", i)
+		}
+	}
+	// A canceled context marks unserved patterns and bumps the counter.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, _, err = x.LookupBatchContext(ctx, pats, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Fatalf("result %d not marked canceled: %v", i, r.Err)
+		}
+	}
+	if x.Counters().BatchCancellations < 1 {
+		t.Fatal("batch cancellation not counted")
+	}
+}
+
+func TestLookupBlock(t *testing.T) {
+	w := testParams.Window
+	ref := genome.Random(1500, rng.New(61))
+	x := buildIndex(t, ref)
+	pats := []*genome.Sequence{
+		ref.Slice(0, w),
+		genome.Random(w, rng.New(62)),
+		genome.Random(w-1, rng.New(63)), // short: per-slot error
+	}
+	results := make([]core.BatchResult, len(pats))
+	if err := x.LookupBlock(pats, results); err != nil {
+		t.Fatal(err)
+	}
+	if want, _, _ := x.Lookup(pats[0]); !sameMatches(results[0].Matches, want) {
+		t.Fatal("block slot 0 diverges from Lookup")
+	}
+	if results[2].Err == nil {
+		t.Fatal("short pattern in block not flagged")
+	}
+	if err := x.LookupBlock(nil, nil); err == nil {
+		t.Fatal("empty block accepted")
+	}
+	if err := x.LookupBlock(pats, make([]core.BatchResult, 1)); err == nil {
+		t.Fatal("mismatched results length accepted")
+	}
+	if x.Counters().BlockedProbes != 1 || x.Counters().BlockedWindows != int64(len(pats)) {
+		t.Fatalf("blocked counters: %+v", x.Counters())
+	}
+}
+
+func TestParamsValidation(t *testing.T) {
+	bad := []Params{
+		{Window: -1},
+		{Window: 2000},
+		{RowBits: 100}, // not a multiple of 64
+		{RowBits: -64}, //
+		{Hashes: 17},   // over the probe cap
+		{Hashes: -1},   //
+	}
+	for _, p := range bad {
+		if _, err := New(p); !errors.Is(err, baseline.ErrSizing) {
+			t.Fatalf("New(%+v) = %v, want ErrSizing", p, err)
+		}
+	}
+	x := mustIndex(t, Params{})
+	p := x.Params()
+	if p.Window != 32 || p.RowBits != 1<<16 || p.Hashes != 4 {
+		t.Fatalf("defaults: %+v", p)
+	}
+}
+
+func TestDescribeAndIndexContract(t *testing.T) {
+	x := buildIndex(t, genome.Random(500, rng.New(71)))
+	info := x.Describe()
+	if info.Backend != BackendName || info.Window != testParams.Window || info.Stride != 1 {
+		t.Fatalf("Describe: %+v", info)
+	}
+	if info.Approx {
+		t.Fatal("cobs search is exact; Approx must be false")
+	}
+	if x.Threshold() != 1.0 {
+		t.Fatalf("Threshold = %v", x.Threshold())
+	}
+	if x.Mapped() || x.MappedBytes() != 0 {
+		t.Fatal("heap backend reports mapped storage")
+	}
+	if x.ResidentBytes() != x.MemoryFootprint() {
+		t.Fatal("ResidentBytes != MemoryFootprint")
+	}
+	var idx core.Index = x
+	if idx.Describe().Backend != BackendName {
+		t.Fatal("interface dispatch broken")
+	}
+}
+
+// TestProbeZeroAlloc pins the hot candidate stage at zero allocations
+// per probed window once the pooled scratch is warm — the property the
+// biohdlint hotpath analyzer proves statically.
+func TestProbeZeroAlloc(t *testing.T) {
+	w := testParams.Window
+	ref := genome.Random(3000, rng.New(81))
+	x := buildIndex(t, ref)
+	sn := x.snap.Load()
+	pat := ref.Slice(700, 700+w)
+	sc := x.getScratch(sn)
+	defer x.putScratch(sc)
+	var stats core.Stats
+	dst := make([]core.Match, 0, 64)
+	// Warm: grow sc.cands and dst to steady state.
+	x.probeWindow(sn, pat, 0, sc, &stats)
+	dst = x.verifyWindow(sn, dst[:0], pat, 0, sc.cands, &stats)
+	if avg := testing.AllocsPerRun(100, func() {
+		var st core.Stats
+		x.probeWindow(sn, pat, 0, sc, &st)
+		dst = x.verifyWindow(sn, dst[:0], pat, 0, sc.cands, &st)
+	}); avg > 0 {
+		t.Fatalf("probe+verify allocates %.1f/op", avg)
+	}
+}
+
+// TestConcurrentLookupAndMutate exercises the snapshot discipline under
+// the race detector: readers run lock-free against published snapshots
+// while ingest, removal, and compaction churn.
+func TestConcurrentLookupAndMutate(t *testing.T) {
+	w := testParams.Window
+	base := genome.Random(1000, rng.New(91))
+	x := buildIndex(t, base)
+	x.SetSealThreshold(3)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 30; i++ {
+			if err := x.Add(genome.Record{ID: "live", Seq: genome.Random(200, rng.New(uint64(200+i)))}); err != nil {
+				t.Error(err)
+				return
+			}
+			if i%7 == 3 {
+				_ = x.Remove(x.NumRefs() - 1)
+			}
+			if i%11 == 5 {
+				if _, err := x.Compact(0); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+	pat := base.Slice(300, 300+w)
+	for i := 0; ; i++ {
+		select {
+		case <-done:
+			return
+		default:
+		}
+		ms, _, err := x.Lookup(pat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hit := false
+		for _, m := range ms {
+			if m.Ref == 0 && m.Off == 300 {
+				hit = true
+			}
+		}
+		if !hit {
+			t.Fatalf("iteration %d: base occurrence lost mid-churn", i)
+		}
+	}
+}

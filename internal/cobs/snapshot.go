@@ -1,0 +1,34 @@
+package cobs
+
+import "repro/internal/genome"
+
+// snapshot is one immutable, atomically published view of the index:
+// the bit-sliced segments (sealed ones plus an isolated transposed
+// view of the active builder) and the reference table in force.
+// Readers load the current snapshot once per operation and never take
+// a lock; mutations assemble a fresh snapshot off-line and swap the
+// pointer.
+type snapshot struct {
+	segs []*segment
+	refs []genome.Record // removed refs have Seq == nil
+
+	nCols    int // total reference columns (the backend's NumBuckets)
+	nWin     int // live (non-tombstoned) windows
+	total    int // all windows, tombstoned included
+	tombWins int
+	maxWords int // widest segment's colWords, sizes probe scratch
+}
+
+func newSnapshot(segs []*segment, refs []genome.Record) *snapshot {
+	sn := &snapshot{segs: segs, refs: refs}
+	for _, seg := range segs {
+		sn.nCols += seg.numCols()
+		sn.total += seg.totalWins
+		sn.tombWins += seg.tombWins
+		if seg.colWords > sn.maxWords {
+			sn.maxWords = seg.colWords
+		}
+	}
+	sn.nWin = sn.total - sn.tombWins
+	return sn
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+
+	"repro/internal/mmapfile"
+)
+
+// The v3 container carries a backend tag so one file format serves
+// every index backend: the tag appears in the header's trailing word
+// (bytes [60,64), outside the header CRC — a dispatch hint) and,
+// authoritatively, in the reserved word of every CRC-protected
+// directory entry. The HDC library is tag 0, which keeps every v3 file
+// written before backends existed loading unchanged; alternate
+// backends register a nonzero tag. A reader validates that the
+// directory tags match the backend it dispatched to, so a flipped
+// header tag surfaces as a clean error, never a panic or a
+// misinterpreted arena.
+const backendTagHDC uint32 = 0
+
+// backendEntry is one registered alternate backend.
+type backendEntry struct {
+	name string
+	// load deserializes a v3 container whose 64-byte header (already
+	// consumed from br, structurally unverified beyond the magic and
+	// version) carries the entry's tag.
+	load func(br *bufio.Reader, hdr []byte) (Index, error)
+}
+
+var (
+	backendMu sync.RWMutex
+	backends  = map[uint32]backendEntry{}
+)
+
+// RegisterBackend registers an alternate index backend for v3 files
+// tagged with tag: ReadIndex and OpenLibraryFile dispatch matching
+// files to load. Tag 0 and the name "hdc" belong to the built-in HDC
+// library. Registration normally happens in a backend package's init;
+// duplicate tags or names panic — they are wiring bugs, not runtime
+// conditions.
+func RegisterBackend(tag uint32, name string, load func(br *bufio.Reader, hdr []byte) (Index, error)) {
+	backendMu.Lock()
+	defer backendMu.Unlock()
+	if tag == backendTagHDC || name == BackendHDC {
+		panic("core: backend tag 0 / name \"hdc\" are reserved for the built-in library")
+	}
+	if name == "" || load == nil {
+		panic("core: RegisterBackend requires a name and a loader")
+	}
+	if prev, ok := backends[tag]; ok {
+		panic(fmt.Sprintf("core: backend tag %d already registered as %q", tag, prev.name))
+	}
+	for t, e := range backends {
+		if e.name == name {
+			panic(fmt.Sprintf("core: backend name %q already registered as tag %d", name, t))
+		}
+	}
+	backends[tag] = backendEntry{name: name, load: load}
+}
+
+func lookupBackend(tag uint32) (backendEntry, bool) {
+	backendMu.RLock()
+	defer backendMu.RUnlock()
+	e, ok := backends[tag]
+	return e, ok
+}
+
+// BackendName names a v3 backend tag: "hdc" for 0, the registered name
+// for known tags, and a descriptive placeholder otherwise.
+func BackendName(tag uint32) string {
+	if tag == backendTagHDC {
+		return BackendHDC
+	}
+	if e, ok := lookupBackend(tag); ok {
+		return e.name
+	}
+	return fmt.Sprintf("unknown(tag %d)", tag)
+}
+
+// RegisteredBackends lists the selectable backend names: the built-in
+// "hdc" plus every registered alternate, for CLI flag validation and
+// usage strings.
+func RegisteredBackends() []string {
+	backendMu.RLock()
+	defer backendMu.RUnlock()
+	tags := make([]uint32, 0, len(backends))
+	for t := range backends {
+		tags = append(tags, t)
+	}
+	sort.Slice(tags, func(i, j int) bool { return tags[i] < tags[j] })
+	out := []string{BackendHDC}
+	for _, t := range tags {
+		out = append(out, backends[t].name)
+	}
+	return out
+}
+
+// ReadIndex deserializes an index saved in any supported format,
+// dispatching v3 containers on their backend tag: tag 0 loads the HDC
+// library (exactly as ReadLibrary does), registered tags load through
+// their backend, and unknown tags are rejected with an error — never a
+// panic. v1/v2 streams are always HDC.
+func ReadIndex(r io.Reader) (Index, error) {
+	br := bufio.NewReader(r)
+	var head [12]byte
+	if _, err := io.ReadFull(br, head[:]); err != nil || string(head[:len(libMagic)]) != libMagic {
+		return nil, fmt.Errorf("core: not a BioHD library file")
+	}
+	switch version := binary.LittleEndian.Uint32(head[len(libMagic):]); version {
+	case 1, 2:
+		return readLibraryV12(br, head[:], int(version))
+	case libVersionMapped:
+		hdr, err := readV3HeaderBytes(br, head[:])
+		if err != nil {
+			return nil, err
+		}
+		tag := binary.LittleEndian.Uint32(hdr[60:64])
+		if tag == backendTagHDC {
+			return readLibraryV3Hdr(br, hdr)
+		}
+		be, ok := lookupBackend(tag)
+		if !ok {
+			return nil, fmt.Errorf("core: v3 library uses unknown index backend tag %d", tag)
+		}
+		return be.load(br, hdr)
+	default:
+		return nil, fmt.Errorf("core: unsupported library version %d", version)
+	}
+}
+
+// readV3HeaderBytes completes the fixed 64-byte v3 header given the
+// already-consumed magic+version prefix.
+func readV3HeaderBytes(br *bufio.Reader, head []byte) ([]byte, error) {
+	hdr := make([]byte, v3HeaderSize)
+	copy(hdr, head)
+	if _, err := io.ReadFull(br, hdr[len(head):]); err != nil {
+		return nil, fmt.Errorf("core: reading v3 header: %w", err)
+	}
+	return hdr, nil
+}
+
+// OpenLibraryFile loads an index file from disk, whatever its backend:
+// v1/v2 streams and tag-0 v3 containers come back as the HDC library,
+// backend-tagged v3 containers load through their registered backend.
+// With MapArena the arenas of an HDC v3 file alias a read-only mapping
+// — verify with Index.Mapped — and the caller must Close the index to
+// unmap; alternate backends currently load onto the heap under either
+// mode. Close is harmless (and still recommended) for heap-loaded
+// indexes.
+func OpenLibraryFile(path string, mode LoadMode) (Index, error) {
+	if mode == MapArena && mmapfile.Supported() && mmapfile.HostLittleEndian() {
+		lib, handled, err := openMappedV3(path)
+		if handled {
+			if err != nil {
+				return nil, err
+			}
+			return lib, nil
+		}
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadIndex(f)
+}

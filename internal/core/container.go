@@ -1,0 +1,282 @@
+package core
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"repro/internal/genome"
+)
+
+// The generic v3 container codec: the header/meta/directory/arena
+// framing of the mappable file format, factored out of the HDC reader
+// and writer so alternate backends serialize into the same container
+// with their own tag and meta schema. The layout (offsets, alignment,
+// CRCs, canonical zero padding) is identical whatever the backend —
+// only the meta payload and the arena interpretation differ. The HDC
+// WriteToV3/readLibraryV3 pair is itself built on this codec, so there
+// is exactly one acceptance surface to fuzz and corruption-test.
+
+// MaxMetaCount caps count fields decoded from untrusted metadata, so a
+// forged length prefix cannot trigger a huge allocation before any
+// checksum is verified. Backend meta parsers apply it to their own
+// count fields.
+const MaxMetaCount = maxCount
+
+// SectionWriter serializes one CRC-covered container section. The
+// write methods latch the first error; check Err once at the end.
+type SectionWriter struct {
+	cw crcWriter
+}
+
+func (w *SectionWriter) U32(v uint32)  { w.cw.u32(v) }
+func (w *SectionWriter) U64(v uint64)  { w.cw.u64(v) }
+func (w *SectionWriter) F64(v float64) { w.cw.f64(v) }
+func (w *SectionWriter) Str(s string)  { w.cw.str(s) }
+
+// Words writes a count-prefixed little-endian word slice.
+func (w *SectionWriter) Words(ws []uint64) { w.cw.words(ws) }
+
+// Refs writes the shared reference-table encoding (ids, descriptions,
+// tombstone flags, packed sequences) every backend stores.
+func (w *SectionWriter) Refs(refs []genome.Record) { writeRefs(&w.cw, refs) }
+
+// Err returns the first write error, if any.
+func (w *SectionWriter) Err() error { return w.cw.err }
+
+// SectionReader decodes one CRC-covered container section. The read
+// methods latch the first error (including plausibility-limit
+// violations); decoding continues returning zero values after a latch,
+// so parsers check Err (or let ReadContainerV3 check it) once.
+type SectionReader struct {
+	cr crcReader
+}
+
+func (r *SectionReader) U32() uint32  { return r.cr.u32() }
+func (r *SectionReader) U64() uint64  { return r.cr.u64() }
+func (r *SectionReader) F64() float64 { return r.cr.f64() }
+
+// Str reads a string, capped at the container's string limit.
+func (r *SectionReader) Str() string { return r.cr.str(maxStrLen) }
+
+// Words reads a count-prefixed word slice, capped at limit words.
+func (r *SectionReader) Words(limit uint32) []uint64 { return r.cr.words(limit) }
+
+// Refs reads the shared reference-table encoding.
+func (r *SectionReader) Refs() ([]genome.Record, error) { return readRefs(&r.cr, true) }
+
+// Err returns the first read error, if any.
+func (r *SectionReader) Err() error { return r.cr.err }
+
+// Fail latches err as the section's error if none is set — backend
+// parsers report their own validation failures through it.
+func (r *SectionReader) Fail(err error) {
+	if r.cr.err == nil {
+		r.cr.err = err
+	}
+}
+
+// ContainerSegment is one arena in a v3 container: a (Buckets ×
+// RowWords) word matrix stored row-major. For the HDC backend a row is
+// a sealed bucket hypervector; for the bit-sliced backend a row is one
+// Bloom bit position's column bitmap. len(Words) must equal
+// Buckets·RowWords.
+type ContainerSegment struct {
+	Words    []uint64
+	RowWords uint32
+	Buckets  uint32
+}
+
+// WriteContainerV3 writes a complete v3 container: the fixed header
+// carrying backend in its trailing word, the meta section produced by
+// writeMeta (CRC appended), the segment directory (each entry tagged
+// with backend inside the directory CRC), and the 64-byte-aligned
+// arenas. Offsets are the minimal aligned positions and all padding is
+// zero — the canonical layout the readers enforce byte for byte. It
+// returns the number of bytes written (the v3 file size).
+func WriteContainerV3(w io.Writer, backend uint32, writeMeta func(*SectionWriter), segs []ContainerSegment) (int64, error) {
+	// Meta section, buffered first so the header can record its length.
+	var metaBuf bytes.Buffer
+	sw := &SectionWriter{cw: crcWriter{w: &metaBuf}}
+	writeMeta(sw)
+	if sw.cw.err != nil {
+		return 0, fmt.Errorf("core: saving library: %w", sw.cw.err)
+	}
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], sw.cw.crc)
+	metaBuf.Write(tail[:])
+
+	// Layout: minimal aligned offsets, in section order.
+	nSegs := len(segs)
+	metaLen := uint64(metaBuf.Len())
+	dirOff := v3AlignUp(v3HeaderSize + metaLen)
+	arenaOff := v3AlignUp(dirOff + uint64(nSegs*v3DirEntrySize+4))
+
+	encBuf := make([]byte, 64*1024)
+	entries := make([]v3DirEntry, nSegs)
+	off := arenaOff
+	for k, s := range segs {
+		if uint64(len(s.Words)) != uint64(s.RowWords)*uint64(s.Buckets) {
+			return 0, fmt.Errorf("core: v3 segment %d arena has %d words, geometry says %d×%d", k, len(s.Words), s.Buckets, s.RowWords)
+		}
+		entries[k] = v3DirEntry{
+			off:      off,
+			words:    uint64(len(s.Words)),
+			rowWords: s.RowWords,
+			buckets:  s.Buckets,
+			crc:      crcWordsLE(s.Words, encBuf),
+		}
+		off = v3AlignUp(off + uint64(len(s.Words))*8)
+	}
+	fileSize := off
+
+	var hdr [v3HeaderSize]byte
+	copy(hdr[0:8], libMagic)
+	binary.LittleEndian.PutUint32(hdr[8:12], libVersionMapped)
+	binary.LittleEndian.PutUint32(hdr[12:16], uint32(nSegs))
+	binary.LittleEndian.PutUint64(hdr[16:24], v3HeaderSize)
+	binary.LittleEndian.PutUint64(hdr[24:32], metaLen)
+	binary.LittleEndian.PutUint64(hdr[32:40], dirOff)
+	binary.LittleEndian.PutUint64(hdr[40:48], arenaOff)
+	binary.LittleEndian.PutUint64(hdr[48:56], fileSize)
+	binary.LittleEndian.PutUint32(hdr[56:60], crc32.ChecksumIEEE(hdr[:56]))
+	binary.LittleEndian.PutUint32(hdr[60:64], backend)
+
+	out := &countingWriter{bw: bufio.NewWriter(w)}
+	out.write(hdr[:])
+	out.write(metaBuf.Bytes())
+	out.pad(dirOff)
+	dcw := &crcWriter{w: out}
+	for _, e := range entries {
+		dcw.u64(e.off)
+		dcw.u64(e.words)
+		dcw.u32(e.rowWords)
+		dcw.u32(e.buckets)
+		dcw.u32(e.crc)
+		dcw.u32(backend)
+	}
+	binary.LittleEndian.PutUint32(tail[:], dcw.crc)
+	out.write(tail[:])
+	out.pad(arenaOff)
+	for k := range segs {
+		out.pad(entries[k].off)
+		out.writeWordsLE(segs[k].Words, encBuf)
+	}
+	out.pad(fileSize)
+	if out.err != nil {
+		return out.n, fmt.Errorf("core: saving library: %w", out.err)
+	}
+	if uint64(out.n) != fileSize {
+		return out.n, fmt.Errorf("core: v3 writer emitted %d bytes, layout computed %d", out.n, fileSize)
+	}
+	if err := out.bw.Flush(); err != nil {
+		return out.n, fmt.Errorf("core: saving library: %w", err)
+	}
+	return out.n, nil
+}
+
+// ReadContainerV3 reads and verifies a v3 container from br given its
+// already-consumed 64-byte header, enforcing the canonical layout: the
+// header CRC and structural offsets, the backend tag (header word and
+// every directory entry must equal backend), meta CRC with full
+// payload consumption, directory CRC and generic geometry (each arena
+// exactly Buckets·RowWords words at the minimal aligned offset, ending
+// at the header's file size), per-arena CRCs, all-zero padding, and
+// EOF at the recorded size. parseMeta decodes the backend's meta
+// payload; onSeg receives each verified arena in order — both
+// callbacks apply the backend-specific validation the container cannot
+// know about.
+func ReadContainerV3(br *bufio.Reader, hdr []byte, backend uint32, parseMeta func(*SectionReader, int) error, onSeg func(k int, s ContainerSegment) error) error {
+	h, err := parseV3Header(hdr)
+	if err != nil {
+		return err
+	}
+	if h.backend != backend {
+		return fmt.Errorf("core: v3 container tagged for backend %s, reader expects %s",
+			BackendName(h.backend), BackendName(backend))
+	}
+	consumed := uint64(v3HeaderSize)
+
+	// Meta, through a LimitReader so a forged length cannot force a
+	// giant upfront allocation — decoding grows with actual input.
+	lr := &io.LimitedReader{R: br, N: int64(h.metaLen - 4)}
+	sr := &SectionReader{cr: crcReader{r: lr}}
+	if err := parseMeta(sr, h.segCount); err != nil {
+		return err
+	}
+	if sr.cr.err != nil {
+		return fmt.Errorf("core: reading v3 metadata: %w", sr.cr.err)
+	}
+	if lr.N != 0 {
+		return fmt.Errorf("core: v3 metadata has %d undecoded bytes", lr.N)
+	}
+	var tail [4]byte
+	if _, err := io.ReadFull(br, tail[:]); err != nil {
+		return fmt.Errorf("core: reading v3 metadata checksum: %w", err)
+	}
+	if got := binary.LittleEndian.Uint32(tail[:]); got != sr.cr.crc {
+		return fmt.Errorf("core: v3 metadata checksum mismatch (file %08x, computed %08x)", got, sr.cr.crc)
+	}
+	consumed += h.metaLen
+	if err := skipZeroPadding(br, h.dirOff-consumed); err != nil {
+		return err
+	}
+	consumed = h.dirOff
+
+	dcr := &crcReader{r: br}
+	entries, err := parseDirV3(dcr, h.segCount, backend)
+	if err != nil {
+		return err
+	}
+	if _, err := io.ReadFull(br, tail[:]); err != nil {
+		return fmt.Errorf("core: reading v3 directory checksum: %w", err)
+	}
+	if got := binary.LittleEndian.Uint32(tail[:]); got != dcr.crc {
+		return fmt.Errorf("core: v3 directory checksum mismatch (file %08x, computed %08x)", got, dcr.crc)
+	}
+	// Generic geometry: the whole directory is validated before any
+	// arena is read.
+	off := h.arenaOff
+	for k, e := range entries {
+		if e.words != uint64(e.rowWords)*uint64(e.buckets) {
+			return fmt.Errorf("core: v3 segment %d arena words %d, geometry says %d×%d", k, e.words, e.buckets, e.rowWords)
+		}
+		if e.off != off {
+			return fmt.Errorf("core: v3 segment %d arena offset %d, want %d", k, e.off, off)
+		}
+		off = v3AlignUp(e.off + e.words*8)
+	}
+	if off != h.fileSize {
+		return fmt.Errorf("core: v3 arenas end at %d, header file size is %d", off, h.fileSize)
+	}
+	consumed += uint64(h.segCount*v3DirEntrySize) + 4
+	if err := skipZeroPadding(br, h.arenaOff-consumed); err != nil {
+		return err
+	}
+	consumed = h.arenaOff
+
+	for k, e := range entries {
+		words, crc, err := readWordsLE(br, e.words)
+		if err != nil {
+			return fmt.Errorf("core: reading v3 segment %d arena: %w", k, err)
+		}
+		if crc != e.crc {
+			return fmt.Errorf("core: v3 segment %d arena checksum mismatch (file %08x, computed %08x)", k, e.crc, crc)
+		}
+		consumed += e.words * 8
+		if err := skipZeroPadding(br, v3AlignUp(consumed)-consumed); err != nil {
+			return err
+		}
+		consumed = v3AlignUp(consumed)
+		if err := onSeg(k, ContainerSegment{Words: words, RowWords: e.rowWords, Buckets: e.buckets}); err != nil {
+			return err
+		}
+	}
+	if consumed != h.fileSize {
+		return fmt.Errorf("core: v3 layout ends at %d, header file size is %d", consumed, h.fileSize)
+	}
+	return expectEOF(br)
+}

@@ -46,8 +46,26 @@ func FuzzReadLibrary(f *testing.F) {
 	mut3 := append([]byte(nil), valid3...)
 	mut3[v3HeaderSize+8] ^= 0xff
 	f.Add(mut3)
+	// Backend-tagged variants: the header's trailing word retagged to
+	// another backend (directory entries still carry the HDC tag) and to
+	// an unregistered tag. Both the HDC-only loader and the dispatching
+	// ReadIndex must reject them cleanly.
+	for _, tag := range []byte{1, 99} {
+		ret := append([]byte(nil), valid3...)
+		ret[60] = tag
+		f.Add(ret)
+	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
+		// The backend-dispatching loader must never panic either; its
+		// acceptance is checked through the registered backends' own
+		// loaders, so an error (or a consistent index) is all we require
+		// here.
+		if idx, err := ReadIndex(bytes.NewReader(data)); err == nil {
+			if idx.Describe().Backend == "" {
+				t.Fatal("ReadIndex accepted an index with no backend name")
+			}
+		}
 		lib, err := ReadLibrary(bytes.NewReader(data))
 		if err != nil {
 			return // rejected cleanly

@@ -8,7 +8,6 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
-	"os"
 
 	"repro/internal/genome"
 	"repro/internal/mmapfile"
@@ -29,15 +28,20 @@ import (
 //	  [40,48)  arena region offset u64 (64-byte aligned)
 //	  [48,56)  file size u64
 //	  [56,60)  header crc32 (IEEE, over bytes [0,56))
-//	  [60,64)  reserved, zero
-//	meta (at 64): params | calibration | refs | per-segment window
-//	  metadata (bucket counts and WindowRef pairs — no vector payloads)
-//	  | crc32
+//	  [60,64)  backend tag u32 (0 = hdc; historically reserved-zero)
+//	meta (at 64): backend-specific — for hdc: params | calibration |
+//	  refs | per-segment window metadata (bucket counts and WindowRef
+//	  pairs — no vector payloads) | crc32
 //	directory (64-byte aligned): one 32-byte entry per segment
 //	  { arena offset u64, arena words u64, row words u32, buckets u32,
-//	    arena crc32 u32, reserved u32 } | crc32
+//	    arena crc32 u32, backend tag u32 } | crc32
 //	arenas (each 64-byte aligned): segment k's nBuckets·rowWords sealed
 //	  words, bucket-major — exactly the in-memory probe arena layout.
+//
+// The backend tag selects the index backend that interprets the meta
+// section and arenas (see RegisterBackend); the header copy sits
+// outside the header CRC and is a dispatch hint, while the per-entry
+// copies are covered by the directory CRC and are authoritative.
 //
 // The layout is canonical: sections are ordered, offsets are the
 // minimal aligned positions, and every padding byte is zero, so the
@@ -64,6 +68,7 @@ type v3Header struct {
 	dirOff   uint64
 	arenaOff uint64
 	fileSize uint64
+	backend  uint32 // backend tag (trailing header word; 0 = hdc)
 }
 
 // v3DirEntry is one parsed segment-directory entry.
@@ -101,95 +106,31 @@ func (l *Library) WriteToV3(w io.Writer) (int64, error) {
 	}
 	defer l.endRead()
 
-	// Meta section, buffered first so the header can record its length.
-	var metaBuf bytes.Buffer
-	cw := &crcWriter{w: &metaBuf}
-	writeParams(cw, &l.params)
-	writeCalibration(cw, &sn.cal)
-	writeRefs(cw, sn.refs)
-	for _, seg := range sn.segs {
-		cw.u32(uint32(seg.numBuckets()))
-		for i := 0; i < seg.numBuckets(); i++ {
-			ws := seg.windows(i)
-			cw.u32(uint32(len(ws)))
-			for _, wr := range ws {
-				cw.u32(uint32(wr.Ref))
-				cw.u32(uint32(wr.Off))
+	rw := uint32(l.params.Dim / 64)
+	segs := make([]ContainerSegment, len(sn.segs))
+	for k, seg := range sn.segs {
+		segs[k] = ContainerSegment{
+			Words:    seg.arenaWords(),
+			RowWords: rw,
+			Buckets:  uint32(seg.numBuckets()),
+		}
+	}
+	return WriteContainerV3(w, backendTagHDC, func(sw *SectionWriter) {
+		writeParams(&sw.cw, &l.params)
+		writeCalibration(&sw.cw, &sn.cal)
+		sw.Refs(sn.refs)
+		for _, seg := range sn.segs {
+			sw.U32(uint32(seg.numBuckets()))
+			for i := 0; i < seg.numBuckets(); i++ {
+				ws := seg.windows(i)
+				sw.U32(uint32(len(ws)))
+				for _, wr := range ws {
+					sw.U32(uint32(wr.Ref))
+					sw.U32(uint32(wr.Off))
+				}
 			}
 		}
-	}
-	if cw.err != nil {
-		return 0, fmt.Errorf("core: saving library: %w", cw.err)
-	}
-	var tail [4]byte
-	binary.LittleEndian.PutUint32(tail[:], cw.crc)
-	metaBuf.Write(tail[:])
-
-	// Layout: minimal aligned offsets, in section order.
-	nSegs := len(sn.segs)
-	metaLen := uint64(metaBuf.Len())
-	dirOff := v3AlignUp(v3HeaderSize + metaLen)
-	arenaOff := v3AlignUp(dirOff + uint64(nSegs*v3DirEntrySize+4))
-	rw := l.params.Dim / 64
-
-	encBuf := make([]byte, 64*1024)
-	entries := make([]v3DirEntry, nSegs)
-	off := arenaOff
-	for k, seg := range sn.segs {
-		words := seg.arenaWords()
-		entries[k] = v3DirEntry{
-			off:      off,
-			words:    uint64(len(words)),
-			rowWords: uint32(rw),
-			buckets:  uint32(seg.numBuckets()),
-			crc:      crcWordsLE(words, encBuf),
-		}
-		off = v3AlignUp(off + uint64(len(words))*8)
-	}
-	fileSize := off
-
-	var hdr [v3HeaderSize]byte
-	copy(hdr[0:8], libMagic)
-	binary.LittleEndian.PutUint32(hdr[8:12], libVersionMapped)
-	binary.LittleEndian.PutUint32(hdr[12:16], uint32(nSegs))
-	binary.LittleEndian.PutUint64(hdr[16:24], v3HeaderSize)
-	binary.LittleEndian.PutUint64(hdr[24:32], metaLen)
-	binary.LittleEndian.PutUint64(hdr[32:40], dirOff)
-	binary.LittleEndian.PutUint64(hdr[40:48], arenaOff)
-	binary.LittleEndian.PutUint64(hdr[48:56], fileSize)
-	binary.LittleEndian.PutUint32(hdr[56:60], crc32.ChecksumIEEE(hdr[:56]))
-
-	out := &countingWriter{bw: bufio.NewWriter(w)}
-	out.write(hdr[:])
-	out.write(metaBuf.Bytes())
-	out.pad(dirOff)
-	dcw := &crcWriter{w: out}
-	for _, e := range entries {
-		dcw.u64(e.off)
-		dcw.u64(e.words)
-		dcw.u32(e.rowWords)
-		dcw.u32(e.buckets)
-		dcw.u32(e.crc)
-		dcw.u32(0) // reserved
-	}
-	binary.LittleEndian.PutUint32(tail[:], dcw.crc)
-	out.write(tail[:])
-	out.pad(arenaOff)
-	for k, seg := range sn.segs {
-		out.pad(entries[k].off)
-		out.writeWordsLE(seg.arenaWords(), encBuf)
-	}
-	out.pad(fileSize)
-	if out.err != nil {
-		return out.n, fmt.Errorf("core: saving library: %w", out.err)
-	}
-	if uint64(out.n) != fileSize {
-		return out.n, fmt.Errorf("core: v3 writer emitted %d bytes, layout computed %d", out.n, fileSize)
-	}
-	if err := out.bw.Flush(); err != nil {
-		return out.n, fmt.Errorf("core: saving library: %w", err)
-	}
-	return out.n, nil
+	}, segs)
 }
 
 // countingWriter tracks the absolute file offset so sections land at
@@ -277,9 +218,11 @@ func parseV3Header(hdr []byte) (v3Header, error) {
 	if got, want := binary.LittleEndian.Uint32(hdr[56:60]), crc32.ChecksumIEEE(hdr[:56]); got != want {
 		return h, fmt.Errorf("core: v3 header checksum mismatch (file %08x, computed %08x)", got, want)
 	}
-	if binary.LittleEndian.Uint32(hdr[60:64]) != 0 {
-		return h, fmt.Errorf("core: v3 header reserved bytes not zero")
-	}
+	// The trailing word is the backend tag (historically reserved-zero,
+	// which is exactly the HDC tag). It sits outside the header CRC;
+	// the CRC-protected directory entries carry the authoritative copy,
+	// so a flipped tag here is caught at dispatch or directory parse.
+	h.backend = binary.LittleEndian.Uint32(hdr[60:64])
 	h.segCount = int(binary.LittleEndian.Uint32(hdr[12:16]))
 	metaOff := binary.LittleEndian.Uint64(hdr[16:24])
 	h.metaLen = binary.LittleEndian.Uint64(hdr[24:32])
@@ -355,8 +298,11 @@ func parseMetaV3(cr *crcReader, segCount int) (*v3Meta, error) {
 }
 
 // parseDirV3 decodes the segment directory entries (not the trailing
-// CRC) from cr.
-func parseDirV3(cr *crcReader, segCount int) ([]v3DirEntry, error) {
+// CRC) from cr. Every entry's trailing word must equal wantTag — the
+// directory is where the backend tag is CRC-protected, so a reader
+// dispatched on a forged header tag fails here, before touching any
+// arena.
+func parseDirV3(cr *crcReader, segCount int, wantTag uint32) ([]v3DirEntry, error) {
 	var entries []v3DirEntry
 	for k := 0; k < segCount && cr.err == nil; k++ {
 		e := v3DirEntry{
@@ -366,8 +312,8 @@ func parseDirV3(cr *crcReader, segCount int) ([]v3DirEntry, error) {
 			buckets:  cr.u32(),
 			crc:      cr.u32(),
 		}
-		if rsv := cr.u32(); cr.err == nil && rsv != 0 {
-			return nil, fmt.Errorf("core: v3 directory entry %d reserved bytes not zero", k)
+		if tag := cr.u32(); cr.err == nil && tag != wantTag {
+			return nil, fmt.Errorf("core: v3 directory entry %d backend tag %d, want %d", k, tag, wantTag)
 		}
 		entries = append(entries, e)
 	}
@@ -433,83 +379,45 @@ func assembleV3(meta *v3Meta, segs []*segment, mapping *mmapfile.Mapping) (*Libr
 // byte-level acceptance as the mapped opener, arenas decoded into heap
 // words. head is the already-consumed magic+version prefix.
 func readLibraryV3(br *bufio.Reader, head []byte) (*Library, error) {
-	var hdr [v3HeaderSize]byte
-	copy(hdr[:], head)
-	if _, err := io.ReadFull(br, hdr[len(head):]); err != nil {
-		return nil, fmt.Errorf("core: reading v3 header: %w", err)
-	}
-	h, err := parseV3Header(hdr[:])
+	hdr, err := readV3HeaderBytes(br, head)
 	if err != nil {
 		return nil, err
 	}
-	consumed := uint64(v3HeaderSize)
+	return readLibraryV3Hdr(br, hdr)
+}
 
-	// Meta, through a LimitReader so a forged length cannot force a
-	// giant upfront allocation — decoding grows with actual input.
-	lr := &io.LimitedReader{R: br, N: int64(h.metaLen - 4)}
-	mcr := &crcReader{r: lr}
-	meta, err := parseMetaV3(mcr, h.segCount)
+// readLibraryV3Hdr decodes a v3 container whose 64-byte header has
+// been consumed, through the generic container reader — HDC-specific
+// validation (dimension geometry, bucket counts against metadata) runs
+// in the callbacks.
+func readLibraryV3Hdr(br *bufio.Reader, hdr []byte) (*Library, error) {
+	if tag := binary.LittleEndian.Uint32(hdr[60:64]); tag != backendTagHDC {
+		return nil, fmt.Errorf("core: v3 library uses index backend %s; load it with ReadIndex", BackendName(tag))
+	}
+	var meta *v3Meta
+	var segs []*segment
+	err := ReadContainerV3(br, hdr, backendTagHDC,
+		func(sr *SectionReader, segCount int) error {
+			m, err := parseMetaV3(&sr.cr, segCount)
+			if err != nil {
+				return err
+			}
+			meta = m
+			return nil
+		},
+		func(k int, s ContainerSegment) error {
+			if int(s.RowWords) != meta.p.Dim/64 {
+				return fmt.Errorf("core: v3 segment %d row words %d, want %d", k, s.RowWords, meta.p.Dim/64)
+			}
+			if int(s.Buckets) != len(meta.segWins[k]) {
+				return fmt.Errorf("core: v3 segment %d bucket count %d disagrees with metadata (%d)", k, s.Buckets, len(meta.segWins[k]))
+			}
+			seg := segmentFromArena(s.Words, meta.segWins[k], meta.p.Dim, false)
+			seg.tombs = seg.countTombs(meta.refs)
+			segs = append(segs, seg)
+			return nil
+		})
 	if err != nil {
-		return nil, err
-	}
-	if lr.N != 0 {
-		return nil, fmt.Errorf("core: v3 metadata has %d undecoded bytes", lr.N)
-	}
-	var tail [4]byte
-	if _, err := io.ReadFull(br, tail[:]); err != nil {
-		return nil, fmt.Errorf("core: reading v3 metadata checksum: %w", err)
-	}
-	if got := binary.LittleEndian.Uint32(tail[:]); got != mcr.crc {
-		return nil, fmt.Errorf("core: v3 metadata checksum mismatch (file %08x, computed %08x)", got, mcr.crc)
-	}
-	consumed += h.metaLen
-	if err := skipZeroPadding(br, h.dirOff-consumed); err != nil {
-		return nil, err
-	}
-	consumed = h.dirOff
-
-	dcr := &crcReader{r: br}
-	entries, err := parseDirV3(dcr, h.segCount)
-	if err != nil {
-		return nil, err
-	}
-	if _, err := io.ReadFull(br, tail[:]); err != nil {
-		return nil, fmt.Errorf("core: reading v3 directory checksum: %w", err)
-	}
-	if got := binary.LittleEndian.Uint32(tail[:]); got != dcr.crc {
-		return nil, fmt.Errorf("core: v3 directory checksum mismatch (file %08x, computed %08x)", got, dcr.crc)
-	}
-	if err := validateDirV3(entries, meta, h); err != nil {
-		return nil, err
-	}
-	consumed += uint64(h.segCount*v3DirEntrySize) + 4
-	if err := skipZeroPadding(br, h.arenaOff-consumed); err != nil {
-		return nil, err
-	}
-	consumed = h.arenaOff
-
-	segs := make([]*segment, 0, len(entries))
-	for k, e := range entries {
-		words, crc, err := readWordsLE(br, e.words)
-		if err != nil {
-			return nil, fmt.Errorf("core: reading v3 segment %d arena: %w", k, err)
-		}
-		if crc != e.crc {
-			return nil, fmt.Errorf("core: v3 segment %d arena checksum mismatch (file %08x, computed %08x)", k, e.crc, crc)
-		}
-		consumed += e.words * 8
-		if err := skipZeroPadding(br, v3AlignUp(consumed)-consumed); err != nil {
-			return nil, err
-		}
-		consumed = v3AlignUp(consumed)
-		seg := segmentFromArena(words, meta.segWins[k], meta.p.Dim, false)
-		seg.tombs = seg.countTombs(meta.refs)
-		segs = append(segs, seg)
-	}
-	if consumed != h.fileSize {
-		return nil, fmt.Errorf("core: v3 layout ends at %d, header file size is %d", consumed, h.fileSize)
-	}
-	if err := expectEOF(br); err != nil {
 		return nil, err
 	}
 	return assembleV3(meta, segs, nil)
@@ -580,32 +488,15 @@ const (
 	MapArena
 )
 
-// OpenLibraryFile loads a library file from disk. With MapArena the
-// arenas of a v3 file alias a read-only mapping — verify with
-// Library.Mapped — and the caller must Close the library to unmap;
-// Close is harmless (and still recommended) for heap-loaded libraries.
-func OpenLibraryFile(path string, mode LoadMode) (*Library, error) {
-	if mode == MapArena && mmapfile.Supported() && mmapfile.HostLittleEndian() {
-		lib, handled, err := openMappedV3(path)
-		if handled {
-			return lib, err
-		}
-	}
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	return ReadLibrary(f)
-}
-
 // openMappedV3 maps path and builds a zero-copy library from it.
-// handled=false means the file is not a v3 library (or mapping is
-// unsupported) and the caller should fall back to the stream reader;
-// with handled=true the outcome — including a corruption error — is
-// final. Every CRC (header, meta, directory, and each segment arena)
-// is verified at open, so a flipped arena byte surfaces here, before
-// any probe could scan it.
+// handled=false means the file is not a mappable HDC v3 library (or
+// mapping is unsupported) and the caller should fall back to the
+// stream reader — backend-tagged containers fall back too, since only
+// the HDC arenas are mapped in place today; with handled=true the
+// outcome — including a corruption error — is final. Every CRC
+// (header, meta, directory, and each segment arena) is verified at
+// open, so a flipped arena byte surfaces here, before any probe could
+// scan it.
 func openMappedV3(path string) (lib *Library, handled bool, err error) {
 	m, merr := mmapfile.Open(path)
 	if merr != nil {
@@ -630,6 +521,14 @@ func openMappedV3(path string) (lib *Library, handled bool, err error) {
 	h, err := parseV3Header(b[:v3HeaderSize])
 	if err != nil {
 		return nil, true, err
+	}
+	if h.backend != backendTagHDC {
+		// A backend-tagged container: only HDC arenas map in place
+		// today, so the stream reader dispatches it to its backend
+		// (heap-loaded). A forged tag fails there on the CRC-protected
+		// directory tags.
+		_ = m.Close()
+		return nil, false, nil
 	}
 	if h.fileSize != uint64(len(b)) {
 		// Covers truncation and trailing data in one check — a mapped
@@ -656,7 +555,7 @@ func openMappedV3(path string) (lib *Library, handled bool, err error) {
 
 	dirEnd := h.dirOff + uint64(h.segCount*v3DirEntrySize)
 	dcr := &crcReader{r: bytes.NewReader(b[h.dirOff:dirEnd])}
-	entries, err := parseDirV3(dcr, h.segCount)
+	entries, err := parseDirV3(dcr, h.segCount, backendTagHDC)
 	if err != nil {
 		return nil, true, err
 	}

@@ -38,6 +38,22 @@ func writeV3File(t *testing.T, lib *Library) string {
 	return path
 }
 
+// openLib opens a library file and asserts the HDC concrete type —
+// these tests exercise Library-specific surfaces (BucketVector,
+// Params) beyond the Index contract.
+func openLib(t *testing.T, path string, mode LoadMode) *Library {
+	t.Helper()
+	idx, err := OpenLibraryFile(path, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib, ok := idx.(*Library)
+	if !ok {
+		t.Fatalf("OpenLibraryFile returned %T, want *Library", idx)
+	}
+	return lib
+}
+
 // requireSameAnswers asserts two libraries return byte-identical bucket
 // vectors and identical lookup results for windows of ref.
 func requireSameAnswers(t *testing.T, want, got *Library, ref *genome.Sequence, offs []int) {
@@ -117,18 +133,12 @@ func TestV3RejectsUnsealedAndUnfrozen(t *testing.T) {
 func TestV3MappedEqualsHeap(t *testing.T) {
 	lib, ref := buildExactLib(t, 2000, 156)
 	path := writeV3File(t, lib)
-	heap, err := OpenLibraryFile(path, LoadHeap)
-	if err != nil {
-		t.Fatal(err)
-	}
+	heap := openLib(t, path, LoadHeap)
 	defer heap.Close()
 	if heap.Mapped() {
 		t.Fatal("LoadHeap produced a mapped library")
 	}
-	mapped, err := OpenLibraryFile(path, MapArena)
-	if err != nil {
-		t.Fatal(err)
-	}
+	mapped := openLib(t, path, MapArena)
 	defer mapped.Close()
 	if mmapfile.Supported() && mmapfile.HostLittleEndian() {
 		if !mapped.Mapped() {
@@ -165,10 +175,7 @@ func TestV3OpenHeapFallbackOnV2(t *testing.T) {
 	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	back, err := OpenLibraryFile(path, MapArena)
-	if err != nil {
-		t.Fatal(err)
-	}
+	back := openLib(t, path, MapArena)
 	defer back.Close()
 	if back.Mapped() {
 		t.Fatal("v2 stream opened as mapped")
@@ -184,15 +191,9 @@ func TestV3OpenHeapFallbackOnV2(t *testing.T) {
 func TestV3MappedUnderConcurrentMutation(t *testing.T) {
 	lib, ref := buildExactLib(t, 1600, 158)
 	path := writeV3File(t, lib)
-	heap, err := OpenLibraryFile(path, LoadHeap)
-	if err != nil {
-		t.Fatal(err)
-	}
+	heap := openLib(t, path, LoadHeap)
 	defer heap.Close()
-	mapped, err := OpenLibraryFile(path, MapArena)
-	if err != nil {
-		t.Fatal(err)
-	}
+	mapped := openLib(t, path, MapArena)
 	defer mapped.Close()
 
 	stop := make(chan struct{})
@@ -243,10 +244,7 @@ func TestV3MappedUnderConcurrentMutation(t *testing.T) {
 func TestV3CloseDrainsReaders(t *testing.T) {
 	lib, ref := buildExactLib(t, 1600, 160)
 	path := writeV3File(t, lib)
-	mapped, err := OpenLibraryFile(path, MapArena)
-	if err != nil {
-		t.Fatal(err)
-	}
+	mapped := openLib(t, path, MapArena)
 	if !mapped.Mapped() {
 		t.Skip("platform cannot map; drain path not reachable")
 	}
@@ -464,10 +462,7 @@ func TestV3CorruptionMatrix(t *testing.T) {
 func TestV3CompactRetiresMappedSegments(t *testing.T) {
 	lib, ref := buildExactLib(t, 1600, 169)
 	path := writeV3File(t, lib)
-	mapped, err := OpenLibraryFile(path, MapArena)
-	if err != nil {
-		t.Fatal(err)
-	}
+	mapped := openLib(t, path, MapArena)
 	defer mapped.Close()
 	if !mapped.Mapped() {
 		t.Skip("platform cannot map")

@@ -22,10 +22,7 @@ func TestResidentBytesHeap(t *testing.T) {
 func TestResidentBytesMapped(t *testing.T) {
 	lib, ref := buildExactLib(t, 2000, 412)
 	path := writeV3File(t, lib)
-	mapped, err := OpenLibraryFile(path, MapArena)
-	if err != nil {
-		t.Fatal(err)
-	}
+	mapped := openLib(t, path, MapArena)
 	defer mapped.Close()
 	if !mapped.Mapped() {
 		if !mmapfile.Supported() || !mmapfile.HostLittleEndian() {

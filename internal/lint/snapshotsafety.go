@@ -3,21 +3,26 @@ package lint
 import (
 	"go/ast"
 	"path/filepath"
+	"sort"
 	"strings"
 )
 
-// SnapshotSafety guards internal/core's snapshot-isolation invariant:
-// a segment published in a snapshot is immutable, and the proof rests
-// on every touch of the raw segment storage — the bkts slice and the
-// packed probe arena — living in segment.go (the storage owner) or
-// snapshot.go (the read-side view). Any other file reaching for those
-// fields bypasses the accessor boundary, and a write through such a
-// path would corrupt data that lock-free readers are scanning.
+// SnapshotSafety guards the snapshot-isolation invariant of the index
+// backends: a segment published in a snapshot is immutable, and the
+// proof rests on every touch of the raw segment storage living in the
+// storage-owner files (segment.go, the accessors and seal/compact
+// rebuilds) or snapshot.go (the read-side view). Any other file
+// reaching for those fields bypasses the accessor boundary, and a
+// write through such a path would corrupt data that lock-free readers
+// are scanning.
 //
-// The check is syntactic — it flags any selector of a field named bkts
-// or arena in the package — because the field names are unique to the
-// segment types within internal/core, and a syntactic rule keeps
-// working when type information is incomplete.
+// The check is syntactic — it flags any selector of a scoped field
+// name in the package — because the field names are unique to the
+// segment types within each scoped package, and a syntactic rule keeps
+// working when type information is incomplete. Each backend package
+// declares its own raw-storage fields in snapshotScopes: the HDC
+// library's bucket slice and packed probe arena, and the bit-sliced
+// backend's column arena and tombstone bitmap.
 type SnapshotSafety struct{}
 
 // Name implements Analyzer.
@@ -25,29 +30,55 @@ func (SnapshotSafety) Name() string { return "snapshotsafety" }
 
 // Doc implements Analyzer.
 func (SnapshotSafety) Doc() string {
-	return "internal/core may touch raw segment storage (bkts, arena) only in segment.go and snapshot.go"
+	return "index backends may touch raw segment storage only in segment.go and snapshot.go"
 }
 
-// snapshotStorageFields are the raw-storage fields of the segment types.
-var snapshotStorageFields = map[string]bool{"bkts": true, "arena": true}
+// snapshotScope lists one package's raw-storage fields and the files
+// allowed to touch them.
+type snapshotScope struct {
+	fields map[string]bool
+	files  map[string]bool
+}
 
-// snapshotStorageFiles are the files allowed to touch them.
-var snapshotStorageFiles = map[string]bool{"segment.go": true, "snapshot.go": true}
+// snapshotScopes maps import-path suffixes to their storage scope.
+var snapshotScopes = map[string]snapshotScope{
+	"internal/core": {
+		fields: map[string]bool{"bkts": true, "arena": true},
+		files:  map[string]bool{"segment.go": true, "snapshot.go": true},
+	},
+	"internal/cobs": {
+		fields: map[string]bool{"arena": true, "tombs": true},
+		files:  map[string]bool{"segment.go": true, "snapshot.go": true},
+	},
+}
 
 // Run implements Analyzer.
 func (SnapshotSafety) Run(pkg *Package) []Diagnostic {
-	if !strings.HasSuffix(pkg.Path, "internal/core") {
+	var scope snapshotScope
+	found := false
+	for suffix, sc := range snapshotScopes {
+		if strings.HasSuffix(pkg.Path, suffix) {
+			scope, found = sc, true
+			break
+		}
+	}
+	if !found {
 		return nil
 	}
+	allowed := make([]string, 0, len(scope.files))
+	for f := range scope.files {
+		allowed = append(allowed, f)
+	}
+	sort.Strings(allowed)
 	var diags []Diagnostic
 	for _, f := range pkg.Files {
 		name := filepath.Base(pkg.Fset.Position(f.Pos()).Filename)
-		if snapshotStorageFiles[name] {
+		if scope.files[name] {
 			continue
 		}
 		walkFuncs(f, func(n ast.Node, fs *funcStack) bool {
 			sel, ok := n.(*ast.SelectorExpr)
-			if !ok || !snapshotStorageFields[sel.Sel.Name] {
+			if !ok || !scope.fields[sel.Sel.Name] {
 				return true
 			}
 			where := "package-level declaration"
@@ -58,8 +89,8 @@ func (SnapshotSafety) Run(pkg *Package) []Diagnostic {
 				Pos:  pkg.Fset.Position(sel.Sel.Pos()),
 				Rule: "snapshotsafety",
 				Message: where + " touches raw segment storage ." + sel.Sel.Name +
-					" outside segment.go/snapshot.go " +
-					"(go through the segment accessors so published snapshots stay immutable)",
+					" outside " + strings.Join(allowed, "/") +
+					" (go through the segment accessors so published snapshots stay immutable)",
 			})
 			return true
 		})

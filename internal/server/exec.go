@@ -163,19 +163,20 @@ func (s *Server) execBatch(ctx context.Context, patterns []string, workers int) 
 	return resp, nil
 }
 
-// execStats snapshots the library shape and storage gauges.
+// execStats snapshots the index shape and storage gauges.
 func (s *Server) execStats() StatsResponse {
-	p := s.lib.Params()
+	info := s.lib.Describe()
 	return StatsResponse{
+		Backend:       info.Backend,
 		References:    s.lib.NumRefs(),
 		Windows:       s.lib.NumWindows(),
 		Buckets:       s.lib.NumBuckets(),
-		Dim:           p.Dim,
-		Window:        p.Window,
-		Stride:        p.Stride,
-		Capacity:      p.Capacity,
-		Approx:        p.Approx,
-		Tolerance:     p.MutTolerance,
+		Dim:           info.Dim,
+		Window:        info.Window,
+		Stride:        info.Stride,
+		Capacity:      info.Capacity,
+		Approx:        info.Approx,
+		Tolerance:     info.Tolerance,
 		Threshold:     s.lib.Threshold(),
 		MemBytes:      s.lib.MemoryFootprint(),
 		MappedBytes:   s.lib.MappedBytes(),

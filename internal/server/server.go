@@ -45,9 +45,10 @@ import (
 // few kilobases).
 const maxBodyBytes = 16 << 20
 
-// Server serves search requests against one frozen library.
+// Server serves search requests against one frozen index, whatever
+// its backend — it talks only to the core.Index contract.
 type Server struct {
-	lib      *core.Library
+	lib      core.Index
 	cfg      Config
 	reg      *metrics.Registry
 	inflight *metrics.Gauge
@@ -70,8 +71,9 @@ func WithLogger(l *log.Logger) Option {
 	return func(s *Server) { s.logger = l }
 }
 
-// New creates a Server. The library must be frozen.
-func New(lib *core.Library, opts ...Option) (*Server, error) {
+// New creates a Server over any index backend. The index must be
+// frozen.
+func New(lib core.Index, opts ...Option) (*Server, error) {
 	if lib == nil || !lib.Frozen() {
 		return nil, fmt.Errorf("server: library must be frozen")
 	}
@@ -162,6 +164,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		writeError(w, http.StatusInternalServerError, "rendering metrics: %v", err)
 		return
 	}
+	fmt.Fprintf(&buf, "# HELP biohd_index_info Index backend serving this collection (constant 1, backend in the label).\n"+
+		"# TYPE biohd_index_info gauge\nbiohd_index_info{backend=%q} 1\n", s.lib.Describe().Backend)
 	c := s.lib.Counters()
 	fmt.Fprintf(&buf, "# HELP biohd_core_bucket_probes_total Query-window bucket probes executed by the library.\n"+
 		"# TYPE biohd_core_bucket_probes_total counter\nbiohd_core_bucket_probes_total %d\n", c.BucketProbes)
@@ -197,8 +201,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Write(buf.Bytes())
 }
 
-// StatsResponse is the /v1/stats payload.
+// StatsResponse is the /v1/stats payload. Backend names the index
+// backend serving the collection ("hdc", "cobs", ...); Dim and
+// Capacity are zero for backends they do not apply to.
 type StatsResponse struct {
+	Backend       string  `json:"backend"`
 	References    int     `json:"references"`
 	Windows       int     `json:"windows"`
 	Buckets       int     `json:"buckets"`

@@ -452,8 +452,10 @@ type BatchResult struct {
 }
 
 // StatsResult is a STATS response, the wire twin of the HTTP
-// StatsResponse.
+// StatsResponse (field-for-field, so the adapter converts between
+// them directly).
 type StatsResult struct {
+	Backend       string  `json:"backend"`
 	References    int     `json:"references"`
 	Windows       int     `json:"windows"`
 	Buckets       int     `json:"buckets"`
@@ -717,6 +719,8 @@ func ParseBatchResult(p []byte) (BatchResult, error) {
 //
 //biohd:hotpath
 func AppendStatsResult(buf []byte, res *StatsResult) []byte {
+	buf = appendU32(buf, uint32(len(res.Backend)))
+	buf = append(buf, res.Backend...)
 	buf = appendU64(buf, uint64(res.References))
 	buf = appendU64(buf, uint64(res.Windows))
 	buf = appendU64(buf, uint64(res.Buckets))
@@ -747,6 +751,11 @@ func ParseStatsResult(p []byte) (StatsResult, error) {
 	var u uint64
 	var w uint32
 	var b uint8
+	backend, off, err := parseBytes(p, off)
+	if err != nil {
+		return res, err
+	}
+	res.Backend = string(backend)
 	if u, off, err = parseU64(p, off); err != nil {
 		return res, err
 	}

@@ -175,6 +175,7 @@ func TestBatchResultRoundTrip(t *testing.T) {
 
 func TestStatsResultRoundTrip(t *testing.T) {
 	want := StatsResult{
+		Backend:    "hdc",
 		References: 3, Windows: 100, Buckets: 64, Dim: 8192, Window: 32,
 		Stride: 1, Capacity: 16, Approx: true, Tolerance: 2, Threshold: 0.3,
 		MemBytes: 1 << 20, MappedBytes: 1 << 19, ResidentBytes: 1 << 18,

@@ -88,7 +88,7 @@ func (f *fakeBackend) Batch(ctx context.Context, patterns [][]byte, workers int)
 }
 
 func (f *fakeBackend) Stats() StatsResult {
-	return StatsResult{References: 1, Dim: 8192, Window: 32}
+	return StatsResult{Backend: "hdc", References: 1, Dim: 8192, Window: 32}
 }
 
 // startServer runs a wire server over a loopback listener and returns

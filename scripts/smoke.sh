@@ -9,7 +9,11 @@
 # assert the mapped-bytes gauge reports the mapping. A third phase
 # serves with -wire-addr and drives the binary wire protocol through
 # the biohd wire client: pipelined searches, classify, stats, ping,
-# then asserts the biohd_wire_* metric series and a clean drain.
+# then asserts the biohd_wire_* metric series and a clean drain. A
+# fourth phase exercises the COBS bit-sliced backend end to end:
+# build -backend cobs → serve the saved collection with both HTTP and
+# wire listeners → search over each transport, and assert /v1/stats
+# and biohd_index_info name the cobs backend.
 #
 # Run via `make smoke` (CI runs it too). Needs only bash, curl, awk.
 set -euo pipefail
@@ -277,6 +281,68 @@ server_pid=""
 if [ "$rc" -ne 0 ]; then
     cat "$workdir/serve-wire.log"
     echo "FATAL: wire server exited $rc after SIGTERM, want 0"
+    exit 1
+fi
+kill "$watchdog_pid" 2>/dev/null || true
+watchdog_pid=""
+
+echo "== build -backend cobs"
+"$workdir/biohd" build -backend cobs -ref "$workdir/refs.fa" -o "$workdir/lib.cobs" \
+    | grep -q 'cobs backend' || { echo "FATAL: cobs build did not report its backend"; exit 1; }
+
+echo "== serve (cobs)"
+"$workdir/biohd" serve -lib "$workdir/lib.cobs" -addr 127.0.0.1:0 \
+    -wire-addr 127.0.0.1:0 -quiet >"$workdir/serve-cobs.log" 2>&1 &
+server_pid=$!
+( sleep 60; kill -9 "$server_pid" 2>/dev/null ) &
+watchdog_pid=$!
+
+base=""
+wire_addr=""
+for _ in $(seq 1 100); do
+    base=$(awk '/^serving /{for (i=1; i<=NF; i++) if ($i ~ /^http:/) print $i}' \
+        "$workdir/serve-cobs.log" 2>/dev/null || true)
+    wire_addr=$(awk '/^wire protocol on /{print $4}' \
+        "$workdir/serve-cobs.log" 2>/dev/null || true)
+    [ -n "$base" ] && [ -n "$wire_addr" ] && break
+    kill -0 "$server_pid" 2>/dev/null || { cat "$workdir/serve-cobs.log"; echo "FATAL: cobs server died"; exit 1; }
+    sleep 0.1
+done
+[ -n "$base" ] && [ -n "$wire_addr" ] || { cat "$workdir/serve-cobs.log"; echo "FATAL: no serving banner (cobs)"; exit 1; }
+echo "   http $base, wire $wire_addr"
+for _ in $(seq 1 50); do
+    curl -sf "$base/healthz" >/dev/null 2>&1 && break
+    sleep 0.1
+done
+
+echo "== cobs /v1/search"
+search=$(curl -sf -X POST -H 'Content-Type: application/json' \
+    -d "{\"pattern\":\"$pattern\"}" "$base/v1/search")
+echo "$search" | grep -q '"matches":\[{' || { echo "FATAL: no match from cobs library: $search"; exit 1; }
+
+echo "== cobs wire search"
+wsearch=$("$workdir/biohd" wire -addr "$wire_addr" -pattern "$pattern" -n 4)
+echo "$wsearch" | grep -q '4 pipelined responses identical' \
+    || { echo "FATAL: cobs pipelined responses diverged: $wsearch"; exit 1; }
+echo "$wsearch" | grep -q '"matches":\[{' \
+    || { echo "FATAL: no match over wire from cobs library: $wsearch"; exit 1; }
+
+echo "== cobs /v1/stats and /metrics name the backend"
+stats=$(curl -sf "$base/v1/stats")
+echo "$stats" | grep -q '"backend":"cobs"' \
+    || { echo "FATAL: /v1/stats backend wrong: $stats"; exit 1; }
+metrics=$(curl -sf "$base/metrics")
+echo "$metrics" | grep -qF 'biohd_index_info{backend="cobs"} 1' \
+    || { echo "FATAL: /metrics missing cobs biohd_index_info"; exit 1; }
+
+echo "== SIGTERM drain (cobs)"
+kill -TERM "$server_pid"
+rc=0
+wait "$server_pid" || rc=$?
+server_pid=""
+if [ "$rc" -ne 0 ]; then
+    cat "$workdir/serve-cobs.log"
+    echo "FATAL: cobs server exited $rc after SIGTERM, want 0"
     exit 1
 fi
 
