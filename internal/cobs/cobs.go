@@ -239,12 +239,14 @@ func (x *Index) Freeze() {
 
 // publishLocked assembles and atomically publishes a snapshot of the
 // sealed segments plus an isolated transposed view of the active
-// builder. Callers hold mu.
+// builder. The snapshot always owns a fresh segment slice: Remove and
+// Compact replace elements of x.segs in place, and lock-free readers
+// iterate published snapshots concurrently — sharing the backing
+// array would be a data race. Callers hold mu.
 func (x *Index) publishLocked() {
-	segs := x.segs
+	segs := make([]*segment, len(x.segs), len(x.segs)+1)
+	copy(segs, x.segs)
 	if x.active.numCols() > 0 {
-		segs = make([]*segment, len(x.segs), len(x.segs)+1)
-		copy(segs, x.segs)
 		segs = append(segs, x.active.seal(x.params.RowBits, x.refs))
 	}
 	x.snap.Store(newSnapshot(segs, x.refs))

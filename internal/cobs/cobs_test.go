@@ -3,6 +3,7 @@ package cobs
 import (
 	"context"
 	"errors"
+	"fmt"
 	"testing"
 
 	"repro/internal/baseline"
@@ -502,6 +503,61 @@ func TestConcurrentLookupAndMutate(t *testing.T) {
 		}
 		if !hit {
 			t.Fatalf("iteration %d: base occurrence lost mid-churn", i)
+		}
+	}
+}
+
+// TestConcurrentLookupAndRemoveSealed pins snapshot ownership when the
+// active builder is empty at publish time: every reference is sealed
+// (threshold 1), so each publish covers sealed segments only, and
+// Remove replaces sealed segment headers in x.segs in place. The
+// published snapshot must own its segment slice — sharing the backing
+// array with x.segs is a data race the detector catches here.
+func TestConcurrentLookupAndRemoveSealed(t *testing.T) {
+	w := testParams.Window
+	x := mustIndex(t, testParams)
+	x.SetSealThreshold(1)
+	keep := genome.Random(600, rng.New(401))
+	if err := x.Add(genome.Record{ID: "keep", Seq: keep}); err != nil {
+		t.Fatal(err)
+	}
+	const churn = 24
+	for i := 1; i <= churn; i++ {
+		seq := genome.Random(300, rng.New(uint64(402+i)))
+		if err := x.Add(genome.Record{ID: fmt.Sprintf("churn%d", i), Seq: seq}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	x.Freeze()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := churn; i >= 1; i-- {
+			if err := x.Remove(i); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	pat := keep.Slice(100, 100+w)
+	for {
+		select {
+		case <-done:
+			return
+		default:
+		}
+		ms, _, err := x.Lookup(pat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hit := false
+		for _, m := range ms {
+			if m.Ref == 0 && m.Off == 100 {
+				hit = true
+			}
+		}
+		if !hit {
+			t.Fatal("surviving reference lost during sealed-only removal churn")
 		}
 	}
 }

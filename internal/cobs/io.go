@@ -106,6 +106,11 @@ func readIndexV3(br *bufio.Reader, hdr []byte) (core.Index, error) {
 				if int(r) >= len(refs) {
 					return fmt.Errorf("cobs: v3 segment %d column %d references %d, table has %d", k, j, r, len(refs))
 				}
+				// Bound before the int32 narrowing: an implausible count
+				// must not wrap negative and corrupt the window totals.
+				if wn > core.MaxMetaCount {
+					return fmt.Errorf("cobs: v3 segment %d column %d declares %d windows", k, j, wn)
+				}
 				refIdx[j] = int32(r)
 				wins[j] = int32(wn)
 			}

@@ -207,6 +207,74 @@ func TestUnknownBackendTag(t *testing.T) {
 	}
 }
 
+// TestHeaderTagFlipOnEmptyContainer pins the CRC-protected meta tag
+// copy: a zero-segment container has no directory entries, so the meta
+// section's leading tag word is the only protected copy — flipping the
+// CRC-exempt header tag must still fail cleanly, in both directions.
+func TestHeaderTagFlipOnEmptyContainer(t *testing.T) {
+	// Empty cobs container, header retagged to hdc.
+	x := mustIndex(t, Params{Window: 8, RowBits: 256, Hashes: 2})
+	x.Freeze()
+	var buf bytes.Buffer
+	if _, err := x.WriteToV3(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if n := binary.LittleEndian.Uint32(buf.Bytes()[12:16]); n != 0 {
+		t.Fatalf("empty index wrote %d segments", n)
+	}
+	mut := append([]byte(nil), buf.Bytes()...)
+	binary.LittleEndian.PutUint32(mut[60:64], 0)
+	_, err := core.ReadIndex(bytes.NewReader(mut))
+	if err == nil {
+		t.Fatal("empty cobs container retagged as hdc accepted")
+	}
+	if !bytes.Contains([]byte(err.Error()), []byte("meta section tagged")) {
+		t.Fatalf("error %q is not the meta-tag cross-check", err)
+	}
+	// Zero-segment tag-0 container (the hdc writer never emits one, a
+	// forger can), header retagged to cobs.
+	var hbuf bytes.Buffer
+	if _, err := core.WriteContainerV3(&hbuf, 0, func(sw *core.SectionWriter) {}, nil); err != nil {
+		t.Fatal(err)
+	}
+	mut = append([]byte(nil), hbuf.Bytes()...)
+	binary.LittleEndian.PutUint32(mut[60:64], backendTag)
+	_, err = core.ReadIndex(bytes.NewReader(mut))
+	if err == nil {
+		t.Fatal("empty hdc container retagged as cobs accepted")
+	}
+	if !bytes.Contains([]byte(err.Error()), []byte("meta section tagged")) {
+		t.Fatalf("error %q is not the meta-tag cross-check", err)
+	}
+}
+
+// TestRejectsImplausibleWindowCount forges a CRC-consistent container
+// whose column metadata declares ~4G windows: the reader must reject
+// the count before the int32 narrowing could wrap it negative.
+func TestRejectsImplausibleWindowCount(t *testing.T) {
+	refs := []genome.Record{{ID: "r", Seq: genome.Random(64, rng.New(11))}}
+	var buf bytes.Buffer
+	_, err := core.WriteContainerV3(&buf, backendTag, func(sw *core.SectionWriter) {
+		sw.U32(8)   // Window
+		sw.U64(256) // RowBits
+		sw.U32(2)   // Hashes
+		sw.Refs(refs)
+		sw.U32(1)          // one column
+		sw.U32(0)          // referencing record 0
+		sw.U32(0xffffffff) // window count far past any plausible bound
+	}, []core.ContainerSegment{{Words: make([]uint64, 256), RowWords: 1, Buckets: 256}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = core.ReadIndex(bytes.NewReader(buf.Bytes()))
+	if err == nil {
+		t.Fatal("container declaring 4294967295 windows accepted")
+	}
+	if !bytes.Contains([]byte(err.Error()), []byte("windows")) {
+		t.Fatalf("error %q does not name the window count", err)
+	}
+}
+
 func buildIndexSmall(t *testing.T) *Index {
 	t.Helper()
 	x := mustIndex(t, Params{Window: 8, RowBits: 256, Hashes: 2})

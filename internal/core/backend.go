@@ -15,11 +15,12 @@ import (
 // The v3 container carries a backend tag so one file format serves
 // every index backend: the tag appears in the header's trailing word
 // (bytes [60,64), outside the header CRC — a dispatch hint) and,
-// authoritatively, in the reserved word of every CRC-protected
-// directory entry. The HDC library is tag 0, which keeps every v3 file
-// written before backends existed loading unchanged; alternate
-// backends register a nonzero tag. A reader validates that the
-// directory tags match the backend it dispatched to, so a flipped
+// authoritatively, as the CRC-covered leading word of the meta section
+// plus the reserved word of every CRC-protected directory entry. The
+// meta copy exists whatever the segment count, so even an empty
+// container has a protected tag. The HDC library is tag 0; alternate
+// backends register a nonzero tag. A reader validates that the meta
+// and directory tags match the backend it dispatched to, so a flipped
 // header tag surfaces as a clean error, never a panic or a
 // misinterpreted arena.
 const backendTagHDC uint32 = 0

@@ -91,16 +91,24 @@ type ContainerSegment struct {
 }
 
 // WriteContainerV3 writes a complete v3 container: the fixed header
-// carrying backend in its trailing word, the meta section produced by
-// writeMeta (CRC appended), the segment directory (each entry tagged
-// with backend inside the directory CRC), and the 64-byte-aligned
-// arenas. Offsets are the minimal aligned positions and all padding is
-// zero — the canonical layout the readers enforce byte for byte. It
-// returns the number of bytes written (the v3 file size).
+// carrying backend in its trailing word, the meta section (leading
+// backend tag word, then the payload produced by writeMeta, CRC
+// appended), the segment directory (each entry tagged with backend
+// inside the directory CRC), and the 64-byte-aligned arenas. Offsets
+// are the minimal aligned positions and all padding is zero — the
+// canonical layout the readers enforce byte for byte. It returns the
+// number of bytes written (the v3 file size).
+//
+// The header's tag word sits outside the header CRC, so the codec
+// writes two CRC-protected copies: one leading the meta section
+// (present even in a zero-segment container) and one in every
+// directory entry. A flipped header tag therefore always disagrees
+// with a protected copy, whatever the segment count.
 func WriteContainerV3(w io.Writer, backend uint32, writeMeta func(*SectionWriter), segs []ContainerSegment) (int64, error) {
 	// Meta section, buffered first so the header can record its length.
 	var metaBuf bytes.Buffer
 	sw := &SectionWriter{cw: crcWriter{w: &metaBuf}}
+	sw.U32(backend)
 	writeMeta(sw)
 	if sw.cw.err != nil {
 		return 0, fmt.Errorf("core: saving library: %w", sw.cw.err)
@@ -180,9 +188,10 @@ func WriteContainerV3(w io.Writer, backend uint32, writeMeta func(*SectionWriter
 
 // ReadContainerV3 reads and verifies a v3 container from br given its
 // already-consumed 64-byte header, enforcing the canonical layout: the
-// header CRC and structural offsets, the backend tag (header word and
-// every directory entry must equal backend), meta CRC with full
-// payload consumption, directory CRC and generic geometry (each arena
+// header CRC and structural offsets, the backend tag (header word, the
+// meta section's leading word, and every directory entry must equal
+// backend), meta CRC with full payload consumption, directory CRC and
+// generic geometry (each arena
 // exactly Buckets·RowWords words at the minimal aligned offset, ending
 // at the header's file size), per-arena CRCs, all-zero padding, and
 // EOF at the recorded size. parseMeta decodes the backend's meta
@@ -204,6 +213,14 @@ func ReadContainerV3(br *bufio.Reader, hdr []byte, backend uint32, parseMeta fun
 	// giant upfront allocation — decoding grows with actual input.
 	lr := &io.LimitedReader{R: br, N: int64(h.metaLen - 4)}
 	sr := &SectionReader{cr: crcReader{r: lr}}
+	// The meta section leads with a CRC-protected copy of the backend
+	// tag — the copy that exists even when segCount == 0 leaves no
+	// directory entries to carry one. The header word (CRC-exempt) may
+	// have been flipped; this copy may not.
+	if tag := sr.U32(); sr.cr.err == nil && tag != backend {
+		return fmt.Errorf("core: v3 meta section tagged for backend %s, header says %s",
+			BackendName(tag), BackendName(backend))
+	}
 	if err := parseMeta(sr, h.segCount); err != nil {
 		return err
 	}

@@ -55,6 +55,11 @@ func FuzzReadLibrary(f *testing.F) {
 		ret[60] = tag
 		f.Add(ret)
 	}
+	// The meta section's leading tag word flipped while the header keeps
+	// the HDC tag — the CRC-protected copy must win.
+	metaTag := append([]byte(nil), valid3...)
+	metaTag[v3HeaderSize] ^= 0x01
+	f.Add(metaTag)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// The backend-dispatching loader must never panic either; its

@@ -29,9 +29,9 @@ import (
 //	  [48,56)  file size u64
 //	  [56,60)  header crc32 (IEEE, over bytes [0,56))
 //	  [60,64)  backend tag u32 (0 = hdc; historically reserved-zero)
-//	meta (at 64): backend-specific — for hdc: params | calibration |
-//	  refs | per-segment window metadata (bucket counts and WindowRef
-//	  pairs — no vector payloads) | crc32
+//	meta (at 64): backend tag u32, then backend-specific — for hdc:
+//	  params | calibration | refs | per-segment window metadata (bucket
+//	  counts and WindowRef pairs — no vector payloads) | crc32
 //	directory (64-byte aligned): one 32-byte entry per segment
 //	  { arena offset u64, arena words u64, row words u32, buckets u32,
 //	    arena crc32 u32, backend tag u32 } | crc32
@@ -40,8 +40,11 @@ import (
 //
 // The backend tag selects the index backend that interprets the meta
 // section and arenas (see RegisterBackend); the header copy sits
-// outside the header CRC and is a dispatch hint, while the per-entry
-// copies are covered by the directory CRC and are authoritative.
+// outside the header CRC and is a dispatch hint, while the copies
+// leading the meta section and in every directory entry are covered
+// by their section CRCs and are authoritative. The meta copy exists
+// whatever the segment count, so even an empty container's tag cannot
+// be flipped undetected.
 //
 // The layout is canonical: sections are ordered, offsets are the
 // minimal aligned positions, and every padding byte is zero, so the
@@ -220,8 +223,9 @@ func parseV3Header(hdr []byte) (v3Header, error) {
 	}
 	// The trailing word is the backend tag (historically reserved-zero,
 	// which is exactly the HDC tag). It sits outside the header CRC;
-	// the CRC-protected directory entries carry the authoritative copy,
-	// so a flipped tag here is caught at dispatch or directory parse.
+	// the meta section's leading word and the directory entries carry
+	// the CRC-protected authoritative copies, so a flipped tag here is
+	// caught at dispatch or meta/directory parse.
 	h.backend = binary.LittleEndian.Uint32(hdr[60:64])
 	h.segCount = int(binary.LittleEndian.Uint32(hdr[12:16]))
 	metaOff := binary.LittleEndian.Uint64(hdr[16:24])
@@ -299,9 +303,9 @@ func parseMetaV3(cr *crcReader, segCount int) (*v3Meta, error) {
 
 // parseDirV3 decodes the segment directory entries (not the trailing
 // CRC) from cr. Every entry's trailing word must equal wantTag — the
-// directory is where the backend tag is CRC-protected, so a reader
-// dispatched on a forged header tag fails here, before touching any
-// arena.
+// directory CRC protects the per-segment tag copies (the meta section
+// leads with the other protected copy), so a reader dispatched on a
+// forged header tag fails before touching any arena.
 func parseDirV3(cr *crcReader, segCount int, wantTag uint32) ([]v3DirEntry, error) {
 	var entries []v3DirEntry
 	for k := 0; k < segCount && cr.err == nil; k++ {
@@ -539,6 +543,12 @@ func openMappedV3(path string) (lib *Library, handled bool, err error) {
 	metaEnd := v3HeaderSize + h.metaLen
 	mr := bytes.NewReader(b[v3HeaderSize : metaEnd-4])
 	mcr := &crcReader{r: mr}
+	// Same meta-leading tag check as the stream reader: the
+	// CRC-protected copy that exists even with zero directory entries.
+	if tag := mcr.u32(); mcr.err == nil && tag != backendTagHDC {
+		return nil, true, fmt.Errorf("core: v3 meta section tagged for backend %s, header says %s",
+			BackendName(tag), BackendName(backendTagHDC))
+	}
 	meta, err := parseMetaV3(mcr, h.segCount)
 	if err != nil {
 		return nil, true, err

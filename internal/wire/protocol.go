@@ -47,8 +47,10 @@ const (
 	Magic uint32 = 0x31444842
 	// Version is the protocol revision this package speaks. A frame
 	// with any other version is a protocol error: the format has no
-	// negotiation, matching the one-binary deployments it serves.
-	Version = 1
+	// negotiation, matching the one-binary deployments it serves — so
+	// any payload layout change must bump this constant. Revision 2
+	// prepended the backend string to the STATS result payload.
+	Version = 2
 	// HeaderSize is the fixed frame-header length in bytes.
 	HeaderSize = 24
 	// DefaultMaxFrame caps one frame's payload when the caller does

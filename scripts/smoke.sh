@@ -240,8 +240,9 @@ for _ in $(seq 1 50); do
 done
 
 echo "== wire ping"
-"$workdir/biohd" wire -addr "$wire_addr" -ping | grep -q pong \
-    || { echo "FATAL: wire ping failed"; exit 1; }
+wping=$("$workdir/biohd" wire -addr "$wire_addr" -ping)
+echo "$wping" | grep -q pong \
+    || { echo "FATAL: wire ping failed: $wping"; exit 1; }
 
 echo "== wire pipelined search"
 wsearch=$("$workdir/biohd" wire -addr "$wire_addr" -pattern "$pattern" -n 8)
@@ -287,8 +288,11 @@ kill "$watchdog_pid" 2>/dev/null || true
 watchdog_pid=""
 
 echo "== build -backend cobs"
-"$workdir/biohd" build -backend cobs -ref "$workdir/refs.fa" -o "$workdir/lib.cobs" \
-    | grep -q 'cobs backend' || { echo "FATAL: cobs build did not report its backend"; exit 1; }
+# Capture first, grep second: `biohd | grep -q` under pipefail races
+# grep's early exit against biohd's remaining output lines (SIGPIPE).
+cobs_build=$("$workdir/biohd" build -backend cobs -ref "$workdir/refs.fa" -o "$workdir/lib.cobs")
+echo "$cobs_build" | grep -q 'cobs backend' \
+    || { echo "FATAL: cobs build did not report its backend: $cobs_build"; exit 1; }
 
 echo "== serve (cobs)"
 "$workdir/biohd" serve -lib "$workdir/lib.cobs" -addr 127.0.0.1:0 \
